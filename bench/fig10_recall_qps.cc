@@ -1,0 +1,64 @@
+// Fig. 10: recall-vs-QPS trade-off curves of the three systems on the
+// Cohere-like dataset (HNSW, ef_search sweep, pure vector search).
+//
+// Expected shape (paper): BlendHouse's curve dominates (higher QPS at equal
+// recall); Milvus sits below due to the per-query proxy hop; all curves bend
+// down as ef grows.
+
+#include <cstdio>
+
+#include "baselines/blendhouse_system.h"
+#include "baselines/milvus_sim.h"
+#include "baselines/pgvector_sim.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace blendhouse;
+  bench::QuietLogs();
+  bench::PrintHeader("Fig. 10: recall vs QPS (HNSW, vector search)");
+
+  baselines::DatasetSpec spec = bench::Scaled(baselines::CohereSmall());
+  baselines::BenchDataset data = baselines::MakeDataset(spec);
+  const size_t k = 10;
+  const size_t kMeasureQueries = 200;
+
+  baselines::BlendHouseSystem blendhouse(bench::DefaultBhOptions());
+  baselines::MilvusSim milvus(bench::DefaultMilvusOptions());
+  baselines::PgvectorSim pgvector(bench::DefaultPgOptions());
+  if (!blendhouse.Load(data).ok() || !milvus.Load(data).ok() ||
+      !pgvector.Load(data).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  std::vector<std::pair<const char*, baselines::VectorSystem*>> systems = {
+      {"BlendHouse", &blendhouse},
+      {"Milvus", &milvus},
+      {"pgvector", &pgvector}};
+
+  // Cache ground truth once.
+  size_t queries = std::min<size_t>(data.num_queries, 24);
+  std::vector<std::vector<vecindex::IdType>> truth(queries);
+  for (size_t q = 0; q < queries; ++q)
+    truth[q] = baselines::GroundTruth(data, data.query(q), k);
+
+  std::printf("%-12s %8s %10s %10s\n", "system", "ef", "recall", "QPS");
+  for (auto& [name, system] : systems) {
+    for (int ef : {10, 20, 40, 80, 160, 320}) {
+      double total = 0;
+      for (size_t q = 0; q < queries; ++q) {
+        baselines::SearchRequest req;
+        req.query = data.query(q);
+        req.k = k;
+        req.ef_search = ef;
+        auto hits = system->Search(req);
+        if (hits.ok()) total += baselines::RecallOf(*hits, truth[q]);
+      }
+      double recall = total / static_cast<double>(queries);
+      bench::QpsResult qps =
+          bench::SystemQps(*system, data, k, ef, kMeasureQueries);
+      std::printf("%-12s %8d %9.2f%% %10.0f\n", name, ef, recall * 100,
+                  qps.qps);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig. 11: per-search latency of (a) local search on a hot in-memory index,
+// (b) vector search serving via a peer worker's hot cache over RPC, and
+// (c) the brute-force fallback used when no index is reachable.
+//
+// Expected shape (paper): brute force ~ an order of magnitude slower than
+// local (14.5x in the paper); serving adds only the RPC round-trip (+16.6%
+// in the paper) — the argument for serving over falling back.
+
+#include <cstdio>
+
+#include "cluster/virtual_warehouse.h"
+#include "common/histogram.h"
+#include "common/timer.h"
+#include "bench/bench_util.h"
+#include "storage/lsm_engine.h"
+#include "tests/test_util.h"
+
+int main() {
+  using namespace blendhouse;
+  bench::QuietLogs();
+  bench::PrintHeader(
+      "Fig. 11: latency of local search / vector search serving / brute "
+      "force");
+
+  const size_t kDim = 256;
+  const size_t kRows = 16384;
+  storage::ObjectStore store(storage::StorageCostModel::Remote());
+  cluster::RpcFabric rpc;  // realistic RPC cost
+  common::ThreadPool build_pool(2);
+
+  storage::TableSchema schema;
+  schema.table_name = "t";
+  schema.columns = {{"id", storage::ColumnType::kInt64},
+                    {"emb", storage::ColumnType::kFloatVector}};
+  vecindex::IndexSpec spec;
+  spec.type = "HNSW";
+  spec.dim = kDim;
+  schema.index_spec = spec;
+  schema.vector_column = 1;
+
+  storage::IngestOptions ingest;
+  ingest.max_segment_rows = kRows;
+  storage::LsmEngine engine(schema, &store, &build_pool, ingest);
+  auto data = test::MakeClusteredVectors(kRows, kDim, 32, 11);
+  {
+    std::vector<storage::Row> rows;
+    for (size_t i = 0; i < kRows; ++i) {
+      storage::Row row;
+      row.values = {static_cast<int64_t>(i),
+                    std::vector<float>(data.begin() + i * kDim,
+                                       data.begin() + (i + 1) * kDim)};
+      rows.push_back(std::move(row));
+    }
+    if (!engine.Insert(std::move(rows)).ok() || !engine.Flush().ok()) return 1;
+  }
+  storage::SegmentMeta meta = engine.Snapshot().segments[0];
+
+  cluster::WorkerOptions worker_options;  // realistic disk cost
+  cluster::Worker hot("hot", &store, &rpc, worker_options);
+  if (!hot.PreloadIndex(schema, meta).ok()) return 1;
+
+  cluster::Worker cold_serving("cold_serving", &store, &rpc, worker_options);
+  cold_serving.SetPeerResolver([&](const std::string&) { return &hot; });
+  cluster::Worker cold_brute("cold_brute", &store, &rpc, worker_options);
+  // Warm the raw-segment cache so brute force measures compute, not the
+  // one-time remote fetch.
+  (void)cold_brute.GetSegment(schema, meta.segment_id);
+
+  auto measure = [&](cluster::Worker& worker,
+                     const cluster::AcquireOptions& opts,
+                     const char* expect) -> double {
+    common::Histogram lat;
+    const size_t kQueries = 200;
+    for (size_t q = 0; q < kQueries; ++q) {
+      const float* query = data.data() + (q * 41 % kRows) * kDim;
+      common::Timer timer;
+      auto acquired = worker.AcquireIndex(schema, meta, opts);
+      if (!acquired.ok()) return -1;
+      vecindex::SearchParams params;
+      params.k = 10;
+      params.ef_search = 128;
+      auto hits = acquired->index->SearchWithFilter(query, params);
+      if (!hits.ok()) return -1;
+      lat.Add(timer.ElapsedMillis());
+      if (q == 0 &&
+          std::string(cluster::CacheOutcomeName(acquired->outcome)) != expect)
+        std::fprintf(stderr, "warning: expected %s got %s\n", expect,
+                     cluster::CacheOutcomeName(acquired->outcome));
+    }
+    return lat.Mean();
+  };
+
+  cluster::AcquireOptions local_opts;
+  double local = measure(hot, local_opts, "memory_hit");
+
+  cluster::AcquireOptions serving_opts;
+  serving_opts.background_load_on_fallback = false;  // keep it cold
+  double serving = measure(cold_serving, serving_opts, "remote_serving");
+
+  cluster::AcquireOptions brute_opts;
+  brute_opts.allow_remote_serving = false;
+  brute_opts.background_load_on_fallback = false;
+  double brute = measure(cold_brute, brute_opts, "brute_force");
+
+  std::printf("%-24s %14s %12s\n", "mode", "latency (ms)", "vs local");
+  std::printf("%-24s %14.3f %12s\n", "local search", local, "1.00x");
+  std::printf("%-24s %14.3f %11.2fx (+%.1f%%)\n", "vector search serving",
+              serving, serving / local, (serving / local - 1.0) * 100);
+  std::printf("%-24s %14.3f %11.2fx\n", "brute force fallback", brute,
+              brute / local);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 13: recall-vs-QPS curves of the index types (HNSW / HNSWSQ /
+// IVFPQFS), measured at the index level with ef_search / nprobe sweeps.
+//
+// Expected shape (paper): HNSW reaches the highest recall ceiling; HNSWSQ
+// tracks it with higher QPS at moderate recall; IVFPQFS is fastest at low
+// recall but saturates earlier.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "tests/test_util.h"
+#include "vecindex/index_factory.h"
+
+int main() {
+  using namespace blendhouse;
+  bench::QuietLogs();
+  bench::PrintHeader("Fig. 13: recall vs QPS of different index types");
+
+  const size_t n = static_cast<size_t>(20000 * bench::BenchScale());
+  const size_t dim = 96;
+  const size_t k = 10;
+  // Overlapping clusters: the same hardness the system benches use.
+  auto data = test::MakeClusteredVectors(n, dim, 16, 5, /*spread=*/1.0f);
+  std::vector<vecindex::IdType> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<vecindex::IdType>(i);
+
+  const size_t kNumQueries = 24;
+  std::vector<std::vector<vecindex::IdType>> truth(kNumQueries);
+  for (size_t q = 0; q < kNumQueries; ++q)
+    truth[q] =
+        test::BruteForceTopK(data, dim, data.data() + (q * 131 % n) * dim, k);
+
+  std::printf("%-12s %10s %10s %10s\n", "index", "knob", "recall", "QPS");
+  for (const char* type : {"HNSW", "HNSWSQ", "IVFPQFS"}) {
+    vecindex::IndexSpec spec;
+    spec.type = type;
+    spec.dim = dim;
+    spec.params["M"] = std::to_string(bench::BenchHnswM());
+    spec.params["EF_CONSTRUCTION"] = std::to_string(bench::BenchHnswEfc());
+    spec.params["NLIST"] = "128";
+    spec.params["PQ_M"] = "12";
+    auto index = vecindex::IndexFactory::Global().Create(spec);
+    if (!index.ok()) return 1;
+    if ((*index)->NeedsTraining() &&
+        !(*index)->Train(data.data(), n).ok())
+      return 1;
+    if (!(*index)->AddWithIds(data.data(), ids.data(), n).ok()) return 1;
+
+    bool ivf = std::string(type).rfind("IVF", 0) == 0;
+    for (int knob : (ivf ? std::vector<int>{1, 2, 4, 8, 16, 32, 64}
+                         : std::vector<int>{10, 20, 40, 80, 160, 320})) {
+      vecindex::SearchParams params;
+      params.k = static_cast<int>(k);
+      params.ef_search = knob;
+      params.nprobe = knob;
+      params.refine_factor = 2;
+
+      double total_recall = 0;
+      for (size_t q = 0; q < kNumQueries; ++q) {
+        auto hits = (*index)->SearchWithFilter(
+            data.data() + (q * 131 % n) * dim, params);
+        if (!hits.ok()) return 1;
+        total_recall += test::Recall(*hits, truth[q]);
+      }
+      double recall = total_recall / kNumQueries;
+
+      const size_t kTimed = 200;
+      common::Timer timer;
+      for (size_t q = 0; q < kTimed; ++q)
+        (void)(*index)->SearchWithFilter(data.data() + (q * 37 % n) * dim,
+                                         params);
+      double qps = kTimed / timer.ElapsedSeconds();
+      std::printf("BH-%-9s %10d %9.2f%% %10.0f\n", type, knob, recall * 100,
+                  qps);
+    }
+  }
+  return 0;
+}

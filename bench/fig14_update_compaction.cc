@@ -1,0 +1,66 @@
+// Fig. 14: impact of realtime updates (delete bitmaps + new versions) on
+// search QPS, and recovery after compaction removes the tombstoned rows.
+//
+// Expected shape (paper): QPS degrades as the updated-row fraction grows
+// (old versions must be filtered by delete bitmaps and updated rows live in
+// extra small segments); after compaction QPS returns to baseline.
+
+#include <cstdio>
+
+#include "baselines/blendhouse_system.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace blendhouse;
+  bench::QuietLogs();
+  bench::PrintHeader("Fig. 14: update volume vs QPS, with/without compaction");
+
+  baselines::DatasetSpec spec = bench::Scaled(baselines::CohereSmall());
+  spec.n /= 2;
+  baselines::BenchDataset data = baselines::MakeDataset(spec);
+
+  baselines::BlendHouseSystemOptions opts = bench::DefaultBhOptions();
+  opts.db = core::BlendHouseOptions::Fast();
+  opts.db.ingest.max_segment_rows = 2048;
+  baselines::BlendHouseSystem system(opts);
+  if (!system.Load(data).ok()) return 1;
+  core::BlendHouse& db = system.db();
+
+  auto qps = [&]() {
+    return bench::SystemQps(system, data, 10, 64, 200).qps;
+  };
+
+  std::printf("%-22s %10s %12s %14s\n", "updated rows", "QPS",
+              "segments", "deleted rows");
+  double updated_so_far = 0;
+  for (double target : {0.0, 0.10, 0.20, 0.40}) {
+    if (target > 0) {
+      // UPDATE moves rows to new versions; id ranges select the fraction.
+      int64_t lo = static_cast<int64_t>(updated_so_far * data.n);
+      int64_t hi = static_cast<int64_t>(target * data.n) - 1;
+      auto upd = db.ExecuteSql(
+          "UPDATE bench SET attr = 0 WHERE id BETWEEN " + std::to_string(lo) +
+          " AND " + std::to_string(hi) + ";");
+      if (!upd.ok()) {
+        std::fprintf(stderr, "update failed: %s\n",
+                     upd.status().ToString().c_str());
+        return 1;
+      }
+      updated_so_far = target;
+    }
+    auto snap = db.engine("bench")->Snapshot();
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%%", target * 100);
+    std::printf("%-22s %10.0f %12zu %14llu\n", label, qps(),
+                snap.segments.size(),
+                static_cast<unsigned long long>(snap.TotalDeletedRows()));
+  }
+
+  auto compacted = db.ExecuteSql("OPTIMIZE TABLE bench;");
+  if (!compacted.ok()) return 1;
+  auto snap = db.engine("bench")->Snapshot();
+  std::printf("%-22s %10.0f %12zu %14llu\n", "after compaction", qps(),
+              snap.segments.size(),
+              static_cast<unsigned long long>(snap.TotalDeletedRows()));
+  return 0;
+}

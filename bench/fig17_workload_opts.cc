@@ -1,0 +1,57 @@
+// Fig. 17: contribution of the workload-aware optimizations to hybrid-query
+// QPS: baseline -> +READ_Opt (adaptive column cache + granule sparse index)
+// -> +READ_Opt+Query_Opt (plan cache + short-circuit processing).
+//
+// Expected shape (paper): READ_Opt gives the big step (+124% there) by
+// killing repeated remote column reads; Query_Opt adds planning-overhead
+// savings on top (+206% total).
+
+#include <cstdio>
+
+#include "baselines/blendhouse_system.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace blendhouse;
+  bench::QuietLogs();
+  bench::PrintHeader("Fig. 17: workload-aware optimization breakdown");
+
+  baselines::DatasetSpec spec = bench::Scaled(baselines::CohereSmall());
+  spec.n /= 2;
+  baselines::BenchDataset data = baselines::MakeDataset(spec);
+
+  // Realistic remote-storage latency: the read optimizations exist to avoid
+  // exactly these fetches.
+  baselines::BlendHouseSystemOptions opts = bench::DefaultBhOptions();
+  opts.db.ingest.max_segment_rows = 1024;
+  baselines::BlendHouseSystem system(opts);
+  if (!system.Load(data).ok()) return 1;
+
+  auto [lo, hi] = baselines::AttrRangeForSelectivity(0.5);
+
+  struct Config {
+    const char* name;
+    bool column_cache, granules, plan_cache, short_circuit;
+  };
+  Config configs[] = {
+      {"baseline", false, false, false, false},
+      {"READ_Opt", true, true, false, false},
+      {"READ_Opt+Query_Opt", true, true, true, true},
+  };
+
+  double baseline_qps = 0;
+  std::printf("%-22s %10s %14s\n", "configuration", "QPS", "vs baseline");
+  for (const Config& cfg : configs) {
+    system.settings().use_column_cache = cfg.column_cache;
+    system.settings().use_granule_pruning = cfg.granules;
+    system.settings().use_plan_cache = cfg.plan_cache;
+    system.settings().short_circuit = cfg.short_circuit;
+    system.db().plan_cache().Invalidate();
+    bench::QpsResult r =
+        bench::SystemQps(system, data, 10, 64, 200, true, lo, hi);
+    if (baseline_qps == 0) baseline_qps = r.qps;
+    std::printf("%-22s %10.0f %+13.1f%%\n", cfg.name, r.qps,
+                (r.qps / baseline_qps - 1.0) * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 19: impact of the number of segments on query QPS, and compaction's
+// role in keeping the count bounded under high write frequency.
+//
+// Expected shape (paper): QPS per worker falls as the segment count grows
+// (more per-segment search/merge overhead); compaction converges the count
+// back into the efficient range.
+
+#include <cstdio>
+
+#include "baselines/blendhouse_system.h"
+#include "bench/bench_util.h"
+
+namespace blendhouse {
+namespace {
+
+/// Builds a system whose flushed segments have at most `segment_rows` rows,
+/// yielding a controlled live segment count.
+double QpsAtSegmentSize(size_t segment_rows,
+                        const baselines::BenchDataset& data,
+                        size_t* segments) {
+  baselines::BlendHouseSystemOptions opts = bench::DefaultBhOptions();
+  opts.db = core::BlendHouseOptions::Fast();
+  opts.db.ingest.max_segment_rows = segment_rows;
+  opts.db.ingest.flush_threshold_rows = segment_rows;
+  opts.insert_batch = segment_rows;
+  baselines::BlendHouseSystem system(opts);
+  if (!system.Load(data).ok()) return -1;
+  *segments = system.db().engine("bench")->Snapshot().segments.size();
+  return bench::SystemQps(system, data, 10, 64, 200).qps;
+}
+
+}  // namespace
+}  // namespace blendhouse
+
+int main() {
+  using namespace blendhouse;
+  bench::QuietLogs();
+  bench::PrintHeader("Fig. 19: query QPS vs number of segments");
+
+  baselines::DatasetSpec spec = bench::Scaled(baselines::CohereSmall());
+  spec.n /= 2;
+  baselines::BenchDataset data = baselines::MakeDataset(spec);
+
+  std::printf("%-18s %12s %10s\n", "segment rows", "segments", "QPS");
+  for (size_t rows : {256u, 512u, 1024u, 2048u, 4096u}) {
+    size_t segments = 0;
+    double qps = QpsAtSegmentSize(rows, data, &segments);
+    std::printf("%-18zu %12zu %10.0f\n", rows, segments, qps);
+  }
+
+  // Compaction converges a fragmented table back to the efficient range.
+  baselines::BlendHouseSystemOptions opts = bench::DefaultBhOptions();
+  opts.db = core::BlendHouseOptions::Fast();
+  opts.db.ingest.max_segment_rows = 256;
+  opts.db.ingest.flush_threshold_rows = 256;
+  opts.db.ingest.compaction_target_rows = 4096;
+  opts.insert_batch = 256;
+  baselines::BlendHouseSystem system(opts);
+  if (!system.Load(data).ok()) return 1;
+  size_t before = system.db().engine("bench")->Snapshot().segments.size();
+  double qps_before = bench::SystemQps(system, data, 10, 64, 200).qps;
+  if (!system.db().ExecuteSql("OPTIMIZE TABLE bench;").ok()) return 1;
+  size_t after = system.db().engine("bench")->Snapshot().segments.size();
+  double qps_after = bench::SystemQps(system, data, 10, 64, 200).qps;
+  std::printf("\ncompaction: %zu segments (%.0f QPS) -> %zu segments"
+              " (%.0f QPS)\n", before, qps_before, after, qps_after);
+  return 0;
+}

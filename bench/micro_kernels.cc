@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels under everything:
+// distance functions, PQ ADC lookups, SQ8 asymmetric distance, bitmap tests,
+// consistent-hash placement, and histogram selectivity estimation.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/consistent_hash.h"
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "vecindex/distance.h"
+#include "vecindex/pq.h"
+#include "vecindex/quantizer.h"
+
+namespace blendhouse {
+namespace {
+
+void BM_L2Sqr(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto data = test::MakeClusteredVectors(2, dim, 1, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        vecindex::L2Sqr(data.data(), data.data() + dim, dim));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2Sqr)->Arg(64)->Arg(96)->Arg(256)->Arg(768);
+
+void BM_InnerProduct(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto data = test::MakeClusteredVectors(2, dim, 1, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        vecindex::InnerProduct(data.data(), data.data() + dim, dim));
+}
+BENCHMARK(BM_InnerProduct)->Arg(96)->Arg(768);
+
+void BM_SqAsymmetricDistance(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto data = test::MakeClusteredVectors(256, dim, 4, 2);
+  vecindex::ScalarQuantizer sq;
+  (void)sq.Train(data.data(), 256, dim);
+  std::vector<uint8_t> code(dim);
+  sq.Encode(data.data() + dim, code.data());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sq.L2SqrToCode(data.data(), code.data()));
+}
+BENCHMARK(BM_SqAsymmetricDistance)->Arg(96)->Arg(768);
+
+void BM_PqAdcDistance(benchmark::State& state) {
+  size_t dim = 96, m = 12;
+  auto data = test::MakeClusteredVectors(2000, dim, 8, 3);
+  vecindex::ProductQuantizer pq;
+  (void)pq.Train(data.data(), 2000, dim, m, 8);
+  std::vector<uint8_t> code(pq.code_size());
+  pq.Encode(data.data() + dim, code.data());
+  std::vector<float> table(pq.m() * pq.ks());
+  pq.BuildAdcTable(data.data(), table.data());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pq.AdcDistance(table.data(), code.data()));
+}
+BENCHMARK(BM_PqAdcDistance);
+
+void BM_PqBuildAdcTable(benchmark::State& state) {
+  size_t dim = 96, m = 12;
+  auto data = test::MakeClusteredVectors(2000, dim, 8, 3);
+  vecindex::ProductQuantizer pq;
+  (void)pq.Train(data.data(), 2000, dim, m, 8);
+  std::vector<float> table(pq.m() * pq.ks());
+  for (auto _ : state) {
+    pq.BuildAdcTable(data.data(), table.data());
+    benchmark::DoNotOptimize(table.data());
+  }
+}
+BENCHMARK(BM_PqBuildAdcTable);
+
+void BM_BitsetTest(benchmark::State& state) {
+  common::Bitset bits(100000);
+  for (size_t i = 0; i < 100000; i += 3) bits.Set(i);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.Test(i));
+    i = (i + 7919) % 100000;
+  }
+}
+BENCHMARK(BM_BitsetTest);
+
+void BM_ConsistentHashPlacement(benchmark::State& state) {
+  cluster::ConsistentHashRing ring(static_cast<size_t>(state.range(0)));
+  for (int n = 0; n < 16; ++n) ring.AddNode("worker_" + std::to_string(n));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.GetNode("segment_" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_ConsistentHashPlacement)->Arg(1)->Arg(21);
+
+}  // namespace
+}  // namespace blendhouse
+
+BENCHMARK_MAIN();

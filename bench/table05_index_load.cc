@@ -1,0 +1,46 @@
+// Table V: end-to-end load time of the three most used index types
+// (BH-HNSW, BH-HNSWSQ, BH-IVFPQFS) on the two datasets.
+//
+// Expected shape (paper): IVFPQFS < HNSWSQ < HNSW — quantized/IVF builds are
+// cheaper than full graph construction.
+
+#include <cstdio>
+
+#include "baselines/blendhouse_system.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+
+int main() {
+  using namespace blendhouse;
+  bench::QuietLogs();
+  bench::PrintHeader("Table V: load time of different index types (seconds)");
+
+  std::vector<baselines::DatasetSpec> specs = {
+      bench::Scaled(baselines::CohereSmall()),
+      bench::Scaled(baselines::OpenAiSmall())};
+  const char* index_types[] = {"HNSW", "HNSWSQ", "IVFPQFS"};
+
+  std::printf("%-12s", "Index");
+  for (const auto& spec : specs)
+    std::printf(" %10s(n=%zu)", spec.name.c_str(), spec.n);
+  std::printf("\n");
+
+  for (const char* type : index_types) {
+    std::printf("BH-%-9s", type);
+    for (const auto& spec : specs) {
+      baselines::BenchDataset data = baselines::MakeDataset(spec);
+      baselines::BlendHouseSystemOptions opts = bench::DefaultBhOptions();
+      opts.index_type = type;
+      opts.preload = false;
+      baselines::BlendHouseSystem system(opts);
+      common::Timer t;
+      if (!system.Load(data).ok()) {
+        std::printf(" %18s", "FAILED");
+        continue;
+      }
+      std::printf(" %18.2f", t.ElapsedSeconds());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

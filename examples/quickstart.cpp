@@ -1,0 +1,71 @@
+// Quickstart: create a table with a vector index, ingest a few rows through
+// SQL, and run a hybrid query — the paper's Example 1 in miniature.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "core/blendhouse.h"
+
+using blendhouse::core::BlendHouse;
+using blendhouse::core::BlendHouseOptions;
+
+int main() {
+  // All latency simulation off: this example is about the API.
+  BlendHouse db(BlendHouseOptions::Fast());
+
+  // 1. DDL: scalar columns + embedding + an HNSW index on it.
+  auto created = db.ExecuteSql(
+      "CREATE TABLE images ("
+      "  id Int64,"
+      "  label String,"
+      "  embedding Array(Float32),"
+      "  INDEX ann_idx embedding TYPE HNSW('DIM=4', 'M=16')"
+      ") PARTITION BY (label);");
+  if (!created.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Ingest through SQL. (Bulk loads would use BlendHouse::Insert.)
+  auto inserted = db.ExecuteSql(
+      "INSERT INTO images VALUES"
+      " (1, 'cat',    [0.9, 0.1, 0.0, 0.0]),"
+      " (2, 'cat',    [0.8, 0.2, 0.1, 0.0]),"
+      " (3, 'dog',    [0.1, 0.9, 0.0, 0.1]),"
+      " (4, 'dog',    [0.0, 0.8, 0.2, 0.0]),"
+      " (5, 'sunset', [0.0, 0.0, 0.9, 0.4]),"
+      " (6, 'sunset', [0.1, 0.0, 0.8, 0.5]);");
+  if (!inserted.ok()) return 1;
+  // Commit buffered rows (flushes the memtable into an indexed segment).
+  if (!db.Flush("images").ok()) return 1;
+
+  // 3. Hybrid query: nearest cats to a query embedding.
+  auto result = db.Query(
+      "SELECT id, label, d FROM images"
+      " WHERE label = 'cat'"
+      " ORDER BY L2Distance(embedding, [1.0, 0.0, 0.0, 0.0]) AS d"
+      " LIMIT 3;");
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-6s %-8s %s\n", "id", "label", "distance");
+  for (const auto& row : result->rows) {
+    std::printf("%-6lld %-8s %.4f\n",
+                static_cast<long long>(std::get<int64_t>(row.values[0])),
+                std::get<std::string>(row.values[1]).c_str(),
+                std::get<double>(row.values[2]));
+  }
+
+  // 4. Peek at the optimizer's plan for the same query.
+  auto explain = db.Explain(
+      "SELECT id FROM images WHERE label = 'cat'"
+      " ORDER BY L2Distance(embedding, [1.0, 0.0, 0.0, 0.0]) LIMIT 3;");
+  if (explain.ok()) std::printf("\nEXPLAIN:\n%s", explain->c_str());
+  return 0;
+}

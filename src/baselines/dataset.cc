@@ -1,0 +1,149 @@
+#include "baselines/dataset.h"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+
+#include "baselines/vectordb_iface.h"
+#include "common/rng.h"
+#include "vecindex/distance.h"
+
+namespace blendhouse::baselines {
+
+void IngestStreamModel::Charge(size_t bytes) const {
+  if (bytes_per_micro <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_micro)));
+}
+
+DatasetSpec CohereSmall() {
+  DatasetSpec s;
+  s.name = "cohere-s";
+  s.n = 20000;
+  s.dim = 96;
+  s.clusters = 16;
+  s.cluster_spread = 1.0f;  // overlapping clusters: recall curves bite
+  return s;
+}
+
+DatasetSpec OpenAiSmall() {
+  DatasetSpec s;
+  s.name = "openai-s";
+  s.n = 40000;
+  s.dim = 192;
+  s.clusters = 24;
+  s.cluster_spread = 1.0f;
+  s.seed = 43;
+  return s;
+}
+
+DatasetSpec LaionSmall() {
+  DatasetSpec s;
+  s.name = "laion-s";
+  s.n = 20000;
+  s.dim = 64;
+  s.clusters = 48;
+  s.cluster_spread = 0.4f;  // separated clusters: semantic pruning works
+  s.seed = 44;
+  return s;
+}
+
+namespace {
+const char* const kCaptionWords[] = {
+    "cat",    "dog",   "mountain", "beach", "car",    "painting",
+    "street", "tree",  "portrait", "food",  "sunset", "building",
+    "river",  "bird",  "flower",   "night", "snow",   "child",
+};
+}  // namespace
+
+BenchDataset MakeDataset(const DatasetSpec& spec) {
+  common::Rng rng(spec.seed);
+  BenchDataset data;
+  data.name = spec.name;
+  data.n = spec.n;
+  data.dim = spec.dim;
+  data.num_queries = spec.num_queries;
+
+  std::vector<float> centers(spec.clusters * spec.dim);
+  for (auto& c : centers) c = rng.Gaussian(0.0f, 1.0f);
+
+  data.vectors.resize(spec.n * spec.dim);
+  data.int_attr.resize(spec.n);
+  data.sim_score.resize(spec.n);
+  data.captions.reserve(spec.n);
+  constexpr size_t kNumWords = sizeof(kCaptionWords) / sizeof(char*);
+  for (size_t i = 0; i < spec.n; ++i) {
+    size_t c = static_cast<size_t>(rng.UniformInt(0, spec.clusters - 1));
+    for (size_t d = 0; d < spec.dim; ++d)
+      data.vectors[i * spec.dim + d] =
+          centers[c * spec.dim + d] + rng.Gaussian(0.0f, spec.cluster_spread);
+    data.int_attr[i] = rng.UniformInt(0, BenchDataset::kAttrMax);
+    data.sim_score[i] = rng.Uniform();
+    std::string caption;
+    size_t words = static_cast<size_t>(rng.UniformInt(3, 8));
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) caption += ' ';
+      caption += kCaptionWords[rng.UniformInt(0, kNumWords - 1)];
+    }
+    data.captions.push_back(std::move(caption));
+  }
+
+  // Queries: cluster centers perturbed, so results are non-degenerate.
+  data.queries.resize(spec.num_queries * spec.dim);
+  for (size_t q = 0; q < spec.num_queries; ++q) {
+    size_t c = static_cast<size_t>(rng.UniformInt(0, spec.clusters - 1));
+    for (size_t d = 0; d < spec.dim; ++d)
+      data.queries[q * spec.dim + d] =
+          centers[c * spec.dim + d] +
+          rng.Gaussian(0.0f, spec.cluster_spread * 0.8f);
+  }
+  return data;
+}
+
+std::vector<vecindex::IdType> GroundTruth(const BenchDataset& data,
+                                          const float* query, size_t k,
+                                          bool filtered, int64_t lo,
+                                          int64_t hi) {
+  std::priority_queue<vecindex::Neighbor> heap;
+  for (size_t i = 0; i < data.n; ++i) {
+    if (filtered && (data.int_attr[i] < lo || data.int_attr[i] > hi))
+      continue;
+    float d = vecindex::L2Sqr(query, data.vector(i), data.dim);
+    if (heap.size() < k) {
+      heap.push({static_cast<vecindex::IdType>(i), d});
+    } else if (d < heap.top().distance) {
+      heap.pop();
+      heap.push({static_cast<vecindex::IdType>(i), d});
+    }
+  }
+  std::vector<vecindex::IdType> ids(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    ids[i] = heap.top().id;
+    heap.pop();
+  }
+  return ids;
+}
+
+double RecallOf(const std::vector<vecindex::Neighbor>& hits,
+                const std::vector<vecindex::IdType>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<vecindex::IdType> want(truth.begin(), truth.end());
+  size_t got = 0;
+  for (const auto& h : hits) got += want.count(h.id);
+  return static_cast<double>(got) / static_cast<double>(truth.size());
+}
+
+std::pair<int64_t, int64_t> AttrRangeForSelectivity(double pass_fraction) {
+  // int_attr is uniform on [0, kAttrMax]; a centered range of the right
+  // width passes ~pass_fraction of rows.
+  double width = pass_fraction * static_cast<double>(BenchDataset::kAttrMax);
+  int64_t mid = BenchDataset::kAttrMax / 2;
+  int64_t lo = mid - static_cast<int64_t>(width / 2);
+  int64_t hi = lo + static_cast<int64_t>(width);
+  return {std::max<int64_t>(0, lo),
+          std::min<int64_t>(BenchDataset::kAttrMax, hi)};
+}
+
+}  // namespace blendhouse::baselines

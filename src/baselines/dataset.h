@@ -1,0 +1,70 @@
+#ifndef BLENDHOUSE_BASELINES_DATASET_H_
+#define BLENDHOUSE_BASELINES_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vecindex/types.h"
+
+namespace blendhouse::baselines {
+
+/// Synthetic stand-in for the paper's Cohere/OpenAI/LAION datasets
+/// (Table III), generated as a Gaussian-mixture at laptop scale. Vectors
+/// carry a random-int attribute (the VectorDBBench filter column), a
+/// caption-similarity float in [0,1] and a synthetic caption string
+/// (the LAION workload's regex target).
+struct BenchDataset {
+  std::string name;
+  size_t n = 0;
+  size_t dim = 0;
+  std::vector<float> vectors;      // n * dim
+  std::vector<int64_t> int_attr;   // uniform in [0, kAttrMax]
+  std::vector<double> sim_score;   // uniform in [0, 1]
+  std::vector<std::string> captions;
+
+  std::vector<float> queries;      // num_queries * dim
+  size_t num_queries = 0;
+
+  static constexpr int64_t kAttrMax = 999999;
+
+  const float* query(size_t i) const { return queries.data() + i * dim; }
+  const float* vector(size_t i) const { return vectors.data() + i * dim; }
+};
+
+struct DatasetSpec {
+  std::string name = "cohere-s";
+  size_t n = 20000;
+  size_t dim = 96;
+  size_t clusters = 64;
+  size_t num_queries = 64;
+  uint64_t seed = 42;
+  float cluster_spread = 0.25f;
+};
+
+/// Laptop-scale stand-ins proportional to the paper's datasets.
+DatasetSpec CohereSmall();   // 1M x 768  ->  20k x 96
+DatasetSpec OpenAiSmall();   // 5M x 1536 ->  40k x 192
+DatasetSpec LaionSmall();    // 1M x 512  ->  20k x 64
+
+BenchDataset MakeDataset(const DatasetSpec& spec);
+
+/// Exact top-k (global row ids) with an optional int_attr range filter —
+/// ground truth for recall measurements.
+std::vector<vecindex::IdType> GroundTruth(const BenchDataset& data,
+                                          const float* query, size_t k,
+                                          bool filtered = false,
+                                          int64_t lo = 0, int64_t hi = 0);
+
+/// Recall of `hits` against exact `truth` ids.
+double RecallOf(const std::vector<vecindex::Neighbor>& hits,
+                const std::vector<vecindex::IdType>& truth);
+
+/// The attribute range [lo, hi] that keeps ~`pass_fraction` of rows.
+/// pass_fraction 0.99 models VectorDBBench's "1% filter" workload and 0.01
+/// its "99% filter" workload.
+std::pair<int64_t, int64_t> AttrRangeForSelectivity(double pass_fraction);
+
+}  // namespace blendhouse::baselines
+
+#endif  // BLENDHOUSE_BASELINES_DATASET_H_

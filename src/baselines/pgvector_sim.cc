@@ -1,0 +1,63 @@
+#include "baselines/pgvector_sim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace blendhouse::baselines {
+
+PgvectorSim::PgvectorSim(PgvectorSimOptions options) : options_(options) {}
+
+common::Status PgvectorSim::Load(const BenchDataset& data) {
+  dim_ = data.dim;
+  attrs_ = data.int_attr;
+  vecindex::HnswOptions opts;
+  opts.M = options_.hnsw_m;
+  opts.ef_construction = options_.hnsw_ef_construction;
+  index_ = std::make_unique<vecindex::HnswIndex>(dim_, vecindex::Metric::kL2,
+                                                 opts);
+  // Single-threaded monolithic build: COPY batches stream in and the HNSW
+  // index is maintained incrementally on the same backend process, so the
+  // transfer and the build fully serialize.
+  for (size_t begin = 0; begin < data.n; begin += options_.insert_batch) {
+    size_t end = std::min(data.n, begin + options_.insert_batch);
+    options_.ingest_stream.Charge((end - begin) * dim_ * sizeof(float));
+    std::vector<vecindex::IdType> ids(end - begin);
+    for (size_t i = begin; i < end; ++i)
+      ids[i - begin] = static_cast<vecindex::IdType>(i);
+    BH_RETURN_IF_ERROR(index_->AddWithIds(
+        data.vectors.data() + begin * dim_, ids.data(), end - begin));
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<vecindex::Neighbor>> PgvectorSim::Search(
+    const SearchRequest& request) {
+  if (index_ == nullptr)
+    return common::Status::Internal("pgvector-sim: not loaded");
+  if (options_.per_query_overhead_micros > 0)
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.per_query_overhead_micros));
+
+  // One graph pass with a fixed candidate budget of ef_search.
+  vecindex::SearchParams params;
+  params.k = static_cast<int>(
+      std::max<size_t>(request.k, static_cast<size_t>(request.ef_search)));
+  params.ef_search = request.ef_search;
+  auto hits = index_->SearchWithFilter(request.query, params);
+  if (!hits.ok()) return hits.status();
+
+  std::vector<vecindex::Neighbor> out;
+  out.reserve(request.k);
+  for (const vecindex::Neighbor& h : *hits) {
+    if (request.filtered) {
+      int64_t a = attrs_[static_cast<size_t>(h.id)];
+      if (a < request.lo || a > request.hi) continue;  // post-filter
+    }
+    out.push_back(h);
+    if (out.size() >= request.k) break;
+  }
+  return out;  // possibly (far) fewer than k — pgvector's failure mode
+}
+
+}  // namespace blendhouse::baselines

@@ -1,0 +1,49 @@
+#ifndef BLENDHOUSE_BASELINES_PGVECTOR_SIM_H_
+#define BLENDHOUSE_BASELINES_PGVECTOR_SIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/vectordb_iface.h"
+#include "vecindex/hnsw_index.h"
+
+namespace blendhouse::baselines {
+
+struct PgvectorSimOptions {
+  size_t hnsw_m = 16;
+  size_t hnsw_ef_construction = 200;
+  /// Simulated client insert-stream bandwidth (0 = off).
+  IngestStreamModel ingest_stream;
+  /// Rows per COPY batch (stream-charge granularity).
+  size_t insert_batch = 2048;
+  /// Per-query PostgreSQL parse/plan/executor + libpq round-trip cost.
+  int64_t per_query_overhead_micros = 150;
+};
+
+/// Behavioural model of pgvector 0.7 for the paper's comparisons:
+///  - standalone single node: one monolithic HNSW built on a single thread
+///    (its Table IV disadvantage — no parallel per-segment builds);
+///  - filtered search is post-filter only with a FIXED candidate budget:
+///    scan ef_search graph candidates once, apply the predicate, truncate.
+///    No iterator, no retry with a larger k, no cost-based fallback — which
+///    is exactly why its recall collapses (< 10-35%) on highly selective
+///    hybrid queries in Fig. 9 / Table VII.
+class PgvectorSim : public VectorSystem {
+ public:
+  explicit PgvectorSim(PgvectorSimOptions options = PgvectorSimOptions());
+
+  std::string Name() const override { return "pgvector"; }
+  common::Status Load(const BenchDataset& data) override;
+  common::Result<std::vector<vecindex::Neighbor>> Search(
+      const SearchRequest& request) override;
+
+ private:
+  PgvectorSimOptions options_;
+  size_t dim_ = 0;
+  std::vector<int64_t> attrs_;
+  std::unique_ptr<vecindex::HnswIndex> index_;
+};
+
+}  // namespace blendhouse::baselines
+
+#endif  // BLENDHOUSE_BASELINES_PGVECTOR_SIM_H_

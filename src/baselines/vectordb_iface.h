@@ -1,0 +1,53 @@
+#ifndef BLENDHOUSE_BASELINES_VECTORDB_IFACE_H_
+#define BLENDHOUSE_BASELINES_VECTORDB_IFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/dataset.h"
+#include "common/result.h"
+#include "vecindex/types.h"
+
+namespace blendhouse::baselines {
+
+/// Client->server insert-stream cost model shared by all systems: each
+/// ingest batch pays bytes / bandwidth of simulated transfer (VectorDBBench
+/// streams inserts over gRPC/libpq). 0 disables the charge.
+struct IngestStreamModel {
+  double bytes_per_micro = 0.0;
+
+  void Charge(size_t bytes) const;
+};
+
+struct SearchRequest {
+  const float* query = nullptr;
+  size_t k = 10;
+  /// Recall/latency knob (ef_search for HNSW-backed systems).
+  int ef_search = 64;
+  /// Optional range filter over int_attr (the VectorDBBench hybrid query).
+  bool filtered = false;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+/// Common facade the comparison benches drive. BlendHouse, MilvusSim, and
+/// PgvectorSim all sit behind it so Table IV / Fig. 9 / Fig. 10 / Table VII
+/// treat the systems uniformly. Returned ids are global dataset row ids.
+class VectorSystem {
+ public:
+  virtual ~VectorSystem() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// End-to-end ingest: returns only when the dataset is fully queryable
+  /// (data written, indexes built, serving layer loaded) — the quantity
+  /// Table IV reports.
+  virtual common::Status Load(const BenchDataset& data) = 0;
+
+  virtual common::Result<std::vector<vecindex::Neighbor>> Search(
+      const SearchRequest& request) = 0;
+};
+
+}  // namespace blendhouse::baselines
+
+#endif  // BLENDHOUSE_BASELINES_VECTORDB_IFACE_H_

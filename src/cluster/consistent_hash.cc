@@ -1,0 +1,72 @@
+#include "cluster/consistent_hash.h"
+
+#include <limits>
+
+namespace blendhouse::cluster {
+
+uint64_t HashWithSeed(const std::string& text, uint64_t seed) {
+  // FNV-1a folded with a splitmix64 finisher; deterministic across runs.
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+void ConsistentHashRing::AddNode(const std::string& node_id) {
+  ring_[HashWithSeed(node_id, /*seed=*/0)] = node_id;
+}
+
+void ConsistentHashRing::RemoveNode(const std::string& node_id) {
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node_id)
+      it = ring_.erase(it);
+    else
+      ++it;
+  }
+}
+
+bool ConsistentHashRing::HasNode(const std::string& node_id) const {
+  for (const auto& [_, id] : ring_)
+    if (id == node_id) return true;
+  return false;
+}
+
+std::vector<std::string> ConsistentHashRing::Nodes() const {
+  std::vector<std::string> out;
+  out.reserve(ring_.size());
+  for (const auto& [_, id] : ring_) out.push_back(id);
+  return out;
+}
+
+std::string ConsistentHashRing::GetNode(const std::string& key) const {
+  if (ring_.empty()) return "";
+  uint64_t best_distance = std::numeric_limits<uint64_t>::max();
+  const std::string* best_node = nullptr;
+  for (size_t probe = 0; probe < num_probes_; ++probe) {
+    uint64_t pos = HashWithSeed(key, probe + 1);
+    // Next node clockwise from the probe (wrap to the first entry).
+    auto it = ring_.lower_bound(pos);
+    uint64_t node_pos;
+    const std::string* node;
+    if (it == ring_.end()) {
+      node_pos = ring_.begin()->first;
+      node = &ring_.begin()->second;
+    } else {
+      node_pos = it->first;
+      node = &it->second;
+    }
+    uint64_t distance = node_pos - pos;  // unsigned wraparound = ring distance
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_node = node;
+    }
+  }
+  return *best_node;
+}
+
+}  // namespace blendhouse::cluster

@@ -1,0 +1,46 @@
+#ifndef BLENDHOUSE_CLUSTER_CONSISTENT_HASH_H_
+#define BLENDHOUSE_CLUSTER_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blendhouse::cluster {
+
+/// Multi-probe consistent hashing ring (Appleton & O'Reilly, the paper's
+/// Fig. 3). Each node is placed on the ring exactly once; each key is hashed
+/// with `num_probes` independent hash functions and assigned to the node
+/// that is closest in the clockwise direction from any probe. More probes
+/// give a more balanced allocation than classic one-probe consistent
+/// hashing without virtual-node memory blowup, and node add/remove still
+/// only moves the minimal fraction of keys.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(size_t num_probes = 21)
+      : num_probes_(num_probes) {}
+
+  void AddNode(const std::string& node_id);
+  void RemoveNode(const std::string& node_id);
+  bool HasNode(const std::string& node_id) const;
+  size_t NumNodes() const { return ring_.size(); }
+  std::vector<std::string> Nodes() const;
+
+  /// Owner node of `key`; empty string when the ring is empty.
+  std::string GetNode(const std::string& key) const;
+
+  size_t num_probes() const { return num_probes_; }
+
+ private:
+  size_t num_probes_;
+  /// ring position -> node id. One entry per node (multi-probe hashes the
+  /// *keys* many times, not the nodes).
+  std::map<uint64_t, std::string> ring_;
+};
+
+/// Stable 64-bit hash of (text, seed) used for ring placement and probes.
+uint64_t HashWithSeed(const std::string& text, uint64_t seed);
+
+}  // namespace blendhouse::cluster
+
+#endif  // BLENDHOUSE_CLUSTER_CONSISTENT_HASH_H_

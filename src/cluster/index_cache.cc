@@ -1,0 +1,108 @@
+#include "cluster/index_cache.h"
+
+#include <chrono>
+#include <thread>
+
+namespace blendhouse::cluster {
+
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kMemoryHit:
+      return "memory_hit";
+    case CacheOutcome::kDiskHit:
+      return "disk_hit";
+    case CacheOutcome::kRemoteLoad:
+      return "remote_load";
+    case CacheOutcome::kRemoteServing:
+      return "remote_serving";
+    case CacheOutcome::kBruteForce:
+      return "brute_force";
+  }
+  return "?";
+}
+
+HierarchicalIndexCache::HierarchicalIndexCache(storage::ObjectStore* remote,
+                                               Options options)
+    : remote_(remote),
+      options_(options),
+      memory_(options.memory_bytes),
+      metadata_(options.metadata_bytes),
+      disk_(options.disk_bytes) {}
+
+void HierarchicalIndexCache::ChargeDiskLatency(size_t bytes) const {
+  if (!options_.disk_cost.simulate_latency) return;
+  int64_t micros = options_.disk_cost.base_latency_micros +
+                   static_cast<int64_t>(static_cast<double>(bytes) /
+                                        options_.disk_cost.bytes_per_micro);
+  if (micros > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+void HierarchicalIndexCache::InsertAllTiers(
+    const std::string& key, std::string bytes,
+    std::shared_ptr<vecindex::VectorIndex> index) {
+  auto meta = std::make_shared<IndexMetaInfo>();
+  meta->index_type = index->Type();
+  meta->num_vectors = index->Size();
+  meta->memory_bytes = index->MemoryUsage();
+  metadata_.Put(key, meta, sizeof(IndexMetaInfo) + meta->index_type.size());
+  size_t disk_bytes = bytes.size();
+  disk_.Put(key, std::make_shared<std::string>(std::move(bytes)), disk_bytes);
+  memory_.Put(key, index, index->MemoryUsage());
+}
+
+common::Result<HierarchicalIndexCache::GetResult>
+HierarchicalIndexCache::GetOrLoad(const std::string& key,
+                                  const vecindex::IndexSpec& spec) {
+  if (auto hit = memory_.Get(key))
+    return GetResult{*hit, CacheOutcome::kMemoryHit};
+
+  // Disk tier: pay local-disk latency, then deserialize into memory.
+  if (auto disk_hit = disk_.Get(key)) {
+    ChargeDiskLatency((*disk_hit)->size());
+    auto index =
+        vecindex::IndexFactory::Global().CreateFromSaved(spec, **disk_hit);
+    if (!index.ok()) return index.status();
+    std::shared_ptr<vecindex::VectorIndex> shared = std::move(*index);
+    memory_.Put(key, shared, shared->MemoryUsage());
+    disk_hits_.fetch_add(1, std::memory_order_relaxed);
+    return GetResult{shared, CacheOutcome::kDiskHit};
+  }
+
+  // Remote object store (pays the remote latency model inside Get).
+  auto bytes = remote_->Get(key);
+  if (!bytes.ok()) return bytes.status();
+  auto index = vecindex::IndexFactory::Global().CreateFromSaved(spec, *bytes);
+  if (!index.ok()) return index.status();
+  std::shared_ptr<vecindex::VectorIndex> shared = std::move(*index);
+  InsertAllTiers(key, std::move(*bytes), shared);
+  remote_loads_.fetch_add(1, std::memory_order_relaxed);
+  return GetResult{shared, CacheOutcome::kRemoteLoad};
+}
+
+std::shared_ptr<vecindex::VectorIndex> HierarchicalIndexCache::PeekMemory(
+    const std::string& key) {
+  auto hit = memory_.Peek(key);
+  return hit.has_value() ? *hit : nullptr;
+}
+
+std::optional<IndexMetaInfo> HierarchicalIndexCache::GetMeta(
+    const std::string& key) {
+  auto hit = metadata_.Get(key);
+  if (!hit.has_value()) return std::nullopt;
+  return **hit;
+}
+
+void HierarchicalIndexCache::Evict(const std::string& key) {
+  memory_.Erase(key);
+  disk_.Erase(key);
+  metadata_.Erase(key);
+}
+
+void HierarchicalIndexCache::Clear() {
+  memory_.Clear();
+  disk_.Clear();
+  metadata_.Clear();
+}
+
+}  // namespace blendhouse::cluster

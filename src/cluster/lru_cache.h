@@ -1,0 +1,12 @@
+#ifndef BLENDHOUSE_CLUSTER_LRU_CACHE_SHIM_H_
+#define BLENDHOUSE_CLUSTER_LRU_CACHE_SHIM_H_
+
+// LruCache moved to common/ so lower layers (vecindex) can use it; this
+// alias keeps the cluster-layer spelling working.
+#include "common/lru_cache.h"
+
+namespace blendhouse::cluster {
+using common::LruCache;
+}  // namespace blendhouse::cluster
+
+#endif  // BLENDHOUSE_CLUSTER_LRU_CACHE_SHIM_H_

@@ -1,0 +1,53 @@
+#ifndef BLENDHOUSE_CLUSTER_RPC_H_
+#define BLENDHOUSE_CLUSTER_RPC_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace blendhouse::cluster {
+
+/// Simulated intra-cluster RPC fabric. Worker-to-worker calls (vector search
+/// serving, Fig. 4/11) go through Charge() to pay a network round-trip cost
+/// before the in-process handler runs. Counters feed the benches.
+class RpcFabric {
+ public:
+  struct CostModel {
+    /// Round-trip latency in microseconds (~intra-AZ TCP).
+    int64_t base_latency_micros = 200;
+    /// Payload throughput (bytes per microsecond).
+    double bytes_per_micro = 500.0;
+    bool simulate_latency = true;
+  };
+
+  RpcFabric() : RpcFabric(CostModel()) {}
+  explicit RpcFabric(CostModel cost) : cost_(cost) {}
+
+  /// Pays the network cost of a call moving `payload_bytes` of argument +
+  /// response data.
+  void Charge(size_t payload_bytes) const {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+    if (!cost_.simulate_latency) return;
+    int64_t micros =
+        cost_.base_latency_micros +
+        static_cast<int64_t>(static_cast<double>(payload_bytes) /
+                             cost_.bytes_per_micro);
+    if (micros > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+
+  uint64_t calls() const { return calls_.load(); }
+  uint64_t bytes() const { return bytes_.load(); }
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  CostModel cost_;
+  mutable std::atomic<uint64_t> calls_{0};
+  mutable std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace blendhouse::cluster
+
+#endif  // BLENDHOUSE_CLUSTER_RPC_H_

@@ -1,0 +1,94 @@
+#include "cluster/virtual_warehouse.h"
+
+namespace blendhouse::cluster {
+
+VirtualWarehouse::VirtualWarehouse(std::string name, size_t num_workers,
+                                   storage::ObjectStore* remote,
+                                   RpcFabric* rpc,
+                                   WorkerOptions worker_options)
+    : name_(std::move(name)),
+      remote_(remote),
+      rpc_(rpc),
+      worker_options_(worker_options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < num_workers; ++i) AddWorkerLocked();
+}
+
+Worker* VirtualWarehouse::AddWorkerLocked() {
+  std::string id = name_ + "_w" + std::to_string(worker_counter_++);
+  auto worker = std::make_unique<Worker>(id, remote_, rpc_, worker_options_);
+  worker->SetPeerResolver(
+      [this](const std::string& key) { return PreviousOwnerOf(key); });
+  Worker* raw = worker.get();
+  workers_[id] = std::move(worker);
+  ring_.AddNode(id);
+  return raw;
+}
+
+Worker* VirtualWarehouse::AddWorker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  previous_ring_ = ring_;
+  has_previous_ring_ = true;
+  return AddWorkerLocked();
+}
+
+common::Status VirtualWarehouse::RemoveWorker(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workers_.find(id);
+  if (it == workers_.end())
+    return common::Status::NotFound("worker: " + id);
+  previous_ring_ = ring_;
+  has_previous_ring_ = true;
+  ring_.RemoveNode(id);
+  workers_.erase(it);
+  return common::Status::Ok();
+}
+
+size_t VirtualWarehouse::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+std::vector<Worker*> VirtualWarehouse::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Worker*> out;
+  out.reserve(workers_.size());
+  for (const auto& [_, w] : workers_) out.push_back(w.get());
+  return out;
+}
+
+Worker* VirtualWarehouse::worker(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+std::string VirtualWarehouse::OwnerIdOf(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.GetNode(key);
+}
+
+Worker* VirtualWarehouse::OwnerOf(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string id = ring_.GetNode(key);
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+Worker* VirtualWarehouse::PreviousOwnerOf(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_previous_ring_) return nullptr;
+  std::string id = previous_ring_.GetNode(key);
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+void VirtualWarehouse::DropAllCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, w] : workers_) {
+    w->index_cache().Clear();
+    w->segment_cache().Clear();
+  }
+}
+
+}  // namespace blendhouse::cluster

@@ -1,0 +1,72 @@
+#ifndef BLENDHOUSE_CLUSTER_VIRTUAL_WAREHOUSE_H_
+#define BLENDHOUSE_CLUSTER_VIRTUAL_WAREHOUSE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/consistent_hash.h"
+#include "cluster/rpc.h"
+#include "cluster/worker.h"
+#include "common/result.h"
+#include "storage/object_store.h"
+
+namespace blendhouse::cluster {
+
+/// A group of stateless workers behind a multi-probe consistent-hash ring —
+/// the paper's virtual warehouse (VW). Read, write (index-build), and
+/// compaction workloads each get their own VW for physical isolation;
+/// scaling adds/removes workers and re-runs ring placement, remembering the
+/// pre-scale ring so vector search serving can route misses to old owners.
+class VirtualWarehouse {
+ public:
+  VirtualWarehouse(std::string name, size_t num_workers,
+                   storage::ObjectStore* remote, RpcFabric* rpc,
+                   WorkerOptions worker_options = {});
+
+  const std::string& name() const { return name_; }
+  size_t num_workers() const;
+  std::vector<Worker*> workers() const;
+  Worker* worker(const std::string& id) const;
+
+  /// Adds one worker; snapshots the current ring as the "previous" topology
+  /// first, so the new worker can resolve pre-scale owners.
+  Worker* AddWorker();
+
+  /// Removes a worker (planned scale-down or simulated failure).
+  common::Status RemoveWorker(const std::string& id);
+
+  /// Current owner of an object-store key under the live ring.
+  Worker* OwnerOf(const std::string& key) const;
+  std::string OwnerIdOf(const std::string& key) const;
+
+  /// Owner under the topology captured just before the last scaling event;
+  /// null when the topology never changed or the owner is gone.
+  Worker* PreviousOwnerOf(const std::string& key) const;
+
+  const ConsistentHashRing& ring() const { return ring_; }
+
+  /// Drops every worker's caches (benches use this to force cold starts).
+  void DropAllCaches();
+
+ private:
+  Worker* AddWorkerLocked();
+
+  std::string name_;
+  storage::ObjectStore* remote_;
+  RpcFabric* rpc_;
+  WorkerOptions worker_options_;
+
+  mutable std::mutex mu_;
+  size_t worker_counter_ = 0;
+  std::map<std::string, std::unique_ptr<Worker>> workers_;
+  ConsistentHashRing ring_;
+  ConsistentHashRing previous_ring_;
+  bool has_previous_ring_ = false;
+};
+
+}  // namespace blendhouse::cluster
+
+#endif  // BLENDHOUSE_CLUSTER_VIRTUAL_WAREHOUSE_H_

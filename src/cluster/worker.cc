@@ -1,0 +1,170 @@
+#include "cluster/worker.h"
+
+#include "common/logging.h"
+#include "vecindex/flat_index.h"
+
+namespace blendhouse::cluster {
+
+Worker::Worker(std::string id, storage::ObjectStore* remote, RpcFabric* rpc,
+               WorkerOptions options)
+    : id_(std::move(id)),
+      remote_(remote),
+      rpc_(rpc),
+      options_(options),
+      index_cache_(remote, options.cache),
+      segment_cache_(options.segment_cache_bytes),
+      pool_(options.threads),
+      loader_(1) {}
+
+common::Result<storage::SegmentPtr> Worker::GetSegment(
+    const storage::TableSchema& schema, const std::string& segment_id,
+    bool use_cache) {
+  std::string key = storage::SegmentKeys::Data(schema.table_name, segment_id);
+  if (use_cache) {
+    if (auto hit = segment_cache_.Get(key)) return *hit;
+  }
+  auto bytes = remote_->Get(key);
+  if (!bytes.ok()) return bytes.status();
+  auto segment = storage::Segment::Deserialize(*bytes);
+  if (!segment.ok()) return segment.status();
+  // Large scans bypass the cache so a single wide hybrid read cannot evict
+  // the whole working set (the paper's row-limit thrash guard).
+  if (use_cache &&
+      (*segment)->num_rows() <= options_.segment_cache_row_limit)
+    segment_cache_.Put(key, *segment, (*segment)->MemoryUsage());
+  return segment;
+}
+
+common::Result<Worker::AcquiredIndex> Worker::BruteForceIndex(
+    const storage::TableSchema& schema, const storage::SegmentMeta& meta,
+    bool use_segment_cache) {
+  auto segment = GetSegment(schema, meta.segment_id, use_segment_cache);
+  if (!segment.ok()) return segment.status();
+  if (schema.vector_column < 0)
+    return common::Status::InvalidArgument("table has no vector column");
+  const storage::Column& vec_col =
+      (*segment)->column(schema.vector_column);
+  auto flat = std::make_shared<vecindex::FlatIndex>(
+      vec_col.vector_dim(), schema.index_spec.has_value()
+                                ? schema.index_spec->metric
+                                : vecindex::Metric::kL2);
+  std::vector<vecindex::IdType> ids((*segment)->num_rows());
+  for (size_t i = 0; i < ids.size(); ++i)
+    ids[i] = static_cast<vecindex::IdType>(i);
+  BH_RETURN_IF_ERROR(flat->AddWithIds(vec_col.vector_data().data(), ids.data(),
+                                      ids.size()));
+  return AcquiredIndex{flat, CacheOutcome::kBruteForce};
+}
+
+common::Result<Worker::AcquiredIndex> Worker::AcquireIndex(
+    const storage::TableSchema& schema, const storage::SegmentMeta& meta,
+    const AcquireOptions& opts) {
+  if (!schema.index_spec.has_value())
+    return BruteForceIndex(schema, meta, /*use_segment_cache=*/true);
+
+  std::string key =
+      storage::SegmentKeys::Index(schema.table_name, meta.segment_id);
+  const vecindex::IndexSpec& spec = *schema.index_spec;
+
+  // Fast path: memory or disk tier.
+  if (index_cache_.PeekMemory(key) != nullptr || opts.force_local_load) {
+    auto got = index_cache_.GetOrLoad(key, spec);
+    if (!got.ok()) return got.status();
+    return AcquiredIndex{got->index, got->outcome};
+  }
+
+  // Miss. Ask the pre-scale owner to serve from its hot cache.
+  if (opts.allow_remote_serving && peer_resolver_) {
+    Worker* prev = peer_resolver_(key);
+    if (prev != nullptr && prev != this) {
+      std::shared_ptr<vecindex::VectorIndex> hot = prev->PeekHotIndex(key);
+      if (hot != nullptr) {
+        prev->NotePeerServe();
+        if (opts.background_load_on_fallback) {
+          loader_.Submit([this, key, spec] {
+            auto st = index_cache_.GetOrLoad(key, spec);
+            if (!st.ok())
+              BH_LOG(kWarn, "background index load failed: " +
+                                st.status().ToString());
+          });
+        }
+        return AcquiredIndex{
+            std::make_shared<RemoteIndexProxy>(std::move(hot), prev, rpc_),
+            CacheOutcome::kRemoteServing};
+      }
+    }
+  }
+
+  // No peer can serve. Either scan raw vectors now (cheap to start, slow per
+  // query) or block on a remote load (slow once, fast after).
+  if (opts.allow_brute_force) {
+    if (opts.background_load_on_fallback) {
+      loader_.Submit([this, key, spec] {
+        auto st = index_cache_.GetOrLoad(key, spec);
+        if (!st.ok())
+          BH_LOG(kWarn,
+                 "background index load failed: " + st.status().ToString());
+      });
+    }
+    return BruteForceIndex(schema, meta, /*use_segment_cache=*/true);
+  }
+  auto got = index_cache_.GetOrLoad(key, spec);
+  if (!got.ok()) return got.status();
+  return AcquiredIndex{got->index, got->outcome};
+}
+
+common::Status Worker::PreloadIndex(const storage::TableSchema& schema,
+                                    const storage::SegmentMeta& meta) {
+  if (!schema.index_spec.has_value()) return common::Status::Ok();
+  std::string key =
+      storage::SegmentKeys::Index(schema.table_name, meta.segment_id);
+  auto got = index_cache_.GetOrLoad(key, *schema.index_spec);
+  return got.ok() ? common::Status::Ok() : got.status();
+}
+
+// ---- RemoteIndexProxy ------------------------------------------------------
+
+namespace {
+/// Estimated wire size of a search call: query floats out, k neighbors back.
+size_t RpcPayloadBytes(size_t dim, size_t k) {
+  return dim * sizeof(float) + k * (sizeof(vecindex::IdType) + sizeof(float));
+}
+}  // namespace
+
+common::Result<std::vector<vecindex::Neighbor>>
+RemoteIndexProxy::SearchWithFilter(
+    const float* query, const vecindex::SearchParams& params) const {
+  rpc_->Charge(RpcPayloadBytes(Dim(), static_cast<size_t>(params.k)));
+  return peer_index_->SearchWithFilter(query, params);
+}
+
+namespace {
+class RemoteIteratorProxy : public vecindex::SearchIterator {
+ public:
+  RemoteIteratorProxy(std::unique_ptr<vecindex::SearchIterator> inner,
+                      RpcFabric* rpc, size_t dim)
+      : inner_(std::move(inner)), rpc_(rpc), dim_(dim) {}
+
+  std::vector<vecindex::Neighbor> Next(size_t batch_size) override {
+    rpc_->Charge(RpcPayloadBytes(dim_, batch_size));
+    return inner_->Next(batch_size);
+  }
+  size_t VisitedCount() const override { return inner_->VisitedCount(); }
+
+ private:
+  std::unique_ptr<vecindex::SearchIterator> inner_;
+  RpcFabric* rpc_;
+  size_t dim_;
+};
+}  // namespace
+
+common::Result<std::unique_ptr<vecindex::SearchIterator>>
+RemoteIndexProxy::MakeIterator(const float* query,
+                               const vecindex::SearchParams& params) const {
+  auto inner = peer_index_->MakeIterator(query, params);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<vecindex::SearchIterator>(
+      new RemoteIteratorProxy(std::move(*inner), rpc_, Dim()));
+}
+
+}  // namespace blendhouse::cluster

@@ -1,0 +1,87 @@
+#ifndef BLENDHOUSE_COMMON_BITSET_H_
+#define BLENDHOUSE_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace blendhouse::common {
+
+/// Dynamically sized bitset used for pre-filter bitmaps and delete bitmaps.
+///
+/// Bits default to 0. Out-of-range Test() returns false, which lets callers
+/// treat a shorter bitmap as "all remaining bits unset".
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits, bool initial = false)
+      : num_bits_(num_bits),
+        words_((num_bits + 63) / 64, initial ? ~uint64_t{0} : 0) {
+    TrimTail();
+  }
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.resize((num_bits + 63) / 64, 0);
+    TrimTail();
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(size_t i) const {
+    if (i >= num_bits_) return false;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    TrimTail();
+  }
+  void ClearAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// In-place bitwise AND with `other`; sizes must match.
+  void And(const Bitset& other) {
+    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i)
+      words_[i] &= other.words_[i];
+  }
+  /// In-place bitwise OR with `other`; sizes must match.
+  void Or(const Bitset& other) {
+    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i)
+      words_[i] |= other.words_[i];
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+ private:
+  void TrimTail() {
+    size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty())
+      words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace blendhouse::common
+
+#endif  // BLENDHOUSE_COMMON_BITSET_H_

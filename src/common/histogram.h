@@ -1,0 +1,49 @@
+#ifndef BLENDHOUSE_COMMON_HISTOGRAM_H_
+#define BLENDHOUSE_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace blendhouse::common {
+
+/// Latency/size histogram with percentile queries.
+///
+/// Samples are stored exactly; percentile queries sort lazily. Intended for
+/// bench harnesses and equi-depth selectivity estimation, not hot paths.
+class Histogram {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t Count() const { return samples_.size(); }
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  /// Value at percentile p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// "count=N mean=X p50=... p95=... p99=..." summary line.
+  std::string Summary() const;
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace blendhouse::common
+
+#endif  // BLENDHOUSE_COMMON_HISTOGRAM_H_

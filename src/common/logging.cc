@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+
+namespace blendhouse::common {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                std::string_view msg) {
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %.*s\n", LevelName(level), base, line,
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace internal
+}  // namespace blendhouse::common

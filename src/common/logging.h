@@ -1,0 +1,31 @@
+#ifndef BLENDHOUSE_COMMON_LOGGING_H_
+#define BLENDHOUSE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <string_view>
+
+namespace blendhouse::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Benches raise
+/// this to kWarn to keep stdout clean for table output.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                std::string_view msg);
+}  // namespace internal
+
+#define BH_LOG(level, msg)                                                \
+  do {                                                                    \
+    if (static_cast<int>(::blendhouse::common::LogLevel::level) >=        \
+        static_cast<int>(::blendhouse::common::GetLogLevel()))            \
+      ::blendhouse::common::internal::LogMessage(                         \
+          ::blendhouse::common::LogLevel::level, __FILE__, __LINE__, msg); \
+  } while (0)
+
+}  // namespace blendhouse::common
+
+#endif  // BLENDHOUSE_COMMON_LOGGING_H_

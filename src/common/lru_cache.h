@@ -1,0 +1,118 @@
+#ifndef BLENDHOUSE_COMMON_LRU_CACHE_H_
+#define BLENDHOUSE_COMMON_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace blendhouse::common {
+
+/// Thread-safe byte-budgeted LRU cache. Values are stored by value (use
+/// shared_ptr for heavy objects). The caller supplies each entry's charged
+/// size, so one template serves the index cache, the segment (column data)
+/// cache, and the disk tier.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  std::optional<V> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->value;
+  }
+
+  /// Peek without touching LRU order or hit/miss counters.
+  std::optional<V> Peek(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second->value;
+  }
+
+  void Put(const std::string& key, V value, size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      used_ -= it->second->bytes;
+      order_.erase(it->second);
+      map_.erase(it);
+    }
+    // An entry larger than the whole budget is not cacheable.
+    if (bytes > capacity_) return;
+    order_.push_front(Entry{key, std::move(value), bytes});
+    map_[key] = order_.begin();
+    used_ += bytes;
+    while (used_ > capacity_ && !order_.empty()) {
+      const Entry& victim = order_.back();
+      used_ -= victim.bytes;
+      map_.erase(victim.key);
+      order_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void Erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    used_ -= it->second->bytes;
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    order_.clear();
+    used_ = 0;
+  }
+
+  bool Contains(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.count(key) > 0;
+  }
+
+  size_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  size_t capacity_bytes() const { return capacity_; }
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+  uint64_t evictions() const { return evictions_.load(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    V value;
+    size_t bytes;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> map_;
+  size_t used_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace blendhouse::common
+
+#endif  // BLENDHOUSE_COMMON_LRU_CACHE_H_

@@ -1,0 +1,68 @@
+#ifndef BLENDHOUSE_COMMON_RESULT_H_
+#define BLENDHOUSE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace blendhouse::common {
+
+/// A value-or-Status holder, analogous to absl::StatusOr<T>.
+///
+/// `Result<T>` is implicitly constructible from both a `T` (success) and a
+/// non-OK `Status` (failure), so functions can `return value;` or
+/// `return Status::NotFound(...);` interchangeably.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed Result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+  /// Constructs a successful Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates a Result expression; on error returns its Status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define BH_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto BH_CONCAT_(_bh_result_, __LINE__) = (expr);  \
+  if (!BH_CONCAT_(_bh_result_, __LINE__).ok())      \
+    return BH_CONCAT_(_bh_result_, __LINE__).status(); \
+  lhs = std::move(BH_CONCAT_(_bh_result_, __LINE__)).value();
+
+#define BH_CONCAT_INNER_(a, b) a##b
+#define BH_CONCAT_(a, b) BH_CONCAT_INNER_(a, b)
+
+}  // namespace blendhouse::common
+
+#endif  // BLENDHOUSE_COMMON_RESULT_H_

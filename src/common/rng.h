@@ -1,0 +1,41 @@
+#ifndef BLENDHOUSE_COMMON_RNG_H_
+#define BLENDHOUSE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace blendhouse::common {
+
+/// Deterministic PRNG wrapper. All workload generation in tests and benches
+/// goes through Rng with an explicit seed so every run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Standard normal sample scaled by `stddev` around `mean`.
+  float Gaussian(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> d(mean, stddev);
+    return d(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace blendhouse::common
+
+#endif  // BLENDHOUSE_COMMON_RNG_H_

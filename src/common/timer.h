@@ -1,0 +1,33 @@
+#ifndef BLENDHOUSE_COMMON_TIMER_H_
+#define BLENDHOUSE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace blendhouse::common {
+
+/// Wall-clock stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace blendhouse::common
+
+#endif  // BLENDHOUSE_COMMON_TIMER_H_

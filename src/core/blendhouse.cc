@@ -1,0 +1,407 @@
+#include "core/blendhouse.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cluster/scheduler.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace blendhouse::core {
+
+BlendHouse::BlendHouse(BlendHouseOptions options)
+    : options_(std::move(options)),
+      store_(options_.remote_cost),
+      rpc_(options_.rpc_cost) {
+  cluster::WorkerOptions worker_options = options_.worker;
+  worker_options.threads = options_.worker_threads;
+  read_vw_ = std::make_unique<cluster::VirtualWarehouse>(
+      "read", options_.read_workers, &store_, &rpc_, worker_options);
+  if (options_.separate_write_vw)
+    build_pool_ = std::make_unique<common::ThreadPool>(options_.build_threads);
+}
+
+BlendHouse::~BlendHouse() = default;
+
+std::vector<common::ThreadPool*> BlendHouse::IndexBuildPools() {
+  if (options_.separate_write_vw) return {build_pool_.get()};
+  // Mixed configuration: index builds contend with queries for the read
+  // VW's worker threads (Fig. 12).
+  std::vector<common::ThreadPool*> pools;
+  for (cluster::Worker* w : read_vw_->workers()) pools.push_back(&w->pool());
+  return pools;
+}
+
+BlendHouse::TableState* BlendHouse::FindTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> BlendHouse::TableNames() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+storage::LsmEngine* BlendHouse::engine(const std::string& table) {
+  TableState* t = FindTable(table);
+  return t == nullptr ? nullptr : t->engine.get();
+}
+
+common::Status BlendHouse::CreateTable(storage::TableSchema schema) {
+  if (schema.table_name.empty())
+    return common::Status::InvalidArgument("table needs a name");
+  if (schema.index_spec.has_value() && schema.index_spec->dim == 0)
+    return common::Status::InvalidArgument(
+        "vector index needs DIM, e.g. HNSW('DIM=96')");
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  if (tables_.count(schema.table_name) > 0)
+    return common::Status::AlreadyExists("table: " + schema.table_name);
+  auto state = std::make_unique<TableState>();
+  state->schema = schema;
+  state->engine = std::make_unique<storage::LsmEngine>(
+      std::move(schema), &store_, IndexBuildPools(), options_.ingest);
+  tables_[state->schema.table_name] = std::move(state);
+  plan_cache_.Invalidate();
+  return common::Status::Ok();
+}
+
+common::Status BlendHouse::Insert(const std::string& table,
+                                  std::vector<storage::Row> rows) {
+  TableState* t = FindTable(table);
+  if (t == nullptr) return common::Status::NotFound("table: " + table);
+  BH_RETURN_IF_ERROR(t->engine->Insert(std::move(rows)));
+  return common::Status::Ok();
+}
+
+common::Status BlendHouse::Flush(const std::string& table) {
+  TableState* t = FindTable(table);
+  if (t == nullptr) return common::Status::NotFound("table: " + table);
+  BH_RETURN_IF_ERROR(t->engine->Flush());
+  if (options_.preload_after_flush) BH_RETURN_IF_ERROR(PreloadTable(table));
+  return common::Status::Ok();
+}
+
+common::Result<size_t> BlendHouse::Compact(const std::string& table) {
+  TableState* t = FindTable(table);
+  if (t == nullptr) return common::Status::NotFound("table: " + table);
+  auto jobs = t->engine->Compact();
+  if (!jobs.ok()) return jobs.status();
+  if (options_.preload_after_flush) BH_RETURN_IF_ERROR(PreloadTable(table));
+  return jobs;
+}
+
+common::Result<size_t> BlendHouse::CompactIfNeeded(const std::string& table) {
+  TableState* t = FindTable(table);
+  if (t == nullptr) return common::Status::NotFound("table: " + table);
+  return t->engine->CompactIfNeeded();
+}
+
+common::Status BlendHouse::PreloadTable(const std::string& table) {
+  TableState* t = FindTable(table);
+  if (t == nullptr) return common::Status::NotFound("table: " + table);
+  return cluster::PreloadIndexes(*read_vw_, t->schema,
+                                 t->engine->Snapshot());
+}
+
+cluster::Worker* BlendHouse::AddReadWorker() { return read_vw_->AddWorker(); }
+
+common::Status BlendHouse::RemoveReadWorker(const std::string& worker_id) {
+  return read_vw_->RemoveWorker(worker_id);
+}
+
+std::shared_ptr<const sql::TableStatistics> BlendHouse::RefreshStatistics(
+    TableState* table) {
+  storage::TableSnapshot snapshot = table->engine->Snapshot();
+  // stats_mu also serializes concurrent refreshes so only one thread pays
+  // the sampling cost.
+  std::lock_guard<std::mutex> lock(table->stats_mu);
+  if (table->stats != nullptr && table->stats->version() == snapshot.version)
+    return table->stats;
+  // Sample a bounded number of segments (largest first for coverage).
+  std::vector<storage::SegmentMeta> metas = snapshot.segments;
+  std::sort(metas.begin(), metas.end(),
+            [](const storage::SegmentMeta& a, const storage::SegmentMeta& b) {
+              return a.num_rows > b.num_rows;
+            });
+  if (metas.size() > options_.statistics_sample_segments)
+    metas.resize(options_.statistics_sample_segments);
+  std::vector<storage::SegmentPtr> segments;
+  for (const storage::SegmentMeta& m : metas) {
+    auto segment = table->engine->FetchSegment(m.segment_id);
+    if (!segment.ok()) return table->stats;  // keep serving the old snapshot
+    segments.push_back(*segment);
+  }
+  auto fresh = std::make_shared<sql::TableStatistics>(
+      sql::TableStatistics::Build(segments));
+  fresh->set_version(snapshot.version);
+  table->stats = fresh;
+  return table->stats;
+}
+
+common::Result<sql::OptimizedQuery> BlendHouse::Plan(
+    const std::string& sql, const sql::SelectStmt& stmt, TableState* table,
+    const sql::QuerySettings& settings, sql::ExecStats* stats) {
+  // Plan cache: parameterized signature -> previously chosen strategy; a
+  // hit takes the short-circuit path and skips stats + rules + costing.
+  std::string signature;
+  if (settings.use_plan_cache) {
+    auto sig = sql::ParameterizedSignature(sql);
+    if (sig.ok()) {
+      signature = std::move(*sig);
+      if (auto cached = plan_cache_.Get(signature)) {
+        // Extended plan matching: a cached strategy is only valid while the
+        // new parameters land in a similar selectivity regime — the same
+        // query shape with a 1%-pass range must not reuse a plan chosen for
+        // a 99%-pass range. The histogram lookup is far cheaper than the
+        // full rule + costing pipeline this hit skips.
+        bool selectivity_compatible = true;
+        if (stmt.where != nullptr) {
+          std::shared_ptr<const sql::TableStatistics> snapshot;
+          {
+            std::lock_guard<std::mutex> lock(table->stats_mu);
+            snapshot = table->stats;
+          }
+          if (snapshot != nullptr) {
+            double s = snapshot->EstimateSelectivity(*stmt.where);
+            double cached_s = std::max(1e-4, cached->estimated_selectivity);
+            double ratio = std::max(s, 1e-4) / cached_s;
+            selectivity_compatible = ratio > 0.25 && ratio < 4.0;
+          }
+        }
+        if (selectivity_compatible) {
+          auto quick = sql::ShortCircuitOptimize(stmt, table->schema,
+                                                 cached->strategy);
+          if (quick.ok()) {
+            stats->used_plan_cache = true;
+            stats->used_short_circuit = true;
+            quick->estimated_selectivity = cached->estimated_selectivity;
+            quick->rules_fired = cached->rules_fired;
+            return quick;
+          }
+        }
+      }
+    }
+  }
+
+  // Full pipeline: refresh stats, build + rewrite the plan, cost it. The
+  // shared_ptr keeps this snapshot alive even if a concurrent flush swaps
+  // in fresher statistics mid-optimization.
+  std::shared_ptr<const sql::TableStatistics> stats_snapshot;
+  if (options_.auto_refresh_statistics)
+    stats_snapshot = RefreshStatistics(table);
+  auto optimized =
+      sql::Optimize(stmt, table->schema, stats_snapshot.get(), settings);
+  if (!optimized.ok()) return optimized.status();
+
+  if (settings.use_plan_cache && !signature.empty()) {
+    sql::CachedPlan entry;
+    entry.strategy = optimized->choice.strategy;
+    entry.estimated_selectivity = optimized->estimated_selectivity;
+    entry.rules_fired = optimized->rules_fired;
+    plan_cache_.Put(signature, entry);
+  }
+  return optimized;
+}
+
+common::Result<sql::QueryResult> BlendHouse::QueryWithSettings(
+    const std::string& sql, const sql::QuerySettings& settings) {
+  auto stmt = sql::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  if (stmt->kind != sql::Statement::Kind::kSelect)
+    return common::Status::InvalidArgument("Query() expects SELECT");
+  const sql::SelectStmt& select = *stmt->select;
+  TableState* table = FindTable(select.table);
+  if (table == nullptr)
+    return common::Status::NotFound("table: " + select.table);
+
+  sql::ExecStats pre_stats;
+  common::Timer plan_timer;
+  auto plan = Plan(sql, select, table, settings, &pre_stats);
+  if (!plan.ok()) return plan.status();
+  double plan_micros = static_cast<double>(plan_timer.ElapsedMicros());
+
+  sql::Executor executor(read_vw_.get(), settings);
+  auto result = executor.Execute(*plan, *table->engine);
+  if (!result.ok()) return result.status();
+  result->stats.plan_micros = plan_micros;
+  result->stats.used_plan_cache = pre_stats.used_plan_cache;
+  result->stats.used_short_circuit = pre_stats.used_short_circuit;
+  return result;
+}
+
+common::Result<std::string> BlendHouse::Explain(const std::string& sql) {
+  auto stmt = sql::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  if (stmt->kind != sql::Statement::Kind::kSelect)
+    return common::Status::InvalidArgument("EXPLAIN expects SELECT");
+  const sql::SelectStmt& select = *stmt->select;
+  TableState* table = FindTable(select.table);
+  if (table == nullptr)
+    return common::Status::NotFound("table: " + select.table);
+  std::shared_ptr<const sql::TableStatistics> stats =
+      RefreshStatistics(table);
+  auto optimized =
+      sql::Optimize(select, table->schema, stats.get(), options_.settings);
+  if (!optimized.ok()) return optimized.status();
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "strategy=%s selectivity=%.4f rules_fired=%d\n"
+                "cost A=%.0f B=%.0f C=%.0f\n",
+                sql::ExecStrategyName(optimized->choice.strategy),
+                optimized->estimated_selectivity, optimized->rules_fired,
+                optimized->choice.cost_a, optimized->choice.cost_b,
+                optimized->choice.cost_c);
+  return std::string(buf) + optimized->explain;
+}
+
+common::Status BlendHouse::ApplySetting(const sql::SetStmt& stmt) {
+  sql::QuerySettings& s = options_.settings;
+  auto as_int = [&]() -> common::Result<int64_t> {
+    if (const int64_t* i = std::get_if<int64_t>(&stmt.value)) return *i;
+    if (const double* d = std::get_if<double>(&stmt.value))
+      return static_cast<int64_t>(*d);
+    return common::Status::InvalidArgument("SET " + stmt.name +
+                                           " expects a number");
+  };
+  std::string name = stmt.name;
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+
+  // ANN search knobs (the paper's ef_search / nprobe session settings).
+  std::map<std::string, int*> int_knobs = {
+      {"ef_search", &s.ef_search},
+      {"nprobe", &s.nprobe},
+      {"refine_factor", &s.refine_factor},
+  };
+  if (auto it = int_knobs.find(name); it != int_knobs.end()) {
+    auto v = as_int();
+    if (!v.ok()) return v.status();
+    if (*v <= 0)
+      return common::Status::InvalidArgument("SET " + stmt.name + " > 0");
+    *it->second = static_cast<int>(*v);
+    return common::Status::Ok();
+  }
+  if (name == "semantic_probe_buckets") {
+    auto v = as_int();
+    if (!v.ok()) return v.status();
+    if (*v <= 0)
+      return common::Status::InvalidArgument("SET " + stmt.name + " > 0");
+    s.semantic_probe_buckets = static_cast<size_t>(*v);
+    return common::Status::Ok();
+  }
+  std::map<std::string, bool*> bool_knobs = {
+      {"use_cbo", &s.use_cbo},
+      {"scalar_pruning", &s.scalar_pruning},
+      {"semantic_pruning", &s.semantic_pruning},
+      {"adaptive_semantic", &s.adaptive_semantic},
+      {"use_column_cache", &s.use_column_cache},
+      {"use_granule_pruning", &s.use_granule_pruning},
+      {"use_plan_cache", &s.use_plan_cache},
+      {"short_circuit", &s.short_circuit},
+  };
+  if (auto it = bool_knobs.find(name); it != bool_knobs.end()) {
+    auto v = as_int();
+    if (!v.ok()) return v.status();
+    *it->second = *v != 0;
+    if (name == "use_plan_cache" && !*it->second) plan_cache_.Invalidate();
+    return common::Status::Ok();
+  }
+  return common::Status::NotFound("unknown setting: " + stmt.name);
+}
+
+common::Status BlendHouse::ExecuteInsert(const sql::InsertStmt& stmt) {
+  TableState* table = FindTable(stmt.table);
+  if (table == nullptr) return common::Status::NotFound("table: " + stmt.table);
+  if (!stmt.rows.empty() &&
+      stmt.rows[0].values.size() != table->schema.columns.size())
+    return common::Status::InvalidArgument(
+        "INSERT arity mismatch: expected " +
+        std::to_string(table->schema.columns.size()) + " values");
+  return table->engine->Insert(stmt.rows);
+}
+
+common::Status BlendHouse::ExecuteUpdate(const sql::UpdateStmt& stmt) {
+  TableState* table = FindTable(stmt.table);
+  if (table == nullptr) return common::Status::NotFound("table: " + stmt.table);
+  storage::LsmEngine& engine = *table->engine;
+
+  // Resolve assignment targets once.
+  std::vector<std::pair<int, storage::Value>> assigns;
+  for (const auto& [col, value] : stmt.assignments) {
+    int idx = table->schema.FindColumn(col);
+    if (idx < 0) return common::Status::NotFound("column: " + col);
+    assigns.emplace_back(idx, value);
+  }
+
+  // Fig. 6 realtime update: locate matching rows, write updated copies as a
+  // new version, and mark the old rows in delete bitmaps. The old segments
+  // and their indexes are never touched.
+  sql::Executor executor(read_vw_.get(), options_.settings);
+  auto matches = executor.FindMatchingRows(engine, stmt.where.get());
+  if (!matches.ok()) return matches.status();
+
+  std::vector<storage::Row> new_rows;
+  for (const auto& [segment_id, offsets] : *matches) {
+    auto segment = engine.FetchSegment(segment_id);
+    if (!segment.ok()) return segment.status();
+    for (uint64_t row : offsets) {
+      storage::Row updated =
+          storage::RowFromSegment(**segment, static_cast<size_t>(row));
+      for (const auto& [idx, value] : assigns) updated.values[idx] = value;
+      new_rows.push_back(std::move(updated));
+    }
+    BH_RETURN_IF_ERROR(engine.DeleteRows(segment_id, offsets));
+  }
+  if (!new_rows.empty()) {
+    BH_RETURN_IF_ERROR(engine.Insert(std::move(new_rows)));
+    BH_RETURN_IF_ERROR(engine.Flush());
+  }
+  return common::Status::Ok();
+}
+
+common::Status BlendHouse::ExecuteDelete(const sql::DeleteStmt& stmt) {
+  TableState* table = FindTable(stmt.table);
+  if (table == nullptr) return common::Status::NotFound("table: " + stmt.table);
+  sql::Executor executor(read_vw_.get(), options_.settings);
+  auto matches = executor.FindMatchingRows(*table->engine, stmt.where.get());
+  if (!matches.ok()) return matches.status();
+  for (const auto& [segment_id, offsets] : *matches)
+    BH_RETURN_IF_ERROR(table->engine->DeleteRows(segment_id, offsets));
+  return common::Status::Ok();
+}
+
+common::Result<sql::QueryResult> BlendHouse::ExecuteSql(
+    const std::string& sql) {
+  auto stmt = sql::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  switch (stmt->kind) {
+    case sql::Statement::Kind::kSelect:
+      return Query(sql);
+    case sql::Statement::Kind::kCreateTable:
+      BH_RETURN_IF_ERROR(CreateTable(stmt->create_table->schema));
+      return sql::QueryResult{};
+    case sql::Statement::Kind::kInsert:
+      BH_RETURN_IF_ERROR(ExecuteInsert(*stmt->insert));
+      return sql::QueryResult{};
+    case sql::Statement::Kind::kUpdate:
+      BH_RETURN_IF_ERROR(ExecuteUpdate(*stmt->update));
+      return sql::QueryResult{};
+    case sql::Statement::Kind::kDelete:
+      BH_RETURN_IF_ERROR(ExecuteDelete(*stmt->del));
+      return sql::QueryResult{};
+    case sql::Statement::Kind::kOptimize: {
+      auto jobs = Compact(stmt->optimize->table);
+      if (!jobs.ok()) return jobs.status();
+      return sql::QueryResult{};
+    }
+    case sql::Statement::Kind::kSet:
+      BH_RETURN_IF_ERROR(ApplySetting(*stmt->set));
+      return sql::QueryResult{};
+  }
+  return common::Status::Internal("unreachable");
+}
+
+}  // namespace blendhouse::core

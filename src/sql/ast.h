@@ -1,0 +1,95 @@
+#ifndef BLENDHOUSE_SQL_AST_H_
+#define BLENDHOUSE_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/expression.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace blendhouse::sql {
+
+/// CREATE TABLE with optional vector INDEX, PARTITION BY, CLUSTER BY
+/// (the paper's Example 1 dialect).
+struct CreateTableStmt {
+  storage::TableSchema schema;
+};
+
+/// INSERT INTO t VALUES (...), (...);
+struct InsertStmt {
+  std::string table;
+  std::vector<storage::Row> rows;
+};
+
+/// The ORDER BY <DistanceFn>(col, [q...]) [AS alias] LIMIT k clause —
+/// the hybrid-query pattern the planner detects.
+struct AnnClause {
+  std::string distance_fn;  // "L2Distance" | "InnerProduct" | "CosineDistance"
+  std::string vector_column;
+  std::vector<float> query_vector;
+  std::string alias;  // distance output name; defaults to "dist"
+  size_t limit = 0;
+  bool ascending = true;
+};
+
+/// SELECT cols FROM t [WHERE pred] [ORDER BY dist(...)] [LIMIT k];
+struct SelectStmt {
+  std::vector<std::string> select_columns;  // may include the distance alias
+  bool select_star = false;
+  std::string table;
+  ExprPtr where;  // null when absent
+  std::optional<AnnClause> ann;
+  /// LIMIT for non-ANN queries (ANN limit lives in AnnClause).
+  std::optional<size_t> scalar_limit;
+};
+
+/// UPDATE t SET col = value, ... WHERE pred; (realtime update path)
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, storage::Value>> assignments;
+  ExprPtr where;
+};
+
+/// DELETE FROM t WHERE pred;
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+/// OPTIMIZE TABLE t; (forces compaction — ClickHouse-style spelling)
+struct OptimizeStmt {
+  std::string table;
+};
+
+/// SET name = value; (session query settings: ef_search, nprobe, ...)
+struct SetStmt {
+  std::string name;
+  storage::Value value;
+};
+
+struct Statement {
+  enum class Kind {
+    kCreateTable,
+    kInsert,
+    kSelect,
+    kUpdate,
+    kDelete,
+    kOptimize,
+    kSet,
+  };
+  Kind kind;
+  std::optional<CreateTableStmt> create_table;
+  std::optional<InsertStmt> insert;
+  std::optional<SelectStmt> select;
+  std::optional<UpdateStmt> update;
+  std::optional<DeleteStmt> del;
+  std::optional<OptimizeStmt> optimize;
+  std::optional<SetStmt> set;
+};
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_AST_H_

@@ -1,0 +1,77 @@
+#ifndef BLENDHOUSE_SQL_COST_MODEL_H_
+#define BLENDHOUSE_SQL_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace blendhouse::sql {
+
+/// Physical execution strategy for a hybrid (filtered vector search) query.
+/// Maps to the paper's Fig. 8: Plan A / Plan B / Plan C.
+enum class ExecStrategy {
+  kBruteForce = 0,  // Plan A: filter first, exact distances on survivors
+  kPreFilter,       // Plan B: bitmap from filter, then bitmap ANN scan
+  kPostFilter,      // Plan C: iterator ANN scan first, filter candidates
+};
+
+const char* ExecStrategyName(ExecStrategy s);
+
+/// Per-operation cost constants (Table II). Units are arbitrary but
+/// consistent; defaults are calibrated so one float multiply-add ~ 1.
+struct CostModelParams {
+  /// c_d: fetch one vector and compute an exact pairwise distance.
+  /// Scales with dimensionality; set via ForDim().
+  double c_d = 96.0;
+  /// c_c: fetch a code and run ADC (PQ) — or a full distance for indexes
+  /// without codes, where c_c == c_d.
+  double c_c = 16.0;
+  /// c_p: one bitmap membership test.
+  double c_p = 1.0;
+  /// Structured index scan cost per row (the T0 term is t0_per_row * n).
+  double t0_per_row = 0.5;
+  /// sigma: result amplification of ANN scan operators (refine factor).
+  double sigma = 2.0;
+
+  /// Defaults scaled for a `dim`-dimensional index of the given type.
+  /// `graph_degree` is the HNSW M parameter (ignored for IVF indexes):
+  /// every node a graph scan settles expands ~M neighbors, each costing a
+  /// full distance evaluation, so per-visit costs carry an M factor.
+  static CostModelParams ForIndex(size_t dim, const std::string& index_type,
+                                  size_t graph_degree = 16);
+};
+
+/// Inputs shared by the three plan cost formulas.
+struct PlanCostInputs {
+  /// n: total tuples under consideration.
+  size_t n = 0;
+  /// s: fraction of tuples passing the structured predicate (from the
+  /// histogram estimator).
+  double s = 1.0;
+  /// beta: fraction of tuples visited by a plain ANN scan (ef_search / n or
+  /// nprobe/nlist).
+  double beta = 0.05;
+  /// gamma: fraction visited by the ANN *bitmap* scan.
+  double gamma = 0.05;
+  /// k: requested result count.
+  size_t k = 10;
+};
+
+/// Eq. (1): cost_A = T0 + s*n*c_d.
+double CostPlanA(const PlanCostInputs& in, const CostModelParams& p);
+/// Eq. (2): cost_B = T0 + gamma*n*(1/s)*(c_p + s*c_c) + sigma*k*c_d.
+double CostPlanB(const PlanCostInputs& in, const CostModelParams& p);
+/// Eq. (3): cost_C = beta*n*(1/s)*c_c + sigma*k*c_d.
+double CostPlanC(const PlanCostInputs& in, const CostModelParams& p);
+
+struct StrategyChoice {
+  ExecStrategy strategy;
+  double cost_a, cost_b, cost_c;
+};
+
+/// The CBO decision: evaluates all three formulas and picks the minimum.
+StrategyChoice ChooseStrategy(const PlanCostInputs& in,
+                              const CostModelParams& p);
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_COST_MODEL_H_

@@ -1,0 +1,565 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <optional>
+#include <queue>
+
+#include "common/timer.h"
+#include "vecindex/distance.h"
+
+namespace blendhouse::sql {
+
+namespace {
+
+/// Scalar prune callback: numeric min/max ranges plus string-equality
+/// checks against partition key parts.
+bool SegmentMayMatch(const Expr& expr, const storage::SegmentMeta& meta,
+                     const storage::TableSchema& schema) {
+  if (!MayMatchSegment(expr, meta)) return false;
+  // String equality on a partition column prunes by the encoded key parts.
+  if (expr.kind == Expr::Kind::kAnd)
+    return SegmentMayMatch(*expr.children[0], meta, schema) &&
+           SegmentMayMatch(*expr.children[1], meta, schema);
+  if (expr.kind == Expr::Kind::kCompare && expr.op == Expr::CmpOp::kEq &&
+      expr.children[0]->kind == Expr::Kind::kColumn &&
+      expr.children[1]->kind == Expr::Kind::kLiteral) {
+    const std::string* want =
+        std::get_if<std::string>(&expr.children[1]->literal);
+    if (want == nullptr || meta.partition_key.empty()) return true;
+    int col = schema.FindColumn(expr.children[0]->column);
+    // Is this column part of the partition key?
+    for (size_t i = 0; i < schema.partition_columns.size(); ++i) {
+      if (schema.partition_columns[i] != col) continue;
+      // Extract the i-th '|'-separated part of the key.
+      std::string_view key = meta.partition_key;
+      size_t part = 0, begin = 0;
+      for (size_t j = 0; j <= key.size(); ++j) {
+        if (j == key.size() || key[j] == '|') {
+          if (part == i)
+            return key.substr(begin, j - begin) == *want;
+          ++part;
+          begin = j + 1;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+float OutputDistance(vecindex::Metric metric, float internal) {
+  // IP is internally negated so smaller = more similar; report the raw dot.
+  return metric == vecindex::Metric::kInnerProduct ? -internal : internal;
+}
+
+}  // namespace
+
+common::Result<QueryResult> Executor::Execute(const OptimizedQuery& query,
+                                              storage::LsmEngine& engine) {
+  ExecStats stats;
+  stats.strategy = query.choice.strategy;
+  stats.rules_fired = query.rules_fired;
+  common::Timer timer;
+  auto result = query.bound.has_ann ? ExecuteAnn(query, engine, &stats)
+                                    : ExecuteScalar(query, engine, &stats);
+  if (!result.ok()) return result.status();
+  stats.exec_micros = static_cast<double>(timer.ElapsedMicros());
+  result->stats = stats;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ANN path
+// ---------------------------------------------------------------------------
+
+common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
+                                                 storage::LsmEngine& engine,
+                                                 ExecStats* stats) {
+  const BoundQuery& bound = query.bound;
+  const storage::TableSchema& schema = engine.schema();
+  storage::TableSnapshot snapshot = engine.Snapshot();
+  stats->segments_total = snapshot.segments.size();
+
+  // Scalar segment pruning (partition keys + numeric ranges).
+  std::vector<storage::SegmentMeta> segments = snapshot.segments;
+  if (settings_.scalar_pruning && bound.filter != nullptr) {
+    segments = cluster::Scheduler::PruneScalar(
+        segments, [&](const storage::SegmentMeta& m) {
+          return SegmentMayMatch(*bound.filter, m, schema);
+        });
+  }
+  stats->segments_after_scalar_prune = segments.size();
+
+  // Semantic pruning with runtime-adaptive expansion: probe the nearest
+  // buckets first; if too few results qualify, widen and scan only the
+  // segments not yet covered.
+  const storage::SemanticPartitioner& partitioner =
+      engine.semantic_partitioner();
+  size_t probe = settings_.semantic_probe_buckets;
+  bool semantic = settings_.semantic_pruning && partitioner.trained() &&
+                  schema.semantic_buckets > 0;
+
+  std::vector<Candidate> all_candidates;
+  std::vector<std::string> scanned_ids;
+  for (;;) {
+    std::vector<storage::SegmentMeta> round_segments =
+        semantic ? cluster::Scheduler::PruneSemantic(
+                       segments, partitioner, bound.query_vector.data(), probe)
+                 : segments;
+    if (stats->segments_after_semantic_prune == 0)
+      stats->segments_after_semantic_prune = round_segments.size();
+    // Skip what earlier rounds already scanned.
+    round_segments.erase(
+        std::remove_if(round_segments.begin(), round_segments.end(),
+                       [&](const storage::SegmentMeta& m) {
+                         return std::find(scanned_ids.begin(),
+                                          scanned_ids.end(),
+                                          m.segment_id) != scanned_ids.end();
+                       }),
+        round_segments.end());
+
+    auto candidates = RunOnWorkers(bound, query.choice.strategy, schema,
+                                   round_segments, snapshot, stats);
+    if (!candidates.ok()) return candidates.status();
+    for (const Candidate& c : *candidates) all_candidates.push_back(c);
+    for (const storage::SegmentMeta& m : round_segments)
+      scanned_ids.push_back(m.segment_id);
+
+    if (!semantic || !settings_.adaptive_semantic) break;
+    if (all_candidates.size() >= bound.k) break;
+    if (probe >= partitioner.num_buckets()) break;
+    probe = std::min(partitioner.num_buckets(), probe * 2);
+    ++stats->adaptive_expansions;
+  }
+
+  // Global top-k merge of the per-segment partial top-k sets.
+  std::sort(all_candidates.begin(), all_candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.dist < b.dist;
+            });
+  if (all_candidates.size() > bound.k) all_candidates.resize(bound.k);
+
+  return Materialize(bound, schema, std::move(all_candidates));
+}
+
+common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
+    const BoundQuery& bound, ExecStrategy strategy,
+    const storage::TableSchema& schema,
+    const std::vector<storage::SegmentMeta>& segments,
+    const storage::TableSnapshot& snapshot, ExecStats* stats) {
+  for (size_t attempt = 0;; ++attempt) {
+    auto assignment =
+        cluster::Scheduler::Assign(*vw_, schema.table_name, segments);
+
+    std::vector<std::future<std::vector<SegmentTaskResult>>> futures;
+    bool assignment_failed = false;
+    for (auto& [worker_id, metas] : assignment) {
+      cluster::Worker* worker = vw_->worker(worker_id);
+      if (worker == nullptr) {
+        assignment_failed = true;  // topology changed mid-planning
+        break;
+      }
+      // One task per worker; it walks its assigned segments serially,
+      // modelling per-worker CPU.
+      std::vector<storage::SegmentMeta> worker_metas = metas;
+      futures.push_back(worker->pool().Submit(
+          [this, worker, &bound, strategy, &schema, &snapshot,
+           worker_metas = std::move(worker_metas)]() {
+            std::vector<SegmentTaskResult> results;
+            results.reserve(worker_metas.size());
+            for (const storage::SegmentMeta& meta : worker_metas)
+              results.push_back(
+                  RunSegment(worker, bound, strategy, schema, meta, snapshot));
+            return results;
+          }));
+    }
+
+    common::Status failure;
+    std::vector<Candidate> merged;
+    if (!assignment_failed) {
+      for (auto& fut : futures) {
+        for (SegmentTaskResult& r : fut.get()) {
+          if (!r.status.ok()) {
+            if (failure.ok()) failure = r.status;
+            continue;
+          }
+          ++stats->segments_scanned;
+          stats->postfilter_rounds += r.rounds;
+          for (size_t i = 0; i < r.cache_outcomes.size(); ++i)
+            stats->cache_outcomes[i] += r.cache_outcomes[i];
+          for (Candidate& c : r.candidates) merged.push_back(std::move(c));
+        }
+      }
+      if (failure.ok()) return merged;
+    }
+    // Query-level retry (fault tolerance, §II-E): re-snapshot the topology
+    // and re-run once.
+    if (attempt >= settings_.max_query_retries) {
+      return assignment_failed
+                 ? common::Status::Aborted("worker set changed during query")
+                 : failure;
+    }
+    ++stats->retries;
+  }
+}
+
+Executor::SegmentTaskResult Executor::RunSegment(
+    cluster::Worker* worker, const BoundQuery& bound, ExecStrategy strategy,
+    const storage::TableSchema& schema, const storage::SegmentMeta& meta,
+    const storage::TableSnapshot& snapshot) {
+  SegmentTaskResult result;
+  const common::Bitset* deletes = snapshot.DeletesFor(meta.segment_id);
+  size_t k = bound.k;
+
+  vecindex::SearchParams params;
+  params.k = static_cast<int>(k);
+  params.ef_search = settings_.ef_search;
+  params.nprobe = settings_.nprobe;
+  params.refine_factor = settings_.refine_factor;
+
+  auto push_candidates = [&](const std::vector<vecindex::Neighbor>& hits) {
+    for (const vecindex::Neighbor& n : hits) {
+      if (!bound.InRange(n.distance)) continue;
+      result.candidates.push_back({n.distance, n.id, {}});
+    }
+  };
+
+  switch (strategy) {
+    case ExecStrategy::kBruteForce: {
+      // Plan A: scalar filter first, exact distances on survivors only.
+      auto segment = worker->GetSegment(schema, meta.segment_id,
+                                        settings_.use_column_cache);
+      if (!segment.ok()) {
+        result.status = segment.status();
+        return result;
+      }
+      result.cache_outcomes[static_cast<size_t>(
+          cluster::CacheOutcome::kBruteForce)]++;
+      const storage::Column* vec_col =
+          (*segment)->FindColumn(bound.vector_column);
+      if (vec_col == nullptr) {
+        result.status = common::Status::Internal("vector column missing");
+        return result;
+      }
+      std::optional<PredicateEvaluator> eval;
+      if (bound.filter != nullptr) {
+        auto bind = PredicateEvaluator::Bind(*bound.filter, **segment);
+        if (!bind.ok()) {
+          result.status = bind.status();
+          return result;
+        }
+        eval = std::move(*bind);
+      }
+      // Top-k max-heap over qualifying rows.
+      std::priority_queue<vecindex::Neighbor> heap;
+      for (size_t i = 0; i < (*segment)->num_rows(); ++i) {
+        if (deletes != nullptr && deletes->Test(i)) continue;
+        if (eval.has_value() && !eval->EvalRow(i)) continue;
+        float d = vecindex::Distance(bound.metric, bound.query_vector.data(),
+                                     vec_col->GetVector(i),
+                                     vec_col->vector_dim());
+        if (!bound.InRange(d)) continue;
+        if (heap.size() < k) {
+          heap.push({static_cast<vecindex::IdType>(i), d});
+        } else if (d < heap.top().distance) {
+          heap.pop();
+          heap.push({static_cast<vecindex::IdType>(i), d});
+        }
+      }
+      while (!heap.empty()) {
+        result.candidates.push_back({heap.top().distance, heap.top().id, {}});
+        heap.pop();
+      }
+      break;
+    }
+
+    case ExecStrategy::kPreFilter: {
+      // Plan B: build the qualifying-row bitmap, then a bitmap ANN scan.
+      common::Bitset bitmap;
+      if (bound.filter != nullptr) {
+        auto segment = worker->GetSegment(schema, meta.segment_id,
+                                          settings_.use_column_cache);
+        if (!segment.ok()) {
+          result.status = segment.status();
+          return result;
+        }
+        auto bind = PredicateEvaluator::Bind(*bound.filter, **segment);
+        if (!bind.ok()) {
+          result.status = bind.status();
+          return result;
+        }
+        bitmap = bind->BuildBitmap(deletes, settings_.use_granule_pruning);
+        if (!bitmap.Any()) break;  // nothing qualifies in this segment
+        params.filter = &bitmap;
+      } else if (deletes != nullptr) {
+        bitmap = common::Bitset(meta.num_rows, /*initial=*/true);
+        for (size_t i = 0; i < meta.num_rows; ++i)
+          if (deletes->Test(i)) bitmap.Clear(i);
+        if (!bitmap.Any()) break;
+        params.filter = &bitmap;
+      }
+      auto acquired = worker->AcquireIndex(schema, meta, settings_.acquire);
+      if (!acquired.ok()) {
+        result.status = acquired.status();
+        return result;
+      }
+      result.cache_outcomes[static_cast<size_t>(acquired->outcome)]++;
+      common::Result<std::vector<vecindex::Neighbor>> hits =
+          bound.range >= 0
+              ? acquired->index->SearchWithRange(
+                    bound.query_vector.data(),
+                    static_cast<float>(bound.range), params)
+              : acquired->index->SearchWithFilter(bound.query_vector.data(),
+                                                  params);
+      if (!hits.ok()) {
+        result.status = hits.status();
+        return result;
+      }
+      push_candidates(*hits);
+      break;
+    }
+
+    case ExecStrategy::kPostFilter: {
+      // Plan C: iterator ANN scan first, filter candidates, refill until k
+      // qualify (partial top-k pushed below the scalar filter).
+      auto acquired = worker->AcquireIndex(schema, meta, settings_.acquire);
+      if (!acquired.ok()) {
+        result.status = acquired.status();
+        return result;
+      }
+      result.cache_outcomes[static_cast<size_t>(acquired->outcome)]++;
+      if (bound.filter == nullptr && bound.range < 0 && deletes == nullptr) {
+        // Nothing to post-filter (no predicate, no range, no delete bitmap):
+        // a plain top-k index search is cheaper than an incremental
+        // iterator.
+        auto hits =
+            acquired->index->SearchWithFilter(bound.query_vector.data(),
+                                              params);
+        if (!hits.ok()) {
+          result.status = hits.status();
+          return result;
+        }
+        push_candidates(*hits);
+        break;
+      }
+      auto iter = acquired->index->MakeIterator(bound.query_vector.data(),
+                                                params);
+      if (!iter.ok()) {
+        result.status = iter.status();
+        return result;
+      }
+      storage::SegmentPtr segment;  // fetched lazily, only if needed
+      std::optional<PredicateEvaluator> eval;
+      size_t batch_size =
+          std::max<size_t>(k, k * std::max(1, settings_.refine_factor));
+      size_t found = 0;
+      for (size_t round = 0; round < settings_.max_postfilter_rounds;
+           ++round) {
+        std::vector<vecindex::Neighbor> batch = (*iter)->Next(batch_size);
+        if (batch.empty()) break;
+        ++result.rounds;
+        for (const vecindex::Neighbor& n : batch) {
+          size_t row = static_cast<size_t>(n.id);
+          if (deletes != nullptr && deletes->Test(row)) continue;
+          if (!bound.InRange(n.distance)) continue;
+          if (bound.filter != nullptr) {
+            if (segment == nullptr) {
+              auto fetched = worker->GetSegment(schema, meta.segment_id,
+                                                settings_.use_column_cache);
+              if (!fetched.ok()) {
+                result.status = fetched.status();
+                return result;
+              }
+              segment = *fetched;
+              auto bind = PredicateEvaluator::Bind(*bound.filter, *segment);
+              if (!bind.ok()) {
+                result.status = bind.status();
+                return result;
+              }
+              eval = std::move(*bind);
+            }
+            if (!eval->EvalRow(row)) continue;
+          }
+          result.candidates.push_back({n.distance, n.id, {}});
+          ++found;
+        }
+        if (found >= k) break;
+        // Distances grew past the range: no point iterating further.
+        if (bound.range >= 0 && !batch.empty() &&
+            batch.back().distance > bound.range)
+          break;
+      }
+      break;
+    }
+  }
+
+  // Keep only this segment's partial top-k, tagged with its identity.
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.dist < b.dist;
+            });
+  if (result.candidates.size() > k) result.candidates.resize(k);
+  for (Candidate& c : result.candidates) c.segment_id = meta.segment_id;
+  return result;
+}
+
+common::Result<QueryResult> Executor::Materialize(
+    const BoundQuery& bound, const storage::TableSchema& schema,
+    std::vector<Candidate> candidates) {
+  QueryResult out;
+  out.column_names = bound.output_columns;
+
+  // Group winning rows by segment for one fetch per segment (reduces the
+  // read amplification of scattered ANN results).
+  std::map<std::string, std::vector<size_t>> by_segment;  // -> candidate idx
+  for (size_t i = 0; i < candidates.size(); ++i)
+    by_segment[candidates[i].segment_id].push_back(i);
+
+  std::vector<storage::Row> rows(candidates.size());
+  for (auto& [segment_id, idxs] : by_segment) {
+    auto segment = FetchForMaterialize(schema, segment_id);
+    if (!segment.ok()) return segment.status();
+    for (size_t idx : idxs) {
+      const Candidate& c = candidates[idx];
+      storage::Row row;
+      row.values.reserve(bound.output_columns.size());
+      for (const std::string& col_name : bound.output_columns) {
+        if (col_name == bound.distance_alias && bound.has_ann) {
+          row.values.push_back(static_cast<double>(
+              OutputDistance(bound.metric, c.dist)));
+          continue;
+        }
+        const storage::Column* col = (*segment)->FindColumn(col_name);
+        if (col == nullptr)
+          return common::Status::Internal("output column missing: " +
+                                          col_name);
+        row.values.push_back(col->GetValue(static_cast<size_t>(c.row)));
+      }
+      rows[idx] = std::move(row);
+    }
+  }
+  out.rows = std::move(rows);
+  return out;
+}
+
+common::Result<storage::SegmentPtr> Executor::FetchForMaterialize(
+    const storage::TableSchema& schema, const std::string& segment_id) {
+  cluster::Worker* owner = vw_->OwnerOf(
+      storage::SegmentKeys::Index(schema.table_name, segment_id));
+  if (owner == nullptr) return common::Status::Aborted("no worker available");
+  if (!settings_.use_column_cache)
+    return owner->GetSegment(schema, segment_id, /*use_cache=*/false);
+  if (owner->PeekCachedSegment(schema, segment_id) != nullptr)
+    return owner->GetSegment(schema, segment_id, /*use_cache=*/true);
+  // Column data is stateless: any worker holding the segment hot can hand
+  // the needed rows over for one RPC hop, sparing a cold remote read right
+  // after scaling.
+  for (cluster::Worker* peer : vw_->workers()) {
+    if (peer == owner) continue;
+    storage::SegmentPtr cached = peer->PeekCachedSegment(schema, segment_id);
+    if (cached != nullptr) {
+      return cached;
+    }
+  }
+  return owner->GetSegment(schema, segment_id, /*use_cache=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar path (no ANN clause)
+// ---------------------------------------------------------------------------
+
+common::Result<QueryResult> Executor::ExecuteScalar(
+    const OptimizedQuery& query, storage::LsmEngine& engine,
+    ExecStats* stats) {
+  const BoundQuery& bound = query.bound;
+  const storage::TableSchema& schema = engine.schema();
+  storage::TableSnapshot snapshot = engine.Snapshot();
+  stats->segments_total = snapshot.segments.size();
+
+  std::vector<storage::SegmentMeta> segments = snapshot.segments;
+  if (settings_.scalar_pruning && bound.filter != nullptr) {
+    segments = cluster::Scheduler::PruneScalar(
+        segments, [&](const storage::SegmentMeta& m) {
+          return SegmentMayMatch(*bound.filter, m, schema);
+        });
+  }
+  stats->segments_after_scalar_prune = segments.size();
+
+  QueryResult out;
+  out.column_names = bound.output_columns;
+  size_t limit = bound.scalar_limit.value_or(
+      std::numeric_limits<size_t>::max());
+
+  for (const storage::SegmentMeta& meta : segments) {
+    if (out.rows.size() >= limit) break;
+    cluster::Worker* owner = vw_->OwnerOf(
+        storage::SegmentKeys::Index(schema.table_name, meta.segment_id));
+    if (owner == nullptr)
+      return common::Status::Aborted("no worker available");
+    auto segment = owner->GetSegment(schema, meta.segment_id,
+                                     settings_.use_column_cache);
+    if (!segment.ok()) return segment.status();
+    ++stats->segments_scanned;
+    const common::Bitset* deletes = snapshot.DeletesFor(meta.segment_id);
+
+    std::optional<PredicateEvaluator> eval;
+    if (bound.filter != nullptr) {
+      auto bind = PredicateEvaluator::Bind(*bound.filter, **segment);
+      if (!bind.ok()) return bind.status();
+      eval = std::move(*bind);
+    }
+    for (size_t i = 0; i < (*segment)->num_rows() && out.rows.size() < limit;
+         ++i) {
+      if (deletes != nullptr && deletes->Test(i)) continue;
+      if (eval.has_value() && !eval->EvalRow(i)) continue;
+      storage::Row row;
+      row.values.reserve(bound.output_columns.size());
+      for (const std::string& col_name : bound.output_columns) {
+        const storage::Column* col = (*segment)->FindColumn(col_name);
+        if (col == nullptr)
+          return common::Status::InvalidArgument("unknown column: " +
+                                                 col_name);
+        row.values.push_back(col->GetValue(i));
+      }
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE / DELETE support
+// ---------------------------------------------------------------------------
+
+common::Result<std::vector<std::pair<std::string, std::vector<uint64_t>>>>
+Executor::FindMatchingRows(storage::LsmEngine& engine, const Expr* filter) {
+  storage::TableSnapshot snapshot = engine.Snapshot();
+  std::vector<std::pair<std::string, std::vector<uint64_t>>> matches;
+  for (const storage::SegmentMeta& meta : snapshot.segments) {
+    if (filter != nullptr &&
+        !SegmentMayMatch(*filter, meta, engine.schema()))
+      continue;
+    auto segment = engine.FetchSegment(meta.segment_id);
+    if (!segment.ok()) return segment.status();
+    const common::Bitset* deletes = snapshot.DeletesFor(meta.segment_id);
+
+    std::optional<PredicateEvaluator> eval;
+    if (filter != nullptr) {
+      auto bind = PredicateEvaluator::Bind(*filter, **segment);
+      if (!bind.ok()) return bind.status();
+      eval = std::move(*bind);
+    }
+    std::vector<uint64_t> offsets;
+    for (size_t i = 0; i < (*segment)->num_rows(); ++i) {
+      if (deletes != nullptr && deletes->Test(i)) continue;
+      if (eval.has_value() && !eval->EvalRow(i)) continue;
+      offsets.push_back(i);
+    }
+    if (!offsets.empty())
+      matches.emplace_back(meta.segment_id, std::move(offsets));
+  }
+  return matches;
+}
+
+}  // namespace blendhouse::sql

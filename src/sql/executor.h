@@ -1,0 +1,112 @@
+#ifndef BLENDHOUSE_SQL_EXECUTOR_H_
+#define BLENDHOUSE_SQL_EXECUTOR_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/scheduler.h"
+#include "cluster/virtual_warehouse.h"
+#include "common/result.h"
+#include "sql/optimizer.h"
+#include "sql/settings.h"
+#include "storage/lsm_engine.h"
+
+namespace blendhouse::sql {
+
+/// Per-query execution telemetry, surfaced to benches and tests.
+struct ExecStats {
+  ExecStrategy strategy = ExecStrategy::kPostFilter;
+  size_t segments_total = 0;
+  size_t segments_after_scalar_prune = 0;
+  size_t segments_after_semantic_prune = 0;
+  size_t segments_scanned = 0;
+  /// Indexed by cluster::CacheOutcome.
+  std::array<size_t, 5> cache_outcomes{};
+  size_t postfilter_rounds = 0;
+  size_t adaptive_expansions = 0;
+  size_t retries = 0;
+  bool used_plan_cache = false;
+  bool used_short_circuit = false;
+  int rules_fired = 0;
+  double plan_micros = 0;
+  double exec_micros = 0;
+};
+
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<storage::Row> rows;
+  ExecStats stats;
+};
+
+/// Distributed query executor: schedules pruned segments onto the read VW's
+/// workers via the consistent-hash ring, runs the chosen physical strategy
+/// per segment on the owning worker's pool, merges partial top-k results,
+/// and late-materializes output columns (paper §II-C "Plan execution").
+class Executor {
+ public:
+  Executor(cluster::VirtualWarehouse* read_vw, const QuerySettings& settings)
+      : vw_(read_vw), settings_(settings) {}
+
+  /// Runs an optimized SELECT against one table's engine.
+  common::Result<QueryResult> Execute(const OptimizedQuery& query,
+                                      storage::LsmEngine& engine);
+
+  /// UPDATE/DELETE support: (segment_id, row offsets) of all committed rows
+  /// matching `filter` (deleted rows excluded). Null filter matches all.
+  common::Result<std::vector<std::pair<std::string, std::vector<uint64_t>>>>
+  FindMatchingRows(storage::LsmEngine& engine, const Expr* filter);
+
+ private:
+  /// One ANN candidate before materialization.
+  struct Candidate {
+    float dist;
+    vecindex::IdType row;
+    std::string segment_id;
+  };
+
+  struct SegmentTaskResult {
+    std::vector<Candidate> candidates;
+    std::array<size_t, 5> cache_outcomes{};
+    size_t rounds = 0;
+    common::Status status;
+  };
+
+  common::Result<QueryResult> ExecuteAnn(const OptimizedQuery& query,
+                                         storage::LsmEngine& engine,
+                                         ExecStats* stats);
+  common::Result<QueryResult> ExecuteScalar(const OptimizedQuery& query,
+                                            storage::LsmEngine& engine,
+                                            ExecStats* stats);
+
+  /// Runs the physical strategy over `segments` on their owning workers and
+  /// returns the merged candidate set.
+  common::Result<std::vector<Candidate>> RunOnWorkers(
+      const BoundQuery& bound, ExecStrategy strategy,
+      const storage::TableSchema& schema,
+      const std::vector<storage::SegmentMeta>& segments,
+      const storage::TableSnapshot& snapshot, ExecStats* stats);
+
+  SegmentTaskResult RunSegment(cluster::Worker* worker,
+                               const BoundQuery& bound, ExecStrategy strategy,
+                               const storage::TableSchema& schema,
+                               const storage::SegmentMeta& meta,
+                               const storage::TableSnapshot& snapshot);
+
+  common::Result<QueryResult> Materialize(const BoundQuery& bound,
+                                          const storage::TableSchema& schema,
+                                          std::vector<Candidate> candidates);
+
+  /// Segment fetch with cache affinity: current owner's cache, then any
+  /// worker's cache (one RPC hop), then remote storage via the owner.
+  common::Result<storage::SegmentPtr> FetchForMaterialize(
+      const storage::TableSchema& schema, const std::string& segment_id);
+
+  cluster::VirtualWarehouse* vw_;
+  QuerySettings settings_;
+};
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_EXECUTOR_H_

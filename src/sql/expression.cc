@@ -1,0 +1,413 @@
+#include "sql/expression.h"
+
+#include <cmath>
+
+namespace blendhouse::sql {
+
+namespace {
+
+double LiteralToDouble(const storage::Value& v) {
+  if (const int64_t* i = std::get_if<int64_t>(&v))
+    return static_cast<double>(*i);
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  return std::nan("");
+}
+
+bool IsNumericLiteral(const storage::Value& v) {
+  return std::holds_alternative<int64_t>(v) ||
+         std::holds_alternative<double>(v);
+}
+
+bool CompareDoubles(Expr::CmpOp op, double a, double b) {
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      return a == b;
+    case Expr::CmpOp::kNe:
+      return a != b;
+    case Expr::CmpOp::kLt:
+      return a < b;
+    case Expr::CmpOp::kLe:
+      return a <= b;
+    case Expr::CmpOp::kGt:
+      return a > b;
+    case Expr::CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+bool CompareStrings(Expr::CmpOp op, std::string_view a, std::string_view b) {
+  int c = a.compare(b);
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      return c == 0;
+    case Expr::CmpOp::kNe:
+      return c != 0;
+    case Expr::CmpOp::kLt:
+      return c < 0;
+    case Expr::CmpOp::kLe:
+      return c <= 0;
+    case Expr::CmpOp::kGt:
+      return c > 0;
+    case Expr::CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+const char* OpName(Expr::CmpOp op) {
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      return "=";
+    case Expr::CmpOp::kNe:
+      return "!=";
+    case Expr::CmpOp::kLt:
+      return "<";
+    case Expr::CmpOp::kLe:
+      return "<=";
+    case Expr::CmpOp::kGt:
+      return ">";
+    case Expr::CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---- Builders --------------------------------------------------------------
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(storage::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCompare;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAnd;
+  e->children.push_back(std::move(a));
+  e->children.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kOr;
+  e->children.push_back(std::move(a));
+  e->children.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNot;
+  e->children.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr col, std::string pattern) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLike;
+  e->children.push_back(std::move(col));
+  e->pattern = std::move(pattern);
+  return e;
+}
+
+ExprPtr Expr::Regex(ExprPtr col, std::string pattern) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kRegex;
+  e->children.push_back(std::move(col));
+  e->pattern = std::move(pattern);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->column = column;
+  e->literal = literal;
+  e->op = op;
+  e->pattern = pattern;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind == Kind::kColumn) out->push_back(column);
+  for (const auto& c : children) c->CollectColumns(out);
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column;
+    case Kind::kLiteral: {
+      if (const int64_t* i = std::get_if<int64_t>(&literal))
+        return std::to_string(*i);
+      if (const double* d = std::get_if<double>(&literal))
+        return std::to_string(*d);
+      if (const std::string* s = std::get_if<std::string>(&literal))
+        return "'" + *s + "'";
+      return "<vec>";
+    }
+    case Kind::kCompare:
+      return "(" + children[0]->ToString() + " " + OpName(op) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children[0]->ToString() + " OR " + children[1]->ToString() +
+             ")";
+    case Kind::kNot:
+      return "(NOT " + children[0]->ToString() + ")";
+    case Kind::kLike:
+      return "(" + children[0]->ToString() + " LIKE '" + pattern + "')";
+    case Kind::kRegex:
+      return "(" + children[0]->ToString() + " REGEXP '" + pattern + "')";
+  }
+  return "?";
+}
+
+// ---- LIKE ------------------------------------------------------------------
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative matcher with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+// ---- PredicateEvaluator ----------------------------------------------------
+
+common::Status PredicateEvaluator::BuildNode(const Expr& expr,
+                                             const storage::Segment& segment,
+                                             Node* node) {
+  node->kind = expr.kind;
+  node->op = expr.op;
+  node->literal = expr.literal;
+  switch (expr.kind) {
+    case Expr::Kind::kColumn: {
+      node->column = segment.FindColumn(expr.column);
+      if (node->column == nullptr)
+        return common::Status::NotFound("column: " + expr.column);
+      break;
+    }
+    case Expr::Kind::kLiteral:
+      break;
+    case Expr::Kind::kRegex:
+      try {
+        node->regex = std::regex(expr.pattern, std::regex::optimize);
+      } catch (const std::regex_error&) {
+        return common::Status::InvalidArgument("bad regex: " + expr.pattern);
+      }
+      break;
+    case Expr::Kind::kLike:
+      node->like_pattern = expr.pattern;
+      break;
+    default:
+      break;
+  }
+  node->children.resize(expr.children.size());
+  for (size_t i = 0; i < expr.children.size(); ++i)
+    BH_RETURN_IF_ERROR(BuildNode(*expr.children[i], segment,
+                                 &node->children[i]));
+  return common::Status::Ok();
+}
+
+common::Result<PredicateEvaluator> PredicateEvaluator::Bind(
+    const Expr& expr, const storage::Segment& segment) {
+  PredicateEvaluator ev;
+  ev.segment_ = &segment;
+  BH_RETURN_IF_ERROR(BuildNode(expr, segment, &ev.root_));
+  return ev;
+}
+
+bool PredicateEvaluator::EvalNode(const Node& node, size_t row) const {
+  switch (node.kind) {
+    case Expr::Kind::kAnd:
+      return EvalNode(node.children[0], row) && EvalNode(node.children[1], row);
+    case Expr::Kind::kOr:
+      return EvalNode(node.children[0], row) || EvalNode(node.children[1], row);
+    case Expr::Kind::kNot:
+      return !EvalNode(node.children[0], row);
+    case Expr::Kind::kCompare: {
+      const Node& lhs = node.children[0];
+      const Node& rhs = node.children[1];
+      // Supported shape: column op literal (normalized by the parser).
+      if (lhs.kind == Expr::Kind::kColumn &&
+          rhs.kind == Expr::Kind::kLiteral) {
+        const storage::Column& col = *lhs.column;
+        if (col.type() == storage::ColumnType::kString) {
+          const std::string* s = std::get_if<std::string>(&rhs.literal);
+          if (s == nullptr) return false;
+          return CompareStrings(node.op, col.GetString(row), *s);
+        }
+        if (!IsNumericLiteral(rhs.literal)) return false;
+        return CompareDoubles(node.op, col.GetNumeric(row),
+                              LiteralToDouble(rhs.literal));
+      }
+      return false;
+    }
+    case Expr::Kind::kLike: {
+      const Node& col_node = node.children[0];
+      if (col_node.column == nullptr ||
+          col_node.column->type() != storage::ColumnType::kString)
+        return false;
+      return LikeMatch(col_node.column->GetString(row), node.like_pattern);
+    }
+    case Expr::Kind::kRegex: {
+      const Node& col_node = node.children[0];
+      if (col_node.column == nullptr ||
+          col_node.column->type() != storage::ColumnType::kString)
+        return false;
+      std::string_view text = col_node.column->GetString(row);
+      return std::regex_search(text.begin(), text.end(), node.regex);
+    }
+    default:
+      return false;
+  }
+}
+
+bool PredicateEvaluator::EvalRow(size_t row) const {
+  return EvalNode(root_, row);
+}
+
+bool PredicateEvaluator::MayMatchRange(const Node& node,
+                                       size_t granule) const {
+  switch (node.kind) {
+    case Expr::Kind::kAnd:
+      return MayMatchRange(node.children[0], granule) &&
+             MayMatchRange(node.children[1], granule);
+    case Expr::Kind::kOr:
+      return MayMatchRange(node.children[0], granule) ||
+             MayMatchRange(node.children[1], granule);
+    case Expr::Kind::kCompare: {
+      const Node& lhs = node.children[0];
+      const Node& rhs = node.children[1];
+      if (lhs.kind != Expr::Kind::kColumn ||
+          rhs.kind != Expr::Kind::kLiteral ||
+          !IsNumericLiteral(rhs.literal))
+        return true;
+      const storage::GranuleMarks* marks = lhs.column->granule_marks();
+      if (marks == nullptr || granule >= marks->NumGranules()) return true;
+      double v = LiteralToDouble(rhs.literal);
+      double lo = marks->min_vals[granule];
+      double hi = marks->max_vals[granule];
+      switch (node.op) {
+        case Expr::CmpOp::kEq:
+          return lo <= v && v <= hi;
+        case Expr::CmpOp::kLt:
+          return lo < v;
+        case Expr::CmpOp::kLe:
+          return lo <= v;
+        case Expr::CmpOp::kGt:
+          return hi > v;
+        case Expr::CmpOp::kGe:
+          return hi >= v;
+        case Expr::CmpOp::kNe:
+          return true;
+      }
+      return true;
+    }
+    default:
+      // NOT / LIKE / REGEX: no usable range info.
+      return true;
+  }
+}
+
+common::Bitset PredicateEvaluator::BuildBitmap(
+    const common::Bitset* deletes, bool use_granule_pruning) const {
+  size_t n = segment_->num_rows();
+  common::Bitset bitmap(n);
+  size_t granule_rows = 128;
+  // Find any column with marks to define granule geometry.
+  for (size_t g = 0; g * granule_rows < n; ++g) {
+    if (use_granule_pruning && !MayMatchRange(root_, g)) continue;
+    size_t end = std::min(n, (g + 1) * granule_rows);
+    for (size_t i = g * granule_rows; i < end; ++i) {
+      if (deletes != nullptr && deletes->Test(i)) continue;
+      if (EvalNode(root_, i)) bitmap.Set(i);
+    }
+  }
+  return bitmap;
+}
+
+// ---- Segment-level pruning -------------------------------------------------
+
+bool MayMatchSegment(const Expr& expr, const storage::SegmentMeta& meta) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd:
+      return MayMatchSegment(*expr.children[0], meta) &&
+             MayMatchSegment(*expr.children[1], meta);
+    case Expr::Kind::kOr:
+      return MayMatchSegment(*expr.children[0], meta) ||
+             MayMatchSegment(*expr.children[1], meta);
+    case Expr::Kind::kCompare: {
+      const Expr& lhs = *expr.children[0];
+      const Expr& rhs = *expr.children[1];
+      if (lhs.kind != Expr::Kind::kColumn ||
+          rhs.kind != Expr::Kind::kLiteral || !IsNumericLiteral(rhs.literal))
+        return true;
+      auto it = meta.numeric_ranges.find(lhs.column);
+      if (it == meta.numeric_ranges.end()) return true;
+      double v = LiteralToDouble(rhs.literal);
+      double lo = it->second.first;
+      double hi = it->second.second;
+      switch (expr.op) {
+        case Expr::CmpOp::kEq:
+          return lo <= v && v <= hi;
+        case Expr::CmpOp::kLt:
+          return lo < v;
+        case Expr::CmpOp::kLe:
+          return lo <= v;
+        case Expr::CmpOp::kGt:
+          return hi > v;
+        case Expr::CmpOp::kGe:
+          return hi >= v;
+        case Expr::CmpOp::kNe:
+          return true;
+      }
+      return true;
+    }
+    default:
+      return true;  // conservative for NOT/LIKE/REGEX
+  }
+}
+
+}  // namespace blendhouse::sql

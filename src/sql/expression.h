@@ -1,0 +1,117 @@
+#ifndef BLENDHOUSE_SQL_EXPRESSION_H_
+#define BLENDHOUSE_SQL_EXPRESSION_H_
+
+#include <memory>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "storage/segment.h"
+
+namespace blendhouse::sql {
+
+/// Scalar predicate expression tree (the WHERE clause). Supports the
+/// operator set of the paper's workloads: comparisons and ranges over
+/// numeric columns, equality over strings, LIKE patterns, and REGEXP
+/// matching (the LAION caption workload).
+struct Expr {
+  enum class Kind {
+    kColumn,    // leaf: column reference
+    kLiteral,   // leaf: constant
+    kCompare,   // lhs op rhs
+    kAnd,
+    kOr,
+    kNot,
+    kLike,      // column LIKE 'pat%' ('%' and '_' wildcards)
+    kRegex,     // column REGEXP 'pattern'
+  };
+  enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  Kind kind;
+  // kColumn
+  std::string column;
+  // kLiteral
+  storage::Value literal = int64_t{0};
+  // kCompare
+  CmpOp op = CmpOp::kEq;
+  // children (kCompare: [lhs, rhs]; kAnd/kOr: [a, b]; kNot: [a];
+  // kLike/kRegex: [column-expr])
+  std::vector<std::unique_ptr<Expr>> children;
+  // kLike / kRegex
+  std::string pattern;
+
+  static std::unique_ptr<Expr> Column(std::string name);
+  static std::unique_ptr<Expr> Literal(storage::Value v);
+  static std::unique_ptr<Expr> Compare(CmpOp op, std::unique_ptr<Expr> lhs,
+                                       std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> And(std::unique_ptr<Expr> a,
+                                   std::unique_ptr<Expr> b);
+  static std::unique_ptr<Expr> Or(std::unique_ptr<Expr> a,
+                                  std::unique_ptr<Expr> b);
+  static std::unique_ptr<Expr> Not(std::unique_ptr<Expr> a);
+  static std::unique_ptr<Expr> Like(std::unique_ptr<Expr> col,
+                                    std::string pattern);
+  static std::unique_ptr<Expr> Regex(std::unique_ptr<Expr> col,
+                                     std::string pattern);
+
+  std::unique_ptr<Expr> Clone() const;
+  std::string ToString() const;
+
+  /// Collects every referenced column name into `out`.
+  void CollectColumns(std::vector<std::string>* out) const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Compiled evaluator over one segment: resolves column references to
+/// Column pointers and precompiles regexes once, then evaluates per row.
+class PredicateEvaluator {
+ public:
+  /// Binds `expr` against the segment's columns. Fails on unknown columns.
+  static common::Result<PredicateEvaluator> Bind(
+      const Expr& expr, const storage::Segment& segment);
+
+  bool EvalRow(size_t row) const;
+
+  /// Builds the pre-filter bitmap over all rows (rows where the predicate
+  /// holds, minus deleted rows). Uses granule marks to skip whole granules
+  /// whose [min,max] cannot satisfy the predicate.
+  common::Bitset BuildBitmap(const common::Bitset* deletes,
+                             bool use_granule_pruning) const;
+
+ private:
+  struct Node {
+    Expr::Kind kind;
+    Expr::CmpOp op = Expr::CmpOp::kEq;
+    const storage::Column* column = nullptr;  // kColumn leaves
+    storage::Value literal;
+    std::vector<Node> children;
+    std::regex regex;       // kRegex
+    std::string like_pattern;  // kLike
+  };
+
+  bool EvalNode(const Node& node, size_t row) const;
+  /// Conservative: may any row in [begin,end) satisfy `node`?
+  bool MayMatchRange(const Node& node, size_t granule) const;
+
+  const storage::Segment* segment_ = nullptr;
+  Node root_;
+
+  static common::Status BuildNode(const Expr& expr,
+                                  const storage::Segment& segment,
+                                  Node* node);
+};
+
+/// Conservative segment-level prune test: can any row of a segment with
+/// these meta stats satisfy `expr`? Used by the scheduler's scalar pruning.
+/// Unknown columns / operators conservatively return true.
+bool MayMatchSegment(const Expr& expr, const storage::SegmentMeta& meta);
+
+/// Simple SQL LIKE matcher ('%' = any run, '_' = any single char).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_EXPRESSION_H_

@@ -1,0 +1,120 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace blendhouse::sql {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  if (type != Type::kIdentifier || text.size() != kw.size()) return false;
+  for (size_t i = 0; i < kw.size(); ++i)
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i])))
+      return false;
+  return true;
+}
+
+common::Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < n ? sql[i + off] : '\0';
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && peek(1) == '-') {  // comment to end of line
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+
+    Token tok;
+    tok.position = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t begin = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_'))
+        ++i;
+      tok.type = Token::Type::kIdentifier;
+      tok.text = std::string(sql.substr(begin, i - begin));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) ||
+               (c == '-' && (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+                             peek(1) == '.'))) {
+      size_t begin = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !is_float) {
+          is_float = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && i + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(sql[i + 1])) ||
+                    sql[i + 1] == '-' || sql[i + 1] == '+')) {
+          is_float = true;
+          i += 2;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+          break;
+        } else {
+          break;
+        }
+      }
+      tok.type = is_float ? Token::Type::kFloat : Token::Type::kInteger;
+      tok.text = std::string(sql.substr(begin, i - begin));
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'' && peek(1) == '\'') {  // escaped quote
+          value += '\'';
+          i += 2;
+        } else if (sql[i] == '\'') {
+          ++i;
+          closed = true;
+          break;
+        } else {
+          value += sql[i++];
+        }
+      }
+      if (!closed)
+        return common::Status::InvalidArgument("unterminated string literal");
+      tok.type = Token::Type::kString;
+      tok.text = std::move(value);
+    } else {
+      // Multi-char operators first.
+      if ((c == '!' && peek(1) == '=') || (c == '<' && peek(1) == '=') ||
+          (c == '>' && peek(1) == '=') || (c == '<' && peek(1) == '>')) {
+        tok.type = Token::Type::kSymbol;
+        tok.text = std::string(sql.substr(i, 2));
+        i += 2;
+      } else if (std::string_view("()[],;=<>*.").find(c) !=
+                 std::string_view::npos) {
+        tok.type = Token::Type::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return common::Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.type = Token::Type::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace blendhouse::sql

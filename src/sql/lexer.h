@@ -1,0 +1,37 @@
+#ifndef BLENDHOUSE_SQL_LEXER_H_
+#define BLENDHOUSE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace blendhouse::sql {
+
+struct Token {
+  enum class Type {
+    kIdentifier,  // foo, L2Distance (also keywords; parser matches by text)
+    kInteger,     // 42
+    kFloat,       // 3.5, -0.25, 1e-3
+    kString,      // 'text'
+    kSymbol,      // ( ) [ ] , ; = != < <= > >= *
+    kEnd,
+  };
+  Type type = Type::kEnd;
+  std::string text;
+  size_t position = 0;  // byte offset, for error messages
+
+  bool Is(Type t) const { return type == t; }
+  bool IsSymbol(std::string_view s) const {
+    return type == Type::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword/identifier comparison.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes one SQL statement. Comments ("-- ...") are skipped.
+common::Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_LEXER_H_

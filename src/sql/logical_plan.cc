@@ -1,0 +1,236 @@
+#include "sql/logical_plan.h"
+
+#include <cmath>
+
+namespace blendhouse::sql {
+
+vecindex::Metric MetricFromDistanceFn(const std::string& fn) {
+  if (fn == "InnerProduct") return vecindex::Metric::kInnerProduct;
+  if (fn == "CosineDistance") return vecindex::Metric::kCosine;
+  return vecindex::Metric::kL2;
+}
+
+PlanNode* PlanNode::FindNode(Kind k) {
+  if (kind == k) return this;
+  return child != nullptr ? child->FindNode(k) : nullptr;
+}
+
+common::Result<std::unique_ptr<PlanNode>> BuildLogicalPlan(
+    const SelectStmt& stmt, const storage::TableSchema& schema) {
+  // Leaf: AnnScan for hybrid queries, plain Scan otherwise.
+  auto leaf = std::make_unique<PlanNode>();
+  leaf->table = stmt.table;
+  if (stmt.ann.has_value()) {
+    const AnnClause& ann = *stmt.ann;
+    leaf->kind = PlanNode::Kind::kAnnScan;
+    leaf->vector_column = ann.vector_column;
+    leaf->query_vector = ann.query_vector;
+    leaf->metric = MetricFromDistanceFn(ann.distance_fn);
+    int col = schema.FindColumn(ann.vector_column);
+    if (col < 0 ||
+        schema.columns[col].type != storage::ColumnType::kFloatVector)
+      return common::Status::InvalidArgument(
+          "distance function on non-vector column: " + ann.vector_column);
+    if (schema.VectorDim() != 0 &&
+        ann.query_vector.size() != schema.VectorDim())
+      return common::Status::InvalidArgument(
+          "query vector dim " + std::to_string(ann.query_vector.size()) +
+          " != index dim " + std::to_string(schema.VectorDim()));
+  } else {
+    leaf->kind = PlanNode::Kind::kScan;
+  }
+
+  std::unique_ptr<PlanNode> current = std::move(leaf);
+
+  if (stmt.where != nullptr) {
+    // Validate referenced columns exist (the distance alias is allowed; the
+    // range pushdown rule extracts it later).
+    std::vector<std::string> cols;
+    stmt.where->CollectColumns(&cols);
+    for (const std::string& c : cols) {
+      bool is_alias = stmt.ann.has_value() && c == stmt.ann->alias;
+      if (!is_alias && schema.FindColumn(c) < 0)
+        return common::Status::InvalidArgument("unknown column in WHERE: " +
+                                               c);
+    }
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = PlanNode::Kind::kFilter;
+    filter->predicate = stmt.where->Clone();
+    filter->child = std::move(current);
+    current = std::move(filter);
+  }
+
+  if (stmt.ann.has_value()) {
+    auto topk = std::make_unique<PlanNode>();
+    topk->kind = PlanNode::Kind::kTopK;
+    topk->limit = stmt.ann->limit;
+    topk->child = std::move(current);
+    current = std::move(topk);
+  }
+
+  auto project = std::make_unique<PlanNode>();
+  project->kind = PlanNode::Kind::kProject;
+  if (stmt.select_star) {
+    for (const auto& c : schema.columns) project->columns.push_back(c.name);
+    if (stmt.ann.has_value()) project->columns.push_back(stmt.ann->alias);
+  } else {
+    project->columns = stmt.select_columns;
+  }
+  if (stmt.ann.has_value()) project->distance_alias = stmt.ann->alias;
+  for (const std::string& c : project->columns) {
+    if (c == project->distance_alias) continue;
+    if (schema.FindColumn(c) < 0)
+      return common::Status::InvalidArgument("unknown column in SELECT: " + c);
+  }
+  project->child = std::move(current);
+  return std::unique_ptr<PlanNode>(std::move(project));
+}
+
+bool ApplyTopKPushdown(PlanNode* root) {
+  PlanNode* topk = root->FindNode(PlanNode::Kind::kTopK);
+  PlanNode* ann = root->FindNode(PlanNode::Kind::kAnnScan);
+  if (topk == nullptr || ann == nullptr || topk->limit == 0) return false;
+  if (ann->pushed_k == topk->limit) return false;
+  ann->pushed_k = topk->limit;
+  return true;
+}
+
+namespace {
+
+/// Extracts `alias < r` / `alias <= r` conjuncts from a predicate tree
+/// (top-level AND chain only), returning the tightest range found. The
+/// remaining predicate (possibly null) is stored back into *expr.
+bool ExtractRange(ExprPtr* expr, const std::string& alias, double* range,
+                  bool* exclusive) {
+  Expr* e = expr->get();
+  if (e == nullptr) return false;
+  if (e->kind == Expr::Kind::kAnd) {
+    bool fired = ExtractRange(&e->children[0], alias, range, exclusive);
+    fired |= ExtractRange(&e->children[1], alias, range, exclusive);
+    // Collapse AND nodes whose side got fully consumed.
+    if (e->children[0] == nullptr && e->children[1] == nullptr) {
+      expr->reset();
+    } else if (e->children[0] == nullptr) {
+      *expr = std::move(e->children[1]);
+    } else if (e->children[1] == nullptr) {
+      *expr = std::move(e->children[0]);
+    }
+    return fired;
+  }
+  if (e->kind == Expr::Kind::kCompare &&
+      (e->op == Expr::CmpOp::kLt || e->op == Expr::CmpOp::kLe) &&
+      e->children[0]->kind == Expr::Kind::kColumn &&
+      e->children[0]->column == alias &&
+      e->children[1]->kind == Expr::Kind::kLiteral) {
+    double r = std::nan("");
+    if (const int64_t* i = std::get_if<int64_t>(&e->children[1]->literal))
+      r = static_cast<double>(*i);
+    if (const double* d = std::get_if<double>(&e->children[1]->literal))
+      r = *d;
+    if (std::isnan(r)) return false;
+    if (*range < 0 || r < *range) {
+      *range = r;
+      *exclusive = e->op == Expr::CmpOp::kLt;
+    }
+    expr->reset();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ApplyRangeFilterPushdown(PlanNode* root, const std::string& alias) {
+  if (alias.empty()) return false;
+  PlanNode* ann = root->FindNode(PlanNode::Kind::kAnnScan);
+  if (ann == nullptr) return false;
+  // Find the filter node and its parent to splice it out if consumed.
+  PlanNode* parent = nullptr;
+  PlanNode* filter = nullptr;
+  for (PlanNode* n = root; n != nullptr; n = n->child.get()) {
+    if (n->child != nullptr && n->child->kind == PlanNode::Kind::kFilter) {
+      parent = n;
+      filter = n->child.get();
+      break;
+    }
+  }
+  if (filter == nullptr) return false;
+  double range = -1.0;
+  bool exclusive = false;
+  bool fired = ExtractRange(&filter->predicate, alias, &range, &exclusive);
+  if (!fired) return false;
+  ann->pushed_range = range;
+  ann->range_exclusive = exclusive;
+  if (filter->predicate == nullptr && parent != nullptr) {
+    // Filter fully consumed: splice it out of the pipeline.
+    parent->child = std::move(filter->child);
+  }
+  return true;
+}
+
+bool ApplyVectorColumnPruning(PlanNode* root,
+                              const storage::TableSchema& schema) {
+  PlanNode* project = root->FindNode(PlanNode::Kind::kProject);
+  if (project == nullptr || schema.vector_column < 0) return false;
+  const std::string& vec_name = schema.columns[schema.vector_column].name;
+  for (const std::string& c : project->columns)
+    if (c == vec_name) return false;  // embedding requested: keep it
+  PlanNode* leaf = root->FindNode(PlanNode::Kind::kAnnScan);
+  if (leaf == nullptr) leaf = root->FindNode(PlanNode::Kind::kScan);
+  if (leaf == nullptr || !leaf->read_vector_column) return false;
+  leaf->read_vector_column = false;
+  return true;
+}
+
+int ApplyRewriteRules(PlanNode* root, const storage::TableSchema& schema,
+                      const std::string& distance_alias) {
+  int fired = 0;
+  fired += ApplyTopKPushdown(root) ? 1 : 0;
+  fired += ApplyRangeFilterPushdown(root, distance_alias) ? 1 : 0;
+  fired += ApplyVectorColumnPruning(root, schema) ? 1 : 0;
+  return fired;
+}
+
+std::string ExplainPlan(const PlanNode& root) {
+  std::string out;
+  const PlanNode* n = &root;
+  int depth = 0;
+  while (n != nullptr) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    switch (n->kind) {
+      case PlanNode::Kind::kProject: {
+        out += "Project [";
+        for (size_t i = 0; i < n->columns.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += n->columns[i];
+        }
+        out += "]";
+        break;
+      }
+      case PlanNode::Kind::kTopK:
+        out += "TopK limit=" + std::to_string(n->limit);
+        break;
+      case PlanNode::Kind::kFilter:
+        out += "Filter " +
+               (n->predicate != nullptr ? n->predicate->ToString() : "true");
+        break;
+      case PlanNode::Kind::kAnnScan:
+        out += "AnnScan " + n->table + "." + n->vector_column +
+               " k=" + std::to_string(n->pushed_k);
+        if (n->pushed_range >= 0)
+          out += " range<=" + std::to_string(n->pushed_range);
+        if (!n->read_vector_column) out += " (vector column pruned)";
+        break;
+      case PlanNode::Kind::kScan:
+        out += "Scan " + n->table;
+        if (!n->read_vector_column) out += " (vector column pruned)";
+        break;
+    }
+    out += "\n";
+    n = n->child.get();
+    ++depth;
+  }
+  return out;
+}
+
+}  // namespace blendhouse::sql

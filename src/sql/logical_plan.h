@@ -1,0 +1,94 @@
+#ifndef BLENDHOUSE_SQL_LOGICAL_PLAN_H_
+#define BLENDHOUSE_SQL_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/expression.h"
+#include "storage/schema.h"
+#include "vecindex/types.h"
+
+namespace blendhouse::sql {
+
+/// Logical plan node. Hybrid queries build the pipeline
+///   Project <- TopK <- [Filter] <- AnnScan | Scan
+/// and the rule-based optimizer then rewrites it (top-k pushdown, distance
+/// range pushdown, vector column pruning) before the CBO picks the physical
+/// strategy.
+struct PlanNode {
+  enum class Kind {
+    kScan,      // plain table scan
+    kAnnScan,   // the new ANN scan operator (paper §II-C)
+    kFilter,    // scalar predicate
+    kTopK,      // global top-k by distance
+    kProject,   // output column selection
+  };
+
+  Kind kind;
+  std::unique_ptr<PlanNode> child;  // linear pipeline for this dialect
+
+  // kScan / kAnnScan
+  std::string table;
+  /// Vector column pruning: set false when the query never outputs the
+  /// embedding itself, so scans skip materializing it.
+  bool read_vector_column = true;
+
+  // kAnnScan
+  std::string vector_column;
+  std::vector<float> query_vector;
+  vecindex::Metric metric = vecindex::Metric::kL2;
+  /// Top-k pushed into the scan (0 until the pushdown rule fires).
+  size_t pushed_k = 0;
+  /// Distance range pushed into the scan (< 0 = none).
+  double pushed_range = -1.0;
+  /// True when the pushed range came from `<` (exclusive bound).
+  bool range_exclusive = false;
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kTopK
+  size_t limit = 0;
+
+  // kProject
+  std::vector<std::string> columns;
+  std::string distance_alias;
+
+  PlanNode* FindNode(Kind k);
+};
+
+/// Builds the canonical logical plan for a SELECT. Validates columns and
+/// the ANN clause against the schema.
+common::Result<std::unique_ptr<PlanNode>> BuildLogicalPlan(
+    const SelectStmt& stmt, const storage::TableSchema& schema);
+
+/// Rule: distance top-k pushdown — copies the TopK limit into the AnnScan so
+/// per-segment scans fetch only k candidates. Returns true when it fired.
+bool ApplyTopKPushdown(PlanNode* root);
+
+/// Rule: distance range filter pushdown — moves `alias < r` / `alias <= r`
+/// conjuncts out of the Filter into AnnScan.pushed_range (enabling
+/// SearchWithRange). Returns true when it fired.
+bool ApplyRangeFilterPushdown(PlanNode* root, const std::string& alias);
+
+/// Rule: vector column pruning — disables embedding materialization when no
+/// output column needs it. Returns true when it fired.
+bool ApplyVectorColumnPruning(PlanNode* root,
+                              const storage::TableSchema& schema);
+
+/// Applies all rules in order; returns the number that fired.
+int ApplyRewriteRules(PlanNode* root, const storage::TableSchema& schema,
+                      const std::string& distance_alias);
+
+/// One-line-per-node EXPLAIN rendering.
+std::string ExplainPlan(const PlanNode& root);
+
+vecindex::Metric MetricFromDistanceFn(const std::string& fn);
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_LOGICAL_PLAN_H_

@@ -1,0 +1,184 @@
+#include "sql/optimizer.h"
+
+#include <algorithm>
+
+namespace blendhouse::sql {
+
+namespace {
+
+/// Pulls the execution descriptor out of an optimized plan tree.
+BoundQuery ExtractBoundQuery(PlanNode* root, const SelectStmt& stmt) {
+  BoundQuery bound;
+  bound.table = stmt.table;
+  bound.scalar_limit = stmt.scalar_limit;
+
+  PlanNode* project = root->FindNode(PlanNode::Kind::kProject);
+  if (project != nullptr) {
+    bound.output_columns = project->columns;
+    bound.distance_alias = project->distance_alias;
+  }
+  PlanNode* filter = root->FindNode(PlanNode::Kind::kFilter);
+  if (filter != nullptr && filter->predicate != nullptr)
+    bound.filter = filter->predicate->Clone();
+
+  PlanNode* ann = root->FindNode(PlanNode::Kind::kAnnScan);
+  if (ann != nullptr) {
+    bound.has_ann = true;
+    bound.vector_column = ann->vector_column;
+    bound.query_vector = ann->query_vector;
+    bound.metric = ann->metric;
+    bound.k = ann->pushed_k;
+    bound.range = ann->pushed_range;
+    bound.range_exclusive = ann->range_exclusive;
+    bound.read_vector_column = ann->read_vector_column;
+  } else if (PlanNode* scan = root->FindNode(PlanNode::Kind::kScan)) {
+    bound.read_vector_column = scan->read_vector_column;
+  }
+  return bound;
+}
+
+}  // namespace
+
+PlanCostInputs BuildCostInputs(const BoundQuery& bound,
+                               const storage::TableSchema& schema,
+                               const TableStatistics* stats,
+                               const QuerySettings& settings) {
+  PlanCostInputs in;
+  in.n = stats != nullptr ? stats->num_rows() : 100000;
+  in.k = bound.k;
+  in.s = 1.0;
+  if (bound.filter != nullptr && stats != nullptr)
+    in.s = stats->EstimateSelectivity(*bound.filter);
+
+  // beta/gamma: fraction of tuples an ANN scan visits at the configured
+  // knobs. Graph indexes visit ~ef_search nodes per segment; IVF visits
+  // nprobe/nlist of the data.
+  double visited_fraction = 0.05;
+  if (schema.index_spec.has_value()) {
+    const std::string& type = schema.index_spec->type;
+    if (type.rfind("IVF", 0) == 0) {
+      int64_t nlist = schema.index_spec->GetInt("NLIST", 64);
+      visited_fraction =
+          std::clamp(static_cast<double>(settings.nprobe) /
+                         static_cast<double>(std::max<int64_t>(1, nlist)),
+                     0.001, 1.0);
+    } else {
+      visited_fraction = std::clamp(
+          static_cast<double>(settings.ef_search) /
+              static_cast<double>(std::max<uint64_t>(1, in.n)),
+          0.0001, 1.0);
+    }
+  }
+  in.beta = visited_fraction;
+  // The bitmap scan visits slightly more than the plain scan at equal knobs
+  // (filtered-out entries still cost traversal).
+  in.gamma = std::min(1.0, visited_fraction * 1.25);
+  return in;
+}
+
+common::Result<OptimizedQuery> Optimize(const SelectStmt& stmt,
+                                        const storage::TableSchema& schema,
+                                        const TableStatistics* stats,
+                                        const QuerySettings& settings) {
+  auto plan = BuildLogicalPlan(stmt, schema);
+  if (!plan.ok()) return plan.status();
+
+  OptimizedQuery out;
+  std::string alias = stmt.ann.has_value() ? stmt.ann->alias : "";
+  out.rules_fired = ApplyRewriteRules(plan->get(), schema, alias);
+  out.bound = ExtractBoundQuery(plan->get(), stmt);
+  out.explain = ExplainPlan(**plan);
+
+  if (out.bound.has_ann) {
+    PlanCostInputs in = BuildCostInputs(out.bound, schema, stats, settings);
+    out.estimated_selectivity = in.s;
+    if (settings.forced_strategy.has_value()) {
+      out.choice.strategy = *settings.forced_strategy;
+    } else if (!settings.use_cbo || out.bound.filter == nullptr) {
+      // Unfiltered searches always take the plain index path (modeled as
+      // post-filter with a null predicate). With CBO off, filtered queries
+      // fall back to the fixed default strategy.
+      out.choice.strategy = out.bound.filter == nullptr
+                                ? ExecStrategy::kPostFilter
+                                : settings.default_strategy;
+    } else {
+      CostModelParams params = CostModelParams::ForIndex(
+          schema.VectorDim(),
+          schema.index_spec.has_value() ? schema.index_spec->type : "FLAT",
+          schema.index_spec.has_value()
+              ? static_cast<size_t>(schema.index_spec->GetInt("M", 16))
+              : 16);
+      params.sigma = std::max(1, settings.refine_factor);
+      out.choice = ChooseStrategy(in, params);
+    }
+  }
+  return out;
+}
+
+common::Result<OptimizedQuery> ShortCircuitOptimize(
+    const SelectStmt& stmt, const storage::TableSchema& schema,
+    ExecStrategy strategy) {
+  // Only straightforward hybrid patterns qualify: no distance alias in the
+  // WHERE clause and no embedding in the output.
+  if (stmt.ann.has_value() && stmt.where != nullptr) {
+    std::vector<std::string> cols;
+    stmt.where->CollectColumns(&cols);
+    for (const std::string& c : cols)
+      if (c == stmt.ann->alias)
+        return common::Status::NotSupported(
+            "range constraint needs the full optimizer");
+  }
+  if (schema.vector_column >= 0) {
+    const std::string& vec_name = schema.columns[schema.vector_column].name;
+    for (const std::string& c : stmt.select_columns)
+      if (c == vec_name)
+        return common::Status::NotSupported(
+            "vector output needs the full optimizer");
+    if (stmt.select_star)
+      return common::Status::NotSupported(
+          "SELECT * needs the full optimizer");
+  }
+
+  OptimizedQuery out;
+  BoundQuery& bound = out.bound;
+  bound.table = stmt.table;
+  bound.scalar_limit = stmt.scalar_limit;
+  bound.output_columns = stmt.select_columns;
+  if (stmt.where != nullptr) {
+    std::vector<std::string> cols;
+    stmt.where->CollectColumns(&cols);
+    for (const std::string& c : cols)
+      if (schema.FindColumn(c) < 0)
+        return common::Status::InvalidArgument("unknown column in WHERE: " +
+                                               c);
+    bound.filter = stmt.where->Clone();
+  }
+  if (stmt.ann.has_value()) {
+    const AnnClause& ann = *stmt.ann;
+    int col = schema.FindColumn(ann.vector_column);
+    if (col < 0 ||
+        schema.columns[col].type != storage::ColumnType::kFloatVector)
+      return common::Status::InvalidArgument("bad vector column: " +
+                                             ann.vector_column);
+    if (schema.VectorDim() != 0 &&
+        ann.query_vector.size() != schema.VectorDim())
+      return common::Status::InvalidArgument("query vector dim mismatch");
+    bound.has_ann = true;
+    bound.vector_column = ann.vector_column;
+    bound.query_vector = ann.query_vector;
+    bound.metric = MetricFromDistanceFn(ann.distance_fn);
+    bound.k = ann.limit;
+    bound.distance_alias = ann.alias;
+    bound.read_vector_column = false;  // the qualifying shapes never need it
+  }
+  for (const std::string& c : bound.output_columns) {
+    if (c == bound.distance_alias) continue;
+    if (schema.FindColumn(c) < 0)
+      return common::Status::InvalidArgument("unknown column in SELECT: " + c);
+  }
+  out.choice.strategy =
+      bound.filter == nullptr ? ExecStrategy::kPostFilter : strategy;
+  return out;
+}
+
+}  // namespace blendhouse::sql

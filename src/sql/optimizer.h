@@ -1,0 +1,83 @@
+#ifndef BLENDHOUSE_SQL_OPTIMIZER_H_
+#define BLENDHOUSE_SQL_OPTIMIZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/cost_model.h"
+#include "sql/logical_plan.h"
+#include "sql/settings.h"
+#include "sql/statistics.h"
+
+namespace blendhouse::sql {
+
+/// Fully bound, optimizer-output description of one SELECT, consumed by the
+/// distributed executor.
+struct BoundQuery {
+  std::string table;
+  /// Scalar predicate after distance-range pushdown (may be null).
+  ExprPtr filter;
+
+  bool has_ann = false;
+  std::string vector_column;
+  std::vector<float> query_vector;
+  vecindex::Metric metric = vecindex::Metric::kL2;
+  size_t k = 0;
+  /// Distance range pushed down from the WHERE clause (< 0 = none).
+  double range = -1.0;
+  /// True when the range bound is exclusive (`alias < r`).
+  bool range_exclusive = false;
+
+  /// Does `dist` satisfy the pushed range constraint (or is there none)?
+  bool InRange(float dist) const {
+    if (range < 0) return true;
+    double d = static_cast<double>(dist);
+    return range_exclusive ? d < range : d <= range;
+  }
+
+  std::vector<std::string> output_columns;
+  std::string distance_alias;
+  bool read_vector_column = true;
+  std::optional<size_t> scalar_limit;
+};
+
+struct OptimizedQuery {
+  BoundQuery bound;
+  /// Chosen physical strategy (meaningful when bound.has_ann).
+  StrategyChoice choice{ExecStrategy::kPostFilter, 0, 0, 0};
+  double estimated_selectivity = 1.0;
+  int rules_fired = 0;
+  std::string explain;
+};
+
+/// Full optimization pipeline: logical plan -> rewrite rules -> cost-based
+/// strategy choice (Eqs. 1-3 with histogram selectivity). `stats` may be
+/// null (falls back to default selectivity).
+common::Result<OptimizedQuery> Optimize(const SelectStmt& stmt,
+                                        const storage::TableSchema& schema,
+                                        const TableStatistics* stats,
+                                        const QuerySettings& settings);
+
+/// Short-circuit path (paper §IV-C): builds the BoundQuery directly for
+/// simple hybrid patterns, skipping plan-tree construction and rule
+/// machinery. Strategy comes from `strategy` (e.g. a plan-cache hit or the
+/// settings default). Returns NotSupported for shapes that need the full
+/// optimizer (range pushdown in WHERE, vector column in output).
+common::Result<OptimizedQuery> ShortCircuitOptimize(
+    const SelectStmt& stmt, const storage::TableSchema& schema,
+    ExecStrategy strategy);
+
+/// Estimates beta/gamma (visited-tuple fractions) from search knobs and the
+/// index definition.
+PlanCostInputs BuildCostInputs(const BoundQuery& bound,
+                               const storage::TableSchema& schema,
+                               const TableStatistics* stats,
+                               const QuerySettings& settings);
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_OPTIMIZER_H_

@@ -1,0 +1,633 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace blendhouse::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  common::Result<Statement> Parse() {
+    const Token& t = Peek();
+    if (t.IsKeyword("CREATE")) return ParseCreateTable();
+    if (t.IsKeyword("INSERT")) return ParseInsert();
+    if (t.IsKeyword("SELECT")) return ParseSelect();
+    if (t.IsKeyword("UPDATE")) return ParseUpdate();
+    if (t.IsKeyword("DELETE")) return ParseDelete();
+    if (t.IsKeyword("OPTIMIZE")) return ParseOptimize();
+    if (t.IsKeyword("SET")) return ParseSet();
+    return Error("expected a statement keyword");
+  }
+
+ private:
+  const Token& Peek(size_t off = 0) const {
+    size_t i = std::min(pos_ + off, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  common::Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw))
+      return common::Status::InvalidArgument(
+          "expected '" + std::string(kw) + "' near offset " +
+          std::to_string(Peek().position));
+    return common::Status::Ok();
+  }
+  common::Status ExpectSymbol(std::string_view s) {
+    if (!MatchSymbol(s))
+      return common::Status::InvalidArgument(
+          "expected '" + std::string(s) + "' near offset " +
+          std::to_string(Peek().position));
+    return common::Status::Ok();
+  }
+  common::Result<std::string> ExpectIdentifier() {
+    if (!Peek().Is(Token::Type::kIdentifier))
+      return common::Status::InvalidArgument(
+          "expected identifier near offset " +
+          std::to_string(Peek().position));
+    return Advance().text;
+  }
+  common::Status Error(std::string_view msg) const {
+    return common::Status::InvalidArgument(
+        std::string(msg) + " near offset " + std::to_string(Peek().position));
+  }
+  void SkipStatementEnd() {
+    MatchSymbol(";");
+  }
+
+  // ---- values --------------------------------------------------------------
+
+  common::Result<storage::Value> ParseValue() {
+    const Token& t = Peek();
+    if (t.Is(Token::Type::kInteger)) {
+      Advance();
+      return storage::Value(
+          static_cast<int64_t>(std::strtoll(t.text.c_str(), nullptr, 10)));
+    }
+    if (t.Is(Token::Type::kFloat)) {
+      Advance();
+      return storage::Value(std::strtod(t.text.c_str(), nullptr));
+    }
+    if (t.Is(Token::Type::kString)) {
+      Advance();
+      return storage::Value(t.text);
+    }
+    if (t.IsSymbol("[")) {
+      auto vec = ParseVectorLiteral();
+      if (!vec.ok()) return vec.status();
+      return storage::Value(std::move(*vec));
+    }
+    return Error("expected a literal value");
+  }
+
+  common::Result<std::vector<float>> ParseVectorLiteral() {
+    BH_RETURN_IF_ERROR(ExpectSymbol("["));
+    std::vector<float> vec;
+    if (!Peek().IsSymbol("]")) {
+      for (;;) {
+        const Token& t = Peek();
+        if (!t.Is(Token::Type::kInteger) && !t.Is(Token::Type::kFloat))
+          return Error("expected number in vector literal");
+        vec.push_back(std::strtof(t.text.c_str(), nullptr));
+        Advance();
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    BH_RETURN_IF_ERROR(ExpectSymbol("]"));
+    return vec;
+  }
+
+  // ---- predicates ----------------------------------------------------------
+
+  common::Result<ExprPtr> ParseOrExpr() {
+    auto lhs = ParseAndExpr();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr expr = std::move(*lhs);
+    while (MatchKeyword("OR")) {
+      auto rhs = ParseAndExpr();
+      if (!rhs.ok()) return rhs.status();
+      expr = Expr::Or(std::move(expr), std::move(*rhs));
+    }
+    return expr;
+  }
+
+  common::Result<ExprPtr> ParseAndExpr() {
+    auto lhs = ParseUnaryExpr();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr expr = std::move(*lhs);
+    while (MatchKeyword("AND")) {
+      auto rhs = ParseUnaryExpr();
+      if (!rhs.ok()) return rhs.status();
+      expr = Expr::And(std::move(expr), std::move(*rhs));
+    }
+    return expr;
+  }
+
+  common::Result<ExprPtr> ParseUnaryExpr() {
+    if (MatchKeyword("NOT")) {
+      auto inner = ParseUnaryExpr();
+      if (!inner.ok()) return inner.status();
+      return Expr::Not(std::move(*inner));
+    }
+    return ParsePrimaryExpr();
+  }
+
+  common::Result<ExprPtr> ParsePrimaryExpr() {
+    if (MatchSymbol("(")) {
+      auto inner = ParseOrExpr();
+      if (!inner.ok()) return inner.status();
+      BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    auto column = ExpectIdentifier();
+    if (!column.ok()) return column.status();
+
+    if (MatchKeyword("BETWEEN")) {
+      auto lo = ParseValue();
+      if (!lo.ok()) return lo.status();
+      BH_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      auto hi = ParseValue();
+      if (!hi.ok()) return hi.status();
+      return Expr::And(
+          Expr::Compare(Expr::CmpOp::kGe, Expr::Column(*column),
+                        Expr::Literal(std::move(*lo))),
+          Expr::Compare(Expr::CmpOp::kLe, Expr::Column(*column),
+                        Expr::Literal(std::move(*hi))));
+    }
+    if (MatchKeyword("LIKE")) {
+      if (!Peek().Is(Token::Type::kString))
+        return Error("LIKE expects a string pattern");
+      std::string pattern = Advance().text;
+      return Expr::Like(Expr::Column(*column), std::move(pattern));
+    }
+    if (MatchKeyword("REGEXP") || MatchKeyword("MATCH")) {
+      if (!Peek().Is(Token::Type::kString))
+        return Error("REGEXP expects a string pattern");
+      std::string pattern = Advance().text;
+      return Expr::Regex(Expr::Column(*column), std::move(pattern));
+    }
+
+    Expr::CmpOp op;
+    const Token& t = Peek();
+    if (t.IsSymbol("=")) {
+      op = Expr::CmpOp::kEq;
+    } else if (t.IsSymbol("!=") || t.IsSymbol("<>")) {
+      op = Expr::CmpOp::kNe;
+    } else if (t.IsSymbol("<=")) {
+      op = Expr::CmpOp::kLe;
+    } else if (t.IsSymbol("<")) {
+      op = Expr::CmpOp::kLt;
+    } else if (t.IsSymbol(">=")) {
+      op = Expr::CmpOp::kGe;
+    } else if (t.IsSymbol(">")) {
+      op = Expr::CmpOp::kGt;
+    } else {
+      return Error("expected a comparison operator");
+    }
+    Advance();
+    auto value = ParseValue();
+    if (!value.ok()) return value.status();
+    return Expr::Compare(op, Expr::Column(*column),
+                         Expr::Literal(std::move(*value)));
+  }
+
+  // ---- CREATE TABLE ---------------------------------------------------------
+
+  common::Result<storage::ColumnType> ParseColumnType() {
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    std::string t = *name;
+    std::transform(t.begin(), t.end(), t.begin(), ::toupper);
+    if (t == "INT64" || t == "UINT64" || t == "INT32" || t == "UINT32" ||
+        t == "DATETIME")
+      return storage::ColumnType::kInt64;
+    if (t == "FLOAT32" || t == "FLOAT64" || t == "DOUBLE")
+      return storage::ColumnType::kFloat64;
+    if (t == "STRING") return storage::ColumnType::kString;
+    if (t == "ARRAY") {
+      BH_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto inner = ExpectIdentifier();  // Float32
+      if (!inner.ok()) return inner.status();
+      BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return storage::ColumnType::kFloatVector;
+    }
+    return Error("unknown column type: " + *name);
+  }
+
+  common::Status ParseIndexDef(storage::TableSchema* schema) {
+    // INDEX name column TYPE <IndexType>('K=V', ...)
+    auto index_name = ExpectIdentifier();
+    if (!index_name.ok()) return index_name.status();
+    auto column = ExpectIdentifier();
+    if (!column.ok()) return column.status();
+    BH_RETURN_IF_ERROR(ExpectKeyword("TYPE"));
+    auto type = ExpectIdentifier();
+    if (!type.ok()) return type.status();
+
+    vecindex::IndexSpec spec;
+    spec.type = *type;
+    std::transform(spec.type.begin(), spec.type.end(), spec.type.begin(),
+                   ::toupper);
+    if (MatchSymbol("(")) {
+      if (!Peek().IsSymbol(")")) {
+        for (;;) {
+          if (!Peek().Is(Token::Type::kString))
+            return Error("index params must be 'KEY=VALUE' strings");
+          std::string kv = Advance().text;
+          size_t eq = kv.find('=');
+          if (eq == std::string::npos)
+            return common::Status::InvalidArgument("bad index param: " + kv);
+          std::string key = kv.substr(0, eq);
+          std::transform(key.begin(), key.end(), key.begin(), ::toupper);
+          spec.params[key] = kv.substr(eq + 1);
+          if (!MatchSymbol(",")) break;
+        }
+      }
+      BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    spec.dim = static_cast<size_t>(spec.GetInt("DIM", 0));
+    if (auto it = spec.params.find("METRIC"); it != spec.params.end()) {
+      std::string m = it->second;
+      std::transform(m.begin(), m.end(), m.begin(), ::toupper);
+      if (m == "IP")
+        spec.metric = vecindex::Metric::kInnerProduct;
+      else if (m == "COSINE")
+        spec.metric = vecindex::Metric::kCosine;
+    }
+
+    int col = schema->FindColumn(*column);
+    if (col < 0)
+      return common::Status::InvalidArgument("index on unknown column: " +
+                                             *column);
+    schema->index_spec = std::move(spec);
+    schema->vector_column = col;
+    return common::Status::Ok();
+  }
+
+  /// Partition item: `col` or `fn(col)` — the function (e.g. toYYYYMMDD) is
+  /// recorded but partitioning uses the column value directly.
+  common::Result<std::string> ParsePartitionItem() {
+    auto first = ExpectIdentifier();
+    if (!first.ok()) return first.status();
+    if (MatchSymbol("(")) {
+      auto inner = ExpectIdentifier();
+      if (!inner.ok()) return inner.status();
+      BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return *inner;
+    }
+    return *first;
+  }
+
+  common::Result<Statement> ParseCreateTable() {
+    BH_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    BH_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    CreateTableStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    stmt.schema.table_name = *name;
+    BH_RETURN_IF_ERROR(ExpectSymbol("("));
+
+    for (;;) {
+      if (Peek().IsKeyword("INDEX")) {
+        Advance();
+        BH_RETURN_IF_ERROR(ParseIndexDef(&stmt.schema));
+      } else {
+        auto col_name = ExpectIdentifier();
+        if (!col_name.ok()) return col_name.status();
+        auto col_type = ParseColumnType();
+        if (!col_type.ok()) return col_type.status();
+        stmt.schema.columns.push_back({*col_name, *col_type});
+      }
+      if (!MatchSymbol(",")) break;
+    }
+    BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+
+    while (!Peek().Is(Token::Type::kEnd) && !Peek().IsSymbol(";")) {
+      if (MatchKeyword("ORDER")) {
+        BH_RETURN_IF_ERROR(ExpectKeyword("BY"));
+        auto col = ParsePartitionItem();  // allow fn(col) here too
+        if (!col.ok()) return col.status();
+        // Sorting key recorded implicitly via ingestion order; accepted for
+        // dialect compatibility.
+      } else if (MatchKeyword("PARTITION")) {
+        BH_RETURN_IF_ERROR(ExpectKeyword("BY"));
+        std::vector<std::string> items;
+        if (MatchSymbol("(")) {
+          for (;;) {
+            auto item = ParsePartitionItem();
+            if (!item.ok()) return item.status();
+            items.push_back(*item);
+            if (!MatchSymbol(",")) break;
+          }
+          BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+        } else {
+          auto item = ParsePartitionItem();
+          if (!item.ok()) return item.status();
+          items.push_back(*item);
+        }
+        for (const std::string& item : items) {
+          int col = stmt.schema.FindColumn(item);
+          if (col < 0)
+            return common::Status::InvalidArgument(
+                "PARTITION BY unknown column: " + item);
+          stmt.schema.partition_columns.push_back(col);
+        }
+      } else if (MatchKeyword("CLUSTER")) {
+        BH_RETURN_IF_ERROR(ExpectKeyword("BY"));
+        auto col = ExpectIdentifier();
+        if (!col.ok()) return col.status();
+        BH_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+        if (!Peek().Is(Token::Type::kInteger))
+          return Error("CLUSTER BY expects a bucket count");
+        stmt.schema.semantic_buckets =
+            static_cast<size_t>(std::strtoull(Advance().text.c_str(),
+                                              nullptr, 10));
+        BH_RETURN_IF_ERROR(ExpectKeyword("BUCKETS"));
+      } else {
+        return Error("unexpected clause in CREATE TABLE");
+      }
+    }
+    SkipStatementEnd();
+
+    Statement out;
+    out.kind = Statement::Kind::kCreateTable;
+    out.create_table = std::move(stmt);
+    return out;
+  }
+
+  // ---- INSERT ---------------------------------------------------------------
+
+  common::Result<Statement> ParseInsert() {
+    BH_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    BH_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    stmt.table = *name;
+    BH_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    for (;;) {
+      BH_RETURN_IF_ERROR(ExpectSymbol("("));
+      storage::Row row;
+      for (;;) {
+        auto v = ParseValue();
+        if (!v.ok()) return v.status();
+        row.values.push_back(std::move(*v));
+        if (!MatchSymbol(",")) break;
+      }
+      BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+      if (!MatchSymbol(",")) break;
+    }
+    SkipStatementEnd();
+
+    Statement out;
+    out.kind = Statement::Kind::kInsert;
+    out.insert = std::move(stmt);
+    return out;
+  }
+
+  // ---- SELECT ---------------------------------------------------------------
+
+  bool IsDistanceFn(const Token& t) const {
+    return t.IsKeyword("L2Distance") || t.IsKeyword("InnerProduct") ||
+           t.IsKeyword("CosineDistance");
+  }
+
+  common::Result<Statement> ParseSelect() {
+    BH_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStmt stmt;
+    if (MatchSymbol("*")) {
+      stmt.select_star = true;
+    } else {
+      for (;;) {
+        auto col = ExpectIdentifier();
+        if (!col.ok()) return col.status();
+        stmt.select_columns.push_back(*col);
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    BH_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto table = ExpectIdentifier();
+    if (!table.ok()) return table.status();
+    stmt.table = *table;
+
+    if (MatchKeyword("WHERE")) {
+      auto pred = ParseOrExpr();
+      if (!pred.ok()) return pred.status();
+      stmt.where = std::move(*pred);
+    }
+
+    if (MatchKeyword("ORDER")) {
+      BH_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      if (!IsDistanceFn(Peek()))
+        return Error(
+            "ORDER BY supports only distance functions "
+            "(L2Distance/InnerProduct/CosineDistance)");
+      AnnClause ann;
+      ann.distance_fn = Advance().text;
+      BH_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      ann.vector_column = *col;
+      BH_RETURN_IF_ERROR(ExpectSymbol(","));
+      auto vec = ParseVectorLiteral();
+      if (!vec.ok()) return vec.status();
+      ann.query_vector = std::move(*vec);
+      BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ann.alias = "dist";
+      if (MatchKeyword("AS")) {
+        auto alias = ExpectIdentifier();
+        if (!alias.ok()) return alias.status();
+        ann.alias = *alias;
+      }
+      if (MatchKeyword("DESC")) ann.ascending = false;
+      else MatchKeyword("ASC");
+      stmt.ann = std::move(ann);
+    }
+
+    if (MatchKeyword("LIMIT")) {
+      if (!Peek().Is(Token::Type::kInteger))
+        return Error("LIMIT expects an integer");
+      size_t k = static_cast<size_t>(
+          std::strtoull(Advance().text.c_str(), nullptr, 10));
+      if (stmt.ann.has_value())
+        stmt.ann->limit = k;
+      else
+        stmt.scalar_limit = k;
+    }
+    SkipStatementEnd();
+
+    if (stmt.ann.has_value() && stmt.ann->limit == 0)
+      return common::Status::InvalidArgument(
+          "vector search requires LIMIT k");
+
+    Statement out;
+    out.kind = Statement::Kind::kSelect;
+    out.select = std::move(stmt);
+    return out;
+  }
+
+  // ---- UPDATE / DELETE / OPTIMIZE --------------------------------------------
+
+  common::Result<Statement> ParseUpdate() {
+    BH_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    UpdateStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    stmt.table = *name;
+    BH_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    for (;;) {
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      BH_RETURN_IF_ERROR(ExpectSymbol("="));
+      auto value = ParseValue();
+      if (!value.ok()) return value.status();
+      stmt.assignments.emplace_back(*col, std::move(*value));
+      if (!MatchSymbol(",")) break;
+    }
+    BH_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    auto pred = ParseOrExpr();
+    if (!pred.ok()) return pred.status();
+    stmt.where = std::move(*pred);
+    SkipStatementEnd();
+
+    Statement out;
+    out.kind = Statement::Kind::kUpdate;
+    out.update = std::move(stmt);
+    return out;
+  }
+
+  common::Result<Statement> ParseDelete() {
+    BH_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    BH_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    stmt.table = *name;
+    BH_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    auto pred = ParseOrExpr();
+    if (!pred.ok()) return pred.status();
+    stmt.where = std::move(*pred);
+    SkipStatementEnd();
+
+    Statement out;
+    out.kind = Statement::Kind::kDelete;
+    out.del = std::move(stmt);
+    return out;
+  }
+
+  common::Result<Statement> ParseSet() {
+    BH_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    SetStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    stmt.name = *name;
+    BH_RETURN_IF_ERROR(ExpectSymbol("="));
+    // Accept bare ON/OFF/TRUE/FALSE identifiers as booleans.
+    if (Peek().Is(Token::Type::kIdentifier)) {
+      if (Peek().IsKeyword("ON") || Peek().IsKeyword("TRUE")) {
+        Advance();
+        stmt.value = int64_t{1};
+      } else if (Peek().IsKeyword("OFF") || Peek().IsKeyword("FALSE")) {
+        Advance();
+        stmt.value = int64_t{0};
+      } else {
+        stmt.value = Advance().text;  // strategy names etc.
+      }
+    } else {
+      auto value = ParseValue();
+      if (!value.ok()) return value.status();
+      stmt.value = std::move(*value);
+    }
+    SkipStatementEnd();
+
+    Statement out;
+    out.kind = Statement::Kind::kSet;
+    out.set = std::move(stmt);
+    return out;
+  }
+
+  common::Result<Statement> ParseOptimize() {
+    BH_RETURN_IF_ERROR(ExpectKeyword("OPTIMIZE"));
+    BH_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    OptimizeStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    stmt.table = *name;
+    MatchKeyword("FINAL");
+    SkipStatementEnd();
+
+    Statement out;
+    out.kind = Statement::Kind::kOptimize;
+    out.optimize = std::move(stmt);
+    return out;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<Statement> ParseStatement(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+common::Result<std::string> ParameterizedSignature(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  std::string sig;
+  size_t i = 0;
+  const std::vector<Token>& toks = *tokens;
+  while (i < toks.size() && !toks[i].Is(Token::Type::kEnd)) {
+    const Token& t = toks[i];
+    if (t.IsSymbol("[")) {
+      // Collapse a whole vector literal to one placeholder.
+      size_t depth = 0;
+      while (i < toks.size()) {
+        if (toks[i].IsSymbol("[")) ++depth;
+        if (toks[i].IsSymbol("]") && --depth == 0) break;
+        ++i;
+      }
+      ++i;
+      sig += "? ";
+      continue;
+    }
+    if (t.Is(Token::Type::kInteger) || t.Is(Token::Type::kFloat) ||
+        t.Is(Token::Type::kString)) {
+      sig += "? ";
+    } else {
+      std::string text = t.text;
+      if (t.Is(Token::Type::kIdentifier))
+        std::transform(text.begin(), text.end(), text.begin(), ::toupper);
+      sig += text;
+      sig += ' ';
+    }
+    ++i;
+  }
+  return sig;
+}
+
+}  // namespace blendhouse::sql

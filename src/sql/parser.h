@@ -1,0 +1,35 @@
+#ifndef BLENDHOUSE_SQL_PARSER_H_
+#define BLENDHOUSE_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace blendhouse::sql {
+
+/// Recursive-descent parser for the hybrid-query SQL dialect of the paper's
+/// Example 1. Supported statements:
+///
+///   CREATE TABLE t (col Type, ..., INDEX name col TYPE HNSW('DIM=96',...))
+///     [ORDER BY col] [PARTITION BY (col, ...)]
+///     [CLUSTER BY col INTO n BUCKETS];
+///   INSERT INTO t VALUES (v, ..., [f1, f2, ...]), ...;
+///   SELECT cols FROM t [WHERE pred]
+///     [ORDER BY L2Distance(col, [q...]) AS d] [LIMIT k];
+///   UPDATE t SET col = v, ... WHERE pred;
+///   DELETE FROM t WHERE pred;
+///   OPTIMIZE TABLE t;
+///
+/// Predicates: comparisons, BETWEEN, AND/OR/NOT, LIKE, REGEXP.
+/// Distance functions: L2Distance, InnerProduct, CosineDistance.
+common::Result<Statement> ParseStatement(const std::string& sql);
+
+/// Replaces literals/vectors in a SELECT with placeholders, producing the
+/// parameterized signature used as the plan-cache key (paper §IV-C), e.g.
+/// "SELECT id FROM t WHERE x > ? ORDER BY L2Distance(emb,?) LIMIT ?".
+common::Result<std::string> ParameterizedSignature(const std::string& sql);
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_PARSER_H_

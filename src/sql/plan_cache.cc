@@ -1,0 +1,44 @@
+#include "sql/plan_cache.h"
+
+namespace blendhouse::sql {
+
+std::optional<CachedPlan> PlanCache::Get(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(signature);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  order_.splice(order_.begin(), order_, it->second);
+  ++hits_;
+  return it->second->second;
+}
+
+void PlanCache::Put(const std::string& signature, CachedPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(signature);
+  if (it != map_.end()) {
+    it->second->second = plan;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(signature, plan);
+  map_[signature] = order_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(order_.back().first);
+    order_.pop_back();
+  }
+}
+
+void PlanCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  order_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace blendhouse::sql

@@ -1,0 +1,55 @@
+#ifndef BLENDHOUSE_SQL_PLAN_CACHE_H_
+#define BLENDHOUSE_SQL_PLAN_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sql/cost_model.h"
+
+namespace blendhouse::sql {
+
+/// What a plan-cache entry preserves across parameter-varying repeats of the
+/// same query shape: the chosen physical strategy and the rule outcomes, so
+/// re-execution skips statistics lookup, the rewrite passes, and cost
+/// evaluation (paper §IV-C "query processing overhead").
+struct CachedPlan {
+  ExecStrategy strategy = ExecStrategy::kPostFilter;
+  double estimated_selectivity = 1.0;
+  int rules_fired = 0;
+};
+
+/// LRU cache keyed by the parameterized query signature ("SELECT id FROM t
+/// WHERE x > ? ORDER BY L2DISTANCE ( emb , ? ) LIMIT ?"). The signature is
+/// the "extended plan matching" — structurally identical queries with
+/// different literals, thresholds, and search vectors hit the same entry.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  std::optional<CachedPlan> Get(const std::string& signature);
+  void Put(const std::string& signature, CachedPlan plan);
+
+  /// Drops all entries (table schema changed / stats refreshed).
+  void Invalidate();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::pair<std::string, CachedPlan>> order_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, CachedPlan>>::iterator>
+      map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_PLAN_CACHE_H_

@@ -1,0 +1,55 @@
+#ifndef BLENDHOUSE_SQL_SETTINGS_H_
+#define BLENDHOUSE_SQL_SETTINGS_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "cluster/worker.h"
+#include "sql/cost_model.h"
+
+namespace blendhouse::sql {
+
+/// Session-level query settings. Every optimization the paper evaluates can
+/// be toggled here, which is what the ablation benches flip.
+struct QuerySettings {
+  // ---- ANN search knobs ----
+  int ef_search = 64;
+  int nprobe = 8;
+  int refine_factor = 2;
+
+  // ---- Cost-based optimization (Fig. 15) ----
+  bool use_cbo = true;
+  /// Strategy used when the CBO is disabled (the paper's CBO-off default).
+  ExecStrategy default_strategy = ExecStrategy::kPreFilter;
+  /// Hard override for experiments.
+  std::optional<ExecStrategy> forced_strategy;
+
+  // ---- Segment pruning (Fig. 16) ----
+  bool scalar_pruning = true;
+  bool semantic_pruning = true;
+  /// Buckets probed initially under semantic pruning.
+  size_t semantic_probe_buckets = 2;
+  /// Expand probed buckets at runtime when results come up short.
+  bool adaptive_semantic = true;
+
+  // ---- Workload-aware read optimizations (Fig. 17, READ_Opt) ----
+  bool use_column_cache = true;
+  bool use_granule_pruning = true;
+
+  // ---- Workload-aware plan optimizations (Fig. 17, Query_Opt) ----
+  bool use_plan_cache = true;
+  bool short_circuit = true;
+
+  // ---- Disaggregation behaviour (Fig. 11/18) ----
+  cluster::AcquireOptions acquire;
+
+  /// Refill rounds bound for the post-filter iterator loop.
+  size_t max_postfilter_rounds = 16;
+
+  /// Query-level retries on worker/scheduling failures (fault tolerance).
+  size_t max_query_retries = 1;
+};
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_SETTINGS_H_

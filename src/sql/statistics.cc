@@ -1,0 +1,237 @@
+#include "sql/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+namespace blendhouse::sql {
+
+ColumnHistogram ColumnHistogram::Build(std::vector<double> samples,
+                                       size_t buckets) {
+  ColumnHistogram h;
+  if (samples.empty()) return h;
+  std::sort(samples.begin(), samples.end());
+  buckets = std::min(buckets, samples.size());
+  h.bucket_fraction_ = 1.0 / static_cast<double>(buckets);
+  h.bounds_.reserve(buckets + 1);
+  for (size_t b = 0; b <= buckets; ++b) {
+    size_t idx = b * (samples.size() - 1) / buckets;
+    h.bounds_.push_back(samples[idx]);
+  }
+  return h;
+}
+
+double ColumnHistogram::EstimateRange(double lo, double hi) const {
+  if (bounds_.empty() || lo > hi) return 0.0;
+  double total = 0.0;
+  for (size_t b = 0; b + 1 < bounds_.size(); ++b) {
+    double blo = bounds_[b];
+    double bhi = bounds_[b + 1];
+    if (bhi < lo || blo > hi) continue;
+    double width = bhi - blo;
+    if (width <= 0) {
+      // Degenerate bucket (repeated value): counted iff it intersects.
+      total += bucket_fraction_;
+      continue;
+    }
+    double overlap = std::min(hi, bhi) - std::max(lo, blo);
+    total += bucket_fraction_ * std::clamp(overlap / width, 0.0, 1.0);
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double ColumnHistogram::EstimateCompare(Expr::CmpOp op, double value) const {
+  if (bounds_.empty()) return 0.3;
+  double lo = bounds_.front();
+  double hi = bounds_.back();
+  switch (op) {
+    case Expr::CmpOp::kLt:
+    case Expr::CmpOp::kLe:
+      return EstimateRange(lo, value);
+    case Expr::CmpOp::kGt:
+    case Expr::CmpOp::kGe:
+      return EstimateRange(value, hi);
+    case Expr::CmpOp::kEq:
+      // Point estimate: mass of one "value-wide" sliver, floored.
+      return std::max(EstimateRange(value, value), 1e-4);
+    case Expr::CmpOp::kNe:
+      return 1.0 - std::max(EstimateRange(value, value), 1e-4);
+  }
+  return 0.3;
+}
+
+TableStatistics TableStatistics::Build(
+    const std::vector<storage::SegmentPtr>& segments, size_t max_sample_rows) {
+  TableStatistics stats;
+  std::map<std::string, std::vector<double>> numeric_samples;
+  std::map<std::string, std::unordered_set<std::string>> string_values;
+  size_t sampled = 0;
+
+  for (const storage::SegmentPtr& segment : segments) {
+    stats.num_rows_ += segment->num_rows();
+  }
+  if (stats.num_rows_ == 0) return stats;
+
+  // Proportional sampling with a fixed stride per segment.
+  for (const storage::SegmentPtr& segment : segments) {
+    size_t n = segment->num_rows();
+    size_t budget = std::max<size_t>(
+        1, max_sample_rows * n / static_cast<size_t>(stats.num_rows_));
+    size_t stride = std::max<size_t>(1, n / budget);
+    for (size_t i = 0; i < n; i += stride) {
+      for (size_t c = 0; c < segment->num_columns(); ++c) {
+        const storage::Column& col = segment->column(c);
+        switch (col.type()) {
+          case storage::ColumnType::kInt64:
+          case storage::ColumnType::kFloat64:
+            numeric_samples[col.name()].push_back(col.GetNumeric(i));
+            break;
+          case storage::ColumnType::kString:
+            string_values[col.name()].insert(std::string(col.GetString(i)));
+            break;
+          default:
+            break;
+        }
+      }
+      if (++sampled >= max_sample_rows) break;
+    }
+    if (sampled >= max_sample_rows) break;
+  }
+
+  for (auto& [name, samples] : numeric_samples)
+    stats.histograms_[name] = ColumnHistogram::Build(std::move(samples));
+  for (auto& [name, values] : string_values)
+    stats.string_ndv_[name] =
+        std::max<double>(1.0, static_cast<double>(values.size()));
+  return stats;
+}
+
+namespace {
+
+/// Flattens an AND subtree into its conjunct list.
+void CollectConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == Expr::Kind::kAnd) {
+    CollectConjuncts(*expr.children[0], out);
+    CollectConjuncts(*expr.children[1], out);
+  } else {
+    out->push_back(&expr);
+  }
+}
+
+/// Numeric column-vs-literal compare? Extracts (column, op, value).
+bool AsNumericCompare(const Expr& expr, std::string* column, Expr::CmpOp* op,
+                      double* value) {
+  if (expr.kind != Expr::Kind::kCompare ||
+      expr.children[0]->kind != Expr::Kind::kColumn ||
+      expr.children[1]->kind != Expr::Kind::kLiteral)
+    return false;
+  const storage::Value& lit = expr.children[1]->literal;
+  if (const int64_t* i = std::get_if<int64_t>(&lit))
+    *value = static_cast<double>(*i);
+  else if (const double* d = std::get_if<double>(&lit))
+    *value = *d;
+  else
+    return false;
+  *column = expr.children[0]->column;
+  *op = expr.op;
+  return true;
+}
+
+}  // namespace
+
+double TableStatistics::EstimateSelectivity(const Expr& expr) const {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd: {
+      // Same-column comparisons inside one AND chain form an interval and
+      // must be estimated together: `a >= lo AND a <= hi` is a range, not
+      // two independent events (BETWEEN would otherwise estimate ~0.25
+      // regardless of width). Remaining conjuncts use independence.
+      std::vector<const Expr*> conjuncts;
+      CollectConjuncts(expr, &conjuncts);
+      struct Interval {
+        double lo = std::numeric_limits<double>::lowest();
+        double hi = std::numeric_limits<double>::max();
+      };
+      std::map<std::string, Interval> intervals;
+      double selectivity = 1.0;
+      for (const Expr* c : conjuncts) {
+        std::string column;
+        Expr::CmpOp op;
+        double value = 0;
+        bool range_op = AsNumericCompare(*c, &column, &op, &value) &&
+                        op != Expr::CmpOp::kNe && histogram(column) != nullptr;
+        if (!range_op) {
+          selectivity *= EstimateSelectivity(*c);
+          continue;
+        }
+        Interval& iv = intervals[column];
+        switch (op) {
+          case Expr::CmpOp::kEq:
+            iv.lo = std::max(iv.lo, value);
+            iv.hi = std::min(iv.hi, value);
+            break;
+          case Expr::CmpOp::kLt:
+          case Expr::CmpOp::kLe:
+            iv.hi = std::min(iv.hi, value);
+            break;
+          case Expr::CmpOp::kGt:
+          case Expr::CmpOp::kGe:
+            iv.lo = std::max(iv.lo, value);
+            break;
+          case Expr::CmpOp::kNe:
+            break;
+        }
+      }
+      for (const auto& [column, iv] : intervals) {
+        const ColumnHistogram* h = histogram(column);
+        if (iv.lo > iv.hi) return 0.0;
+        if (iv.lo == iv.hi)
+          selectivity *= std::max(h->EstimateRange(iv.lo, iv.hi), 1e-4);
+        else
+          selectivity *= h->EstimateRange(iv.lo, iv.hi);
+      }
+      return std::clamp(selectivity, 0.0, 1.0);
+    }
+    case Expr::Kind::kOr: {
+      double a = EstimateSelectivity(*expr.children[0]);
+      double b = EstimateSelectivity(*expr.children[1]);
+      return std::clamp(a + b - a * b, 0.0, 1.0);
+    }
+    case Expr::Kind::kNot:
+      return 1.0 - EstimateSelectivity(*expr.children[0]);
+    case Expr::Kind::kCompare: {
+      const Expr& lhs = *expr.children[0];
+      const Expr& rhs = *expr.children[1];
+      if (lhs.kind != Expr::Kind::kColumn || rhs.kind != Expr::Kind::kLiteral)
+        return 0.3;
+      if (const int64_t* i = std::get_if<int64_t>(&rhs.literal)) {
+        const ColumnHistogram* h = histogram(lhs.column);
+        return h != nullptr
+                   ? h->EstimateCompare(expr.op, static_cast<double>(*i))
+                   : 0.3;
+      }
+      if (const double* d = std::get_if<double>(&rhs.literal)) {
+        const ColumnHistogram* h = histogram(lhs.column);
+        return h != nullptr ? h->EstimateCompare(expr.op, *d) : 0.3;
+      }
+      if (std::holds_alternative<std::string>(rhs.literal)) {
+        auto it = string_ndv_.find(lhs.column);
+        double ndv = it == string_ndv_.end() ? 10.0 : it->second;
+        double eq = 1.0 / ndv;
+        return expr.op == Expr::CmpOp::kEq
+                   ? eq
+                   : (expr.op == Expr::CmpOp::kNe ? 1.0 - eq : 0.3);
+      }
+      return 0.3;
+    }
+    case Expr::Kind::kLike:
+    case Expr::Kind::kRegex:
+      return 0.1;  // pattern predicates: conservative default
+    default:
+      return 0.3;
+  }
+}
+
+}  // namespace blendhouse::sql

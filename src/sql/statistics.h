@@ -1,0 +1,68 @@
+#ifndef BLENDHOUSE_SQL_STATISTICS_H_
+#define BLENDHOUSE_SQL_STATISTICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/expression.h"
+#include "storage/segment.h"
+
+namespace blendhouse::sql {
+
+/// Equi-depth histogram over a numeric column, built from sampled rows —
+/// the selectivity estimator the cost model's `s` term relies on (the paper
+/// cites Poosala et al. histograms).
+class ColumnHistogram {
+ public:
+  /// Builds from (unsorted) samples with ~`buckets` equi-depth buckets.
+  static ColumnHistogram Build(std::vector<double> samples,
+                               size_t buckets = 32);
+
+  bool empty() const { return bounds_.empty(); }
+
+  /// Fraction of values in [lo, hi] (inclusive), interpolated inside
+  /// boundary buckets.
+  double EstimateRange(double lo, double hi) const;
+
+  /// Fraction of values satisfying `value op column`... i.e. column op value.
+  double EstimateCompare(Expr::CmpOp op, double value) const;
+
+ private:
+  /// bounds_[i] .. bounds_[i+1] holds depth_fraction_ of the mass.
+  std::vector<double> bounds_;
+  double bucket_fraction_ = 0.0;
+};
+
+/// Per-table statistics for the cost-based optimizer: row count, numeric
+/// histograms, and string distinct-value estimates.
+class TableStatistics {
+ public:
+  /// Samples up to `max_sample_rows` rows across the given segments.
+  static TableStatistics Build(const std::vector<storage::SegmentPtr>& segments,
+                               size_t max_sample_rows = 20000);
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t version() const { return version_; }
+  void set_version(uint64_t v) { version_ = v; }
+
+  /// Estimated fraction of rows satisfying `expr` in [0, 1]. Unknown
+  /// predicates fall back to conservative defaults (LIKE/REGEXP: 0.1).
+  double EstimateSelectivity(const Expr& expr) const;
+
+  const ColumnHistogram* histogram(const std::string& column) const {
+    auto it = histograms_.find(column);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  uint64_t num_rows_ = 0;
+  uint64_t version_ = 0;
+  std::map<std::string, ColumnHistogram> histograms_;
+  /// Estimated distinct count for string columns (for equality selectivity).
+  std::map<std::string, double> string_ndv_;
+};
+
+}  // namespace blendhouse::sql
+
+#endif  // BLENDHOUSE_SQL_STATISTICS_H_

@@ -1,0 +1,138 @@
+#include "storage/column.h"
+
+#include <algorithm>
+
+namespace blendhouse::storage {
+
+common::Status Column::Append(const Value& v) {
+  switch (type_) {
+    case ColumnType::kInt64: {
+      const int64_t* p = std::get_if<int64_t>(&v);
+      if (p == nullptr)
+        return common::Status::InvalidArgument(name_ + ": expected Int64");
+      ints_.push_back(*p);
+      col_min_ = std::min(col_min_, static_cast<double>(*p));
+      col_max_ = std::max(col_max_, static_cast<double>(*p));
+      break;
+    }
+    case ColumnType::kFloat64: {
+      const double* p = std::get_if<double>(&v);
+      // Accept ints into float columns (SQL literals are often integral).
+      double d;
+      if (p != nullptr) {
+        d = *p;
+      } else if (const int64_t* ip = std::get_if<int64_t>(&v)) {
+        d = static_cast<double>(*ip);
+      } else {
+        return common::Status::InvalidArgument(name_ + ": expected Float64");
+      }
+      doubles_.push_back(d);
+      col_min_ = std::min(col_min_, d);
+      col_max_ = std::max(col_max_, d);
+      break;
+    }
+    case ColumnType::kString: {
+      const std::string* p = std::get_if<std::string>(&v);
+      if (p == nullptr)
+        return common::Status::InvalidArgument(name_ + ": expected String");
+      str_arena_ += *p;
+      str_offsets_.push_back(str_arena_.size());
+      break;
+    }
+    case ColumnType::kFloatVector: {
+      const std::vector<float>* p = std::get_if<std::vector<float>>(&v);
+      if (p == nullptr)
+        return common::Status::InvalidArgument(name_ + ": expected vector");
+      if (vector_dim_ == 0) vector_dim_ = p->size();
+      if (p->size() != vector_dim_)
+        return common::Status::InvalidArgument(
+            name_ + ": vector dim mismatch");
+      vectors_.insert(vectors_.end(), p->begin(), p->end());
+      break;
+    }
+  }
+  ++num_rows_;
+  return common::Status::Ok();
+}
+
+Value Column::GetValue(size_t row) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return ints_[row];
+    case ColumnType::kFloat64:
+      return doubles_[row];
+    case ColumnType::kString:
+      return std::string(GetString(row));
+    case ColumnType::kFloatVector:
+      return std::vector<float>(GetVector(row), GetVector(row) + vector_dim_);
+  }
+  return int64_t{0};
+}
+
+void Column::BuildGranuleMarks(size_t granule_rows) {
+  if (type_ != ColumnType::kInt64 && type_ != ColumnType::kFloat64) return;
+  marks_ = GranuleMarks{};
+  marks_.granule_rows = granule_rows;
+  for (size_t g = 0; g * granule_rows < num_rows_; ++g) {
+    double mn = std::numeric_limits<double>::max();
+    double mx = std::numeric_limits<double>::lowest();
+    size_t end = std::min(num_rows_, (g + 1) * granule_rows);
+    for (size_t i = g * granule_rows; i < end; ++i) {
+      double v = GetNumeric(i);
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    marks_.min_vals.push_back(mn);
+    marks_.max_vals.push_back(mx);
+  }
+}
+
+size_t Column::MemoryUsage() const {
+  return ints_.size() * sizeof(int64_t) + doubles_.size() * sizeof(double) +
+         str_arena_.size() + str_offsets_.size() * sizeof(uint64_t) +
+         vectors_.size() * sizeof(float) +
+         (marks_.min_vals.size() + marks_.max_vals.size()) * sizeof(double);
+}
+
+void Column::Serialize(common::BinaryWriter* w) const {
+  w->WriteString(name_);
+  w->Write<uint8_t>(static_cast<uint8_t>(type_));
+  w->Write<uint64_t>(vector_dim_);
+  w->Write<uint64_t>(num_rows_);
+  w->WriteVector(ints_);
+  w->WriteVector(doubles_);
+  w->WriteString(str_arena_);
+  w->WriteVector(str_offsets_);
+  w->WriteVector(vectors_);
+  w->Write<uint64_t>(marks_.granule_rows);
+  w->WriteVector(marks_.min_vals);
+  w->WriteVector(marks_.max_vals);
+  w->Write<double>(col_min_);
+  w->Write<double>(col_max_);
+}
+
+common::Status Column::Deserialize(common::BinaryReader* r) {
+  uint8_t type = 0;
+  uint64_t dim = 0, rows = 0, granule = 0;
+  BH_RETURN_IF_ERROR(r->ReadString(&name_));
+  BH_RETURN_IF_ERROR(r->Read(&type));
+  BH_RETURN_IF_ERROR(r->Read(&dim));
+  BH_RETURN_IF_ERROR(r->Read(&rows));
+  type_ = static_cast<ColumnType>(type);
+  vector_dim_ = dim;
+  num_rows_ = rows;
+  BH_RETURN_IF_ERROR(r->ReadVector(&ints_));
+  BH_RETURN_IF_ERROR(r->ReadVector(&doubles_));
+  BH_RETURN_IF_ERROR(r->ReadString(&str_arena_));
+  BH_RETURN_IF_ERROR(r->ReadVector(&str_offsets_));
+  BH_RETURN_IF_ERROR(r->ReadVector(&vectors_));
+  BH_RETURN_IF_ERROR(r->Read(&granule));
+  marks_.granule_rows = granule;
+  BH_RETURN_IF_ERROR(r->ReadVector(&marks_.min_vals));
+  BH_RETURN_IF_ERROR(r->ReadVector(&marks_.max_vals));
+  BH_RETURN_IF_ERROR(r->Read(&col_min_));
+  BH_RETURN_IF_ERROR(r->Read(&col_max_));
+  return common::Status::Ok();
+}
+
+}  // namespace blendhouse::storage

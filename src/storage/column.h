@@ -1,0 +1,107 @@
+#ifndef BLENDHOUSE_STORAGE_COLUMN_H_
+#define BLENDHOUSE_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace blendhouse::storage {
+
+/// Per-granule min/max marks for numeric columns — the "fine-grained sparse
+/// index" of the paper's read-amplification optimization: after a vector
+/// search returns scattered row offsets, granule marks let the reader skip
+/// granules no requested row falls into and prune range predicates early.
+struct GranuleMarks {
+  size_t granule_rows = 128;
+  std::vector<double> min_vals;
+  std::vector<double> max_vals;
+
+  size_t GranuleOf(size_t row) const { return row / granule_rows; }
+  size_t NumGranules() const { return min_vals.size(); }
+
+  /// May any row of granule `g` satisfy value in [lo, hi]?
+  bool MayContainRange(size_t g, double lo, double hi) const {
+    return !(max_vals[g] < lo || min_vals[g] > hi);
+  }
+};
+
+/// Immutable typed column inside a segment. Numeric columns carry granule
+/// marks; string columns carry offsets into a single arena; vector columns
+/// are packed floats.
+class Column {
+ public:
+  Column() = default;
+  Column(std::string name, ColumnType type, size_t vector_dim = 0)
+      : name_(std::move(name)), type_(type), vector_dim_(vector_dim) {}
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  size_t size() const { return num_rows_; }
+  size_t vector_dim() const { return vector_dim_; }
+
+  /// Appends one value; the Value alternative must match the column type.
+  common::Status Append(const Value& v);
+
+  int64_t GetInt64(size_t row) const { return ints_[row]; }
+  double GetFloat64(size_t row) const { return doubles_[row]; }
+  std::string_view GetString(size_t row) const {
+    size_t begin = str_offsets_[row];
+    size_t end = str_offsets_[row + 1];
+    return std::string_view(str_arena_).substr(begin, end - begin);
+  }
+  const float* GetVector(size_t row) const {
+    return vectors_.data() + row * vector_dim_;
+  }
+  /// Numeric view used by predicate evaluation: Int64 is widened to double.
+  double GetNumeric(size_t row) const {
+    return type_ == ColumnType::kInt64 ? static_cast<double>(ints_[row])
+                                       : doubles_[row];
+  }
+
+  Value GetValue(size_t row) const;
+
+  /// Raw packed vector data (vector columns only).
+  const std::vector<float>& vector_data() const { return vectors_; }
+
+  /// Builds min/max marks over `granule_rows`-row granules. No-op for
+  /// string/vector columns.
+  void BuildGranuleMarks(size_t granule_rows = 128);
+  const GranuleMarks* granule_marks() const {
+    return marks_.NumGranules() > 0 ? &marks_ : nullptr;
+  }
+
+  /// Column-level min/max used for segment pruning. Valid only for numeric
+  /// columns with at least one row.
+  double MinNumeric() const { return col_min_; }
+  double MaxNumeric() const { return col_max_; }
+
+  size_t MemoryUsage() const;
+
+  void Serialize(common::BinaryWriter* w) const;
+  common::Status Deserialize(common::BinaryReader* r);
+
+ private:
+  std::string name_;
+  ColumnType type_ = ColumnType::kInt64;
+  size_t vector_dim_ = 0;
+  size_t num_rows_ = 0;
+
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::string str_arena_;
+  std::vector<uint64_t> str_offsets_{0};
+  std::vector<float> vectors_;
+
+  GranuleMarks marks_;
+  double col_min_ = std::numeric_limits<double>::max();
+  double col_max_ = std::numeric_limits<double>::lowest();
+};
+
+}  // namespace blendhouse::storage
+
+#endif  // BLENDHOUSE_STORAGE_COLUMN_H_

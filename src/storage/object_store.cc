@@ -1,0 +1,73 @@
+#include "storage/object_store.h"
+
+#include <chrono>
+#include <thread>
+
+namespace blendhouse::storage {
+
+void ObjectStore::ChargeLatency(size_t bytes) const {
+  if (!cost_model_.simulate_latency) return;
+  double transfer =
+      static_cast<double>(bytes) / cost_model_.bytes_per_micro;
+  int64_t total =
+      cost_model_.base_latency_micros + static_cast<int64_t>(transfer);
+  if (total > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(total));
+}
+
+common::Status ObjectStore::Put(const std::string& key, std::string bytes) {
+  ChargeLatency(bytes.size());
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(bytes.size(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[key] = std::move(bytes);
+  return common::Status::Ok();
+}
+
+common::Result<std::string> ObjectStore::Get(const std::string& key) const {
+  std::string bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end())
+      return common::Status::NotFound("object: " + key);
+    bytes = it->second;
+  }
+  ChargeLatency(bytes.size());
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return bytes;
+}
+
+bool ObjectStore::Exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(key) > 0;
+}
+
+common::Status ObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return common::Status::NotFound("object: " + key);
+  objects_.erase(it);
+  return common::Status::Ok();
+}
+
+std::vector<std::string> ObjectStore::ListPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix);
+       it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    keys.push_back(it->first);
+  return keys;
+}
+
+void ObjectStore::ResetStats() {
+  stats_.gets.store(0);
+  stats_.puts.store(0);
+  stats_.bytes_read.store(0);
+  stats_.bytes_written.store(0);
+}
+
+}  // namespace blendhouse::storage

@@ -1,0 +1,71 @@
+#ifndef BLENDHOUSE_STORAGE_OBJECT_STORE_H_
+#define BLENDHOUSE_STORAGE_OBJECT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace blendhouse::storage {
+
+/// Latency/bandwidth model for a storage tier. The disaggregated
+/// architecture's defining property — remote reads cost much more than local
+/// ones — is injected here rather than assumed from real hardware.
+struct StorageCostModel {
+  /// Fixed per-operation latency (microseconds). ~2000us models an
+  /// S3/HDFS-class remote store; ~50us models local NVMe.
+  int64_t base_latency_micros = 2000;
+  /// Throughput in bytes per microsecond (bytes/us). 200 B/us ~= 200 MB/s.
+  double bytes_per_micro = 200.0;
+  /// Disable sleeping entirely (unit tests).
+  bool simulate_latency = true;
+
+  static StorageCostModel Remote() { return {2000, 200.0, true}; }
+  static StorageCostModel LocalDisk() { return {50, 2000.0, true}; }
+  static StorageCostModel Instant() { return {0, 1e12, false}; }
+};
+
+struct ObjectStoreStats {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+};
+
+/// Simulated remote shared storage (the paper's HDFS/S3 tier). Thread-safe
+/// in-process key/value store whose every operation pays the configured
+/// latency model, with byte/op counters for the benches.
+class ObjectStore {
+ public:
+  explicit ObjectStore(StorageCostModel cost_model = StorageCostModel::Remote())
+      : cost_model_(cost_model) {}
+
+  common::Status Put(const std::string& key, std::string bytes);
+  common::Result<std::string> Get(const std::string& key) const;
+  bool Exists(const std::string& key) const;
+  common::Status Delete(const std::string& key);
+  std::vector<std::string> ListPrefix(const std::string& prefix) const;
+
+  const ObjectStoreStats& stats() const { return stats_; }
+  void ResetStats();
+
+  const StorageCostModel& cost_model() const { return cost_model_; }
+  void set_cost_model(StorageCostModel m) { cost_model_ = m; }
+
+ private:
+  void ChargeLatency(size_t bytes) const;
+
+  StorageCostModel cost_model_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> objects_;
+  mutable ObjectStoreStats stats_;
+};
+
+}  // namespace blendhouse::storage
+
+#endif  // BLENDHOUSE_STORAGE_OBJECT_STORE_H_

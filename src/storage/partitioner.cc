@@ -1,0 +1,81 @@
+#include "storage/partitioner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vecindex/distance.h"
+#include "vecindex/kmeans.h"
+
+namespace blendhouse::storage {
+
+namespace {
+std::string ValueToKeyPart(const Value& v) {
+  if (const int64_t* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const double* d = std::get_if<double>(&v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", *d);
+    return buf;
+  }
+  if (const std::string* s = std::get_if<std::string>(&v)) return *s;
+  return "<vec>";
+}
+}  // namespace
+
+std::string ScalarPartitionKey(const TableSchema& schema, const Row& row) {
+  std::string key;
+  for (size_t i = 0; i < schema.partition_columns.size(); ++i) {
+    if (i > 0) key += '|';
+    int col = schema.partition_columns[i];
+    if (col >= 0 && static_cast<size_t>(col) < row.values.size())
+      key += ValueToKeyPart(row.values[col]);
+  }
+  return key;
+}
+
+common::Status SemanticPartitioner::Train(const float* data, size_t n,
+                                          size_t dim, size_t buckets,
+                                          uint64_t seed) {
+  vecindex::KMeansOptions opts;
+  opts.k = buckets;
+  opts.seed = seed;
+  auto km = vecindex::RunKMeans(data, n, dim, opts);
+  if (!km.ok()) return km.status();
+  dim_ = dim;
+  centroids_ = std::move(km->centroids);
+  return common::Status::Ok();
+}
+
+int64_t SemanticPartitioner::AssignBucket(const float* vec) const {
+  return static_cast<int64_t>(
+      vecindex::NearestCentroid(vec, centroids_.data(), num_buckets(), dim_));
+}
+
+std::vector<int64_t> SemanticPartitioner::RankBuckets(
+    const float* query) const {
+  size_t k = num_buckets();
+  std::vector<std::pair<float, int64_t>> ranked(k);
+  for (size_t b = 0; b < k; ++b)
+    ranked[b] = {vecindex::L2Sqr(query, centroids_.data() + b * dim_, dim_),
+                 static_cast<int64_t>(b)};
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int64_t> out(k);
+  for (size_t b = 0; b < k; ++b) out[b] = ranked[b].second;
+  return out;
+}
+
+void SemanticPartitioner::Serialize(common::BinaryWriter* w) const {
+  w->Write<uint64_t>(dim_);
+  w->WriteVector(centroids_);
+}
+
+common::Status SemanticPartitioner::Deserialize(common::BinaryReader* r) {
+  uint64_t dim = 0;
+  BH_RETURN_IF_ERROR(r->Read(&dim));
+  dim_ = dim;
+  BH_RETURN_IF_ERROR(r->ReadVector(&centroids_));
+  if (dim_ != 0 && centroids_.size() % dim_ != 0)
+    return common::Status::Corruption("partitioner: centroid shape");
+  return common::Status::Ok();
+}
+
+}  // namespace blendhouse::storage

@@ -1,0 +1,53 @@
+#ifndef BLENDHOUSE_STORAGE_PARTITIONER_H_
+#define BLENDHOUSE_STORAGE_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace blendhouse::storage {
+
+/// Encodes the scalar PARTITION BY key of one row: partition column values
+/// joined with '|' (e.g. "20241010|animal"). Rows with equal keys land in
+/// the same segments, enabling scalar segment pruning (paper §IV-B).
+std::string ScalarPartitionKey(const TableSchema& schema, const Row& row);
+
+/// Semantic similarity-based partitioner: k-means centroids learned at first
+/// ingest assign each vector to one of `CLUSTER BY ... INTO n BUCKETS`
+/// buckets; queries then prune to buckets whose centroid is near the query
+/// vector.
+class SemanticPartitioner {
+ public:
+  SemanticPartitioner() = default;
+
+  bool trained() const { return !centroids_.empty(); }
+  size_t num_buckets() const { return dim_ == 0 ? 0 : centroids_.size() / dim_; }
+  size_t dim() const { return dim_; }
+  const std::vector<float>& centroids() const { return centroids_; }
+
+  /// Learns `buckets` centroids from sample vectors (packed n x dim).
+  common::Status Train(const float* data, size_t n, size_t dim,
+                       size_t buckets, uint64_t seed = 42);
+
+  /// Bucket id for a vector; requires trained().
+  int64_t AssignBucket(const float* vec) const;
+
+  /// Bucket ids ranked by centroid distance to `query` (nearest first) —
+  /// the scheduler probes a prefix of this ranking.
+  std::vector<int64_t> RankBuckets(const float* query) const;
+
+  void Serialize(common::BinaryWriter* w) const;
+  common::Status Deserialize(common::BinaryReader* r);
+
+ private:
+  size_t dim_ = 0;
+  std::vector<float> centroids_;
+};
+
+}  // namespace blendhouse::storage
+
+#endif  // BLENDHOUSE_STORAGE_PARTITIONER_H_

@@ -1,0 +1,50 @@
+#ifndef BLENDHOUSE_STORAGE_SCHEMA_H_
+#define BLENDHOUSE_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "vecindex/index_factory.h"
+
+namespace blendhouse::storage {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+/// Table definition shared by storage, planning, and execution. Mirrors the
+/// paper's Example 1: scalar columns, a vector column with an ANN index
+/// spec, scalar PARTITION BY columns, and semantic CLUSTER BY buckets.
+struct TableSchema {
+  std::string table_name;
+  std::vector<ColumnDef> columns;
+
+  /// Vector index definition attached to the vector column, if any.
+  std::optional<vecindex::IndexSpec> index_spec;
+  /// Column the index is defined on; -1 when there is no vector column.
+  int vector_column = -1;
+
+  /// Scalar partitioning: indexes of PARTITION BY columns.
+  std::vector<int> partition_columns;
+  /// Semantic partitioning: CLUSTER BY <vector_column> INTO n BUCKETS.
+  /// 0 disables semantic partitioning.
+  size_t semantic_buckets = 0;
+
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i)
+      if (columns[i].name == name) return static_cast<int>(i);
+    return -1;
+  }
+
+  size_t VectorDim() const {
+    return index_spec.has_value() ? index_spec->dim : 0;
+  }
+};
+
+}  // namespace blendhouse::storage
+
+#endif  // BLENDHOUSE_STORAGE_SCHEMA_H_

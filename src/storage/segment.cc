@@ -1,0 +1,135 @@
+#include "storage/segment.h"
+
+namespace blendhouse::storage {
+
+void SegmentMeta::Serialize(common::BinaryWriter* w) const {
+  w->WriteString(segment_id);
+  w->WriteString(table_name);
+  w->Write<uint64_t>(num_rows);
+  w->WriteString(partition_key);
+  w->Write<int64_t>(semantic_bucket);
+  w->WriteVector(centroid);
+  w->Write<uint64_t>(numeric_ranges.size());
+  for (const auto& [name, range] : numeric_ranges) {
+    w->WriteString(name);
+    w->Write<double>(range.first);
+    w->Write<double>(range.second);
+  }
+  w->Write<uint32_t>(level);
+}
+
+common::Status SegmentMeta::Deserialize(common::BinaryReader* r) {
+  BH_RETURN_IF_ERROR(r->ReadString(&segment_id));
+  BH_RETURN_IF_ERROR(r->ReadString(&table_name));
+  BH_RETURN_IF_ERROR(r->Read(&num_rows));
+  BH_RETURN_IF_ERROR(r->ReadString(&partition_key));
+  BH_RETURN_IF_ERROR(r->Read(&semantic_bucket));
+  BH_RETURN_IF_ERROR(r->ReadVector(&centroid));
+  uint64_t num_ranges = 0;
+  BH_RETURN_IF_ERROR(r->Read(&num_ranges));
+  numeric_ranges.clear();
+  for (uint64_t i = 0; i < num_ranges; ++i) {
+    std::string name;
+    double lo = 0, hi = 0;
+    BH_RETURN_IF_ERROR(r->ReadString(&name));
+    BH_RETURN_IF_ERROR(r->Read(&lo));
+    BH_RETURN_IF_ERROR(r->Read(&hi));
+    numeric_ranges[name] = {lo, hi};
+  }
+  BH_RETURN_IF_ERROR(r->Read(&level));
+  return common::Status::Ok();
+}
+
+const Column* Segment::FindColumn(const std::string& name) const {
+  for (const Column& c : columns_)
+    if (c.name() == name) return &c;
+  return nullptr;
+}
+
+size_t Segment::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const Column& c : columns_) bytes += c.MemoryUsage();
+  return bytes;
+}
+
+std::string Segment::SerializeToString() const {
+  std::string out;
+  common::BinaryWriter w(&out);
+  meta_.Serialize(&w);
+  w.Write<uint64_t>(columns_.size());
+  for (const Column& c : columns_) c.Serialize(&w);
+  return out;
+}
+
+common::Result<SegmentPtr> Segment::Deserialize(std::string_view bytes) {
+  auto segment = std::make_shared<Segment>();
+  common::BinaryReader r(bytes);
+  BH_RETURN_IF_ERROR(segment->meta_.Deserialize(&r));
+  uint64_t num_columns = 0;
+  BH_RETURN_IF_ERROR(r.Read(&num_columns));
+  segment->columns_.resize(num_columns);
+  for (Column& c : segment->columns_) BH_RETURN_IF_ERROR(c.Deserialize(&r));
+  return segment;
+}
+
+SegmentBuilder::SegmentBuilder(const TableSchema& schema,
+                               std::string segment_id)
+    : schema_(schema), segment_id_(std::move(segment_id)) {
+  columns_.reserve(schema.columns.size());
+  for (const ColumnDef& def : schema.columns)
+    columns_.emplace_back(def.name, def.type,
+                          def.type == ColumnType::kFloatVector
+                              ? schema.VectorDim()
+                              : 0);
+}
+
+common::Status SegmentBuilder::AppendRow(const Row& row) {
+  if (row.values.size() != columns_.size())
+    return common::Status::InvalidArgument("row arity mismatch");
+  for (size_t i = 0; i < columns_.size(); ++i)
+    BH_RETURN_IF_ERROR(columns_[i].Append(row.values[i]));
+  ++num_rows_;
+  return common::Status::Ok();
+}
+
+common::Result<SegmentPtr> SegmentBuilder::Finish() {
+  if (num_rows_ == 0)
+    return common::Status::InvalidArgument("empty segment");
+  auto segment = std::make_shared<Segment>();
+  segment->meta_.segment_id = segment_id_;
+  segment->meta_.table_name = schema_.table_name;
+  segment->meta_.num_rows = num_rows_;
+  segment->meta_.partition_key = partition_key_;
+  segment->meta_.semantic_bucket = semantic_bucket_;
+
+  for (Column& c : columns_) {
+    c.BuildGranuleMarks();
+    if ((c.type() == ColumnType::kInt64 ||
+         c.type() == ColumnType::kFloat64) &&
+        c.size() > 0)
+      segment->meta_.numeric_ranges[c.name()] = {c.MinNumeric(),
+                                                 c.MaxNumeric()};
+  }
+
+  // Centroid = mean vector; the semantic-pruning distance target.
+  if (schema_.vector_column >= 0) {
+    const Column& vec = columns_[schema_.vector_column];
+    size_t dim = vec.vector_dim();
+    if (dim > 0) {
+      std::vector<double> sum(dim, 0.0);
+      for (size_t i = 0; i < num_rows_; ++i) {
+        const float* v = vec.GetVector(i);
+        for (size_t d = 0; d < dim; ++d) sum[d] += v[d];
+      }
+      segment->meta_.centroid.resize(dim);
+      for (size_t d = 0; d < dim; ++d)
+        segment->meta_.centroid[d] =
+            static_cast<float>(sum[d] / static_cast<double>(num_rows_));
+    }
+  }
+
+  segment->columns_ = std::move(columns_);
+  return segment;
+}
+
+}  // namespace blendhouse::storage

@@ -1,0 +1,106 @@
+#ifndef BLENDHOUSE_STORAGE_SEGMENT_H_
+#define BLENDHOUSE_STORAGE_SEGMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace blendhouse::storage {
+
+/// Lightweight segment descriptor kept in the catalog/version set. The
+/// scheduler prunes on this without fetching segment data: scalar pruning
+/// uses partition_key and numeric min/max; semantic pruning uses the
+/// centroid (paper §IV-B).
+struct SegmentMeta {
+  std::string segment_id;
+  std::string table_name;
+  uint64_t num_rows = 0;
+  /// Encoded scalar PARTITION BY value, e.g. "20241010|animal". Empty when
+  /// the table is unpartitioned.
+  std::string partition_key;
+  /// Semantic bucket id under CLUSTER BY, or -1.
+  int64_t semantic_bucket = -1;
+  /// Mean of the segment's vectors (semantic pruning distance target).
+  std::vector<float> centroid;
+  /// Column name -> (min, max) for numeric columns.
+  std::map<std::string, std::pair<double, double>> numeric_ranges;
+  /// Compaction generation: 0 for freshly flushed segments.
+  uint32_t level = 0;
+
+  void Serialize(common::BinaryWriter* w) const;
+  common::Status Deserialize(common::BinaryReader* r);
+};
+
+/// Immutable columnar segment — the unit of storage, index building,
+/// scheduling, and caching. Created once by a flush or compaction, then
+/// never modified (updates go through delete bitmaps + new segments).
+class Segment {
+ public:
+  Segment() = default;
+
+  const SegmentMeta& meta() const { return meta_; }
+  SegmentMeta& mutable_meta() { return meta_; }
+  size_t num_rows() const { return meta_.num_rows; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  const Column* FindColumn(const std::string& name) const;
+
+  size_t MemoryUsage() const;
+
+  std::string SerializeToString() const;
+  static common::Result<std::shared_ptr<Segment>> Deserialize(
+      std::string_view bytes);
+
+ private:
+  friend class SegmentBuilder;
+
+  SegmentMeta meta_;
+  std::vector<Column> columns_;
+};
+
+using SegmentPtr = std::shared_ptr<Segment>;
+
+/// Accumulates rows and freezes them into an immutable Segment: builds
+/// granule marks, computes the vector centroid, and fills meta stats.
+class SegmentBuilder {
+ public:
+  SegmentBuilder(const TableSchema& schema, std::string segment_id);
+
+  common::Status AppendRow(const Row& row);
+  size_t num_rows() const { return num_rows_; }
+
+  /// Finalizes the segment. The builder must not be reused afterwards.
+  common::Result<SegmentPtr> Finish();
+
+  void SetPartitionKey(std::string key) { partition_key_ = std::move(key); }
+  void SetSemanticBucket(int64_t bucket) { semantic_bucket_ = bucket; }
+
+ private:
+  const TableSchema& schema_;
+  std::string segment_id_;
+  std::string partition_key_;
+  int64_t semantic_bucket_ = -1;
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
+/// Object-store key layout for a table's segments.
+struct SegmentKeys {
+  static std::string Data(const std::string& table, const std::string& seg) {
+    return "tables/" + table + "/segments/" + seg + "/data";
+  }
+  static std::string Index(const std::string& table, const std::string& seg) {
+    return "tables/" + table + "/segments/" + seg + "/index";
+  }
+};
+
+}  // namespace blendhouse::storage
+
+#endif  // BLENDHOUSE_STORAGE_SEGMENT_H_

@@ -1,0 +1,44 @@
+#ifndef BLENDHOUSE_STORAGE_VALUE_H_
+#define BLENDHOUSE_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace blendhouse::storage {
+
+/// Cell value. FloatVector is the embedding type (`Array(Float32)` in the
+/// paper's SQL dialect).
+using Value =
+    std::variant<int64_t, double, std::string, std::vector<float>>;
+
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+  kFloatVector = 3,
+};
+
+/// One ingested row; values are positional against the table schema.
+struct Row {
+  std::vector<Value> values;
+};
+
+inline const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "Int64";
+    case ColumnType::kFloat64:
+      return "Float64";
+    case ColumnType::kString:
+      return "String";
+    case ColumnType::kFloatVector:
+      return "Array(Float32)";
+  }
+  return "?";
+}
+
+}  // namespace blendhouse::storage
+
+#endif  // BLENDHOUSE_STORAGE_VALUE_H_

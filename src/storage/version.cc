@@ -1,0 +1,69 @@
+#include "storage/version.h"
+
+namespace blendhouse::storage {
+
+void VersionSet::AddSegments(const std::vector<SegmentMeta>& metas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SegmentMeta& m : metas) segments_[m.segment_id] = m;
+  ++version_;
+}
+
+common::Status VersionSet::ReplaceSegments(
+    const std::vector<std::string>& removed_ids,
+    const std::vector<SegmentMeta>& added) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& id : removed_ids) {
+    if (segments_.count(id) == 0)
+      return common::Status::NotFound("compaction input gone: " + id);
+  }
+  for (const std::string& id : removed_ids) {
+    segments_.erase(id);
+    deletes_.erase(id);
+  }
+  for (const SegmentMeta& m : added) segments_[m.segment_id] = m;
+  ++version_;
+  return common::Status::Ok();
+}
+
+common::Status VersionSet::MarkDeleted(
+    const std::string& segment_id, const std::vector<uint64_t>& row_offsets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto seg_it = segments_.find(segment_id);
+  if (seg_it == segments_.end())
+    return common::Status::NotFound("segment: " + segment_id);
+
+  // Copy-on-write so outstanding snapshots keep their old bitmap.
+  auto fresh = std::make_shared<common::Bitset>(seg_it->second.num_rows);
+  auto old_it = deletes_.find(segment_id);
+  if (old_it != deletes_.end()) *fresh = *old_it->second;
+  for (uint64_t row : row_offsets) {
+    if (row >= seg_it->second.num_rows)
+      return common::Status::InvalidArgument("delete offset out of range");
+    fresh->Set(row);
+  }
+  deletes_[segment_id] = std::move(fresh);
+  ++version_;
+  return common::Status::Ok();
+}
+
+TableSnapshot VersionSet::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TableSnapshot snap;
+  snap.version = version_;
+  snap.segments.reserve(segments_.size());
+  for (const auto& [_, meta] : segments_) snap.segments.push_back(meta);
+  snap.delete_bitmaps = deletes_;
+  return snap;
+}
+
+uint64_t VersionSet::CurrentVersion() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+size_t VersionSet::NumSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+}  // namespace blendhouse::storage

@@ -1,0 +1,74 @@
+#ifndef BLENDHOUSE_STORAGE_VERSION_H_
+#define BLENDHOUSE_STORAGE_VERSION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "storage/segment.h"
+
+namespace blendhouse::storage {
+
+/// One table's consistent view: live segments and their delete bitmaps at a
+/// point in time. Bitmaps are shared immutable snapshots (copy-on-write in
+/// the VersionSet), so a snapshot stays valid while updates proceed.
+struct TableSnapshot {
+  uint64_t version = 0;
+  std::vector<SegmentMeta> segments;
+  /// segment_id -> delete bitmap; absent means no deletions.
+  std::map<std::string, std::shared_ptr<const common::Bitset>> delete_bitmaps;
+
+  const common::Bitset* DeletesFor(const std::string& segment_id) const {
+    auto it = delete_bitmaps.find(segment_id);
+    return it == delete_bitmaps.end() ? nullptr : it->second.get();
+  }
+
+  uint64_t TotalRows() const {
+    uint64_t n = 0;
+    for (const auto& s : segments) n += s.num_rows;
+    return n;
+  }
+  uint64_t TotalDeletedRows() const {
+    uint64_t n = 0;
+    for (const auto& [_, bm] : delete_bitmaps) n += bm->Count();
+    return n;
+  }
+};
+
+/// Multi-version commit state for one table (paper Fig. 6): updates never
+/// touch committed segments; they add new segments and flip bits in
+/// copy-on-write delete bitmaps. Compaction atomically replaces a set of
+/// segments (dropping their bitmaps) with merged ones.
+class VersionSet {
+ public:
+  /// Commits freshly flushed segments.
+  void AddSegments(const std::vector<SegmentMeta>& metas);
+
+  /// Atomic compaction commit: removes `removed_ids` (and their delete
+  /// bitmaps) and adds `added` in one version bump.
+  common::Status ReplaceSegments(const std::vector<std::string>& removed_ids,
+                                 const std::vector<SegmentMeta>& added);
+
+  /// Marks rows of one segment deleted (update/delete path). Copy-on-write:
+  /// existing snapshots are unaffected.
+  common::Status MarkDeleted(const std::string& segment_id,
+                             const std::vector<uint64_t>& row_offsets);
+
+  TableSnapshot Snapshot() const;
+  uint64_t CurrentVersion() const;
+  size_t NumSegments() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t version_ = 0;
+  std::map<std::string, SegmentMeta> segments_;
+  std::map<std::string, std::shared_ptr<const common::Bitset>> deletes_;
+};
+
+}  // namespace blendhouse::storage
+
+#endif  // BLENDHOUSE_STORAGE_VERSION_H_

@@ -1,0 +1,83 @@
+#include "vecindex/auto_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/timer.h"
+#include "vecindex/ivf_index.h"
+
+namespace blendhouse::vecindex {
+
+size_t AutoSelectIvfNlist(size_t n) {
+  if (n == 0) return 1;
+  // Faiss guideline: ~4*sqrt(N) lists; keep >= 39 points per list so each
+  // centroid is trainable, and always at least one list.
+  size_t by_sqrt = static_cast<size_t>(
+      std::lround(4.0 * std::sqrt(static_cast<double>(n))));
+  size_t by_points = n / 39;
+  size_t nlist = std::min(by_sqrt, std::max<size_t>(1, by_points));
+  return std::max<size_t>(1, nlist);
+}
+
+IndexSpec AutoTuneSpec(const IndexSpec& spec, size_t segment_rows) {
+  IndexSpec tuned = spec;
+  bool ivf_family = spec.type.rfind("IVF", 0) == 0;
+  if (ivf_family && spec.params.find("NLIST") == spec.params.end())
+    tuned.params["NLIST"] = std::to_string(AutoSelectIvfNlist(segment_rows));
+  if ((spec.type == "HNSW" || spec.type == "HNSWSQ") && segment_rows < 2000) {
+    // Tiny segments don't pay for a wide graph or a deep beam.
+    if (spec.params.find("M") == spec.params.end())
+      tuned.params["M"] = "8";
+    if (spec.params.find("EF_CONSTRUCTION") == spec.params.end())
+      tuned.params["EF_CONSTRUCTION"] = "100";
+  }
+  return tuned;
+}
+
+common::Result<AutoTuneReport> MeasuredAutoTuneIvf(const float* data, size_t n,
+                                                   size_t dim,
+                                                   size_t sample_queries,
+                                                   size_t k) {
+  if (n < 64) return common::Status::InvalidArgument("autotune: too few rows");
+  size_t rule = AutoSelectIvfNlist(n);
+  std::vector<size_t> candidates = {std::max<size_t>(1, rule / 4),
+                                    std::max<size_t>(1, rule / 2), rule,
+                                    rule * 2};
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  AutoTuneReport report;
+  double best = 0.0;
+  for (size_t nlist : candidates) {
+    IvfOptions opts;
+    opts.nlist = nlist;
+    IvfFlatIndex index(dim, Metric::kL2, opts);
+    std::vector<IdType> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<IdType>(i);
+    BH_RETURN_IF_ERROR(index.Train(data, n));
+    BH_RETURN_IF_ERROR(index.AddWithIds(data, ids.data(), n));
+
+    // Probe enough lists to visit a comparable fraction of the data for
+    // each candidate, so we measure structure, not recall differences.
+    SearchParams params;
+    params.k = static_cast<int>(k);
+    params.nprobe =
+        std::max(1, static_cast<int>(index.nlist() / 8));
+    common::Timer timer;
+    size_t queries = std::min(sample_queries, n);
+    for (size_t q = 0; q < queries; ++q) {
+      auto r = index.SearchWithFilter(data + (q * (n / queries)) * dim, params);
+      if (!r.ok()) return r.status();
+    }
+    double avg = timer.ElapsedMicros() / static_cast<double>(queries);
+    report.candidates.push_back({nlist, avg});
+    if (report.chosen_nlist == 0 || avg < best) {
+      best = avg;
+      report.chosen_nlist = nlist;
+    }
+  }
+  return report;
+}
+
+}  // namespace blendhouse::vecindex

@@ -1,0 +1,41 @@
+#ifndef BLENDHOUSE_VECINDEX_AUTO_INDEX_H_
+#define BLENDHOUSE_VECINDEX_AUTO_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "vecindex/index_factory.h"
+
+namespace blendhouse::vecindex {
+
+/// Rule-based K_IVF selection from segment size N, following the Faiss
+/// guidelines the paper cites: roughly 4*sqrt(N) lists, bounded so each list
+/// keeps enough points to train and scan efficiently. Used on the ingestion
+/// path where build latency matters (paper §III-B "Auto index").
+size_t AutoSelectIvfNlist(size_t n);
+
+/// Applies per-segment-size rules to a spec before building: fills NLIST for
+/// IVF-family indexes and scales M / EF_CONSTRUCTION for tiny HNSW segments.
+IndexSpec AutoTuneSpec(const IndexSpec& spec, size_t segment_rows);
+
+/// Measured auto-tuning for the background-compaction path: builds candidate
+/// IVF indexes over a sample and picks the nlist with the lowest measured
+/// search time at equal nprobe coverage. Slower but more accurate than the
+/// rule — mirrors the paper's rule-based-then-auto-tuned split.
+struct AutoTuneReport {
+  size_t chosen_nlist = 0;
+  struct Candidate {
+    size_t nlist;
+    double avg_search_micros;
+  };
+  std::vector<Candidate> candidates;
+};
+
+common::Result<AutoTuneReport> MeasuredAutoTuneIvf(
+    const float* data, size_t n, size_t dim, size_t sample_queries = 16,
+    size_t k = 10);
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_AUTO_INDEX_H_

@@ -1,0 +1,114 @@
+#ifndef BLENDHOUSE_VECINDEX_DISKANN_INDEX_H_
+#define BLENDHOUSE_VECINDEX_DISKANN_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <atomic>
+
+#include "common/lru_cache.h"
+#include "vecindex/index.h"
+#include "vecindex/pq.h"
+
+namespace blendhouse::vecindex {
+
+struct DiskAnnOptions {
+  /// Maximum out-degree of the Vamana graph.
+  size_t R = 32;
+  /// Beam width during construction.
+  size_t L_build = 64;
+  /// Robust-prune distance slack: larger alpha keeps longer "highway" edges.
+  float alpha = 1.2f;
+  /// Product-quantizer subspaces for the in-memory navigation codes.
+  size_t pq_m = 8;
+  /// Node blocks held in the in-memory block cache.
+  size_t cached_nodes = 1024;
+  /// Per-block read cost of the simulated SSD (self-contained so the index
+  /// layer stays below the storage layer).
+  int64_t disk_latency_micros = 50;
+  double disk_bytes_per_micro = 2000.0;
+  bool simulate_disk_latency = true;
+  uint64_t seed = 42;
+};
+
+/// DiskANN-style index (Subramanya et al.): a Vamana graph whose full
+/// vectors and adjacency lists live in per-node "disk" blocks, navigated
+/// with compact in-memory PQ codes. Memory holds only the PQ codes, the
+/// medoid, and a small LRU block cache; every expanded node costs one
+/// simulated SSD block read on a cache miss — the paper's sixth index type
+/// ("Disk-based (DISKANN)"), standing in for the diskann library.
+class DiskAnnIndex : public VectorIndex {
+ public:
+  DiskAnnIndex(size_t dim, Metric metric, DiskAnnOptions options = {});
+
+  std::string Type() const override { return "DISKANN"; }
+  size_t Dim() const override { return dim_; }
+  Metric GetMetric() const override { return metric_; }
+  size_t Size() const override { return ids_.size(); }
+  /// Resident bytes: PQ codes + codebooks + block cache budget (the full
+  /// vectors and adjacency are on "disk").
+  size_t MemoryUsage() const override;
+
+  common::Status Train(const float* data, size_t n) override;
+  bool NeedsTraining() const override { return true; }
+  common::Status AddWithIds(const float* data, const IdType* ids,
+                            size_t n) override;
+  common::Status Save(std::string* out) const override;
+  common::Status Load(std::string_view in) override;
+
+  common::Result<std::vector<Neighbor>> SearchWithFilter(
+      const float* query, const SearchParams& params) const override;
+
+  /// Simulated SSD reads performed so far (misses of the block cache).
+  uint64_t disk_reads() const { return disk_reads_.load(); }
+
+ private:
+  struct NodeBlock {
+    std::vector<float> vector;
+    std::vector<uint32_t> neighbors;
+  };
+  using NodeBlockPtr = std::shared_ptr<const NodeBlock>;
+
+  /// Reads node `pos`'s block, paying the SSD cost model on a cache miss.
+  NodeBlockPtr ReadBlock(uint32_t pos) const;
+
+  /// Greedy beam search over the graph using PQ distances for ordering;
+  /// returns the visited set (for robust-prune) and the beam.
+  void BeamSearch(const float* query, size_t beam_width,
+                  std::vector<Neighbor>* settled,
+                  std::vector<uint32_t>* visited_order) const;
+
+  /// Vamana robust prune: select up to R diverse out-edges for `node`.
+  std::vector<uint32_t> RobustPrune(uint32_t node,
+                                    std::vector<Neighbor> candidates) const;
+
+  float ExactDistance(const float* query, uint32_t pos) const;
+
+  size_t dim_;
+  Metric metric_;
+  DiskAnnOptions options_;
+
+  // In-memory navigation state.
+  ProductQuantizer pq_;
+  std::vector<uint8_t> pq_codes_;  // n * pq_.code_size()
+  std::vector<IdType> ids_;
+  uint32_t medoid_ = 0;
+
+  // The simulated on-disk structure: serialized node blocks. Kept as raw
+  // bytes so "reading" one genuinely deserializes like an SSD page.
+  std::vector<std::string> disk_blocks_;
+  mutable common::LruCache<NodeBlockPtr> block_cache_;
+  mutable std::atomic<uint64_t> disk_reads_{0};
+
+  // Build-time only: full vectors + mutable adjacency before Seal().
+  std::vector<float> build_vectors_;
+  std::vector<std::vector<uint32_t>> build_graph_;
+  common::Status Seal();
+  bool sealed_ = false;
+};
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_DISKANN_INDEX_H_

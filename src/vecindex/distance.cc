@@ -1,0 +1,64 @@
+#include "vecindex/distance.h"
+
+#include <cmath>
+
+namespace blendhouse::vecindex {
+
+std::string MetricName(Metric m) {
+  switch (m) {
+    case Metric::kL2:
+      return "L2";
+    case Metric::kInnerProduct:
+      return "IP";
+    case Metric::kCosine:
+      return "Cosine";
+  }
+  return "?";
+}
+
+float L2Sqr(const float* a, const float* b, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float InnerProduct(const float* a, const float* b, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float CosineDistance(const float* a, const float* b, size_t dim) {
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  float denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0.0f) return 1.0f;
+  return 1.0f - dot / denom;
+}
+
+float Distance(Metric metric, const float* a, const float* b, size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Sqr(a, b, dim);
+    case Metric::kInnerProduct:
+      return -InnerProduct(a, b, dim);
+    case Metric::kCosine:
+      return CosineDistance(a, b, dim);
+  }
+  return 0.0f;
+}
+
+void BatchDistance(Metric metric, const float* query, const float* base,
+                   size_t n, size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i)
+    out[i] = Distance(metric, query, base + i * dim, dim);
+}
+
+}  // namespace blendhouse::vecindex

@@ -1,0 +1,30 @@
+#ifndef BLENDHOUSE_VECINDEX_DISTANCE_H_
+#define BLENDHOUSE_VECINDEX_DISTANCE_H_
+
+#include <cstddef>
+
+#include "vecindex/types.h"
+
+namespace blendhouse::vecindex {
+
+/// Squared Euclidean distance. Plain loop written for compiler
+/// autovectorization; all indexes share these kernels.
+float L2Sqr(const float* a, const float* b, size_t dim);
+
+/// Dot product.
+float InnerProduct(const float* a, const float* b, size_t dim);
+
+/// 1 - cosine similarity (so that smaller = closer, like L2).
+float CosineDistance(const float* a, const float* b, size_t dim);
+
+/// Metric-dispatched distance where smaller always means closer:
+/// L2 -> squared L2; IP -> -dot; Cosine -> 1-cos.
+float Distance(Metric metric, const float* a, const float* b, size_t dim);
+
+/// Distance from `query` to `n` packed vectors, writing n outputs.
+void BatchDistance(Metric metric, const float* query, const float* base,
+                   size_t n, size_t dim, float* out);
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_DISTANCE_H_

@@ -1,0 +1,91 @@
+#include "vecindex/flat_index.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/io.h"
+#include "vecindex/distance.h"
+
+namespace blendhouse::vecindex {
+
+common::Status FlatIndex::Train(const float* /*data*/, size_t /*n*/) {
+  return common::Status::Ok();  // brute force needs no training
+}
+
+common::Status FlatIndex::AddWithIds(const float* data, const IdType* ids,
+                                     size_t n) {
+  data_.insert(data_.end(), data, data + n * dim_);
+  ids_.insert(ids_.end(), ids, ids + n);
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<Neighbor>> FlatIndex::SearchWithFilter(
+    const float* query, const SearchParams& params) const {
+  if (params.k <= 0)
+    return common::Status::InvalidArgument("flat: k must be positive");
+  // Max-heap of the best k so far; pop when a closer candidate arrives.
+  std::priority_queue<Neighbor> heap;
+  size_t k = static_cast<size_t>(params.k);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (params.filter != nullptr &&
+        !params.filter->Test(static_cast<size_t>(ids_[i])))
+      continue;
+    float d = Distance(metric_, query, data_.data() + i * dim_, dim_);
+    if (heap.size() < k) {
+      heap.push({ids_[i], d});
+    } else if (d < heap.top().distance) {
+      heap.pop();
+      heap.push({ids_[i], d});
+    }
+  }
+  std::vector<Neighbor> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+common::Result<std::vector<Neighbor>> FlatIndex::SearchWithRange(
+    const float* query, float radius, const SearchParams& params) const {
+  std::vector<Neighbor> out;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (params.filter != nullptr &&
+        !params.filter->Test(static_cast<size_t>(ids_[i])))
+      continue;
+    float d = Distance(metric_, query, data_.data() + i * dim_, dim_);
+    if (d <= radius) out.push_back({ids_[i], d});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+common::Status FlatIndex::Save(std::string* out) const {
+  common::BinaryWriter w(out);
+  w.WriteString(Type());
+  w.Write<uint64_t>(dim_);
+  w.Write<uint32_t>(static_cast<uint32_t>(metric_));
+  w.WriteVector(data_);
+  w.WriteVector(ids_);
+  return common::Status::Ok();
+}
+
+common::Status FlatIndex::Load(std::string_view in) {
+  common::BinaryReader r(in);
+  std::string type;
+  BH_RETURN_IF_ERROR(r.ReadString(&type));
+  if (type != Type()) return common::Status::Corruption("flat: wrong type tag");
+  uint64_t dim = 0;
+  uint32_t metric = 0;
+  BH_RETURN_IF_ERROR(r.Read(&dim));
+  BH_RETURN_IF_ERROR(r.Read(&metric));
+  dim_ = dim;
+  metric_ = static_cast<Metric>(metric);
+  BH_RETURN_IF_ERROR(r.ReadVector(&data_));
+  BH_RETURN_IF_ERROR(r.ReadVector(&ids_));
+  if (ids_.size() * dim_ != data_.size())
+    return common::Status::Corruption("flat: size mismatch");
+  return common::Status::Ok();
+}
+
+}  // namespace blendhouse::vecindex

@@ -1,0 +1,51 @@
+#ifndef BLENDHOUSE_VECINDEX_FLAT_INDEX_H_
+#define BLENDHOUSE_VECINDEX_FLAT_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "vecindex/index.h"
+
+namespace blendhouse::vecindex {
+
+/// Exact brute-force index. This is both the "FLAT" user-facing index type
+/// and the fallback BlendHouse uses on a vector-index cache miss (Fig. 11)
+/// and in cost-model Plan A.
+class FlatIndex : public VectorIndex {
+ public:
+  FlatIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+
+  std::string Type() const override { return "FLAT"; }
+  size_t Dim() const override { return dim_; }
+  Metric GetMetric() const override { return metric_; }
+  size_t Size() const override { return ids_.size(); }
+  size_t MemoryUsage() const override {
+    return data_.size() * sizeof(float) + ids_.size() * sizeof(IdType);
+  }
+
+  common::Status Train(const float* data, size_t n) override;
+  common::Status AddWithIds(const float* data, const IdType* ids,
+                            size_t n) override;
+  common::Status Save(std::string* out) const override;
+  common::Status Load(std::string_view in) override;
+
+  common::Result<std::vector<Neighbor>> SearchWithFilter(
+      const float* query, const SearchParams& params) const override;
+  common::Result<std::vector<Neighbor>> SearchWithRange(
+      const float* query, float radius,
+      const SearchParams& params) const override;
+
+  /// Raw vector for row offset lookup (used by PQ refinement and tests).
+  const float* VectorAt(size_t pos) const { return data_.data() + pos * dim_; }
+  const std::vector<IdType>& ids() const { return ids_; }
+
+ private:
+  size_t dim_;
+  Metric metric_;
+  std::vector<float> data_;
+  std::vector<IdType> ids_;
+};
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_FLAT_INDEX_H_

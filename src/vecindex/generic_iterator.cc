@@ -1,0 +1,57 @@
+#include "vecindex/generic_iterator.h"
+
+#include <algorithm>
+
+namespace blendhouse::vecindex {
+
+GenericSearchIterator::GenericSearchIterator(const VectorIndex* index,
+                                             const float* query,
+                                             SearchParams params)
+    : index_(index),
+      query_(query, query + index->Dim()),
+      params_(params),
+      current_k_(std::max(1, params.k)) {}
+
+std::vector<Neighbor> GenericSearchIterator::Next(size_t batch_size) {
+  std::vector<Neighbor> out;
+  while (out.size() < batch_size && !exhausted_) {
+    // Drain unreturned hits from the current round.
+    while (cursor_ < last_result_.size() && out.size() < batch_size) {
+      const Neighbor& n = last_result_[cursor_++];
+      if (returned_.insert(n.id).second) out.push_back(n);
+    }
+    if (out.size() >= batch_size) break;
+
+    // Current round exhausted; restart from scratch with a doubled k.
+    if (!last_result_.empty() && last_result_.size() < current_k_) {
+      exhausted_ = true;  // the index returned fewer than asked: nothing more
+      break;
+    }
+    if (!last_result_.empty()) current_k_ *= 2;
+    SearchParams p = params_;
+    p.k = static_cast<int>(
+        std::max<size_t>(1, std::min<size_t>(current_k_, index_->Size())));
+    // Scale the beam with k so larger rounds actually reach deeper.
+    p.ef_search = std::max(params_.ef_search, p.k);
+    auto res = index_->SearchWithFilter(query_.data(), p);
+    if (!res.ok()) {
+      exhausted_ = true;
+      break;
+    }
+    visited_ += static_cast<size_t>(p.ef_search);
+    size_t prev_count = last_result_.size();
+    last_result_ = std::move(*res);
+    cursor_ = 0;
+    // No growth despite a bigger k means the index is drained.
+    if (last_result_.size() <= prev_count) exhausted_ = true;
+    // Even a drained final round may still hold unreturned ids; scan it once.
+    while (cursor_ < last_result_.size() && out.size() < batch_size) {
+      const Neighbor& n = last_result_[cursor_++];
+      if (returned_.insert(n.id).second) out.push_back(n);
+    }
+    if (exhausted_) break;
+  }
+  return out;
+}
+
+}  // namespace blendhouse::vecindex

@@ -1,0 +1,45 @@
+#ifndef BLENDHOUSE_VECINDEX_GENERIC_ITERATOR_H_
+#define BLENDHOUSE_VECINDEX_GENERIC_ITERATOR_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "vecindex/index.h"
+
+namespace blendhouse::vecindex {
+
+/// Iterator adapter for index libraries that only expose top-k search.
+///
+/// The SingleStore-V style wrapper the paper describes: start with an initial
+/// k; when more rows are needed, restart the ANN search from scratch with k
+/// doubled and emit only ids not yet returned. Repeated runs of the same k
+/// return identical results, so no result is lost between rounds — but the
+/// repeated from-scratch searches are the redundant work BlendHouse's native
+/// HNSW iterator avoids.
+class GenericSearchIterator : public SearchIterator {
+ public:
+  GenericSearchIterator(const VectorIndex* index, const float* query,
+                        SearchParams params);
+
+  std::vector<Neighbor> Next(size_t batch_size) override;
+  size_t VisitedCount() const override { return visited_; }
+
+ private:
+  const VectorIndex* index_;
+  std::vector<float> query_;
+  SearchParams params_;
+  size_t current_k_;
+  size_t cursor_ = 0;        // position in the last result not yet scanned
+  size_t visited_ = 0;       // total work across restarts
+  bool exhausted_ = false;
+  std::vector<Neighbor> last_result_;
+  // Ids already emitted. Approximate indexes (PQ refine) may reorder result
+  // prefixes between runs with different k, so prefix-skipping alone would
+  // leak duplicates.
+  std::unordered_set<IdType> returned_;
+};
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_GENERIC_ITERATOR_H_

@@ -1,0 +1,412 @@
+#include "vecindex/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/io.h"
+#include "vecindex/distance.h"
+
+namespace blendhouse::vecindex {
+
+namespace {
+/// splitmix64 — cheap deterministic per-index RNG for level sampling.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+HnswIndex::HnswIndex(size_t dim, Metric metric, HnswOptions options)
+    : dim_(dim),
+      metric_(metric),
+      options_(options),
+      level_mult_(1.0 / std::log(static_cast<double>(
+                            std::max<size_t>(2, options.M)))),
+      rng_state_(options.seed) {}
+
+size_t HnswIndex::MemoryUsage() const {
+  size_t bytes = data_.size() * sizeof(float) + codes_.size() +
+                 ids_.size() * sizeof(IdType) + levels_.size();
+  for (const auto& node : links_) {
+    for (const auto& lvl : node) bytes += lvl.size() * sizeof(uint32_t);
+    bytes += node.size() * sizeof(std::vector<uint32_t>);
+  }
+  return bytes;
+}
+
+common::Status HnswIndex::Train(const float* data, size_t n) {
+  if (!options_.scalar_quantized) return common::Status::Ok();
+  return sq_.Train(data, n, dim_);
+}
+
+float HnswIndex::DistToItem(const float* query, uint32_t pos) const {
+  if (options_.scalar_quantized) {
+    if (metric_ == Metric::kL2)
+      return sq_.L2SqrToCode(query, codes_.data() + size_t{pos} * dim_);
+    // Rare path (IP/Cosine over SQ): decode into a stack-friendly buffer.
+    thread_local std::vector<float> buf;
+    buf.resize(dim_);
+    sq_.Decode(codes_.data() + size_t{pos} * dim_, buf.data());
+    return Distance(metric_, query, buf.data(), dim_);
+  }
+  return Distance(metric_, query, data_.data() + size_t{pos} * dim_, dim_);
+}
+
+size_t HnswIndex::RandomLevel() {
+  double u = (static_cast<double>(NextRand(&rng_state_) >> 11) + 1.0) /
+             9007199254740993.0;  // (0, 1]
+  return static_cast<size_t>(-std::log(u) * level_mult_);
+}
+
+uint32_t HnswIndex::GreedyDescend(const float* query, uint32_t entry,
+                                  size_t from_level,
+                                  size_t target_level) const {
+  uint32_t cur = entry;
+  float cur_d = DistToItem(query, cur);
+  for (size_t level = from_level; level > target_level; --level) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint32_t nb : LinksAt(cur, level)) {
+        float d = DistToItem(query, nb);
+        if (d < cur_d) {
+          cur_d = d;
+          cur = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
+                                             uint32_t entry, size_t ef,
+                                             size_t level) const {
+  // Min-heap of nodes to expand, max-heap of current best ef results.
+  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>>
+      candidates;
+  std::priority_queue<Neighbor> best;
+  std::unordered_set<uint32_t> visited;
+
+  float entry_d = DistToItem(query, entry);
+  candidates.push({static_cast<IdType>(entry), entry_d});
+  best.push({static_cast<IdType>(entry), entry_d});
+  visited.insert(entry);
+
+  while (!candidates.empty()) {
+    Neighbor cur = candidates.top();
+    if (best.size() >= ef && cur.distance > best.top().distance) break;
+    candidates.pop();
+    for (uint32_t nb : LinksAt(static_cast<uint32_t>(cur.id), level)) {
+      if (!visited.insert(nb).second) continue;
+      float d = DistToItem(query, nb);
+      if (best.size() < ef || d < best.top().distance) {
+        candidates.push({static_cast<IdType>(nb), d});
+        best.push({static_cast<IdType>(nb), d});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Neighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+const float* HnswIndex::ItemVector(uint32_t pos,
+                                   std::vector<float>* buf) const {
+  if (!options_.scalar_quantized) return data_.data() + size_t{pos} * dim_;
+  buf->resize(dim_);
+  sq_.Decode(codes_.data() + size_t{pos} * dim_, buf->data());
+  return buf->data();
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    const float* vec, std::vector<Neighbor>& candidates, size_t m) const {
+  (void)vec;
+  std::sort(candidates.begin(), candidates.end());
+  // Malkov's heuristic: keep a candidate only if it is closer to the new
+  // node than to every already-selected neighbor — edges stay diverse.
+  std::vector<uint32_t> selected;
+  std::vector<float> decode_buf;
+  for (const Neighbor& c : candidates) {
+    if (selected.size() >= m) break;
+    const float* c_vec =
+        ItemVector(static_cast<uint32_t>(c.id), &decode_buf);
+    bool keep = true;
+    for (uint32_t s : selected) {
+      if (DistToItem(c_vec, s) < c.distance) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(static_cast<uint32_t>(c.id));
+  }
+  // Backfill with closest remaining if the heuristic was too aggressive.
+  for (const Neighbor& c : candidates) {
+    if (selected.size() >= m) break;
+    uint32_t id = static_cast<uint32_t>(c.id);
+    if (std::find(selected.begin(), selected.end(), id) == selected.end())
+      selected.push_back(id);
+  }
+  return selected;
+}
+
+void HnswIndex::InsertOne(const float* vec, IdType external_id) {
+  uint32_t node = static_cast<uint32_t>(ids_.size());
+  ids_.push_back(external_id);
+  if (options_.scalar_quantized) {
+    codes_.resize(codes_.size() + dim_);
+    sq_.Encode(vec, codes_.data() + size_t{node} * dim_);
+  } else {
+    data_.insert(data_.end(), vec, vec + dim_);
+  }
+
+  size_t level = RandomLevel();
+  levels_.push_back(static_cast<uint8_t>(std::min<size_t>(level, 255)));
+  links_.emplace_back(level + 1);
+
+  if (max_level_ < 0) {
+    entry_point_ = node;
+    max_level_ = static_cast<int>(level);
+    return;
+  }
+
+  uint32_t cur = entry_point_;
+  if (static_cast<int>(level) < max_level_)
+    cur = GreedyDescend(vec, cur, static_cast<size_t>(max_level_), level);
+
+  size_t top = std::min<size_t>(level, static_cast<size_t>(max_level_));
+  for (size_t lvl = top + 1; lvl-- > 0;) {
+    std::vector<Neighbor> candidates =
+        SearchLayer(vec, cur, options_.ef_construction, lvl);
+    std::vector<uint32_t> neighbors =
+        SelectNeighbors(vec, candidates, options_.M);
+    links_[node][lvl] = neighbors;
+    for (uint32_t nb : neighbors) {
+      std::vector<uint32_t>& back = links_[nb][lvl];
+      back.push_back(node);
+      if (back.size() > MaxLinks(lvl)) {
+        // Re-select the neighbor's edges to stay within the degree bound.
+        std::vector<Neighbor> nb_cands;
+        nb_cands.reserve(back.size());
+        std::vector<float> buf;
+        const float* nb_vec = ItemVector(nb, &buf);
+        for (uint32_t cand : back)
+          nb_cands.push_back(
+              {static_cast<IdType>(cand), DistToItem(nb_vec, cand)});
+        links_[nb][lvl] = SelectNeighbors(nb_vec, nb_cands, MaxLinks(lvl));
+      }
+    }
+    if (!candidates.empty())
+      cur = static_cast<uint32_t>(candidates.front().id);
+  }
+
+  if (static_cast<int>(level) > max_level_) {
+    max_level_ = static_cast<int>(level);
+    entry_point_ = node;
+  }
+}
+
+common::Status HnswIndex::AddWithIds(const float* data, const IdType* ids,
+                                     size_t n) {
+  if (options_.scalar_quantized && !sq_.trained())
+    BH_RETURN_IF_ERROR(sq_.Train(data, n, dim_));
+  size_t expected = ids_.size() + n;
+  ids_.reserve(expected);
+  links_.reserve(expected);
+  if (!options_.scalar_quantized) data_.reserve(expected * dim_);
+  for (size_t i = 0; i < n; ++i) InsertOne(data + i * dim_, ids[i]);
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<Neighbor>> HnswIndex::SearchWithFilter(
+    const float* query, const SearchParams& params) const {
+  if (params.k <= 0)
+    return common::Status::InvalidArgument("hnsw: k must be positive");
+  if (ids_.empty()) return std::vector<Neighbor>{};
+
+  size_t k = static_cast<size_t>(params.k);
+  size_t ef = std::max<size_t>(static_cast<size_t>(params.ef_search), k);
+  uint32_t entry = GreedyDescend(query, entry_point_,
+                                 static_cast<size_t>(max_level_), 0);
+  // With a filter, widen the beam so enough passing rows survive collection.
+  if (params.filter != nullptr) ef = std::max(ef * 2, k * 4);
+  std::vector<Neighbor> found = SearchLayer(query, entry, ef, 0);
+
+  std::vector<Neighbor> out;
+  out.reserve(k);
+  for (const Neighbor& n : found) {
+    IdType ext = ids_[static_cast<uint32_t>(n.id)];
+    if (params.filter != nullptr &&
+        !params.filter->Test(static_cast<size_t>(ext)))
+      continue;
+    out.push_back({ext, n.distance});
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Native incremental iterator: resumable best-first expansion over level 0.
+// --------------------------------------------------------------------------
+
+class HnswSearchIterator : public SearchIterator {
+ public:
+  HnswSearchIterator(const HnswIndex* index, const float* query,
+                     SearchParams params)
+      : index_(index),
+        query_(query, query + index->Dim()),
+        params_(params) {
+    if (index_->Size() == 0) return;
+    uint32_t entry = index_->GreedyDescend(
+        query_.data(), index_->entry_point_,
+        static_cast<size_t>(index_->max_level_), 0);
+    float d = index_->DistToItem(query_.data(), entry);
+    frontier_.push({static_cast<IdType>(entry), d});
+    visited_.insert(entry);
+    // Explore at least ef nodes before the first yield: pure best-first from
+    // a single entry misses neighbors that hide behind slightly-farther hops
+    // (the same reason beam search uses ef > k).
+    size_t warmup = std::max<size_t>(
+        static_cast<size_t>(std::max(params.ef_search, params.k)), 1);
+    while (ready_.size() + 0 < warmup && !frontier_.empty()) Settle();
+  }
+
+  std::vector<Neighbor> Next(size_t batch_size) override {
+    std::vector<Neighbor> out;
+    while (out.size() < batch_size) {
+      // Keep settle order exact: only yield a settled node once no frontier
+      // candidate could still beat it.
+      while (!frontier_.empty() &&
+             (ready_.empty() ||
+              frontier_.top().distance < ready_.top().distance))
+        Settle();
+      if (ready_.empty()) break;
+      Neighbor cur = ready_.top();
+      ready_.pop();
+      uint32_t node = static_cast<uint32_t>(cur.id);
+      IdType ext = index_->ids_[node];
+      if (params_.filter != nullptr &&
+          !params_.filter->Test(static_cast<size_t>(ext)))
+        continue;
+      out.push_back({ext, cur.distance});
+    }
+    return out;
+  }
+
+  size_t VisitedCount() const override { return visited_.size(); }
+
+ private:
+  /// Pops the closest frontier node, expands it, and parks it in ready_.
+  void Settle() {
+    Neighbor cur = frontier_.top();
+    frontier_.pop();
+    uint32_t node = static_cast<uint32_t>(cur.id);
+    for (uint32_t nb : index_->LinksAt(node, 0)) {
+      if (!visited_.insert(nb).second) continue;
+      frontier_.push(
+          {static_cast<IdType>(nb), index_->DistToItem(query_.data(), nb)});
+    }
+    ready_.push(cur);
+  }
+
+  const HnswIndex* index_;
+  std::vector<float> query_;
+  SearchParams params_;
+  // Min-heap ordered by distance: pop = next (approximately) closest node.
+  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>>
+      frontier_;
+  // Settled nodes not yet returned, in distance order.
+  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>>
+      ready_;
+  std::unordered_set<uint32_t> visited_;
+};
+
+common::Result<std::unique_ptr<SearchIterator>> HnswIndex::MakeIterator(
+    const float* query, const SearchParams& params) const {
+  return std::unique_ptr<SearchIterator>(
+      new HnswSearchIterator(this, query, params));
+}
+
+// --------------------------------------------------------------------------
+// Serialization
+// --------------------------------------------------------------------------
+
+common::Status HnswIndex::Save(std::string* out) const {
+  common::BinaryWriter w(out);
+  w.WriteString(Type());
+  w.Write<uint64_t>(dim_);
+  w.Write<uint32_t>(static_cast<uint32_t>(metric_));
+  w.Write<uint64_t>(options_.M);
+  w.Write<uint64_t>(options_.ef_construction);
+  w.Write<uint8_t>(options_.scalar_quantized ? 1 : 0);
+  w.Write<uint32_t>(entry_point_);
+  w.Write<int32_t>(max_level_);
+  w.WriteVector(ids_);
+  w.WriteVector(levels_);
+  if (options_.scalar_quantized) {
+    sq_.Serialize(&w);
+    w.WriteVector(codes_);
+  } else {
+    w.WriteVector(data_);
+  }
+  w.Write<uint64_t>(links_.size());
+  for (const auto& node : links_) {
+    w.Write<uint32_t>(static_cast<uint32_t>(node.size()));
+    for (const auto& lvl : node) w.WriteVector(lvl);
+  }
+  return common::Status::Ok();
+}
+
+common::Status HnswIndex::Load(std::string_view in) {
+  common::BinaryReader r(in);
+  std::string type;
+  BH_RETURN_IF_ERROR(r.ReadString(&type));
+  uint64_t dim = 0, m = 0, efc = 0;
+  uint32_t metric = 0;
+  uint8_t sq_flag = 0;
+  BH_RETURN_IF_ERROR(r.Read(&dim));
+  BH_RETURN_IF_ERROR(r.Read(&metric));
+  BH_RETURN_IF_ERROR(r.Read(&m));
+  BH_RETURN_IF_ERROR(r.Read(&efc));
+  BH_RETURN_IF_ERROR(r.Read(&sq_flag));
+  dim_ = dim;
+  metric_ = static_cast<Metric>(metric);
+  options_.M = m;
+  options_.ef_construction = efc;
+  options_.scalar_quantized = sq_flag != 0;
+  if (type != Type()) return common::Status::Corruption("hnsw: type mismatch");
+  BH_RETURN_IF_ERROR(r.Read(&entry_point_));
+  BH_RETURN_IF_ERROR(r.Read(&max_level_));
+  BH_RETURN_IF_ERROR(r.ReadVector(&ids_));
+  BH_RETURN_IF_ERROR(r.ReadVector(&levels_));
+  if (options_.scalar_quantized) {
+    BH_RETURN_IF_ERROR(sq_.Deserialize(&r));
+    BH_RETURN_IF_ERROR(r.ReadVector(&codes_));
+  } else {
+    BH_RETURN_IF_ERROR(r.ReadVector(&data_));
+  }
+  uint64_t num_nodes = 0;
+  BH_RETURN_IF_ERROR(r.Read(&num_nodes));
+  if (num_nodes != ids_.size())
+    return common::Status::Corruption("hnsw: node count mismatch");
+  links_.assign(num_nodes, {});
+  for (auto& node : links_) {
+    uint32_t num_levels = 0;
+    BH_RETURN_IF_ERROR(r.Read(&num_levels));
+    node.resize(num_levels);
+    for (auto& lvl : node) BH_RETURN_IF_ERROR(r.ReadVector(&lvl));
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace blendhouse::vecindex

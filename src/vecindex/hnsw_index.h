@@ -1,0 +1,111 @@
+#ifndef BLENDHOUSE_VECINDEX_HNSW_INDEX_H_
+#define BLENDHOUSE_VECINDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vecindex/index.h"
+#include "vecindex/quantizer.h"
+
+namespace blendhouse::vecindex {
+
+struct HnswOptions {
+  /// Max links per node on upper levels; level 0 keeps 2*M.
+  size_t M = 16;
+  /// Beam width during construction.
+  size_t ef_construction = 200;
+  uint64_t seed = 42;
+  /// Store SQ8 codes instead of raw floats (the paper's HNSWSQ type:
+  /// ~4x smaller, slightly lower recall).
+  bool scalar_quantized = false;
+};
+
+/// Hierarchical Navigable Small World graph (Malkov & Yashunin), built from
+/// scratch. Supports filtered search (bitmap honored while collecting
+/// results, as hnswlib does) and a *native* incremental SearchIterator that
+/// resumes the best-first traversal instead of restarting with a larger k —
+/// the extension the paper added to hnswlib for its post-filter strategy.
+class HnswIndex : public VectorIndex {
+ public:
+  HnswIndex(size_t dim, Metric metric, HnswOptions options = {});
+
+  std::string Type() const override {
+    return options_.scalar_quantized ? "HNSWSQ" : "HNSW";
+  }
+  size_t Dim() const override { return dim_; }
+  Metric GetMetric() const override { return metric_; }
+  size_t Size() const override { return ids_.size(); }
+  size_t MemoryUsage() const override;
+
+  common::Status Train(const float* data, size_t n) override;
+  bool NeedsTraining() const override { return options_.scalar_quantized; }
+  common::Status AddWithIds(const float* data, const IdType* ids,
+                            size_t n) override;
+  common::Status Save(std::string* out) const override;
+  common::Status Load(std::string_view in) override;
+
+  common::Result<std::vector<Neighbor>> SearchWithFilter(
+      const float* query, const SearchParams& params) const override;
+  common::Result<std::unique_ptr<SearchIterator>> MakeIterator(
+      const float* query, const SearchParams& params) const override;
+  bool HasNativeIterator() const override { return true; }
+
+  const HnswOptions& options() const { return options_; }
+
+ private:
+  friend class HnswSearchIterator;
+
+  /// Distance from a query vector to stored item `pos` (decoding SQ codes on
+  /// the fly when quantized).
+  float DistToItem(const float* query, uint32_t pos) const;
+
+  /// Float view of stored item `pos`: raw data pointer when unquantized,
+  /// otherwise decodes into `*buf` and returns buf->data().
+  const float* ItemVector(uint32_t pos, std::vector<float>* buf) const;
+
+  /// Best-first beam search on one level; returns up to `ef` closest nodes.
+  std::vector<Neighbor> SearchLayer(const float* query, uint32_t entry,
+                                    size_t ef, size_t level) const;
+
+  /// Greedy descent through upper levels down to `target_level + 1`.
+  uint32_t GreedyDescend(const float* query, uint32_t entry,
+                         size_t from_level, size_t target_level) const;
+
+  /// Malkov heuristic neighbor selection (alg. 4): keeps diverse edges.
+  std::vector<uint32_t> SelectNeighbors(const float* vec,
+                                        std::vector<Neighbor>& candidates,
+                                        size_t m) const;
+
+  void InsertOne(const float* vec, IdType external_id);
+
+  size_t RandomLevel();
+  const std::vector<uint32_t>& LinksAt(uint32_t node, size_t level) const {
+    return links_[node][level];
+  }
+  size_t MaxLinks(size_t level) const {
+    return level == 0 ? options_.M * 2 : options_.M;
+  }
+
+  size_t dim_;
+  Metric metric_;
+  HnswOptions options_;
+  double level_mult_;
+  uint64_t rng_state_;
+
+  // Raw float storage (non-quantized) or SQ8 codes (quantized).
+  std::vector<float> data_;
+  std::vector<uint8_t> codes_;
+  ScalarQuantizer sq_;
+
+  std::vector<IdType> ids_;
+  std::vector<std::vector<std::vector<uint32_t>>> links_;  // [node][level]
+  std::vector<uint8_t> levels_;
+  uint32_t entry_point_ = 0;
+  int max_level_ = -1;
+};
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_HNSW_INDEX_H_

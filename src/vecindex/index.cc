@@ -1,0 +1,41 @@
+#include "vecindex/index.h"
+
+#include <algorithm>
+
+#include "vecindex/generic_iterator.h"
+
+namespace blendhouse::vecindex {
+
+common::Result<std::vector<Neighbor>> VectorIndex::SearchWithRange(
+    const float* query, float radius, const SearchParams& params) const {
+  auto iter_result = MakeIterator(query, params);
+  if (!iter_result.ok()) return iter_result.status();
+  std::unique_ptr<SearchIterator> iter = std::move(*iter_result);
+
+  std::vector<Neighbor> out;
+  constexpr size_t kBatch = 64;
+  for (;;) {
+    std::vector<Neighbor> batch = iter->Next(kBatch);
+    if (batch.empty()) break;
+    size_t in_range = 0;
+    for (const Neighbor& n : batch) {
+      if (n.distance <= radius) {
+        out.push_back(n);
+        ++in_range;
+      }
+    }
+    // Iterators yield in roughly increasing distance; once an entire batch
+    // falls beyond the radius there is nothing closer left to find.
+    if (in_range == 0) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+common::Result<std::unique_ptr<SearchIterator>> VectorIndex::MakeIterator(
+    const float* query, const SearchParams& params) const {
+  return std::unique_ptr<SearchIterator>(
+      new GenericSearchIterator(this, query, params));
+}
+
+}  // namespace blendhouse::vecindex

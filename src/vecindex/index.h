@@ -1,0 +1,97 @@
+#ifndef BLENDHOUSE_VECINDEX_INDEX_H_
+#define BLENDHOUSE_VECINDEX_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "vecindex/types.h"
+
+namespace blendhouse::vecindex {
+
+/// Incremental search handle returned by VectorIndex::MakeIterator.
+///
+/// This is the paper's `SearchIterator` execution interface: each Next() call
+/// yields the next batch of closest not-yet-returned neighbors, letting the
+/// post-filter strategy refill results across rounds without restarting the
+/// search from scratch (§III-B "Post-filter strategy").
+class SearchIterator {
+ public:
+  virtual ~SearchIterator() = default;
+
+  /// Returns up to `batch_size` next-closest neighbors in roughly increasing
+  /// distance order, never repeating an id. Empty result means the index is
+  /// exhausted.
+  virtual std::vector<Neighbor> Next(size_t batch_size) = 0;
+
+  /// Total candidates visited so far — feeds the beta term of cost Eq. (3).
+  virtual size_t VisitedCount() const = 0;
+};
+
+/// The paper's virtual vector index abstraction (Fig. 5).
+///
+/// Storage layer: Train / AddWithIds / Save / Load.
+/// Execution layer: SearchWithFilter / SearchWithRange / MakeIterator.
+/// Concrete libraries (our from-scratch HNSW, IVF, PQ families standing in
+/// for hnswlib/faiss/diskann) plug in behind this interface via
+/// IndexFactory, which is what makes BlendHouse's index support pluggable.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Registry key, e.g. "HNSW", "IVFFLAT", "IVFPQFS".
+  virtual std::string Type() const = 0;
+  virtual size_t Dim() const = 0;
+  virtual Metric GetMetric() const = 0;
+  /// Number of indexed vectors.
+  virtual size_t Size() const = 0;
+  /// Resident bytes of the index structure (Table VI).
+  virtual size_t MemoryUsage() const = 0;
+
+  // ---- Storage layer -------------------------------------------------------
+
+  /// Learns data-dependent structures (k-means for IVF, codebooks for PQ).
+  /// Graph indexes are training-free and return OK immediately.
+  virtual common::Status Train(const float* data, size_t n) = 0;
+  virtual bool NeedsTraining() const { return false; }
+
+  /// Adds `n` vectors with caller-provided row offsets.
+  virtual common::Status AddWithIds(const float* data, const IdType* ids,
+                                    size_t n) = 0;
+
+  /// Serializes the index to `out` for persistence in the object store.
+  virtual common::Status Save(std::string* out) const = 0;
+  /// Restores the index from bytes produced by Save().
+  virtual common::Status Load(std::string_view in) = 0;
+
+  // ---- Execution layer -----------------------------------------------------
+
+  /// Top-k search honoring params.filter (the pre-filter bitmap). The
+  /// returned neighbors are sorted by increasing distance.
+  virtual common::Result<std::vector<Neighbor>> SearchWithFilter(
+      const float* query, const SearchParams& params) const = 0;
+
+  /// All vectors within `radius` of `query` (post-filtered by params.filter),
+  /// sorted by distance. Default: delegate to the iterator and stop once
+  /// distances exceed the radius.
+  virtual common::Result<std::vector<Neighbor>> SearchWithRange(
+      const float* query, float radius, const SearchParams& params) const;
+
+  /// Incremental search. Indexes without a native resumable search fall back
+  /// to GenericSearchIterator (restart with doubled k), mirroring the paper's
+  /// generic-iterator wrapper for libraries without Next().
+  virtual common::Result<std::unique_ptr<SearchIterator>> MakeIterator(
+      const float* query, const SearchParams& params) const;
+
+  /// True when MakeIterator is backed by a resumable native traversal rather
+  /// than restart-with-larger-k.
+  virtual bool HasNativeIterator() const { return false; }
+};
+
+using VectorIndexPtr = std::unique_ptr<VectorIndex>;
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_INDEX_H_

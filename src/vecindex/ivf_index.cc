@@ -1,0 +1,271 @@
+#include "vecindex/ivf_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/io.h"
+#include "vecindex/distance.h"
+#include "vecindex/kmeans.h"
+
+namespace blendhouse::vecindex {
+
+common::Status IvfIndexBase::Train(const float* data, size_t n) {
+  if (n == 0) return common::Status::InvalidArgument("ivf: empty train set");
+  KMeansOptions opts;
+  opts.k = options_.nlist;
+  opts.seed = options_.seed;
+  auto km = RunKMeans(data, n, dim_, opts);
+  if (!km.ok()) return km.status();
+  centroids_ = std::move(km->centroids);
+  lists_.assign(centroids_.size() / dim_, {});
+  return TrainCodec(data, n);
+}
+
+common::Status IvfIndexBase::AddWithIds(const float* data, const IdType* ids,
+                                        size_t n) {
+  if (!trained()) BH_RETURN_IF_ERROR(Train(data, n));
+  for (size_t i = 0; i < n; ++i) {
+    const float* v = data + i * dim_;
+    size_t c = NearestCentroid(v, centroids_.data(), nlist(), dim_);
+    lists_[c].ids.push_back(ids[i]);
+    EncodeInto(v, &lists_[c]);
+  }
+  size_ += n;
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
+    const float* query, const SearchParams& params) const {
+  if (params.k <= 0)
+    return common::Status::InvalidArgument("ivf: k must be positive");
+  if (!trained()) return common::Status::Internal("ivf: not trained");
+
+  // Rank lists by centroid distance, probe the nearest nprobe.
+  std::vector<Neighbor> centroid_order(nlist());
+  for (size_t c = 0; c < nlist(); ++c)
+    centroid_order[c] = {static_cast<IdType>(c),
+                         Distance(metric_, query, centroids_.data() + c * dim_,
+                                  dim_)};
+  size_t nprobe =
+      std::min<size_t>(std::max(1, params.nprobe), nlist());
+  std::partial_sort(centroid_order.begin(), centroid_order.begin() + nprobe,
+                    centroid_order.end());
+
+  std::vector<float> scratch;
+  const void* ctx = PrepareQuery(query, &scratch);
+
+  std::vector<Hit> hits;
+  for (size_t p = 0; p < nprobe; ++p) {
+    uint32_t list_idx = static_cast<uint32_t>(centroid_order[p].id);
+    ScanList(lists_[list_idx], list_idx, query, ctx, params, &hits);
+  }
+
+  size_t k = static_cast<size_t>(params.k);
+  size_t keep = NeedsRefine()
+                    ? std::min(hits.size(),
+                               k * static_cast<size_t>(std::max(
+                                       1, params.refine_factor)) *
+                                   RefineAmplification())
+                    : std::min(hits.size(), k);
+  std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
+                    [](const Hit& a, const Hit& b) {
+                      return a.distance < b.distance;
+                    });
+  hits.resize(keep);
+
+  if (NeedsRefine()) {
+    // Re-rank the shortlist with exact distances from the stored raw vectors
+    // (the sigma*k*c_d refine term of Eq. 2/3).
+    for (Hit& h : hits) {
+      const PostingList& list = lists_[h.list];
+      if (list.vectors.size() >= (size_t{h.pos} + 1) * dim_)
+        h.distance = Distance(metric_, query,
+                              list.vectors.data() + size_t{h.pos} * dim_,
+                              dim_);
+    }
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+      return a.distance < b.distance;
+    });
+    if (hits.size() > k) hits.resize(k);
+  }
+
+  std::vector<Neighbor> out;
+  out.reserve(hits.size());
+  for (const Hit& h : hits) out.push_back({h.id, h.distance});
+  return out;
+}
+
+// ---- IVFFLAT ---------------------------------------------------------------
+
+void IvfFlatIndex::EncodeInto(const float* vec, PostingList* list) {
+  list->vectors.insert(list->vectors.end(), vec, vec + dim_);
+}
+
+void IvfFlatIndex::ScanList(const PostingList& list, uint32_t list_idx,
+                            const float* query, const void* /*ctx*/,
+                            const SearchParams& params,
+                            std::vector<Hit>* out) const {
+  for (size_t i = 0; i < list.ids.size(); ++i) {
+    if (params.filter != nullptr &&
+        !params.filter->Test(static_cast<size_t>(list.ids[i])))
+      continue;
+    float d =
+        Distance(metric_, query, list.vectors.data() + i * dim_, dim_);
+    out->push_back({d, list.ids[i], list_idx, static_cast<uint32_t>(i)});
+  }
+}
+
+size_t IvfFlatIndex::MemoryUsage() const {
+  size_t bytes = centroids_.size() * sizeof(float);
+  for (const auto& list : lists_)
+    bytes += list.ids.size() * sizeof(IdType) +
+             list.vectors.size() * sizeof(float);
+  return bytes;
+}
+
+common::Status IvfFlatIndex::Save(std::string* out) const {
+  common::BinaryWriter w(out);
+  w.WriteString(Type());
+  w.Write<uint64_t>(dim_);
+  w.Write<uint32_t>(static_cast<uint32_t>(metric_));
+  w.Write<uint64_t>(options_.nlist);
+  w.Write<uint64_t>(size_);
+  w.WriteVector(centroids_);
+  w.Write<uint64_t>(lists_.size());
+  for (const auto& list : lists_) {
+    w.WriteVector(list.ids);
+    w.WriteVector(list.vectors);
+  }
+  return common::Status::Ok();
+}
+
+common::Status IvfFlatIndex::Load(std::string_view in) {
+  common::BinaryReader r(in);
+  std::string type;
+  BH_RETURN_IF_ERROR(r.ReadString(&type));
+  if (type != Type()) return common::Status::Corruption("ivfflat: wrong type");
+  uint64_t dim = 0, nlist = 0, size = 0;
+  uint32_t metric = 0;
+  BH_RETURN_IF_ERROR(r.Read(&dim));
+  BH_RETURN_IF_ERROR(r.Read(&metric));
+  BH_RETURN_IF_ERROR(r.Read(&nlist));
+  BH_RETURN_IF_ERROR(r.Read(&size));
+  dim_ = dim;
+  metric_ = static_cast<Metric>(metric);
+  options_.nlist = nlist;
+  size_ = size;
+  BH_RETURN_IF_ERROR(r.ReadVector(&centroids_));
+  uint64_t num_lists = 0;
+  BH_RETURN_IF_ERROR(r.Read(&num_lists));
+  lists_.assign(num_lists, {});
+  for (auto& list : lists_) {
+    BH_RETURN_IF_ERROR(r.ReadVector(&list.ids));
+    BH_RETURN_IF_ERROR(r.ReadVector(&list.vectors));
+  }
+  return common::Status::Ok();
+}
+
+// ---- IVFPQ / IVFPQFS -------------------------------------------------------
+
+common::Status IvfPqIndex::TrainCodec(const float* data, size_t n) {
+  return pq_.Train(data, n, dim_, pq_options_.m, pq_options_.nbits,
+                   options_.seed);
+}
+
+void IvfPqIndex::EncodeInto(const float* vec, PostingList* list) {
+  size_t old = list->codes.size();
+  list->codes.resize(old + pq_.code_size());
+  pq_.Encode(vec, list->codes.data() + old);
+  if (pq_options_.keep_raw_for_refine)
+    list->vectors.insert(list->vectors.end(), vec, vec + dim_);
+}
+
+const void* IvfPqIndex::PrepareQuery(const float* query,
+                                     std::vector<float>* scratch) const {
+  scratch->resize(pq_.m() * pq_.ks());
+  pq_.BuildAdcTable(query, scratch->data());
+  return scratch->data();
+}
+
+void IvfPqIndex::ScanList(const PostingList& list, uint32_t list_idx,
+                          const float* /*query*/, const void* ctx,
+                          const SearchParams& params,
+                          std::vector<Hit>* out) const {
+  const float* table = static_cast<const float*>(ctx);
+  size_t code_size = pq_.code_size();
+  for (size_t i = 0; i < list.ids.size(); ++i) {
+    if (params.filter != nullptr &&
+        !params.filter->Test(static_cast<size_t>(list.ids[i])))
+      continue;
+    float d = pq_.AdcDistance(table, list.codes.data() + i * code_size);
+    out->push_back({d, list.ids[i], list_idx, static_cast<uint32_t>(i)});
+  }
+}
+
+size_t IvfPqIndex::MemoryUsage() const {
+  // Raw refine vectors are charged to the segment (cold storage), not the
+  // index: the resident structure is codes + codebooks + centroids, which is
+  // what gives PQFS its Table-VI memory advantage.
+  size_t bytes = centroids_.size() * sizeof(float) + pq_.MemoryUsage();
+  for (const auto& list : lists_)
+    bytes += list.ids.size() * sizeof(IdType) + list.codes.size();
+  return bytes;
+}
+
+common::Status IvfPqIndex::Save(std::string* out) const {
+  common::BinaryWriter w(out);
+  w.WriteString(Type());
+  w.Write<uint64_t>(dim_);
+  w.Write<uint32_t>(static_cast<uint32_t>(metric_));
+  w.Write<uint64_t>(options_.nlist);
+  w.Write<uint64_t>(size_);
+  w.Write<uint64_t>(pq_options_.m);
+  w.Write<uint64_t>(pq_options_.nbits);
+  w.Write<uint8_t>(pq_options_.keep_raw_for_refine ? 1 : 0);
+  w.WriteVector(centroids_);
+  pq_.Serialize(&w);
+  w.Write<uint64_t>(lists_.size());
+  for (const auto& list : lists_) {
+    w.WriteVector(list.ids);
+    w.WriteVector(list.codes);
+    w.WriteVector(list.vectors);
+  }
+  return common::Status::Ok();
+}
+
+common::Status IvfPqIndex::Load(std::string_view in) {
+  common::BinaryReader r(in);
+  std::string type;
+  BH_RETURN_IF_ERROR(r.ReadString(&type));
+  uint64_t dim = 0, nlist = 0, size = 0, m = 0, nbits = 0;
+  uint32_t metric = 0;
+  uint8_t keep_raw = 0;
+  BH_RETURN_IF_ERROR(r.Read(&dim));
+  BH_RETURN_IF_ERROR(r.Read(&metric));
+  BH_RETURN_IF_ERROR(r.Read(&nlist));
+  BH_RETURN_IF_ERROR(r.Read(&size));
+  BH_RETURN_IF_ERROR(r.Read(&m));
+  BH_RETURN_IF_ERROR(r.Read(&nbits));
+  BH_RETURN_IF_ERROR(r.Read(&keep_raw));
+  dim_ = dim;
+  metric_ = static_cast<Metric>(metric);
+  options_.nlist = nlist;
+  size_ = size;
+  pq_options_.m = m;
+  pq_options_.nbits = nbits;
+  pq_options_.keep_raw_for_refine = keep_raw != 0;
+  if (type != Type()) return common::Status::Corruption("ivfpq: wrong type");
+  BH_RETURN_IF_ERROR(r.ReadVector(&centroids_));
+  BH_RETURN_IF_ERROR(pq_.Deserialize(&r));
+  uint64_t num_lists = 0;
+  BH_RETURN_IF_ERROR(r.Read(&num_lists));
+  lists_.assign(num_lists, {});
+  for (auto& list : lists_) {
+    BH_RETURN_IF_ERROR(r.ReadVector(&list.ids));
+    BH_RETURN_IF_ERROR(r.ReadVector(&list.codes));
+    BH_RETURN_IF_ERROR(r.ReadVector(&list.vectors));
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace blendhouse::vecindex

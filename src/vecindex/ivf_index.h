@@ -1,0 +1,152 @@
+#ifndef BLENDHOUSE_VECINDEX_IVF_INDEX_H_
+#define BLENDHOUSE_VECINDEX_IVF_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "vecindex/index.h"
+#include "vecindex/pq.h"
+
+namespace blendhouse::vecindex {
+
+struct IvfOptions {
+  /// Number of inverted lists — the paper's K_IVF, whose choice relative to
+  /// segment size N drives Fig. 7 and the auto-index feature.
+  size_t nlist = 64;
+  uint64_t seed = 42;
+};
+
+/// Base for inverted-file indexes: k-means coarse quantizer plus per-list
+/// postings. Search probes the `nprobe` nearest lists; PQ variants re-rank
+/// the top sigma*k approximate hits with exact distances (the refine step of
+/// cost Eqs. 2/3).
+class IvfIndexBase : public VectorIndex {
+ public:
+  IvfIndexBase(size_t dim, Metric metric, IvfOptions options)
+      : dim_(dim), metric_(metric), options_(options) {}
+
+  size_t Dim() const override { return dim_; }
+  Metric GetMetric() const override { return metric_; }
+  size_t Size() const override { return size_; }
+  bool NeedsTraining() const override { return true; }
+
+  common::Status Train(const float* data, size_t n) override;
+  common::Status AddWithIds(const float* data, const IdType* ids,
+                            size_t n) override;
+  common::Result<std::vector<Neighbor>> SearchWithFilter(
+      const float* query, const SearchParams& params) const override;
+
+  size_t nlist() const { return lists_.size(); }
+  bool trained() const { return !centroids_.empty(); }
+
+ protected:
+  struct PostingList {
+    std::vector<IdType> ids;
+    std::vector<float> vectors;  // flat storage (IVFFLAT / refine source)
+    std::vector<uint8_t> codes;  // PQ codes (IVFPQ*)
+  };
+
+  /// Candidate produced by a list scan; keeps its location so refine can
+  /// fetch the raw vector without an id lookup.
+  struct Hit {
+    float distance;
+    IdType id;
+    uint32_t list;
+    uint32_t pos;
+  };
+
+  // ---- Subclass hooks ------------------------------------------------------
+  virtual common::Status TrainCodec(const float* data, size_t n) = 0;
+  virtual void EncodeInto(const float* vec, PostingList* list) = 0;
+  /// Appends passing candidates from one posting list. `ctx` carries
+  /// per-query state (the ADC table for PQ; null for flat).
+  virtual void ScanList(const PostingList& list, uint32_t list_idx,
+                        const float* query, const void* ctx,
+                        const SearchParams& params,
+                        std::vector<Hit>* out) const = 0;
+  virtual const void* PrepareQuery(const float* query,
+                                   std::vector<float>* scratch) const = 0;
+  /// Whether candidate distances are approximate and should be re-ranked
+  /// against raw vectors.
+  virtual bool NeedsRefine() const = 0;
+  /// Extra shortlist multiplier applied on top of params.refine_factor;
+  /// coarse codecs (4-bit PQ) widen the shortlist to recover recall.
+  virtual size_t RefineAmplification() const { return 1; }
+
+  size_t dim_;
+  Metric metric_;
+  IvfOptions options_;
+  size_t size_ = 0;
+  std::vector<float> centroids_;  // nlist * dim
+  std::vector<PostingList> lists_;
+};
+
+/// IVF with full-precision vectors in the postings.
+class IvfFlatIndex : public IvfIndexBase {
+ public:
+  IvfFlatIndex(size_t dim, Metric metric, IvfOptions options = {})
+      : IvfIndexBase(dim, metric, options) {}
+
+  std::string Type() const override { return "IVFFLAT"; }
+  size_t MemoryUsage() const override;
+  common::Status Save(std::string* out) const override;
+  common::Status Load(std::string_view in) override;
+
+ protected:
+  common::Status TrainCodec(const float*, size_t) override {
+    return common::Status::Ok();
+  }
+  void EncodeInto(const float* vec, PostingList* list) override;
+  void ScanList(const PostingList& list, uint32_t list_idx, const float* query,
+                const void* ctx, const SearchParams& params,
+                std::vector<Hit>* out) const override;
+  const void* PrepareQuery(const float*, std::vector<float>*) const override {
+    return nullptr;
+  }
+  bool NeedsRefine() const override { return false; }
+};
+
+struct IvfPqOptions {
+  /// Subquantizer count; dim must be divisible by it.
+  size_t m = 8;
+  /// 8 -> classic IVFPQ; 4 -> the fast-scan flavor the paper calls IVFPQFS.
+  size_t nbits = 8;
+  /// Keep raw vectors for exact re-ranking of the top sigma*k ADC hits.
+  bool keep_raw_for_refine = true;
+};
+
+/// IVF with product-quantized postings and ADC scanning.
+class IvfPqIndex : public IvfIndexBase {
+ public:
+  IvfPqIndex(size_t dim, Metric metric, IvfOptions ivf_options = {},
+             IvfPqOptions pq_options = {})
+      : IvfIndexBase(dim, metric, ivf_options), pq_options_(pq_options) {}
+
+  std::string Type() const override {
+    return pq_options_.nbits == 4 ? "IVFPQFS" : "IVFPQ";
+  }
+  size_t MemoryUsage() const override;
+  common::Status Save(std::string* out) const override;
+  common::Status Load(std::string_view in) override;
+
+ protected:
+  common::Status TrainCodec(const float* data, size_t n) override;
+  void EncodeInto(const float* vec, PostingList* list) override;
+  void ScanList(const PostingList& list, uint32_t list_idx, const float* query,
+                const void* ctx, const SearchParams& params,
+                std::vector<Hit>* out) const override;
+  const void* PrepareQuery(const float* query,
+                           std::vector<float>* scratch) const override;
+  bool NeedsRefine() const override { return pq_options_.keep_raw_for_refine; }
+  size_t RefineAmplification() const override {
+    return pq_options_.nbits == 4 ? 4 : 1;
+  }
+
+ private:
+  IvfPqOptions pq_options_;
+  ProductQuantizer pq_;
+};
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_IVF_INDEX_H_

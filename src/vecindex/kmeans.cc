@@ -1,0 +1,131 @@
+#include "vecindex/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "vecindex/distance.h"
+
+namespace blendhouse::vecindex {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then each next centroid chosen
+/// with probability proportional to squared distance to nearest chosen one.
+std::vector<float> SeedPlusPlus(const float* data, size_t n, size_t dim,
+                                size_t k, std::mt19937_64* gen) {
+  std::vector<float> centroids;
+  centroids.reserve(k * dim);
+  std::uniform_int_distribution<size_t> pick(0, n - 1);
+  size_t first = pick(*gen);
+  centroids.insert(centroids.end(), data + first * dim,
+                   data + (first + 1) * dim);
+
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  for (size_t c = 1; c < k; ++c) {
+    const float* last = centroids.data() + (c - 1) * dim;
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      float d = L2Sqr(data + i * dim, last, dim);
+      if (d < min_dist[i]) min_dist[i] = d;
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      std::uniform_real_distribution<double> u(0.0, total);
+      double target = u(*gen);
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = pick(*gen);
+    }
+    centroids.insert(centroids.end(), data + chosen * dim,
+                     data + (chosen + 1) * dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+size_t NearestCentroid(const float* v, const float* centroids, size_t k,
+                       size_t dim) {
+  size_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < k; ++c) {
+    float d = L2Sqr(v, centroids + c * dim, dim);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+common::Result<KMeansResult> RunKMeans(const float* data, size_t n, size_t dim,
+                                       const KMeansOptions& options) {
+  if (n == 0 || dim == 0)
+    return common::Status::InvalidArgument("kmeans: empty input");
+  size_t k = std::min(options.k, n);
+  if (k == 0) return common::Status::InvalidArgument("kmeans: k == 0");
+
+  std::mt19937_64 gen(options.seed);
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(data, n, dim, k, &gen);
+  result.assignments.assign(n, 0);
+
+  std::vector<double> sums(k * dim);
+  std::vector<size_t> counts(k);
+  std::vector<float> point_dist(n);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    size_t changed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = NearestCentroid(data + i * dim, result.centroids.data(), k,
+                                 dim);
+      point_dist[i] = L2Sqr(data + i * dim,
+                            result.centroids.data() + c * dim, dim);
+      if (c != result.assignments[i]) {
+        result.assignments[i] = static_cast<uint32_t>(c);
+        ++changed;
+      }
+    }
+    result.iterations_run = iter + 1;
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c * dim + d] += data[i * dim + d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed the empty cluster with the point farthest from its centroid.
+        size_t far = static_cast<size_t>(
+            std::max_element(point_dist.begin(), point_dist.end()) -
+            point_dist.begin());
+        std::copy(data + far * dim, data + (far + 1) * dim,
+                  result.centroids.begin() + c * dim);
+        point_dist[far] = 0.0f;
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d)
+        result.centroids[c * dim + d] =
+            static_cast<float>(sums[c * dim + d] / counts[c]);
+    }
+
+    if (static_cast<double>(changed) <
+        options.convergence_fraction * static_cast<double>(n))
+      break;
+  }
+  return result;
+}
+
+}  // namespace blendhouse::vecindex

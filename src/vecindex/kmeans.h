@@ -1,0 +1,42 @@
+#ifndef BLENDHOUSE_VECINDEX_KMEANS_H_
+#define BLENDHOUSE_VECINDEX_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace blendhouse::vecindex {
+
+struct KMeansOptions {
+  size_t k = 8;
+  size_t max_iterations = 15;
+  uint64_t seed = 42;
+  /// Stop early when the fraction of points that changed assignment drops
+  /// below this threshold.
+  double convergence_fraction = 0.002;
+};
+
+struct KMeansResult {
+  /// k * dim packed centroids.
+  std::vector<float> centroids;
+  /// Per-point cluster assignment, size n.
+  std::vector<uint32_t> assignments;
+  size_t iterations_run = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding over L2. Used by the IVF coarse
+/// quantizer, product quantizer training, and semantic partitioning
+/// (`CLUSTER BY ... INTO n BUCKETS`). Empty clusters are re-seeded with the
+/// point farthest from its centroid.
+common::Result<KMeansResult> RunKMeans(const float* data, size_t n, size_t dim,
+                                       const KMeansOptions& options);
+
+/// Index of the centroid (among k packed centroids) nearest to `v` under L2.
+size_t NearestCentroid(const float* v, const float* centroids, size_t k,
+                       size_t dim);
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_KMEANS_H_

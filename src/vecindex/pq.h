@@ -1,0 +1,66 @@
+#ifndef BLENDHOUSE_VECINDEX_PQ_H_
+#define BLENDHOUSE_VECINDEX_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+
+namespace blendhouse::vecindex {
+
+/// Product quantizer (Jegou et al.): splits vectors into `m` subspaces and
+/// quantizes each against its own codebook of `ks` centroids.
+///
+/// `nbits` of 8 gives the classic PQ (ks=256, one byte per subspace); 4 gives
+/// the fast-scan flavor the paper calls PQFS (ks=16, packed two codes per
+/// byte here simply as one nibble per subspace stored bytewise).
+class ProductQuantizer {
+ public:
+  /// Trains `m` codebooks over the training set. `dim % m` must be 0.
+  common::Status Train(const float* data, size_t n, size_t dim, size_t m,
+                       size_t nbits, uint64_t seed = 42);
+
+  bool trained() const { return !codebooks_.empty(); }
+  size_t dim() const { return dim_; }
+  size_t m() const { return m_; }
+  size_t ks() const { return ks_; }
+  /// Bytes per encoded vector (one byte per subspace, both for 8 and 4 bits;
+  /// the 4-bit variant trades codebook size, not storage layout, for speed).
+  size_t code_size() const { return m_; }
+
+  void Encode(const float* v, uint8_t* code) const;
+  void Decode(const uint8_t* code, float* v) const;
+
+  /// Builds the asymmetric-distance (ADC) lookup table for `query`:
+  /// m * ks floats; entry [s*ks + c] is the squared L2 distance between the
+  /// query's s-th subvector and centroid c of codebook s.
+  void BuildAdcTable(const float* query, float* table) const;
+
+  /// Approximate squared distance via table lookups (cost `c_c` in the
+  /// paper's cost model, Eq. 2/3).
+  float AdcDistance(const float* table, const uint8_t* code) const {
+    float acc = 0.0f;
+    for (size_t s = 0; s < m_; ++s) acc += table[s * ks_ + code[s]];
+    return acc;
+  }
+
+  size_t MemoryUsage() const {
+    return codebooks_.size() * sizeof(float);
+  }
+
+  void Serialize(common::BinaryWriter* w) const;
+  common::Status Deserialize(common::BinaryReader* r);
+
+ private:
+  size_t dim_ = 0;
+  size_t m_ = 0;
+  size_t ks_ = 0;
+  size_t dsub_ = 0;
+  /// m codebooks, each ks * dsub floats, packed consecutively.
+  std::vector<float> codebooks_;
+};
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_PQ_H_

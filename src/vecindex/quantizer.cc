@@ -1,0 +1,72 @@
+#include "vecindex/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace blendhouse::vecindex {
+
+common::Status ScalarQuantizer::Train(const float* data, size_t n,
+                                      size_t dim) {
+  if (n == 0 || dim == 0)
+    return common::Status::InvalidArgument("sq: empty training set");
+  dim_ = dim;
+  vmin_.assign(dim, std::numeric_limits<float>::max());
+  std::vector<float> vmax(dim, std::numeric_limits<float>::lowest());
+  for (size_t i = 0; i < n; ++i) {
+    const float* v = data + i * dim;
+    for (size_t d = 0; d < dim; ++d) {
+      vmin_[d] = std::min(vmin_[d], v[d]);
+      vmax[d] = std::max(vmax[d], v[d]);
+    }
+  }
+  vscale_.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    float range = vmax[d] - vmin_[d];
+    vscale_[d] = range > 1e-12f ? range / 255.0f : 1e-12f;
+  }
+  return common::Status::Ok();
+}
+
+void ScalarQuantizer::Encode(const float* v, uint8_t* code) const {
+  for (size_t d = 0; d < dim_; ++d) {
+    float q = (v[d] - vmin_[d]) / vscale_[d];
+    q = std::clamp(q, 0.0f, 255.0f);
+    code[d] = static_cast<uint8_t>(std::lround(q));
+  }
+}
+
+void ScalarQuantizer::Decode(const uint8_t* code, float* v) const {
+  for (size_t d = 0; d < dim_; ++d)
+    v[d] = vmin_[d] + static_cast<float>(code[d]) * vscale_[d];
+}
+
+float ScalarQuantizer::L2SqrToCode(const float* query,
+                                   const uint8_t* code) const {
+  float acc = 0.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    float decoded = vmin_[d] + static_cast<float>(code[d]) * vscale_[d];
+    float diff = query[d] - decoded;
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+void ScalarQuantizer::Serialize(common::BinaryWriter* w) const {
+  w->Write<uint64_t>(dim_);
+  w->WriteVector(vmin_);
+  w->WriteVector(vscale_);
+}
+
+common::Status ScalarQuantizer::Deserialize(common::BinaryReader* r) {
+  uint64_t dim = 0;
+  BH_RETURN_IF_ERROR(r->Read(&dim));
+  dim_ = dim;
+  BH_RETURN_IF_ERROR(r->ReadVector(&vmin_));
+  BH_RETURN_IF_ERROR(r->ReadVector(&vscale_));
+  if (vmin_.size() != dim_ || vscale_.size() != dim_)
+    return common::Status::Corruption("sq: dim mismatch");
+  return common::Status::Ok();
+}
+
+}  // namespace blendhouse::vecindex

@@ -1,0 +1,45 @@
+#ifndef BLENDHOUSE_VECINDEX_QUANTIZER_H_
+#define BLENDHOUSE_VECINDEX_QUANTIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/status.h"
+
+namespace blendhouse::vecindex {
+
+/// SQ8 scalar quantizer: per-dimension min/max affine mapping to uint8.
+/// Quarters the memory of float32 vectors while preserving distance order
+/// well enough for HNSWSQ (Table VI in the paper: 596 GB -> 238 GB).
+class ScalarQuantizer {
+ public:
+  /// Learns per-dimension [min, max] from `n` training vectors.
+  common::Status Train(const float* data, size_t n, size_t dim);
+
+  bool trained() const { return dim_ > 0; }
+  size_t dim() const { return dim_; }
+  size_t code_size() const { return dim_; }
+
+  /// Encodes one vector into dim() bytes.
+  void Encode(const float* v, uint8_t* code) const;
+  /// Decodes dim() bytes back into a float vector.
+  void Decode(const uint8_t* code, float* v) const;
+
+  /// Squared L2 between a float query and an encoded vector (asymmetric:
+  /// decodes on the fly, no materialized float copy).
+  float L2SqrToCode(const float* query, const uint8_t* code) const;
+
+  void Serialize(common::BinaryWriter* w) const;
+  common::Status Deserialize(common::BinaryReader* r);
+
+ private:
+  size_t dim_ = 0;
+  std::vector<float> vmin_;
+  std::vector<float> vscale_;  // (max-min)/255, floored to a tiny epsilon
+};
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_QUANTIZER_H_

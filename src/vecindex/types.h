@@ -1,0 +1,58 @@
+#ifndef BLENDHOUSE_VECINDEX_TYPES_H_
+#define BLENDHOUSE_VECINDEX_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace blendhouse::vecindex {
+
+/// Row identifier inside a segment. Per-segment vector indexes store row
+/// *offsets*, not primary keys, which is what makes the bidirectional
+/// vector<->scalar mapping cheap (paper §III-B, "Per segment vector index").
+using IdType = int64_t;
+
+/// Distance metric. Lower is better for L2; for IP/Cosine we negate the
+/// similarity so that every index can treat "smaller distance = closer".
+enum class Metric { kL2, kInnerProduct, kCosine };
+
+/// One search hit: row offset and its distance to the query.
+struct Neighbor {
+  IdType id = -1;
+  float distance = 0.0f;
+
+  bool operator<(const Neighbor& o) const { return distance < o.distance; }
+  bool operator>(const Neighbor& o) const { return distance > o.distance; }
+};
+
+/// Knobs shared by every index implementation. Unused fields are ignored by
+/// index types they do not apply to (e.g. nprobe for HNSW).
+struct SearchParams {
+  /// Number of neighbors to return.
+  int k = 10;
+  /// HNSW beam width; controls the recall/latency trade-off.
+  int ef_search = 64;
+  /// IVF: number of inverted lists probed.
+  int nprobe = 8;
+  /// Pre-filter bitmap over row offsets: only rows whose bit is set may be
+  /// returned. nullptr means no filtering.
+  const common::Bitset* filter = nullptr;
+  /// PQ indexes: re-rank (refine) the top sigma*k ADC candidates with exact
+  /// distances. 1 disables refinement amplification beyond k.
+  int refine_factor = 2;
+};
+
+/// Non-owning view of a contiguous float vector.
+struct VectorView {
+  const float* data = nullptr;
+  size_t dim = 0;
+};
+
+std::string MetricName(Metric m);
+
+}  // namespace blendhouse::vecindex
+
+#endif  // BLENDHOUSE_VECINDEX_TYPES_H_

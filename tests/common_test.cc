@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/histogram.h"
+#include "common/io.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+
+namespace blendhouse::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("segment seg_1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: segment seg_1");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [] { return Status::IoError("disk"); };
+  auto outer = [&]() -> Status {
+    BH_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_TRUE(outer().IsIoError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(130);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, OutOfRangeTestIsFalse) {
+  Bitset b(10);
+  EXPECT_FALSE(b.Test(10));
+  EXPECT_FALSE(b.Test(1000));
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  Bitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+}
+
+TEST(BitsetTest, InitialAllSet) {
+  Bitset b(65, /*initial=*/true);
+  EXPECT_EQ(b.Count(), 65u);
+  EXPECT_TRUE(b.Test(64));
+}
+
+TEST(BitsetTest, AndOr) {
+  Bitset a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  Bitset both = a;
+  both.And(b);
+  EXPECT_EQ(both.Count(), 1u);
+  EXPECT_TRUE(both.Test(50));
+  Bitset either = a;
+  either.Or(b);
+  EXPECT_EQ(either.Count(), 3u);
+}
+
+TEST(HistogramTest, Percentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, WaitDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(IoTest, RoundTripPodAndVectors) {
+  std::string buf;
+  BinaryWriter w(&buf);
+  w.Write<uint64_t>(77);
+  w.WriteString("hello");
+  w.WriteVector(std::vector<float>{1.5f, -2.5f});
+
+  BinaryReader r(buf);
+  uint64_t x = 0;
+  ASSERT_TRUE(r.Read(&x).ok());
+  EXPECT_EQ(x, 77u);
+  std::string s;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  std::vector<float> v;
+  ASSERT_TRUE(r.ReadVector(&v).ok());
+  EXPECT_EQ(v, (std::vector<float>{1.5f, -2.5f}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(IoTest, TruncationIsCorruption) {
+  std::string buf;
+  BinaryWriter w(&buf);
+  w.WriteVector(std::vector<double>{1.0, 2.0, 3.0});
+  buf.resize(buf.size() - 4);  // chop the tail
+
+  BinaryReader r(buf);
+  std::vector<double> v;
+  Status s = r.ReadVector(&v);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+}
+
+}  // namespace
+}  // namespace blendhouse::common

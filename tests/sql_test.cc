@@ -1,0 +1,609 @@
+#include <gtest/gtest.h>
+
+#include "sql/cost_model.h"
+#include "sql/expression.h"
+#include "sql/lexer.h"
+#include "sql/logical_plan.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+#include "sql/plan_cache.h"
+#include "sql/statistics.h"
+#include "tests/test_util.h"
+
+namespace blendhouse::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT id FROM t WHERE x >= 1.5;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[6].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[7].type, Token::Type::kFloat);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("SELECT x FROM t WHERE s = 'it''s';");
+  ASSERT_TRUE(tokens.ok());
+  bool found = false;
+  for (const Token& t : *tokens)
+    if (t.type == Token::Type::kString) {
+      EXPECT_EQ(t.text, "it's");
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT x -- comment here\nFROM t;");
+  ASSERT_TRUE(tokens.ok());
+  for (const Token& t : *tokens) EXPECT_NE(t.text, "comment");
+}
+
+TEST(LexerTest, NegativeNumbers) {
+  auto tokens = Tokenize("[-1.5, 2, -3]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, Token::Type::kFloat);
+  EXPECT_EQ((*tokens)[1].text, "-1.5");
+  EXPECT_EQ((*tokens)[5].text, "-3");
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, CreateTableFullDialect) {
+  // The paper's Example 1 shape.
+  auto stmt = ParseStatement(
+      "CREATE TABLE images (id UInt64, label String,"
+      " published_time DateTime, embedding Array(Float32),"
+      " INDEX ann_idx embedding TYPE HNSW('DIM=4','M=8'))"
+      " ORDER BY published_time"
+      " PARTITION BY (toYYYYMMDD(published_time), label)"
+      " CLUSTER BY embedding INTO 512 BUCKETS;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  const storage::TableSchema& schema = stmt->create_table->schema;
+  EXPECT_EQ(schema.table_name, "images");
+  ASSERT_EQ(schema.columns.size(), 4u);
+  EXPECT_EQ(schema.columns[3].type, storage::ColumnType::kFloatVector);
+  ASSERT_TRUE(schema.index_spec.has_value());
+  EXPECT_EQ(schema.index_spec->type, "HNSW");
+  EXPECT_EQ(schema.index_spec->dim, 4u);
+  EXPECT_EQ(schema.index_spec->GetInt("M", 0), 8);
+  EXPECT_EQ(schema.vector_column, 3);
+  EXPECT_EQ(schema.partition_columns, (std::vector<int>{2, 1}));
+  EXPECT_EQ(schema.semantic_buckets, 512u);
+}
+
+TEST(ParserTest, InsertMultipleRowsWithVectors) {
+  auto stmt = ParseStatement(
+      "INSERT INTO t VALUES (1, 'a', [1.0, 2.0]), (2, 'b', [3, 4]);");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kInsert);
+  ASSERT_EQ(stmt->insert->rows.size(), 2u);
+  auto& vec = std::get<std::vector<float>>(stmt->insert->rows[1].values[2]);
+  EXPECT_EQ(vec, (std::vector<float>{3, 4}));
+}
+
+TEST(ParserTest, HybridSelect) {
+  auto stmt = ParseStatement(
+      "SELECT id, dist FROM images WHERE label = 'animal'"
+      " AND published_time >= 20241010"
+      " ORDER BY L2Distance(embedding, [1.0, 0.0]) AS dist LIMIT 100;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = *stmt->select;
+  EXPECT_EQ(sel.select_columns, (std::vector<std::string>{"id", "dist"}));
+  ASSERT_TRUE(sel.ann.has_value());
+  EXPECT_EQ(sel.ann->distance_fn, "L2Distance");
+  EXPECT_EQ(sel.ann->vector_column, "embedding");
+  EXPECT_EQ(sel.ann->limit, 100u);
+  EXPECT_EQ(sel.ann->alias, "dist");
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->kind, Expr::Kind::kAnd);
+}
+
+TEST(ParserTest, VectorSearchWithoutLimitRejected) {
+  auto stmt = ParseStatement(
+      "SELECT id FROM t ORDER BY L2Distance(emb, [1.0]);");
+  EXPECT_FALSE(stmt.ok());
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto stmt =
+      ParseStatement("SELECT id FROM t WHERE x BETWEEN 10 AND 20 LIMIT 5;");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *stmt->select->where;
+  ASSERT_EQ(e.kind, Expr::Kind::kAnd);
+  EXPECT_EQ(e.children[0]->op, Expr::CmpOp::kGe);
+  EXPECT_EQ(e.children[1]->op, Expr::CmpOp::kLe);
+}
+
+TEST(ParserTest, LikeAndRegexp) {
+  auto stmt = ParseStatement(
+      "SELECT id FROM t WHERE caption LIKE '%cat%' AND caption REGEXP"
+      " '^[0-9]' LIMIT 5;");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *stmt->select->where;
+  EXPECT_EQ(e.children[0]->kind, Expr::Kind::kLike);
+  EXPECT_EQ(e.children[1]->kind, Expr::Kind::kRegex);
+}
+
+TEST(ParserTest, UpdateDeleteOptimize) {
+  auto upd = ParseStatement("UPDATE t SET a = 5, b = 'x' WHERE id = 1;");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd->update->assignments.size(), 2u);
+
+  auto del = ParseStatement("DELETE FROM t WHERE id < 10;");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->kind, Statement::Kind::kDelete);
+
+  auto opt = ParseStatement("OPTIMIZE TABLE t FINAL;");
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->optimize->table, "t");
+}
+
+TEST(ParserTest, SetStatement) {
+  auto stmt = ParseStatement("SET ef_search = 128;");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kSet);
+  EXPECT_EQ(stmt->set->name, "ef_search");
+  EXPECT_EQ(std::get<int64_t>(stmt->set->value), 128);
+
+  auto onoff = ParseStatement("SET use_cbo = OFF;");
+  ASSERT_TRUE(onoff.ok());
+  EXPECT_EQ(std::get<int64_t>(onoff->set->value), 0);
+}
+
+TEST(ParserTest, GarbageRejectedCleanly) {
+  EXPECT_FALSE(ParseStatement("FROBNICATE THE DATABASE;").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM;").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (x Unknowntype);").ok());
+}
+
+TEST(ParserTest, ParameterizedSignatureCollapsesLiterals) {
+  auto a = ParameterizedSignature(
+      "SELECT id FROM t WHERE x > 5 ORDER BY L2Distance(emb,[1.0,2.0])"
+      " LIMIT 10;");
+  auto b = ParameterizedSignature(
+      "SELECT id FROM t WHERE x > 99 ORDER BY L2Distance(emb,[9.5,0.5])"
+      " LIMIT 50;");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // same shape, different parameters
+  auto c = ParameterizedSignature("SELECT id FROM t WHERE y > 5 LIMIT 10;");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*a, *c);  // different shape
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%lo wo%"));
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("cat", "c_"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+}
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::TableSchema schema;
+    schema.table_name = "t";
+    schema.columns = {{"id", storage::ColumnType::kInt64},
+                      {"score", storage::ColumnType::kFloat64},
+                      {"name", storage::ColumnType::kString}};
+    storage::SegmentBuilder builder(schema, "s0");
+    const char* names[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+    for (int64_t i = 0; i < 5; ++i) {
+      storage::Row row;
+      row.values = {i, 0.1 * static_cast<double>(i), std::string(names[i])};
+      ASSERT_TRUE(builder.AppendRow(row).ok());
+    }
+    auto segment = builder.Finish();
+    ASSERT_TRUE(segment.ok());
+    segment_ = *segment;
+  }
+
+  ExprPtr Parse(const std::string& where) {
+    auto stmt = ParseStatement("SELECT id FROM t WHERE " + where + " LIMIT 1;");
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    return std::move(stmt->select->where);
+  }
+
+  std::vector<size_t> Matching(const std::string& where) {
+    ExprPtr expr = Parse(where);
+    auto eval = PredicateEvaluator::Bind(*expr, *segment_);
+    EXPECT_TRUE(eval.ok()) << eval.status().ToString();
+    std::vector<size_t> out;
+    for (size_t i = 0; i < segment_->num_rows(); ++i)
+      if (eval->EvalRow(i)) out.push_back(i);
+    return out;
+  }
+
+  storage::SegmentPtr segment_;
+};
+
+TEST_F(ExprEvalTest, NumericComparisons) {
+  EXPECT_EQ(Matching("id > 2"), (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(Matching("id = 0"), (std::vector<size_t>{0}));
+  EXPECT_EQ(Matching("score <= 0.2"), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(Matching("id != 1"), (std::vector<size_t>{0, 2, 3, 4}));
+}
+
+TEST_F(ExprEvalTest, BooleanConnectives) {
+  EXPECT_EQ(Matching("id > 0 AND id < 3"), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(Matching("id = 0 OR id = 4"), (std::vector<size_t>{0, 4}));
+  EXPECT_EQ(Matching("NOT id < 4"), (std::vector<size_t>{4}));
+}
+
+TEST_F(ExprEvalTest, StringPredicates) {
+  EXPECT_EQ(Matching("name = 'gamma'"), (std::vector<size_t>{2}));
+  EXPECT_EQ(Matching("name LIKE '%ta'"), (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(Matching("name REGEXP '^..l'"), (std::vector<size_t>{3}));
+}
+
+TEST_F(ExprEvalTest, UnknownColumnFailsBind) {
+  ExprPtr expr = Parse("nonexistent = 1");
+  EXPECT_FALSE(PredicateEvaluator::Bind(*expr, *segment_).ok());
+}
+
+TEST_F(ExprEvalTest, BadRegexFailsBind) {
+  ExprPtr expr = Parse("name REGEXP '[unclosed'");
+  EXPECT_FALSE(PredicateEvaluator::Bind(*expr, *segment_).ok());
+}
+
+TEST_F(ExprEvalTest, BitmapMatchesRowEval) {
+  ExprPtr expr = Parse("id >= 1 AND id <= 3");
+  auto eval = PredicateEvaluator::Bind(*expr, *segment_);
+  ASSERT_TRUE(eval.ok());
+  common::Bitset bitmap = eval->BuildBitmap(nullptr, true);
+  for (size_t i = 0; i < segment_->num_rows(); ++i)
+    EXPECT_EQ(bitmap.Test(i), eval->EvalRow(i)) << i;
+}
+
+TEST_F(ExprEvalTest, BitmapExcludesDeleted) {
+  ExprPtr expr = Parse("id >= 0");
+  auto eval = PredicateEvaluator::Bind(*expr, *segment_);
+  ASSERT_TRUE(eval.ok());
+  common::Bitset deletes(5);
+  deletes.Set(2);
+  common::Bitset bitmap = eval->BuildBitmap(&deletes, true);
+  EXPECT_FALSE(bitmap.Test(2));
+  EXPECT_EQ(bitmap.Count(), 4u);
+}
+
+TEST(SegmentPruneTest, NumericRangesPrune) {
+  storage::SegmentMeta meta;
+  meta.numeric_ranges["x"] = {10.0, 20.0};
+  auto parse = [](const std::string& where) {
+    auto stmt =
+        ParseStatement("SELECT id FROM t WHERE " + where + " LIMIT 1;");
+    return std::move(stmt->select->where);
+  };
+  EXPECT_FALSE(MayMatchSegment(*parse("x > 25"), meta));
+  EXPECT_TRUE(MayMatchSegment(*parse("x > 15"), meta));
+  EXPECT_FALSE(MayMatchSegment(*parse("x < 5"), meta));
+  EXPECT_TRUE(MayMatchSegment(*parse("x = 15"), meta));
+  EXPECT_FALSE(MayMatchSegment(*parse("x = 5"), meta));
+  // Unknown columns are conservative.
+  EXPECT_TRUE(MayMatchSegment(*parse("y = 5"), meta));
+  // OR keeps the segment if either side may match.
+  EXPECT_TRUE(MayMatchSegment(*parse("x > 25 OR x < 15"), meta));
+  EXPECT_FALSE(MayMatchSegment(*parse("x > 25 AND x < 15"), meta));
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest2, UniformRangeEstimates) {
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) samples.push_back(i % 1000);
+  ColumnHistogram h = ColumnHistogram::Build(std::move(samples), 32);
+  EXPECT_NEAR(h.EstimateRange(0, 499), 0.5, 0.05);
+  EXPECT_NEAR(h.EstimateCompare(Expr::CmpOp::kLt, 100), 0.1, 0.05);
+  EXPECT_NEAR(h.EstimateCompare(Expr::CmpOp::kGe, 900), 0.1, 0.05);
+  EXPECT_LT(h.EstimateCompare(Expr::CmpOp::kEq, 500), 0.1);
+}
+
+TEST(StatisticsTest, SelectivityOfConjunction) {
+  storage::TableSchema schema;
+  schema.table_name = "t";
+  schema.columns = {{"a", storage::ColumnType::kInt64},
+                    {"b", storage::ColumnType::kInt64}};
+  storage::SegmentBuilder builder(schema, "s0");
+  common::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    storage::Row row;
+    row.values = {rng.UniformInt(0, 99), rng.UniformInt(0, 99)};
+    ASSERT_TRUE(builder.AppendRow(row).ok());
+  }
+  auto segment = builder.Finish();
+  ASSERT_TRUE(segment.ok());
+  TableStatistics stats = TableStatistics::Build({*segment});
+  EXPECT_EQ(stats.num_rows(), 2000u);
+
+  auto parse = [](const std::string& where) {
+    auto stmt =
+        ParseStatement("SELECT a FROM t WHERE " + where + " LIMIT 1;");
+    return std::move(stmt->select->where);
+  };
+  EXPECT_NEAR(stats.EstimateSelectivity(*parse("a < 50")), 0.5, 0.1);
+  // Independence: P(a<50 AND b<50) ~ 0.25.
+  EXPECT_NEAR(stats.EstimateSelectivity(*parse("a < 50 AND b < 50")), 0.25,
+              0.1);
+  EXPECT_NEAR(stats.EstimateSelectivity(*parse("a < 50 OR b < 50")), 0.75,
+              0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model (the CBO crossovers of Fig. 9/15)
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, TinyPassFractionPrefersBruteForce) {
+  // "99% selectivity" workload: almost everything filtered out.
+  PlanCostInputs in;
+  in.n = 1000000;
+  in.s = 0.01;
+  in.beta = 0.001;
+  in.gamma = 0.00125;
+  in.k = 100;
+  CostModelParams p = CostModelParams::ForIndex(768, "HNSW");
+  EXPECT_EQ(ChooseStrategy(in, p).strategy, ExecStrategy::kBruteForce);
+}
+
+TEST(CostModelTest, PermissiveFilterPrefersPostFilter) {
+  // "1% selectivity" workload: almost everything passes.
+  PlanCostInputs in;
+  in.n = 1000000;
+  in.s = 0.99;
+  in.beta = 0.001;
+  in.gamma = 0.00125;
+  in.k = 100;
+  CostModelParams p = CostModelParams::ForIndex(768, "HNSW");
+  EXPECT_EQ(ChooseStrategy(in, p).strategy, ExecStrategy::kPostFilter);
+}
+
+TEST(CostModelTest, MidSelectivityPrefersPreFilterForCheapCodes) {
+  // Moderate pass fraction with a PQ index (cheap code scans): the bitmap
+  // scan's c_p + s*c_c term beats plan A's s*n*c_d.
+  PlanCostInputs in;
+  in.n = 1000000;
+  in.s = 0.30;
+  in.beta = 0.02;
+  in.gamma = 0.025;
+  in.k = 100;
+  CostModelParams p = CostModelParams::ForIndex(768, "IVFPQ");
+  StrategyChoice choice = ChooseStrategy(in, p);
+  EXPECT_EQ(choice.strategy, ExecStrategy::kPreFilter);
+  EXPECT_LT(choice.cost_b, choice.cost_a);
+  EXPECT_LT(choice.cost_b, choice.cost_c);
+}
+
+TEST(CostModelTest, CostsMonotonicInN) {
+  CostModelParams p = CostModelParams::ForIndex(96, "HNSW");
+  PlanCostInputs small;
+  small.n = 1000;
+  small.s = 0.5;
+  PlanCostInputs big = small;
+  big.n = 100000;
+  EXPECT_LT(CostPlanA(small, p), CostPlanA(big, p));
+  EXPECT_LT(CostPlanB(small, p), CostPlanB(big, p));
+  EXPECT_LT(CostPlanC(small, p), CostPlanC(big, p));
+}
+
+// ---------------------------------------------------------------------------
+// Logical plan & rewrite rules
+// ---------------------------------------------------------------------------
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest() {
+    schema_.table_name = "t";
+    schema_.columns = {{"id", storage::ColumnType::kInt64},
+                       {"x", storage::ColumnType::kInt64},
+                       {"emb", storage::ColumnType::kFloatVector}};
+    vecindex::IndexSpec spec;
+    spec.type = "HNSW";
+    spec.dim = 2;
+    schema_.index_spec = spec;
+    schema_.vector_column = 2;
+  }
+
+  SelectStmt ParseSelect(const std::string& sql) {
+    auto stmt = ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    return std::move(*stmt->select);
+  }
+
+  storage::TableSchema schema_;
+};
+
+TEST_F(PlanTest, BuildsCanonicalPipeline) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id, d FROM t WHERE x > 5"
+      " ORDER BY L2Distance(emb, [1.0, 2.0]) AS d LIMIT 7;");
+  auto plan = BuildLogicalPlan(stmt, schema_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Project <- TopK <- Filter <- AnnScan
+  EXPECT_EQ((*plan)->kind, PlanNode::Kind::kProject);
+  EXPECT_EQ((*plan)->child->kind, PlanNode::Kind::kTopK);
+  EXPECT_EQ((*plan)->child->child->kind, PlanNode::Kind::kFilter);
+  EXPECT_EQ((*plan)->child->child->child->kind, PlanNode::Kind::kAnnScan);
+}
+
+TEST_F(PlanTest, TopKPushdownRule) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id FROM t ORDER BY L2Distance(emb, [1.0, 2.0]) LIMIT 9;");
+  auto plan = BuildLogicalPlan(stmt, schema_);
+  ASSERT_TRUE(plan.ok());
+  PlanNode* ann = (*plan)->FindNode(PlanNode::Kind::kAnnScan);
+  EXPECT_EQ(ann->pushed_k, 0u);
+  EXPECT_TRUE(ApplyTopKPushdown(plan->get()));
+  EXPECT_EQ(ann->pushed_k, 9u);
+  EXPECT_FALSE(ApplyTopKPushdown(plan->get()));  // idempotent
+}
+
+TEST_F(PlanTest, RangeFilterPushdownRule) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id FROM t WHERE x > 5 AND d < 2.5"
+      " ORDER BY L2Distance(emb, [1.0, 2.0]) AS d LIMIT 9;");
+  auto plan = BuildLogicalPlan(stmt, schema_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ApplyRangeFilterPushdown(plan->get(), "d"));
+  PlanNode* ann = (*plan)->FindNode(PlanNode::Kind::kAnnScan);
+  EXPECT_DOUBLE_EQ(ann->pushed_range, 2.5);
+  // The residual filter keeps only the scalar conjunct.
+  PlanNode* filter = (*plan)->FindNode(PlanNode::Kind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->predicate->ToString(), "(x > 5)");
+}
+
+TEST_F(PlanTest, RangeOnlyFilterIsSplicedOut) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id FROM t WHERE d < 1.5"
+      " ORDER BY L2Distance(emb, [1.0, 2.0]) AS d LIMIT 9;");
+  auto plan = BuildLogicalPlan(stmt, schema_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ApplyRangeFilterPushdown(plan->get(), "d"));
+  EXPECT_EQ((*plan)->FindNode(PlanNode::Kind::kFilter), nullptr);
+}
+
+TEST_F(PlanTest, VectorColumnPruningRule) {
+  SelectStmt no_vec = ParseSelect(
+      "SELECT id FROM t ORDER BY L2Distance(emb, [1.0, 2.0]) LIMIT 5;");
+  auto plan = BuildLogicalPlan(no_vec, schema_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ApplyVectorColumnPruning(plan->get(), schema_));
+  EXPECT_FALSE(
+      (*plan)->FindNode(PlanNode::Kind::kAnnScan)->read_vector_column);
+
+  SelectStmt with_vec = ParseSelect(
+      "SELECT id, emb FROM t ORDER BY L2Distance(emb, [1.0, 2.0]) LIMIT 5;");
+  auto plan2 = BuildLogicalPlan(with_vec, schema_);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_FALSE(ApplyVectorColumnPruning(plan2->get(), schema_));
+}
+
+TEST_F(PlanTest, DimMismatchRejected) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id FROM t ORDER BY L2Distance(emb, [1.0, 2.0, 3.0]) LIMIT 5;");
+  EXPECT_FALSE(BuildLogicalPlan(stmt, schema_).ok());
+}
+
+TEST_F(PlanTest, OptimizeEndToEnd) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id, d FROM t WHERE x > 5"
+      " ORDER BY L2Distance(emb, [1.0, 2.0]) AS d LIMIT 7;");
+  QuerySettings settings;
+  auto optimized = Optimize(stmt, schema_, nullptr, settings);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_TRUE(optimized->bound.has_ann);
+  EXPECT_EQ(optimized->bound.k, 7u);
+  EXPECT_EQ(optimized->rules_fired, 2);  // topk pushdown + vector pruning
+  EXPECT_NE(optimized->explain.find("AnnScan"), std::string::npos);
+}
+
+TEST_F(PlanTest, ForcedStrategyWins) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id FROM t WHERE x > 5"
+      " ORDER BY L2Distance(emb, [1.0, 2.0]) LIMIT 7;");
+  QuerySettings settings;
+  settings.forced_strategy = ExecStrategy::kBruteForce;
+  auto optimized = Optimize(stmt, schema_, nullptr, settings);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(optimized->choice.strategy, ExecStrategy::kBruteForce);
+}
+
+TEST_F(PlanTest, CboOffUsesDefaultStrategy) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id FROM t WHERE x > 5"
+      " ORDER BY L2Distance(emb, [1.0, 2.0]) LIMIT 7;");
+  QuerySettings settings;
+  settings.use_cbo = false;
+  settings.default_strategy = ExecStrategy::kPreFilter;
+  auto optimized = Optimize(stmt, schema_, nullptr, settings);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(optimized->choice.strategy, ExecStrategy::kPreFilter);
+}
+
+TEST_F(PlanTest, ShortCircuitHandlesSimpleShapes) {
+  SelectStmt simple = ParseSelect(
+      "SELECT id FROM t WHERE x > 5"
+      " ORDER BY L2Distance(emb, [1.0, 2.0]) LIMIT 7;");
+  auto quick =
+      ShortCircuitOptimize(simple, schema_, ExecStrategy::kPostFilter);
+  ASSERT_TRUE(quick.ok()) << quick.status().ToString();
+  EXPECT_EQ(quick->bound.k, 7u);
+  EXPECT_EQ(quick->choice.strategy, ExecStrategy::kPostFilter);
+
+  // Range constraint on the alias needs the full optimizer.
+  SelectStmt ranged = ParseSelect(
+      "SELECT id FROM t WHERE d < 1.0"
+      " ORDER BY L2Distance(emb, [1.0, 2.0]) AS d LIMIT 7;");
+  EXPECT_TRUE(ShortCircuitOptimize(ranged, schema_,
+                                   ExecStrategy::kPostFilter)
+                  .status()
+                  .IsNotSupported());
+
+  // Vector output needs the full optimizer.
+  SelectStmt vec_out = ParseSelect(
+      "SELECT emb FROM t ORDER BY L2Distance(emb, [1.0, 2.0]) LIMIT 7;");
+  EXPECT_TRUE(ShortCircuitOptimize(vec_out, schema_,
+                                   ExecStrategy::kPostFilter)
+                  .status()
+                  .IsNotSupported());
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, HitAfterPut) {
+  PlanCache cache(4);
+  EXPECT_FALSE(cache.Get("sig1").has_value());
+  CachedPlan plan;
+  plan.strategy = ExecStrategy::kBruteForce;
+  cache.Put("sig1", plan);
+  auto hit = cache.Get("sig1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->strategy, ExecStrategy::kBruteForce);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCacheTest, LruEviction) {
+  PlanCache cache(2);
+  cache.Put("a", {});
+  cache.Put("b", {});
+  ASSERT_TRUE(cache.Get("a").has_value());
+  cache.Put("c", {});  // evicts b
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+}
+
+TEST(PlanCacheTest, InvalidateClearsAll) {
+  PlanCache cache(4);
+  cache.Put("a", {});
+  cache.Invalidate();
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace blendhouse::sql

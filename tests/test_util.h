@@ -1,0 +1,67 @@
+#ifndef BLENDHOUSE_TESTS_TEST_UTIL_H_
+#define BLENDHOUSE_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "vecindex/distance.h"
+#include "vecindex/types.h"
+
+namespace blendhouse::test {
+
+/// Generates `n` vectors drawn from `clusters` Gaussian blobs — the same
+/// generator the benches use, shrunk. Clustered data is essential: uniform
+/// random vectors make every ANN index look bad and every recall flat.
+inline std::vector<float> MakeClusteredVectors(size_t n, size_t dim,
+                                               size_t clusters = 8,
+                                               uint64_t seed = 42,
+                                               float spread = 0.15f) {
+  common::Rng rng(seed);
+  std::vector<float> centers(clusters * dim);
+  for (auto& c : centers) c = rng.Gaussian(0.0f, 1.0f);
+  std::vector<float> data(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(rng.UniformInt(0, clusters - 1));
+    for (size_t d = 0; d < dim; ++d)
+      data[i * dim + d] = centers[c * dim + d] + rng.Gaussian(0.0f, spread);
+  }
+  return data;
+}
+
+inline std::vector<vecindex::IdType> SequentialIds(size_t n) {
+  std::vector<vecindex::IdType> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<vecindex::IdType>(i);
+  return ids;
+}
+
+/// Exact top-k ids by brute force, used as ground truth for recall.
+inline std::vector<vecindex::IdType> BruteForceTopK(
+    const std::vector<float>& data, size_t dim, const float* query, size_t k,
+    vecindex::Metric metric = vecindex::Metric::kL2) {
+  size_t n = data.size() / dim;
+  std::vector<vecindex::Neighbor> all(n);
+  for (size_t i = 0; i < n; ++i)
+    all[i] = {static_cast<vecindex::IdType>(i),
+              vecindex::Distance(metric, query, data.data() + i * dim, dim)};
+  k = std::min(k, n);
+  std::partial_sort(all.begin(), all.begin() + k, all.end());
+  std::vector<vecindex::IdType> ids(k);
+  for (size_t i = 0; i < k; ++i) ids[i] = all[i].id;
+  return ids;
+}
+
+/// |found ∩ truth| / |truth|.
+inline double Recall(const std::vector<vecindex::Neighbor>& found,
+                     const std::vector<vecindex::IdType>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<vecindex::IdType> truth_set(truth.begin(), truth.end());
+  size_t hits = 0;
+  for (const auto& n : found) hits += truth_set.count(n.id);
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace blendhouse::test
+
+#endif  // BLENDHOUSE_TESTS_TEST_UTIL_H_
