@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_auto_index.dir/fig07_auto_index.cc.o"
+  "CMakeFiles/fig07_auto_index.dir/fig07_auto_index.cc.o.d"
+  "fig07_auto_index"
+  "fig07_auto_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_auto_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

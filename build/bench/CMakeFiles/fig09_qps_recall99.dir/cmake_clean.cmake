@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_qps_recall99.dir/fig09_qps_recall99.cc.o"
+  "CMakeFiles/fig09_qps_recall99.dir/fig09_qps_recall99.cc.o.d"
+  "fig09_qps_recall99"
+  "fig09_qps_recall99.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_qps_recall99.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cache_miss.dir/fig11_cache_miss.cc.o"
+  "CMakeFiles/fig11_cache_miss.dir/fig11_cache_miss.cc.o.d"
+  "fig11_cache_miss"
+  "fig11_cache_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cache_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

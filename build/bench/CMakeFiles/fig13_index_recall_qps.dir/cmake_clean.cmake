@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_index_recall_qps.dir/fig13_index_recall_qps.cc.o"
+  "CMakeFiles/fig13_index_recall_qps.dir/fig13_index_recall_qps.cc.o.d"
+  "fig13_index_recall_qps"
+  "fig13_index_recall_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_index_recall_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

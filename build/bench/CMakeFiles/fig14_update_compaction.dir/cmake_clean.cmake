@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_update_compaction.dir/fig14_update_compaction.cc.o"
+  "CMakeFiles/fig14_update_compaction.dir/fig14_update_compaction.cc.o.d"
+  "fig14_update_compaction"
+  "fig14_update_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_update_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cbo.dir/fig15_cbo.cc.o"
+  "CMakeFiles/fig15_cbo.dir/fig15_cbo.cc.o.d"
+  "fig15_cbo"
+  "fig15_cbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_workload_opts.dir/fig17_workload_opts.cc.o"
+  "CMakeFiles/fig17_workload_opts.dir/fig17_workload_opts.cc.o.d"
+  "fig17_workload_opts"
+  "fig17_workload_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_workload_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_elasticity.cc" "bench/CMakeFiles/fig18_elasticity.dir/fig18_elasticity.cc.o" "gcc" "bench/CMakeFiles/fig18_elasticity.dir/fig18_elasticity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/bh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/bh_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecindex/CMakeFiles/bh_vecindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_elasticity.dir/fig18_elasticity.cc.o"
+  "CMakeFiles/fig18_elasticity.dir/fig18_elasticity.cc.o.d"
+  "fig18_elasticity"
+  "fig18_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

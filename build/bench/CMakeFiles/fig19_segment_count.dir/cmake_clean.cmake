@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_segment_count.dir/fig19_segment_count.cc.o"
+  "CMakeFiles/fig19_segment_count.dir/fig19_segment_count.cc.o.d"
+  "fig19_segment_count"
+  "fig19_segment_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_segment_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_load_time.dir/table04_load_time.cc.o"
+  "CMakeFiles/table04_load_time.dir/table04_load_time.cc.o.d"
+  "table04_load_time"
+  "table04_load_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_load_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

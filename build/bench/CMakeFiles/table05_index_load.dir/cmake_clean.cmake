@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_index_load.dir/table05_index_load.cc.o"
+  "CMakeFiles/table05_index_load.dir/table05_index_load.cc.o.d"
+  "table05_index_load"
+  "table05_index_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_index_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table05_index_load.
+# This may be replaced when dependencies are built.

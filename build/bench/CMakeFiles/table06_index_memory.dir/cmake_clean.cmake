@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_index_memory.dir/table06_index_memory.cc.o"
+  "CMakeFiles/table06_index_memory.dir/table06_index_memory.cc.o.d"
+  "table06_index_memory"
+  "table06_index_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_index_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_production.dir/table07_production.cc.o"
+  "CMakeFiles/table07_production.dir/table07_production.cc.o.d"
+  "table07_production"
+  "table07_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_filtered_search.dir/rag_filtered_search.cpp.o"
+  "CMakeFiles/rag_filtered_search.dir/rag_filtered_search.cpp.o.d"
+  "rag_filtered_search"
+  "rag_filtered_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_filtered_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_baselines.dir/blendhouse_system.cc.o"
+  "CMakeFiles/bh_baselines.dir/blendhouse_system.cc.o.d"
+  "CMakeFiles/bh_baselines.dir/dataset.cc.o"
+  "CMakeFiles/bh_baselines.dir/dataset.cc.o.d"
+  "CMakeFiles/bh_baselines.dir/milvus_sim.cc.o"
+  "CMakeFiles/bh_baselines.dir/milvus_sim.cc.o.d"
+  "CMakeFiles/bh_baselines.dir/pgvector_sim.cc.o"
+  "CMakeFiles/bh_baselines.dir/pgvector_sim.cc.o.d"
+  "libbh_baselines.a"
+  "libbh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/consistent_hash.cc" "src/cluster/CMakeFiles/bh_cluster.dir/consistent_hash.cc.o" "gcc" "src/cluster/CMakeFiles/bh_cluster.dir/consistent_hash.cc.o.d"
+  "/root/repo/src/cluster/index_cache.cc" "src/cluster/CMakeFiles/bh_cluster.dir/index_cache.cc.o" "gcc" "src/cluster/CMakeFiles/bh_cluster.dir/index_cache.cc.o.d"
+  "/root/repo/src/cluster/scheduler.cc" "src/cluster/CMakeFiles/bh_cluster.dir/scheduler.cc.o" "gcc" "src/cluster/CMakeFiles/bh_cluster.dir/scheduler.cc.o.d"
+  "/root/repo/src/cluster/virtual_warehouse.cc" "src/cluster/CMakeFiles/bh_cluster.dir/virtual_warehouse.cc.o" "gcc" "src/cluster/CMakeFiles/bh_cluster.dir/virtual_warehouse.cc.o.d"
+  "/root/repo/src/cluster/worker.cc" "src/cluster/CMakeFiles/bh_cluster.dir/worker.cc.o" "gcc" "src/cluster/CMakeFiles/bh_cluster.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecindex/CMakeFiles/bh_vecindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bh_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_cluster.dir/consistent_hash.cc.o"
+  "CMakeFiles/bh_cluster.dir/consistent_hash.cc.o.d"
+  "CMakeFiles/bh_cluster.dir/index_cache.cc.o"
+  "CMakeFiles/bh_cluster.dir/index_cache.cc.o.d"
+  "CMakeFiles/bh_cluster.dir/scheduler.cc.o"
+  "CMakeFiles/bh_cluster.dir/scheduler.cc.o.d"
+  "CMakeFiles/bh_cluster.dir/virtual_warehouse.cc.o"
+  "CMakeFiles/bh_cluster.dir/virtual_warehouse.cc.o.d"
+  "CMakeFiles/bh_cluster.dir/worker.cc.o"
+  "CMakeFiles/bh_cluster.dir/worker.cc.o.d"
+  "libbh_cluster.a"
+  "libbh_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

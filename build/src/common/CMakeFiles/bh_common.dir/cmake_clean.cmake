@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_common.dir/histogram.cc.o"
+  "CMakeFiles/bh_common.dir/histogram.cc.o.d"
+  "CMakeFiles/bh_common.dir/logging.cc.o"
+  "CMakeFiles/bh_common.dir/logging.cc.o.d"
+  "CMakeFiles/bh_common.dir/status.cc.o"
+  "CMakeFiles/bh_common.dir/status.cc.o.d"
+  "CMakeFiles/bh_common.dir/threadpool.cc.o"
+  "CMakeFiles/bh_common.dir/threadpool.cc.o.d"
+  "libbh_common.a"
+  "libbh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

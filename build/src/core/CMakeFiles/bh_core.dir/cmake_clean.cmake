@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_core.dir/blendhouse.cc.o"
+  "CMakeFiles/bh_core.dir/blendhouse.cc.o.d"
+  "libbh_core.a"
+  "libbh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

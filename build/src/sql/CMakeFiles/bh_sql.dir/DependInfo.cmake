@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/cost_model.cc" "src/sql/CMakeFiles/bh_sql.dir/cost_model.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/cost_model.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/bh_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/expression.cc" "src/sql/CMakeFiles/bh_sql.dir/expression.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/expression.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/bh_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/logical_plan.cc" "src/sql/CMakeFiles/bh_sql.dir/logical_plan.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/logical_plan.cc.o.d"
+  "/root/repo/src/sql/optimizer.cc" "src/sql/CMakeFiles/bh_sql.dir/optimizer.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/optimizer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/bh_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/plan_cache.cc" "src/sql/CMakeFiles/bh_sql.dir/plan_cache.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/plan_cache.cc.o.d"
+  "/root/repo/src/sql/statistics.cc" "src/sql/CMakeFiles/bh_sql.dir/statistics.cc.o" "gcc" "src/sql/CMakeFiles/bh_sql.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecindex/CMakeFiles/bh_vecindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bh_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

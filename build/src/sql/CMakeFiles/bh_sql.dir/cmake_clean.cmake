@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_sql.dir/cost_model.cc.o"
+  "CMakeFiles/bh_sql.dir/cost_model.cc.o.d"
+  "CMakeFiles/bh_sql.dir/executor.cc.o"
+  "CMakeFiles/bh_sql.dir/executor.cc.o.d"
+  "CMakeFiles/bh_sql.dir/expression.cc.o"
+  "CMakeFiles/bh_sql.dir/expression.cc.o.d"
+  "CMakeFiles/bh_sql.dir/lexer.cc.o"
+  "CMakeFiles/bh_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/bh_sql.dir/logical_plan.cc.o"
+  "CMakeFiles/bh_sql.dir/logical_plan.cc.o.d"
+  "CMakeFiles/bh_sql.dir/optimizer.cc.o"
+  "CMakeFiles/bh_sql.dir/optimizer.cc.o.d"
+  "CMakeFiles/bh_sql.dir/parser.cc.o"
+  "CMakeFiles/bh_sql.dir/parser.cc.o.d"
+  "CMakeFiles/bh_sql.dir/plan_cache.cc.o"
+  "CMakeFiles/bh_sql.dir/plan_cache.cc.o.d"
+  "CMakeFiles/bh_sql.dir/statistics.cc.o"
+  "CMakeFiles/bh_sql.dir/statistics.cc.o.d"
+  "libbh_sql.a"
+  "libbh_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

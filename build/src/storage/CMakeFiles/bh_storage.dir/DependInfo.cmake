@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/column.cc" "src/storage/CMakeFiles/bh_storage.dir/column.cc.o" "gcc" "src/storage/CMakeFiles/bh_storage.dir/column.cc.o.d"
+  "/root/repo/src/storage/lsm_engine.cc" "src/storage/CMakeFiles/bh_storage.dir/lsm_engine.cc.o" "gcc" "src/storage/CMakeFiles/bh_storage.dir/lsm_engine.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/storage/CMakeFiles/bh_storage.dir/object_store.cc.o" "gcc" "src/storage/CMakeFiles/bh_storage.dir/object_store.cc.o.d"
+  "/root/repo/src/storage/partitioner.cc" "src/storage/CMakeFiles/bh_storage.dir/partitioner.cc.o" "gcc" "src/storage/CMakeFiles/bh_storage.dir/partitioner.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/storage/CMakeFiles/bh_storage.dir/segment.cc.o" "gcc" "src/storage/CMakeFiles/bh_storage.dir/segment.cc.o.d"
+  "/root/repo/src/storage/version.cc" "src/storage/CMakeFiles/bh_storage.dir/version.cc.o" "gcc" "src/storage/CMakeFiles/bh_storage.dir/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecindex/CMakeFiles/bh_vecindex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

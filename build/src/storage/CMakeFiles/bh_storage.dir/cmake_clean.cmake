@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_storage.dir/column.cc.o"
+  "CMakeFiles/bh_storage.dir/column.cc.o.d"
+  "CMakeFiles/bh_storage.dir/lsm_engine.cc.o"
+  "CMakeFiles/bh_storage.dir/lsm_engine.cc.o.d"
+  "CMakeFiles/bh_storage.dir/object_store.cc.o"
+  "CMakeFiles/bh_storage.dir/object_store.cc.o.d"
+  "CMakeFiles/bh_storage.dir/partitioner.cc.o"
+  "CMakeFiles/bh_storage.dir/partitioner.cc.o.d"
+  "CMakeFiles/bh_storage.dir/segment.cc.o"
+  "CMakeFiles/bh_storage.dir/segment.cc.o.d"
+  "CMakeFiles/bh_storage.dir/version.cc.o"
+  "CMakeFiles/bh_storage.dir/version.cc.o.d"
+  "libbh_storage.a"
+  "libbh_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

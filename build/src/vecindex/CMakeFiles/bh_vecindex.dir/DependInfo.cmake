@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vecindex/auto_index.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/auto_index.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/auto_index.cc.o.d"
+  "/root/repo/src/vecindex/diskann_index.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/diskann_index.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/diskann_index.cc.o.d"
+  "/root/repo/src/vecindex/distance.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/distance.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/distance.cc.o.d"
+  "/root/repo/src/vecindex/flat_index.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/flat_index.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/flat_index.cc.o.d"
+  "/root/repo/src/vecindex/generic_iterator.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/generic_iterator.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/generic_iterator.cc.o.d"
+  "/root/repo/src/vecindex/hnsw_index.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/hnsw_index.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/hnsw_index.cc.o.d"
+  "/root/repo/src/vecindex/index.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/index.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/index.cc.o.d"
+  "/root/repo/src/vecindex/index_factory.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/index_factory.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/index_factory.cc.o.d"
+  "/root/repo/src/vecindex/ivf_index.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/ivf_index.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/ivf_index.cc.o.d"
+  "/root/repo/src/vecindex/kmeans.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/kmeans.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/kmeans.cc.o.d"
+  "/root/repo/src/vecindex/pq.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/pq.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/pq.cc.o.d"
+  "/root/repo/src/vecindex/quantizer.cc" "src/vecindex/CMakeFiles/bh_vecindex.dir/quantizer.cc.o" "gcc" "src/vecindex/CMakeFiles/bh_vecindex.dir/quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_vecindex.dir/auto_index.cc.o"
+  "CMakeFiles/bh_vecindex.dir/auto_index.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/diskann_index.cc.o"
+  "CMakeFiles/bh_vecindex.dir/diskann_index.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/distance.cc.o"
+  "CMakeFiles/bh_vecindex.dir/distance.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/flat_index.cc.o"
+  "CMakeFiles/bh_vecindex.dir/flat_index.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/generic_iterator.cc.o"
+  "CMakeFiles/bh_vecindex.dir/generic_iterator.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/hnsw_index.cc.o"
+  "CMakeFiles/bh_vecindex.dir/hnsw_index.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/index.cc.o"
+  "CMakeFiles/bh_vecindex.dir/index.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/index_factory.cc.o"
+  "CMakeFiles/bh_vecindex.dir/index_factory.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/ivf_index.cc.o"
+  "CMakeFiles/bh_vecindex.dir/ivf_index.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/kmeans.cc.o"
+  "CMakeFiles/bh_vecindex.dir/kmeans.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/pq.cc.o"
+  "CMakeFiles/bh_vecindex.dir/pq.cc.o.d"
+  "CMakeFiles/bh_vecindex.dir/quantizer.cc.o"
+  "CMakeFiles/bh_vecindex.dir/quantizer.cc.o.d"
+  "libbh_vecindex.a"
+  "libbh_vecindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_vecindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

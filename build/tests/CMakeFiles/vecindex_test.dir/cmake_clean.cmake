@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecindex_test.dir/vecindex_test.cc.o"
+  "CMakeFiles/vecindex_test.dir/vecindex_test.cc.o.d"
+  "vecindex_test"
+  "vecindex_test.pdb"
+  "vecindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
