@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_BASELINES_BLENDHOUSE_SYSTEM_H_
-#define BLENDHOUSE_BASELINES_BLENDHOUSE_SYSTEM_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -55,5 +54,3 @@ class BlendHouseSystem : public VectorSystem {
 };
 
 }  // namespace blendhouse::baselines
-
-#endif  // BLENDHOUSE_BASELINES_BLENDHOUSE_SYSTEM_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_BASELINES_DATASET_H_
-#define BLENDHOUSE_BASELINES_DATASET_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -66,5 +65,3 @@ double RecallOf(const std::vector<vecindex::Neighbor>& hits,
 std::pair<int64_t, int64_t> AttrRangeForSelectivity(double pass_fraction);
 
 }  // namespace blendhouse::baselines
-
-#endif  // BLENDHOUSE_BASELINES_DATASET_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_BASELINES_MILVUS_SIM_H_
-#define BLENDHOUSE_BASELINES_MILVUS_SIM_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -69,5 +68,3 @@ class MilvusSim : public VectorSystem {
 };
 
 }  // namespace blendhouse::baselines
-
-#endif  // BLENDHOUSE_BASELINES_MILVUS_SIM_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_BASELINES_PGVECTOR_SIM_H_
-#define BLENDHOUSE_BASELINES_PGVECTOR_SIM_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -45,5 +44,3 @@ class PgvectorSim : public VectorSystem {
 };
 
 }  // namespace blendhouse::baselines
-
-#endif  // BLENDHOUSE_BASELINES_PGVECTOR_SIM_H_

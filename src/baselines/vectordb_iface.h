@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_BASELINES_VECTORDB_IFACE_H_
-#define BLENDHOUSE_BASELINES_VECTORDB_IFACE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -49,5 +48,3 @@ class VectorSystem {
 };
 
 }  // namespace blendhouse::baselines
-
-#endif  // BLENDHOUSE_BASELINES_VECTORDB_IFACE_H_

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/assert.h"
+
 namespace blendhouse::cluster {
 
 uint64_t HashWithSeed(const std::string& text, uint64_t seed) {
@@ -18,7 +20,12 @@ uint64_t HashWithSeed(const std::string& text, uint64_t seed) {
 }
 
 void ConsistentHashRing::AddNode(const std::string& node_id) {
-  ring_[HashWithSeed(node_id, /*seed=*/0)] = node_id;
+  BH_ASSERT_MSG(!node_id.empty(), "ring node needs an id");
+  auto [it, inserted] = ring_.emplace(HashWithSeed(node_id, /*seed=*/0), node_id);
+  // A 64-bit placement collision between distinct nodes would silently drop
+  // one of them from the ring and strand its keys.
+  BH_ASSERT_MSG(inserted || it->second == node_id,
+                "ring position collision between distinct nodes");
 }
 
 void ConsistentHashRing::RemoveNode(const std::string& node_id) {
@@ -66,6 +73,7 @@ std::string ConsistentHashRing::GetNode(const std::string& key) const {
       best_node = node;
     }
   }
+  BH_DCHECK_MSG(best_node != nullptr, "multi-probe lookup found no node");
   return *best_node;
 }
 

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_CLUSTER_CONSISTENT_HASH_H_
-#define BLENDHOUSE_CLUSTER_CONSISTENT_HASH_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -42,5 +41,3 @@ class ConsistentHashRing {
 uint64_t HashWithSeed(const std::string& text, uint64_t seed);
 
 }  // namespace blendhouse::cluster
-
-#endif  // BLENDHOUSE_CLUSTER_CONSISTENT_HASH_H_

@@ -1,10 +1,9 @@
-#ifndef BLENDHOUSE_CLUSTER_INDEX_CACHE_H_
-#define BLENDHOUSE_CLUSTER_INDEX_CACHE_H_
+#pragma once
 
 #include <memory>
 #include <string>
 
-#include "cluster/lru_cache.h"
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "storage/object_store.h"
 #include "vecindex/index_factory.h"
@@ -86,13 +85,11 @@ class HierarchicalIndexCache {
 
   storage::ObjectStore* remote_;
   Options options_;
-  LruCache<std::shared_ptr<vecindex::VectorIndex>> memory_;
-  LruCache<std::shared_ptr<IndexMetaInfo>> metadata_;
-  LruCache<std::shared_ptr<std::string>> disk_;
+  common::LruCache<std::shared_ptr<vecindex::VectorIndex>> memory_;
+  common::LruCache<std::shared_ptr<IndexMetaInfo>> metadata_;
+  common::LruCache<std::shared_ptr<std::string>> disk_;
   std::atomic<uint64_t> disk_hits_{0};
   std::atomic<uint64_t> remote_loads_{0};
 };
 
 }  // namespace blendhouse::cluster
-
-#endif  // BLENDHOUSE_CLUSTER_INDEX_CACHE_H_

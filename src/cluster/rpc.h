@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_CLUSTER_RPC_H_
-#define BLENDHOUSE_CLUSTER_RPC_H_
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -49,5 +48,3 @@ class RpcFabric {
 };
 
 }  // namespace blendhouse::cluster
-
-#endif  // BLENDHOUSE_CLUSTER_RPC_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_CLUSTER_SCHEDULER_H_
-#define BLENDHOUSE_CLUSTER_SCHEDULER_H_
+#pragma once
 
 #include <functional>
 #include <map>
@@ -56,5 +55,3 @@ common::Status PreloadIndexes(VirtualWarehouse& vw,
                               const storage::TableSnapshot& snapshot);
 
 }  // namespace blendhouse::cluster
-
-#endif  // BLENDHOUSE_CLUSTER_SCHEDULER_H_

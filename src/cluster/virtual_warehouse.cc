@@ -1,5 +1,7 @@
 #include "cluster/virtual_warehouse.h"
 
+#include "common/assert.h"
+
 namespace blendhouse::cluster {
 
 VirtualWarehouse::VirtualWarehouse(std::string name, size_t num_workers,
@@ -10,7 +12,7 @@ VirtualWarehouse::VirtualWarehouse(std::string name, size_t num_workers,
       remote_(remote),
       rpc_(rpc),
       worker_options_(worker_options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (size_t i = 0; i < num_workers; ++i) AddWorkerLocked();
 }
 
@@ -22,18 +24,20 @@ Worker* VirtualWarehouse::AddWorkerLocked() {
   Worker* raw = worker.get();
   workers_[id] = std::move(worker);
   ring_.AddNode(id);
+  BH_DCHECK_MSG(ring_.NumNodes() == workers_.size(),
+                "ring and worker set diverged after scale-up");
   return raw;
 }
 
 Worker* VirtualWarehouse::AddWorker() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   previous_ring_ = ring_;
   has_previous_ring_ = true;
   return AddWorkerLocked();
 }
 
 common::Status VirtualWarehouse::RemoveWorker(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = workers_.find(id);
   if (it == workers_.end())
     return common::Status::NotFound("worker: " + id);
@@ -41,16 +45,18 @@ common::Status VirtualWarehouse::RemoveWorker(const std::string& id) {
   has_previous_ring_ = true;
   ring_.RemoveNode(id);
   workers_.erase(it);
+  BH_DCHECK_MSG(ring_.NumNodes() == workers_.size(),
+                "ring and worker set diverged after scale-down");
   return common::Status::Ok();
 }
 
 size_t VirtualWarehouse::num_workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return workers_.size();
 }
 
 std::vector<Worker*> VirtualWarehouse::workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<Worker*> out;
   out.reserve(workers_.size());
   for (const auto& [_, w] : workers_) out.push_back(w.get());
@@ -58,25 +64,30 @@ std::vector<Worker*> VirtualWarehouse::workers() const {
 }
 
 Worker* VirtualWarehouse::worker(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = workers_.find(id);
   return it == workers_.end() ? nullptr : it->second.get();
 }
 
 std::string VirtualWarehouse::OwnerIdOf(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return ring_.GetNode(key);
 }
 
 Worker* VirtualWarehouse::OwnerOf(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::string id = ring_.GetNode(key);
+  // Placement invariant: with live workers, every key must resolve to one.
+  BH_DCHECK_MSG(workers_.empty() || !id.empty(),
+                "non-empty ring failed to place a key");
   auto it = workers_.find(id);
+  BH_DCHECK_MSG(id.empty() || it != workers_.end(),
+                "ring placed a key on a removed worker");
   return it == workers_.end() ? nullptr : it->second.get();
 }
 
 Worker* VirtualWarehouse::PreviousOwnerOf(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (!has_previous_ring_) return nullptr;
   std::string id = previous_ring_.GetNode(key);
   auto it = workers_.find(id);
@@ -84,7 +95,7 @@ Worker* VirtualWarehouse::PreviousOwnerOf(const std::string& key) const {
 }
 
 void VirtualWarehouse::DropAllCaches() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [_, w] : workers_) {
     w->index_cache().Clear();
     w->segment_cache().Clear();

@@ -1,15 +1,14 @@
-#ifndef BLENDHOUSE_CLUSTER_VIRTUAL_WAREHOUSE_H_
-#define BLENDHOUSE_CLUSTER_VIRTUAL_WAREHOUSE_H_
+#pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/consistent_hash.h"
 #include "cluster/rpc.h"
 #include "cluster/worker.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "storage/object_store.h"
 
@@ -20,6 +19,11 @@ namespace blendhouse::cluster {
 /// compaction workloads each get their own VW for physical isolation;
 /// scaling adds/removes workers and re-runs ring placement, remembering the
 /// pre-scale ring so vector search serving can route misses to old owners.
+///
+/// Lock hierarchy: mu_ is above every worker-internal lock (cache mutexes,
+/// thread-pool mutexes). Methods called while holding mu_ may take worker
+/// locks; workers never call back into the VW while holding their own locks
+/// (the peer resolver runs from AcquireIndex with no worker lock held).
 class VirtualWarehouse {
  public:
   VirtualWarehouse(std::string name, size_t num_workers,
@@ -27,46 +31,48 @@ class VirtualWarehouse {
                    WorkerOptions worker_options = {});
 
   const std::string& name() const { return name_; }
-  size_t num_workers() const;
-  std::vector<Worker*> workers() const;
-  Worker* worker(const std::string& id) const;
+  size_t num_workers() const EXCLUDES(mu_);
+  std::vector<Worker*> workers() const EXCLUDES(mu_);
+  Worker* worker(const std::string& id) const EXCLUDES(mu_);
 
   /// Adds one worker; snapshots the current ring as the "previous" topology
   /// first, so the new worker can resolve pre-scale owners.
-  Worker* AddWorker();
+  Worker* AddWorker() EXCLUDES(mu_);
 
   /// Removes a worker (planned scale-down or simulated failure).
-  common::Status RemoveWorker(const std::string& id);
+  common::Status RemoveWorker(const std::string& id) EXCLUDES(mu_);
 
   /// Current owner of an object-store key under the live ring.
-  Worker* OwnerOf(const std::string& key) const;
-  std::string OwnerIdOf(const std::string& key) const;
+  Worker* OwnerOf(const std::string& key) const EXCLUDES(mu_);
+  std::string OwnerIdOf(const std::string& key) const EXCLUDES(mu_);
 
   /// Owner under the topology captured just before the last scaling event;
   /// null when the topology never changed or the owner is gone.
-  Worker* PreviousOwnerOf(const std::string& key) const;
+  Worker* PreviousOwnerOf(const std::string& key) const EXCLUDES(mu_);
 
-  const ConsistentHashRing& ring() const { return ring_; }
+  /// Snapshot of the live ring (copy: the live ring mutates under mu_).
+  ConsistentHashRing ring() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return ring_;
+  }
 
   /// Drops every worker's caches (benches use this to force cold starts).
-  void DropAllCaches();
+  void DropAllCaches() EXCLUDES(mu_);
 
  private:
-  Worker* AddWorkerLocked();
+  Worker* AddWorkerLocked() REQUIRES(mu_);
 
   std::string name_;
   storage::ObjectStore* remote_;
   RpcFabric* rpc_;
   WorkerOptions worker_options_;
 
-  mutable std::mutex mu_;
-  size_t worker_counter_ = 0;
-  std::map<std::string, std::unique_ptr<Worker>> workers_;
-  ConsistentHashRing ring_;
-  ConsistentHashRing previous_ring_;
-  bool has_previous_ring_ = false;
+  mutable common::Mutex mu_;
+  size_t worker_counter_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::unique_ptr<Worker>> workers_ GUARDED_BY(mu_);
+  ConsistentHashRing ring_ GUARDED_BY(mu_);
+  ConsistentHashRing previous_ring_ GUARDED_BY(mu_);
+  bool has_previous_ring_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace blendhouse::cluster
-
-#endif  // BLENDHOUSE_CLUSTER_VIRTUAL_WAREHOUSE_H_

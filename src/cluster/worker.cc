@@ -1,5 +1,7 @@
 #include "cluster/worker.h"
 
+#include <memory>
+
 #include "common/logging.h"
 #include "vecindex/flat_index.h"
 
@@ -164,7 +166,7 @@ RemoteIndexProxy::MakeIterator(const float* query,
   auto inner = peer_index_->MakeIterator(query, params);
   if (!inner.ok()) return inner.status();
   return std::unique_ptr<vecindex::SearchIterator>(
-      new RemoteIteratorProxy(std::move(*inner), rpc_, Dim()));
+      std::make_unique<RemoteIteratorProxy>(std::move(*inner), rpc_, Dim()));
 }
 
 }  // namespace blendhouse::cluster

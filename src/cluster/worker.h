@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_CLUSTER_WORKER_H_
-#define BLENDHOUSE_CLUSTER_WORKER_H_
+#pragma once
 
 #include <atomic>
 #include <functional>
@@ -7,7 +6,6 @@
 #include <string>
 
 #include "cluster/index_cache.h"
-#include "cluster/lru_cache.h"
 #include "cluster/rpc.h"
 #include "common/result.h"
 #include "common/threadpool.h"
@@ -101,7 +99,7 @@ class Worker {
   common::Status PreloadIndex(const storage::TableSchema& schema,
                               const storage::SegmentMeta& meta);
 
-  LruCache<storage::SegmentPtr>& segment_cache() { return segment_cache_; }
+  common::LruCache<storage::SegmentPtr>& segment_cache() { return segment_cache_; }
 
   uint64_t searches_served_for_peers() const {
     return peer_serves_.load();
@@ -118,7 +116,7 @@ class Worker {
   RpcFabric* rpc_;
   WorkerOptions options_;
   HierarchicalIndexCache index_cache_;
-  LruCache<storage::SegmentPtr> segment_cache_;
+  common::LruCache<storage::SegmentPtr> segment_cache_;
   PeerResolver peer_resolver_;
   std::atomic<uint64_t> peer_serves_{0};
   // The pools are declared last on purpose: their destructors drain queued
@@ -179,5 +177,3 @@ class RemoteIndexProxy : public vecindex::VectorIndex {
 };
 
 }  // namespace blendhouse::cluster
-
-#endif  // BLENDHOUSE_CLUSTER_WORKER_H_

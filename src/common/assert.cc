@@ -1,0 +1,54 @@
+#include "common/assert.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace blendhouse::common {
+
+namespace {
+std::atomic<int> g_invariant_policy{static_cast<int>(InvariantPolicy::kAbort)};
+
+std::string FailureMessage(const char* expr, std::string_view msg) {
+  std::string out = "invariant violated: ";
+  out += expr;
+  if (!msg.empty()) {
+    out += " — ";
+    out += msg;
+  }
+  return out;
+}
+}  // namespace
+
+InvariantPolicy GetInvariantPolicy() {
+  return static_cast<InvariantPolicy>(
+      g_invariant_policy.load(std::memory_order_relaxed));
+}
+
+void SetInvariantPolicy(InvariantPolicy policy) {
+  g_invariant_policy.store(static_cast<int>(policy),
+                           std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void AssertFail(const char* file, int line, const char* expr,
+                std::string_view msg) {
+  internal::LogMessage(LogLevel::kError, file, line,
+                       FailureMessage(expr, msg));
+  std::fflush(nullptr);
+  std::abort();
+}
+
+Status InvariantFailed(const char* file, int line, const char* expr,
+                       std::string_view msg) {
+  std::string text = FailureMessage(expr, msg);
+  internal::LogMessage(LogLevel::kError, file, line, text);
+  return Status::Internal(text);
+}
+
+}  // namespace internal
+}  // namespace blendhouse::common

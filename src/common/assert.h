@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+
+// Invariant-checking macro family.
+//
+//   BH_ASSERT(cond)            checked in every build; failure logs
+//                              file:line + expression and aborts.
+//   BH_ASSERT_MSG(cond, msg)   same, with an extra message.
+//   BH_DCHECK(cond)            debug/sanitizer builds only (enabled when
+//   BH_DCHECK_MSG(cond, msg)   NDEBUG is unset or BLENDHOUSE_DCHECKS is
+//                              defined; the sanitizer presets define it).
+//   BH_INVARIANT(cond, msg)    checked in every build; behavior is
+//                              configurable at runtime: under
+//                              InvariantPolicy::kAbort (default) it aborts,
+//                              under kStatus it returns
+//                              Status::Internal(msg) from the enclosing
+//                              function — so it is only usable where a
+//                              Status/Result is the return type. Servers
+//                              flip to kStatus to fail one request instead
+//                              of the process.
+
+namespace blendhouse::common {
+
+enum class InvariantPolicy {
+  kAbort = 0,  // log + abort() — crash early, keep the core dump
+  kStatus,     // log + surface Status::Internal to the caller
+};
+
+InvariantPolicy GetInvariantPolicy();
+void SetInvariantPolicy(InvariantPolicy policy);
+
+namespace internal {
+[[noreturn]] void AssertFail(const char* file, int line, const char* expr,
+                             std::string_view msg);
+Status InvariantFailed(const char* file, int line, const char* expr,
+                       std::string_view msg);
+}  // namespace internal
+
+}  // namespace blendhouse::common
+
+#define BH_ASSERT_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::blendhouse::common::internal::AssertFail(__FILE__, __LINE__,   \
+                                                 #cond, msg);          \
+  } while (0)
+
+#define BH_ASSERT(cond) BH_ASSERT_MSG(cond, "")
+
+#if !defined(NDEBUG) || defined(BLENDHOUSE_DCHECKS)
+#define BH_DCHECK(cond) BH_ASSERT(cond)
+#define BH_DCHECK_MSG(cond, msg) BH_ASSERT_MSG(cond, msg)
+#else
+#define BH_DCHECK(cond) \
+  do {                  \
+  } while (false && (cond))
+#define BH_DCHECK_MSG(cond, msg) BH_DCHECK(cond)
+#endif
+
+#define BH_INVARIANT(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      if (::blendhouse::common::GetInvariantPolicy() ==                     \
+          ::blendhouse::common::InvariantPolicy::kAbort)                    \
+        ::blendhouse::common::internal::AssertFail(__FILE__, __LINE__,      \
+                                                   #cond, msg);             \
+      return ::blendhouse::common::internal::InvariantFailed(               \
+          __FILE__, __LINE__, #cond, msg);                                  \
+    }                                                                       \
+  } while (0)

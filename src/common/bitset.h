@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_COMMON_BITSET_H_
-#define BLENDHOUSE_COMMON_BITSET_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -83,5 +82,3 @@ class Bitset {
 };
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_BITSET_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_COMMON_HISTOGRAM_H_
-#define BLENDHOUSE_COMMON_HISTOGRAM_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -45,5 +44,3 @@ class Histogram {
 };
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_HISTOGRAM_H_

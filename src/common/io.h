@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_COMMON_IO_H_
-#define BLENDHOUSE_COMMON_IO_H_
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -33,7 +32,9 @@ class BinaryWriter {
   void WriteVector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     Write<uint64_t>(v.size());
-    out_->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+    if (!v.empty())  // data() may be null for an empty vector
+      out_->append(reinterpret_cast<const char*>(v.data()),
+                   v.size() * sizeof(T));
   }
 
  private:
@@ -59,7 +60,7 @@ class BinaryReader {
   Status ReadString(std::string* s) {
     uint64_t n = 0;
     BH_RETURN_IF_ERROR(Read(&n));
-    if (pos_ + n > in_.size()) return Status::Corruption("string past end");
+    if (n > in_.size() - pos_) return Status::Corruption("string past end");
     s->assign(in_.data() + pos_, n);
     pos_ += n;
     return Status::Ok();
@@ -70,10 +71,13 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t n = 0;
     BH_RETURN_IF_ERROR(Read(&n));
-    if (pos_ + n * sizeof(T) > in_.size())
+    // Divide instead of multiplying: n * sizeof(T) can wrap uint64 and slip
+    // past the bounds check on a corrupt length prefix.
+    if (n > (in_.size() - pos_) / sizeof(T))
       return Status::Corruption("vector past end");
     v->resize(n);
-    std::memcpy(v->data(), in_.data() + pos_, n * sizeof(T));
+    if (n > 0)  // data() may be null for an empty vector
+      std::memcpy(v->data(), in_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return Status::Ok();
   }
@@ -86,5 +90,3 @@ class BinaryReader {
 };
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_IO_H_

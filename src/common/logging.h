@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_COMMON_LOGGING_H_
-#define BLENDHOUSE_COMMON_LOGGING_H_
+#pragma once
 
 #include <cstdio>
 #include <string_view>
@@ -27,5 +26,3 @@ void LogMessage(LogLevel level, const char* file, int line,
   } while (0)
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_LOGGING_H_

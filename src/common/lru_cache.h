@@ -1,13 +1,14 @@
-#ifndef BLENDHOUSE_COMMON_LRU_CACHE_H_
-#define BLENDHOUSE_COMMON_LRU_CACHE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "common/assert.h"
+#include "common/mutex.h"
 
 namespace blendhouse::common {
 
@@ -15,13 +16,16 @@ namespace blendhouse::common {
 /// shared_ptr for heavy objects). The caller supplies each entry's charged
 /// size, so one template serves the index cache, the segment (column data)
 /// cache, and the disk tier.
+///
+/// Locking: every access takes mu_; the hit/miss/eviction counters are
+/// atomics so stats reads never contend with the hot path.
 template <typename V>
 class LruCache {
  public:
   explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
-  std::optional<V> Get(const std::string& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<V> Get(const std::string& key) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -33,17 +37,18 @@ class LruCache {
   }
 
   /// Peek without touching LRU order or hit/miss counters.
-  std::optional<V> Peek(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<V> Peek(const std::string& key) const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) return std::nullopt;
     return it->second->value;
   }
 
-  void Put(const std::string& key, V value, size_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Put(const std::string& key, V value, size_t bytes) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
+      BH_DCHECK_MSG(used_ >= it->second->bytes, "cache accounting underflow");
       used_ -= it->second->bytes;
       order_.erase(it->second);
       map_.erase(it);
@@ -55,46 +60,54 @@ class LruCache {
     used_ += bytes;
     while (used_ > capacity_ && !order_.empty()) {
       const Entry& victim = order_.back();
+      BH_DCHECK_MSG(used_ >= victim.bytes, "eviction accounting underflow");
       used_ -= victim.bytes;
       map_.erase(victim.key);
       order_.pop_back();
       evictions_.fetch_add(1, std::memory_order_relaxed);
     }
+    BH_DCHECK_MSG(map_.size() == order_.size(),
+                  "LRU map and recency list diverged");
+    BH_DCHECK_MSG(used_ <= capacity_ || order_.empty(),
+                  "eviction left the cache over budget");
   }
 
-  void Erase(const std::string& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Erase(const std::string& key) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) return;
+    BH_DCHECK_MSG(used_ >= it->second->bytes, "cache accounting underflow");
     used_ -= it->second->bytes;
     order_.erase(it->second);
     map_.erase(it);
   }
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     map_.clear();
     order_.clear();
     used_ = 0;
   }
 
-  bool Contains(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Contains(const std::string& key) const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return map_.count(key) > 0;
   }
 
-  size_t used_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t used_bytes() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return used_;
   }
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return map_.size();
   }
   size_t capacity_bytes() const { return capacity_; }
-  uint64_t hits() const { return hits_.load(); }
-  uint64_t misses() const { return misses_.load(); }
-  uint64_t evictions() const { return evictions_.load(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -103,16 +116,15 @@ class LruCache {
     size_t bytes;
   };
 
-  size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> order_;  // front = most recent
-  std::unordered_map<std::string, typename std::list<Entry>::iterator> map_;
-  size_t used_ = 0;
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::list<Entry> order_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> map_
+      GUARDED_BY(mu_);
+  size_t used_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_LRU_CACHE_H_

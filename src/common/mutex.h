@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>  // lint:allow(raw-mutex) -- the one sanctioned wrapper site
+
+#include "common/thread_annotations.h"
+
+namespace blendhouse::common {
+
+/// The project's only mutual-exclusion primitive. A thin wrapper over
+/// std::mutex that carries the Clang thread-safety `capability` attribute,
+/// so members declared GUARDED_BY(mu_) are compile-time checked under
+/// -Wthread-safety. tools/lint.py rejects raw std::mutex / std::lock_guard /
+/// std::condition_variable members anywhere else in src/.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint:allow(raw-mutex)
+};
+
+/// RAII lock for Mutex, the analysis-aware std::lock_guard replacement.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Callers hold the mutex and spell the
+/// predicate as an explicit loop so guarded reads stay inside the annotated
+/// function (Clang cannot see through a predicate lambda):
+///
+///   MutexLock lock(mu_);
+///   while (queue_.empty() && !stop_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and re-acquires `mu`.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // lint:allow(raw-mutex)
+};
+
+}  // namespace blendhouse::common

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_COMMON_RESULT_H_
-#define BLENDHOUSE_COMMON_RESULT_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -64,5 +63,3 @@ class Result {
 #define BH_CONCAT_(a, b) BH_CONCAT_INNER_(a, b)
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_RESULT_H_

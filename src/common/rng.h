@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_COMMON_RNG_H_
-#define BLENDHOUSE_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -37,5 +36,3 @@ class Rng {
 };
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_RNG_H_

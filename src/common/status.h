@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_COMMON_STATUS_H_
-#define BLENDHOUSE_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -86,5 +85,3 @@ class Status {
   } while (0)
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_STATUS_H_

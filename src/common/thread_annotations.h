@@ -1,0 +1,62 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute macros (-Wthread-safety). Under
+// Clang these make the locking discipline machine-checked at compile time;
+// under other compilers they expand to nothing. Use them through
+// common/mutex.h: the wrapper types there are the only lock primitives the
+// lint pass (tools/lint.py) allows outside this directory.
+//
+// Conventions (see DESIGN.md "Concurrency invariants & verification"):
+//   GUARDED_BY(mu)  on every member written under a lock
+//   REQUIRES(mu)    on private *Locked() helpers called with the lock held
+//   EXCLUDES(mu)    on public entry points that take the lock themselves
+
+#if defined(__clang__) && !defined(SWIG)
+#define BH_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define BH_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#define CAPABILITY(x) BH_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY BH_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) BH_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) BH_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) BH_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) BH_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) BH_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BH_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_COMMON_TIMER_H_
-#define BLENDHOUSE_COMMON_TIMER_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -29,5 +28,3 @@ class Timer {
 };
 
 }  // namespace blendhouse::common
-
-#endif  // BLENDHOUSE_COMMON_TIMER_H_

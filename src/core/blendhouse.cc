@@ -33,13 +33,13 @@ std::vector<common::ThreadPool*> BlendHouse::IndexBuildPools() {
 }
 
 BlendHouse::TableState* BlendHouse::FindTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(catalog_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> BlendHouse::TableNames() const {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(catalog_mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : tables_) names.push_back(name);
   return names;
@@ -56,7 +56,7 @@ common::Status BlendHouse::CreateTable(storage::TableSchema schema) {
   if (schema.index_spec.has_value() && schema.index_spec->dim == 0)
     return common::Status::InvalidArgument(
         "vector index needs DIM, e.g. HNSW('DIM=96')");
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(catalog_mu_);
   if (tables_.count(schema.table_name) > 0)
     return common::Status::AlreadyExists("table: " + schema.table_name);
   auto state = std::make_unique<TableState>();
@@ -117,7 +117,7 @@ std::shared_ptr<const sql::TableStatistics> BlendHouse::RefreshStatistics(
   storage::TableSnapshot snapshot = table->engine->Snapshot();
   // stats_mu also serializes concurrent refreshes so only one thread pays
   // the sampling cost.
-  std::lock_guard<std::mutex> lock(table->stats_mu);
+  common::MutexLock lock(table->stats_mu);
   if (table->stats != nullptr && table->stats->version() == snapshot.version)
     return table->stats;
   // Sample a bounded number of segments (largest first for coverage).
@@ -161,7 +161,7 @@ common::Result<sql::OptimizedQuery> BlendHouse::Plan(
         if (stmt.where != nullptr) {
           std::shared_ptr<const sql::TableStatistics> snapshot;
           {
-            std::lock_guard<std::mutex> lock(table->stats_mu);
+            common::MutexLock lock(table->stats_mu);
             snapshot = table->stats;
           }
           if (snapshot != nullptr) {

@@ -1,13 +1,12 @@
-#ifndef BLENDHOUSE_CORE_BLENDHOUSE_H_
-#define BLENDHOUSE_CORE_BLENDHOUSE_H_
+#pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/virtual_warehouse.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/options.h"
 #include "sql/executor.h"
@@ -34,7 +33,9 @@ namespace blendhouse::core {
 ///                     " LIMIT 10;");
 ///
 /// All entry points are thread-safe; benches drive Query() from many client
-/// threads concurrently.
+/// threads concurrently. catalog_mu_ only guards the table map itself —
+/// TableState objects are never destroyed while the database lives, so a
+/// pointer handed out by FindTable stays valid without the lock.
 class BlendHouse {
  public:
   explicit BlendHouse(BlendHouseOptions options = BlendHouseOptions());
@@ -92,19 +93,19 @@ class BlendHouse {
   BlendHouseOptions& mutable_options() { return options_; }
   const BlendHouseOptions& options() const { return options_; }
 
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const EXCLUDES(catalog_mu_);
 
  private:
   struct TableState {
     storage::TableSchema schema;
     std::unique_ptr<storage::LsmEngine> engine;
-    std::mutex stats_mu;
+    common::Mutex stats_mu;
     /// Immutable statistics snapshot: queries copy the shared_ptr under
     /// stats_mu and keep using it while refreshes swap in new snapshots.
-    std::shared_ptr<const sql::TableStatistics> stats;
+    std::shared_ptr<const sql::TableStatistics> stats GUARDED_BY(stats_mu);
   };
 
-  TableState* FindTable(const std::string& name);
+  TableState* FindTable(const std::string& name) EXCLUDES(catalog_mu_);
   /// Returns the current (possibly refreshed) statistics snapshot; null when
   /// statistics cannot be built.
   std::shared_ptr<const sql::TableStatistics> RefreshStatistics(
@@ -129,10 +130,9 @@ class BlendHouse {
   std::unique_ptr<common::ThreadPool> build_pool_;
   sql::PlanCache plan_cache_;
 
-  mutable std::mutex catalog_mu_;
-  std::map<std::string, std::unique_ptr<TableState>> tables_;
+  mutable common::Mutex catalog_mu_;
+  std::map<std::string, std::unique_ptr<TableState>> tables_
+      GUARDED_BY(catalog_mu_);
 };
 
 }  // namespace blendhouse::core
-
-#endif  // BLENDHOUSE_CORE_BLENDHOUSE_H_

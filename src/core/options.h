@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_CORE_OPTIONS_H_
-#define BLENDHOUSE_CORE_OPTIONS_H_
+#pragma once
 
 #include <cstddef>
 
@@ -62,5 +61,3 @@ struct BlendHouseOptions {
 };
 
 }  // namespace blendhouse::core
-
-#endif  // BLENDHOUSE_CORE_OPTIONS_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_AST_H_
-#define BLENDHOUSE_SQL_AST_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -91,5 +90,3 @@ struct Statement {
 };
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_AST_H_

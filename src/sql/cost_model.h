@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_COST_MODEL_H_
-#define BLENDHOUSE_SQL_COST_MODEL_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -73,5 +72,3 @@ StrategyChoice ChooseStrategy(const PlanCostInputs& in,
                               const CostModelParams& p);
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_COST_MODEL_H_

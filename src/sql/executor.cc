@@ -94,18 +94,20 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
   // Semantic pruning with runtime-adaptive expansion: probe the nearest
   // buckets first; if too few results qualify, widen and scan only the
   // segments not yet covered.
-  const storage::SemanticPartitioner& partitioner =
+  // Immutable snapshot: a concurrent first flush may publish the trained
+  // partitioner mid-query, but this query keeps pruning with one view.
+  std::shared_ptr<const storage::SemanticPartitioner> partitioner =
       engine.semantic_partitioner();
   size_t probe = settings_.semantic_probe_buckets;
-  bool semantic = settings_.semantic_pruning && partitioner.trained() &&
-                  schema.semantic_buckets > 0;
+  bool semantic = settings_.semantic_pruning && partitioner != nullptr &&
+                  partitioner->trained() && schema.semantic_buckets > 0;
 
   std::vector<Candidate> all_candidates;
   std::vector<std::string> scanned_ids;
   for (;;) {
     std::vector<storage::SegmentMeta> round_segments =
         semantic ? cluster::Scheduler::PruneSemantic(
-                       segments, partitioner, bound.query_vector.data(), probe)
+                       segments, *partitioner, bound.query_vector.data(), probe)
                  : segments;
     if (stats->segments_after_semantic_prune == 0)
       stats->segments_after_semantic_prune = round_segments.size();
@@ -128,8 +130,8 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
 
     if (!semantic || !settings_.adaptive_semantic) break;
     if (all_candidates.size() >= bound.k) break;
-    if (probe >= partitioner.num_buckets()) break;
-    probe = std::min(partitioner.num_buckets(), probe * 2);
+    if (probe >= partitioner->num_buckets()) break;
+    probe = std::min(partitioner->num_buckets(), probe * 2);
     ++stats->adaptive_expansions;
   }
 

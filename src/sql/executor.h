@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_EXECUTOR_H_
-#define BLENDHOUSE_SQL_EXECUTOR_H_
+#pragma once
 
 #include <array>
 #include <map>
@@ -108,5 +107,3 @@ class Executor {
 };
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_EXECUTOR_H_

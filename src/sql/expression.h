@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_EXPRESSION_H_
-#define BLENDHOUSE_SQL_EXPRESSION_H_
+#pragma once
 
 #include <memory>
 #include <regex>
@@ -113,5 +112,3 @@ bool MayMatchSegment(const Expr& expr, const storage::SegmentMeta& meta);
 bool LikeMatch(std::string_view text, std::string_view pattern);
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_EXPRESSION_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_LEXER_H_
-#define BLENDHOUSE_SQL_LEXER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -33,5 +32,3 @@ struct Token {
 common::Result<std::vector<Token>> Tokenize(std::string_view sql);
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_LEXER_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_LOGICAL_PLAN_H_
-#define BLENDHOUSE_SQL_LOGICAL_PLAN_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -90,5 +89,3 @@ std::string ExplainPlan(const PlanNode& root);
 vecindex::Metric MetricFromDistanceFn(const std::string& fn);
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_LOGICAL_PLAN_H_

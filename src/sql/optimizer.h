@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_OPTIMIZER_H_
-#define BLENDHOUSE_SQL_OPTIMIZER_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -79,5 +78,3 @@ PlanCostInputs BuildCostInputs(const BoundQuery& bound,
                                const QuerySettings& settings);
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_OPTIMIZER_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_PARSER_H_
-#define BLENDHOUSE_SQL_PARSER_H_
+#pragma once
 
 #include <string>
 
@@ -31,5 +30,3 @@ common::Result<Statement> ParseStatement(const std::string& sql);
 common::Result<std::string> ParameterizedSignature(const std::string& sql);
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_PARSER_H_

@@ -3,19 +3,19 @@
 namespace blendhouse::sql {
 
 std::optional<CachedPlan> PlanCache::Get(const std::string& signature) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = map_.find(signature);
   if (it == map_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   order_.splice(order_.begin(), order_, it->second);
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->second;
 }
 
 void PlanCache::Put(const std::string& signature, CachedPlan plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = map_.find(signature);
   if (it != map_.end()) {
     it->second->second = plan;
@@ -31,13 +31,13 @@ void PlanCache::Put(const std::string& signature, CachedPlan plan) {
 }
 
 void PlanCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   map_.clear();
   order_.clear();
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return map_.size();
 }
 

@@ -1,12 +1,12 @@
-#ifndef BLENDHOUSE_SQL_PLAN_CACHE_H_
-#define BLENDHOUSE_SQL_PLAN_CACHE_H_
+#pragma once
 
+#include <atomic>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "sql/cost_model.h"
 
 namespace blendhouse::sql {
@@ -25,31 +25,31 @@ struct CachedPlan {
 /// WHERE x > ? ORDER BY L2DISTANCE ( emb , ? ) LIMIT ?"). The signature is
 /// the "extended plan matching" — structurally identical queries with
 /// different literals, thresholds, and search vectors hit the same entry.
+/// Thread-safe: benches issue Query() from many client threads, all of which
+/// funnel through one PlanCache.
 class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
 
-  std::optional<CachedPlan> Get(const std::string& signature);
-  void Put(const std::string& signature, CachedPlan plan);
+  std::optional<CachedPlan> Get(const std::string& signature) EXCLUDES(mu_);
+  void Put(const std::string& signature, CachedPlan plan) EXCLUDES(mu_);
 
   /// Drops all entries (table schema changed / stats refreshed).
-  void Invalidate();
+  void Invalidate() EXCLUDES(mu_);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const EXCLUDES(mu_);
 
  private:
-  size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<std::pair<std::string, CachedPlan>> order_;
+  const size_t capacity_;
+  mutable common::Mutex mu_;
+  std::list<std::pair<std::string, CachedPlan>> order_ GUARDED_BY(mu_);
   std::unordered_map<std::string,
                      std::list<std::pair<std::string, CachedPlan>>::iterator>
-      map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+      map_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_PLAN_CACHE_H_

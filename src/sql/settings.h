@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_SETTINGS_H_
-#define BLENDHOUSE_SQL_SETTINGS_H_
+#pragma once
 
 #include <cstddef>
 #include <optional>
@@ -51,5 +50,3 @@ struct QuerySettings {
 };
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_SETTINGS_H_

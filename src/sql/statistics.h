@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_SQL_STATISTICS_H_
-#define BLENDHOUSE_SQL_STATISTICS_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -64,5 +63,3 @@ class TableStatistics {
 };
 
 }  // namespace blendhouse::sql
-
-#endif  // BLENDHOUSE_SQL_STATISTICS_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_STORAGE_COLUMN_H_
-#define BLENDHOUSE_STORAGE_COLUMN_H_
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -103,5 +102,3 @@ class Column {
 };
 
 }  // namespace blendhouse::storage
-
-#endif  // BLENDHOUSE_STORAGE_COLUMN_H_

@@ -4,6 +4,7 @@
 #include <future>
 #include <map>
 
+#include "common/assert.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "vecindex/auto_index.h"
@@ -31,6 +32,7 @@ LsmEngine::LsmEngine(TableSchema schema, ObjectStore* store,
       store_(store),
       index_pools_(std::move(index_pools)),
       options_(options) {
+  BH_ASSERT_MSG(!index_pools_.empty(), "LsmEngine needs an index-build pool");
   if (options_.async_flush)
     flush_pool_ = std::make_unique<common::ThreadPool>(1);
 }
@@ -47,28 +49,29 @@ std::string LsmEngine::NextSegmentId() {
 }
 
 size_t LsmEngine::MemtableRows() const {
-  std::lock_guard<std::mutex> lock(memtable_mu_);
+  common::MutexLock lock(memtable_mu_);
   return memtable_.size();
 }
 
 common::Status LsmEngine::Insert(std::vector<Row> rows) {
+  size_t num_rows = rows.size();
   std::vector<Row> to_flush;
   {
-    std::lock_guard<std::mutex> lock(memtable_mu_);
+    common::MutexLock lock(memtable_mu_);
     for (Row& r : rows) memtable_.push_back(std::move(r));
     if (memtable_.size() >= options_.flush_threshold_rows)
       to_flush = std::move(memtable_);
   }
-  stats_.rows_ingested.fetch_add(rows.size(), std::memory_order_relaxed);
+  stats_.rows_ingested.fetch_add(num_rows, std::memory_order_relaxed);
   if (to_flush.empty()) return common::Status::Ok();
-  if (flush_pool_ == nullptr) return FlushLocked(std::move(to_flush));
+  if (flush_pool_ == nullptr) return FlushBatch(std::move(to_flush));
   // Async ingestion pipeline: hand the batch to the background flusher so
   // the client's next Insert proceeds while indexes build.
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    common::MutexLock lock(pending_mu_);
     pending_flushes_.push_back(flush_pool_->Submit(
         [this, batch = std::move(to_flush)]() mutable {
-          return FlushLocked(std::move(batch));
+          return FlushBatch(std::move(batch));
         }));
   }
   return common::Status::Ok();
@@ -77,7 +80,7 @@ common::Status LsmEngine::Insert(std::vector<Row> rows) {
 common::Status LsmEngine::DrainPendingFlushes() {
   std::vector<std::future<common::Status>> pending;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    common::MutexLock lock(pending_mu_);
     pending = std::move(pending_flushes_);
   }
   common::Status status;
@@ -91,18 +94,18 @@ common::Status LsmEngine::DrainPendingFlushes() {
 common::Status LsmEngine::Flush() {
   std::vector<Row> to_flush;
   {
-    std::lock_guard<std::mutex> lock(memtable_mu_);
+    common::MutexLock lock(memtable_mu_);
     to_flush = std::move(memtable_);
   }
   common::Status tail;
-  if (!to_flush.empty()) tail = FlushLocked(std::move(to_flush));
+  if (!to_flush.empty()) tail = FlushBatch(std::move(to_flush));
   common::Status drained = DrainPendingFlushes();
   return tail.ok() ? drained : tail;
 }
 
 common::Status LsmEngine::EnsureSemanticPartitioner(
     const std::vector<Row>& rows) {
-  if (schema_.semantic_buckets == 0 || semantic_partitioner_.trained())
+  if (schema_.semantic_buckets == 0 || semantic_partitioner() != nullptr)
     return common::Status::Ok();
   if (schema_.vector_column < 0)
     return common::Status::InvalidArgument(
@@ -119,27 +122,37 @@ common::Status LsmEngine::EnsureSemanticPartitioner(
     sample.insert(sample.end(), vec->begin(), vec->end());
     if (sample.size() / dim >= max_sample) break;
   }
-  BH_RETURN_IF_ERROR(semantic_partitioner_.Train(
-      sample.data(), sample.size() / dim, dim, schema_.semantic_buckets));
+  // Train into a private instance, then publish it as an immutable snapshot
+  // — queries pruning concurrently only ever see a fully trained partitioner.
+  auto fresh = std::make_shared<SemanticPartitioner>();
+  BH_RETURN_IF_ERROR(fresh->Train(sample.data(), sample.size() / dim, dim,
+                                  schema_.semantic_buckets));
   // Persist centroids so query-side pruning sees the same mapping.
   std::string bytes;
   common::BinaryWriter w(&bytes);
-  semantic_partitioner_.Serialize(&w);
-  return store_->Put("tables/" + schema_.table_name + "/partitioner",
-                     std::move(bytes));
+  fresh->Serialize(&w);
+  BH_RETURN_IF_ERROR(store_->Put(
+      "tables/" + schema_.table_name + "/partitioner", std::move(bytes)));
+  {
+    common::MutexLock lock(partitioner_mu_);
+    semantic_partitioner_ = std::move(fresh);
+  }
+  return common::Status::Ok();
 }
 
 common::Result<std::vector<SegmentPtr>> LsmEngine::BuildSegments(
     std::vector<Row> rows) {
+  std::shared_ptr<const SemanticPartitioner> partitioner =
+      semantic_partitioner();
   // Group rows by (scalar partition key, semantic bucket).
   std::map<std::pair<std::string, int64_t>, std::vector<Row>> groups;
   for (Row& row : rows) {
     std::string key = ScalarPartitionKey(schema_, row);
     int64_t bucket = -1;
-    if (schema_.semantic_buckets > 0 && schema_.vector_column >= 0) {
+    if (partitioner != nullptr && schema_.vector_column >= 0) {
       const auto* vec =
           std::get_if<std::vector<float>>(&row.values[schema_.vector_column]);
-      if (vec != nullptr) bucket = semantic_partitioner_.AssignBucket(vec->data());
+      if (vec != nullptr) bucket = partitioner->AssignBucket(vec->data());
     }
     groups[{std::move(key), bucket}].push_back(std::move(row));
   }
@@ -157,6 +170,9 @@ common::Result<std::vector<SegmentPtr>> LsmEngine::BuildSegments(
         BH_RETURN_IF_ERROR(builder.AppendRow(group_rows[i]));
       auto segment = builder.Finish();
       if (!segment.ok()) return segment.status();
+      BH_DCHECK_MSG((*segment)->num_rows() > 0 &&
+                        (*segment)->num_rows() <= options_.max_segment_rows,
+                    "flushed segment violates the row bound");
       segments.push_back(std::move(*segment));
     }
   }
@@ -194,8 +210,8 @@ common::Status LsmEngine::BuildAndStoreIndex(const Segment& segment) {
   return common::Status::Ok();
 }
 
-common::Status LsmEngine::FlushLocked(std::vector<Row> rows) {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+common::Status LsmEngine::FlushBatch(std::vector<Row> rows) {
+  common::MutexLock lock(flush_mu_);
   BH_RETURN_IF_ERROR(EnsureSemanticPartitioner(rows));
   auto segments = BuildSegments(std::move(rows));
   if (!segments.ok()) return segments.status();
@@ -307,7 +323,7 @@ common::Status LsmEngine::CompactGroup(const std::vector<SegmentMeta>& group) {
 }
 
 common::Result<size_t> LsmEngine::Compact() {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  common::MutexLock lock(flush_mu_);
   TableSnapshot snap = versions_.Snapshot();
   std::map<std::pair<std::string, int64_t>, std::vector<SegmentMeta>> groups;
   for (const SegmentMeta& m : snap.segments)
@@ -325,7 +341,7 @@ common::Result<size_t> LsmEngine::Compact() {
 }
 
 common::Result<size_t> LsmEngine::CompactIfNeeded() {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  common::MutexLock lock(flush_mu_);
   TableSnapshot snap = versions_.Snapshot();
   std::map<std::pair<std::string, int64_t>, std::vector<SegmentMeta>> groups;
   for (const SegmentMeta& m : snap.segments)

@@ -1,13 +1,12 @@
-#ifndef BLENDHOUSE_STORAGE_LSM_ENGINE_H_
-#define BLENDHOUSE_STORAGE_LSM_ENGINE_H_
+#pragma once
 
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/threadpool.h"
 #include "storage/object_store.h"
@@ -56,6 +55,10 @@ struct IngestStats {
 /// indexes -> background-style compaction that rebuilds indexes as segments
 /// merge (the paper's "vector index compaction"). Updates never rewrite
 /// segments; they set delete-bitmap bits and add new segments (Fig. 6).
+///
+/// Lock hierarchy (outer first): flush_mu_ > memtable_mu_ / pending_mu_ >
+/// VersionSet::mu_. Queries never take engine locks: they read immutable
+/// TableSnapshot copies and the immutable published partitioner snapshot.
 class LsmEngine {
  public:
   LsmEngine(TableSchema schema, ObjectStore* store,
@@ -75,15 +78,21 @@ class LsmEngine {
   const TableSchema& schema() const { return schema_; }
   const IngestOptions& options() const { return options_; }
   const IngestStats& stats() const { return stats_; }
-  const SemanticPartitioner& semantic_partitioner() const {
+
+  /// Immutable snapshot of the semantic partitioner; null until the first
+  /// CLUSTER BY flush trains and publishes it. Queries hold the shared_ptr
+  /// while pruning, so a concurrent re-train can never mutate under them.
+  std::shared_ptr<const SemanticPartitioner> semantic_partitioner() const
+      EXCLUDES(partitioner_mu_) {
+    common::MutexLock lock(partitioner_mu_);
     return semantic_partitioner_;
   }
 
   /// Buffers rows; flushes automatically past the threshold.
-  common::Status Insert(std::vector<Row> rows);
+  common::Status Insert(std::vector<Row> rows) EXCLUDES(memtable_mu_);
 
   /// Flushes the memtable into committed segments (no-op when empty).
-  common::Status Flush();
+  common::Status Flush() EXCLUDES(memtable_mu_, flush_mu_);
 
   /// Marks rows of a committed segment as deleted (the update path).
   common::Status DeleteRows(const std::string& segment_id,
@@ -92,14 +101,14 @@ class LsmEngine {
   /// Merges every (partition, bucket) group with more than one segment,
   /// dropping deleted rows and rebuilding vector indexes. Returns the number
   /// of compaction jobs executed.
-  common::Result<size_t> Compact();
+  common::Result<size_t> Compact() EXCLUDES(flush_mu_);
 
   /// Compacts only groups at/above the trigger threshold.
-  common::Result<size_t> CompactIfNeeded();
+  common::Result<size_t> CompactIfNeeded() EXCLUDES(flush_mu_);
 
   TableSnapshot Snapshot() const { return versions_.Snapshot(); }
   size_t NumSegments() const { return versions_.NumSegments(); }
-  size_t MemtableRows() const;
+  size_t MemtableRows() const EXCLUDES(memtable_mu_);
 
   /// Fetches a committed segment from the object store.
   common::Result<SegmentPtr> FetchSegment(const std::string& segment_id) const;
@@ -108,16 +117,16 @@ class LsmEngine {
   common::Status BuildAndStoreIndex(const Segment& segment);
 
  private:
-  struct PendingSegment {
-    SegmentPtr segment;
-  };
-
   std::string NextSegmentId();
-  common::Status FlushLocked(std::vector<Row> rows);
-  common::Status EnsureSemanticPartitioner(const std::vector<Row>& rows);
-  common::Result<std::vector<SegmentPtr>> BuildSegments(
-      std::vector<Row> rows);
-  common::Status CompactGroup(const std::vector<SegmentMeta>& group);
+  /// Writes one memtable batch out as committed segments. Takes flush_mu_
+  /// itself (commits are serialized with compaction).
+  common::Status FlushBatch(std::vector<Row> rows) EXCLUDES(flush_mu_);
+  common::Status EnsureSemanticPartitioner(const std::vector<Row>& rows)
+      REQUIRES(flush_mu_);
+  common::Result<std::vector<SegmentPtr>> BuildSegments(std::vector<Row> rows)
+      REQUIRES(flush_mu_);
+  common::Status CompactGroup(const std::vector<SegmentMeta>& group)
+      REQUIRES(flush_mu_);
 
   common::ThreadPool* NextIndexPool() {
     return index_pools_[pool_rr_.fetch_add(1) % index_pools_.size()];
@@ -130,18 +139,23 @@ class LsmEngine {
   IngestOptions options_;
 
   /// Waits for queued background flushes; returns the first error seen.
-  common::Status DrainPendingFlushes();
+  common::Status DrainPendingFlushes() EXCLUDES(pending_mu_);
 
-  mutable std::mutex memtable_mu_;
-  std::vector<Row> memtable_;
+  mutable common::Mutex memtable_mu_;
+  std::vector<Row> memtable_ GUARDED_BY(memtable_mu_);
 
   std::unique_ptr<common::ThreadPool> flush_pool_;  // async_flush only
-  std::mutex pending_mu_;
-  std::vector<std::future<common::Status>> pending_flushes_;
+  common::Mutex pending_mu_;
+  std::vector<std::future<common::Status>> pending_flushes_
+      GUARDED_BY(pending_mu_);
 
-  std::mutex flush_mu_;  // serializes flush/compaction commits
+  common::Mutex flush_mu_;  // serializes flush/compaction commits
   VersionSet versions_;
-  SemanticPartitioner semantic_partitioner_;
+  /// Published (copy-on-train) under partitioner_mu_; trained under
+  /// flush_mu_ on the first CLUSTER BY flush.
+  mutable common::Mutex partitioner_mu_;
+  std::shared_ptr<const SemanticPartitioner> semantic_partitioner_
+      GUARDED_BY(partitioner_mu_);
   std::atomic<uint64_t> segment_counter_{0};
   IngestStats stats_;
 };
@@ -150,5 +164,3 @@ class LsmEngine {
 Row RowFromSegment(const Segment& segment, size_t i);
 
 }  // namespace blendhouse::storage
-
-#endif  // BLENDHOUSE_STORAGE_LSM_ENGINE_H_

@@ -6,11 +6,10 @@
 namespace blendhouse::storage {
 
 void ObjectStore::ChargeLatency(size_t bytes) const {
-  if (!cost_model_.simulate_latency) return;
-  double transfer =
-      static_cast<double>(bytes) / cost_model_.bytes_per_micro;
-  int64_t total =
-      cost_model_.base_latency_micros + static_cast<int64_t>(transfer);
+  StorageCostModel cost = cost_model();  // copy; never sleep under the lock
+  if (!cost.simulate_latency) return;
+  double transfer = static_cast<double>(bytes) / cost.bytes_per_micro;
+  int64_t total = cost.base_latency_micros + static_cast<int64_t>(transfer);
   if (total > 0)
     std::this_thread::sleep_for(std::chrono::microseconds(total));
 }
@@ -19,7 +18,7 @@ common::Status ObjectStore::Put(const std::string& key, std::string bytes) {
   ChargeLatency(bytes.size());
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(bytes.size(), std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   objects_[key] = std::move(bytes);
   return common::Status::Ok();
 }
@@ -27,7 +26,7 @@ common::Status ObjectStore::Put(const std::string& key, std::string bytes) {
 common::Result<std::string> ObjectStore::Get(const std::string& key) const {
   std::string bytes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = objects_.find(key);
     if (it == objects_.end())
       return common::Status::NotFound("object: " + key);
@@ -40,12 +39,12 @@ common::Result<std::string> ObjectStore::Get(const std::string& key) const {
 }
 
 bool ObjectStore::Exists(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return objects_.count(key) > 0;
 }
 
 common::Status ObjectStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return common::Status::NotFound("object: " + key);
   objects_.erase(it);
@@ -54,7 +53,7 @@ common::Status ObjectStore::Delete(const std::string& key) {
 
 std::vector<std::string> ObjectStore::ListPrefix(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix);
        it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0;

@@ -1,13 +1,12 @@
-#ifndef BLENDHOUSE_STORAGE_OBJECT_STORE_H_
-#define BLENDHOUSE_STORAGE_OBJECT_STORE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -40,6 +39,10 @@ struct ObjectStoreStats {
 /// Simulated remote shared storage (the paper's HDFS/S3 tier). Thread-safe
 /// in-process key/value store whose every operation pays the configured
 /// latency model, with byte/op counters for the benches.
+///
+/// The cost model is guarded by mu_ (benches swap it between phases while
+/// background loaders may still be in flight); latency sleeps happen with a
+/// copy of the model, outside the lock.
 class ObjectStore {
  public:
   explicit ObjectStore(StorageCostModel cost_model = StorageCostModel::Remote())
@@ -54,18 +57,22 @@ class ObjectStore {
   const ObjectStoreStats& stats() const { return stats_; }
   void ResetStats();
 
-  const StorageCostModel& cost_model() const { return cost_model_; }
-  void set_cost_model(StorageCostModel m) { cost_model_ = m; }
+  StorageCostModel cost_model() const {
+    common::MutexLock lock(mu_);
+    return cost_model_;
+  }
+  void set_cost_model(StorageCostModel m) {
+    common::MutexLock lock(mu_);
+    cost_model_ = m;
+  }
 
  private:
   void ChargeLatency(size_t bytes) const;
 
-  StorageCostModel cost_model_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> objects_;
+  mutable common::Mutex mu_;
+  StorageCostModel cost_model_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> objects_ GUARDED_BY(mu_);
   mutable ObjectStoreStats stats_;
 };
 
 }  // namespace blendhouse::storage
-
-#endif  // BLENDHOUSE_STORAGE_OBJECT_STORE_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_STORAGE_PARTITIONER_H_
-#define BLENDHOUSE_STORAGE_PARTITIONER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -49,5 +48,3 @@ class SemanticPartitioner {
 };
 
 }  // namespace blendhouse::storage
-
-#endif  // BLENDHOUSE_STORAGE_PARTITIONER_H_

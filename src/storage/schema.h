@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_STORAGE_SCHEMA_H_
-#define BLENDHOUSE_STORAGE_SCHEMA_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -46,5 +45,3 @@ struct TableSchema {
 };
 
 }  // namespace blendhouse::storage
-
-#endif  // BLENDHOUSE_STORAGE_SCHEMA_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_STORAGE_SEGMENT_H_
-#define BLENDHOUSE_STORAGE_SEGMENT_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -102,5 +101,3 @@ struct SegmentKeys {
 };
 
 }  // namespace blendhouse::storage
-
-#endif  // BLENDHOUSE_STORAGE_SEGMENT_H_

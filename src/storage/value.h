@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_STORAGE_VALUE_H_
-#define BLENDHOUSE_STORAGE_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -40,5 +39,3 @@ inline const char* ColumnTypeName(ColumnType t) {
 }
 
 }  // namespace blendhouse::storage
-
-#endif  // BLENDHOUSE_STORAGE_VALUE_H_

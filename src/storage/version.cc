@@ -1,17 +1,23 @@
 #include "storage/version.h"
 
+#include "common/assert.h"
+
 namespace blendhouse::storage {
 
 void VersionSet::AddSegments(const std::vector<SegmentMeta>& metas) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const SegmentMeta& m : metas) segments_[m.segment_id] = m;
+  common::MutexLock lock(mu_);
+  for (const SegmentMeta& m : metas) {
+    BH_ASSERT_MSG(segments_.count(m.segment_id) == 0,
+                  "flush re-committed a live segment id");
+    segments_[m.segment_id] = m;
+  }
   ++version_;
 }
 
 common::Status VersionSet::ReplaceSegments(
     const std::vector<std::string>& removed_ids,
     const std::vector<SegmentMeta>& added) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (const std::string& id : removed_ids) {
     if (segments_.count(id) == 0)
       return common::Status::NotFound("compaction input gone: " + id);
@@ -20,14 +26,20 @@ common::Status VersionSet::ReplaceSegments(
     segments_.erase(id);
     deletes_.erase(id);
   }
-  for (const SegmentMeta& m : added) segments_[m.segment_id] = m;
+  for (const SegmentMeta& m : added) {
+    BH_INVARIANT(segments_.count(m.segment_id) == 0,
+                 "compaction output collides with a live segment id");
+    BH_INVARIANT(deletes_.count(m.segment_id) == 0,
+                 "compaction output inherits a stale delete bitmap");
+    segments_[m.segment_id] = m;
+  }
   ++version_;
   return common::Status::Ok();
 }
 
 common::Status VersionSet::MarkDeleted(
     const std::string& segment_id, const std::vector<uint64_t>& row_offsets) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto seg_it = segments_.find(segment_id);
   if (seg_it == segments_.end())
     return common::Status::NotFound("segment: " + segment_id);
@@ -35,7 +47,11 @@ common::Status VersionSet::MarkDeleted(
   // Copy-on-write so outstanding snapshots keep their old bitmap.
   auto fresh = std::make_shared<common::Bitset>(seg_it->second.num_rows);
   auto old_it = deletes_.find(segment_id);
-  if (old_it != deletes_.end()) *fresh = *old_it->second;
+  if (old_it != deletes_.end()) {
+    BH_INVARIANT(old_it->second->size() == seg_it->second.num_rows,
+                 "delete bitmap size diverged from segment row count");
+    *fresh = *old_it->second;
+  }
   for (uint64_t row : row_offsets) {
     if (row >= seg_it->second.num_rows)
       return common::Status::InvalidArgument("delete offset out of range");
@@ -47,7 +63,7 @@ common::Status VersionSet::MarkDeleted(
 }
 
 TableSnapshot VersionSet::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   TableSnapshot snap;
   snap.version = version_;
   snap.segments.reserve(segments_.size());
@@ -57,12 +73,12 @@ TableSnapshot VersionSet::Snapshot() const {
 }
 
 uint64_t VersionSet::CurrentVersion() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return version_;
 }
 
 size_t VersionSet::NumSegments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return segments_.size();
 }
 

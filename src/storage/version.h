@@ -1,13 +1,12 @@
-#ifndef BLENDHOUSE_STORAGE_VERSION_H_
-#define BLENDHOUSE_STORAGE_VERSION_H_
+#pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/segment.h"
 
@@ -45,30 +44,32 @@ struct TableSnapshot {
 /// segments (dropping their bitmaps) with merged ones.
 class VersionSet {
  public:
-  /// Commits freshly flushed segments.
-  void AddSegments(const std::vector<SegmentMeta>& metas);
+  /// Commits freshly flushed segments. Segment ids must be fresh — a
+  /// re-committed id would silently shadow live data, so it aborts.
+  void AddSegments(const std::vector<SegmentMeta>& metas) EXCLUDES(mu_);
 
   /// Atomic compaction commit: removes `removed_ids` (and their delete
   /// bitmaps) and adds `added` in one version bump.
   common::Status ReplaceSegments(const std::vector<std::string>& removed_ids,
-                                 const std::vector<SegmentMeta>& added);
+                                 const std::vector<SegmentMeta>& added)
+      EXCLUDES(mu_);
 
   /// Marks rows of one segment deleted (update/delete path). Copy-on-write:
   /// existing snapshots are unaffected.
   common::Status MarkDeleted(const std::string& segment_id,
-                             const std::vector<uint64_t>& row_offsets);
+                             const std::vector<uint64_t>& row_offsets)
+      EXCLUDES(mu_);
 
-  TableSnapshot Snapshot() const;
-  uint64_t CurrentVersion() const;
-  size_t NumSegments() const;
+  TableSnapshot Snapshot() const EXCLUDES(mu_);
+  uint64_t CurrentVersion() const EXCLUDES(mu_);
+  size_t NumSegments() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  uint64_t version_ = 0;
-  std::map<std::string, SegmentMeta> segments_;
-  std::map<std::string, std::shared_ptr<const common::Bitset>> deletes_;
+  mutable common::Mutex mu_;
+  uint64_t version_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, SegmentMeta> segments_ GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<const common::Bitset>> deletes_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace blendhouse::storage
-
-#endif  // BLENDHOUSE_STORAGE_VERSION_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_AUTO_INDEX_H_
-#define BLENDHOUSE_VECINDEX_AUTO_INDEX_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -37,5 +36,3 @@ common::Result<AutoTuneReport> MeasuredAutoTuneIvf(
     size_t k = 10);
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_AUTO_INDEX_H_

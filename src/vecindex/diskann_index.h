@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_DISKANN_INDEX_H_
-#define BLENDHOUSE_VECINDEX_DISKANN_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -110,5 +109,3 @@ class DiskAnnIndex : public VectorIndex {
 };
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_DISKANN_INDEX_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_DISTANCE_H_
-#define BLENDHOUSE_VECINDEX_DISTANCE_H_
+#pragma once
 
 #include <cstddef>
 
@@ -26,5 +25,3 @@ void BatchDistance(Metric metric, const float* query, const float* base,
                    size_t n, size_t dim, float* out);
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_DISTANCE_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_FLAT_INDEX_H_
-#define BLENDHOUSE_VECINDEX_FLAT_INDEX_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -47,5 +46,3 @@ class FlatIndex : public VectorIndex {
 };
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_FLAT_INDEX_H_

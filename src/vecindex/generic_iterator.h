@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_GENERIC_ITERATOR_H_
-#define BLENDHOUSE_VECINDEX_GENERIC_ITERATOR_H_
+#pragma once
 
 #include <memory>
 #include <unordered_set>
@@ -41,5 +40,3 @@ class GenericSearchIterator : public SearchIterator {
 };
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_GENERIC_ITERATOR_H_

@@ -1,5 +1,7 @@
 #include "vecindex/hnsw_index.h"
 
+#include <memory>
+
 #include <algorithm>
 #include <cmath>
 #include <queue>
@@ -334,7 +336,7 @@ class HnswSearchIterator : public SearchIterator {
 common::Result<std::unique_ptr<SearchIterator>> HnswIndex::MakeIterator(
     const float* query, const SearchParams& params) const {
   return std::unique_ptr<SearchIterator>(
-      new HnswSearchIterator(this, query, params));
+      std::make_unique<HnswSearchIterator>(this, query, params));
 }
 
 // --------------------------------------------------------------------------

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_HNSW_INDEX_H_
-#define BLENDHOUSE_VECINDEX_HNSW_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -107,5 +106,3 @@ class HnswIndex : public VectorIndex {
 };
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_HNSW_INDEX_H_

@@ -1,5 +1,7 @@
 #include "vecindex/index.h"
 
+#include <memory>
+
 #include <algorithm>
 
 #include "vecindex/generic_iterator.h"
@@ -35,7 +37,7 @@ common::Result<std::vector<Neighbor>> VectorIndex::SearchWithRange(
 common::Result<std::unique_ptr<SearchIterator>> VectorIndex::MakeIterator(
     const float* query, const SearchParams& params) const {
   return std::unique_ptr<SearchIterator>(
-      new GenericSearchIterator(this, query, params));
+      std::make_unique<GenericSearchIterator>(this, query, params));
 }
 
 }  // namespace blendhouse::vecindex

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_INDEX_H_
-#define BLENDHOUSE_VECINDEX_INDEX_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -93,5 +92,3 @@ class VectorIndex {
 using VectorIndexPtr = std::unique_ptr<VectorIndex>;
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_INDEX_H_

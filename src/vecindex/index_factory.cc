@@ -1,5 +1,7 @@
 #include "vecindex/index_factory.h"
 
+#include <memory>
+
 #include <cstdlib>
 
 #include "common/io.h"
@@ -22,7 +24,7 @@ int64_t IndexSpec::GetInt(const std::string& key, int64_t def) const {
 namespace {
 
 common::Result<VectorIndexPtr> BuildFlat(const IndexSpec& spec) {
-  return VectorIndexPtr(new FlatIndex(spec.dim, spec.metric));
+  return VectorIndexPtr(std::make_unique<FlatIndex>(spec.dim, spec.metric));
 }
 
 common::Result<VectorIndexPtr> BuildHnsw(const IndexSpec& spec, bool sq) {
@@ -32,7 +34,7 @@ common::Result<VectorIndexPtr> BuildHnsw(const IndexSpec& spec, bool sq) {
       static_cast<size_t>(spec.GetInt("EF_CONSTRUCTION", 200));
   opts.seed = static_cast<uint64_t>(spec.GetInt("SEED", 42));
   opts.scalar_quantized = sq;
-  return VectorIndexPtr(new HnswIndex(spec.dim, spec.metric, opts));
+  return VectorIndexPtr(std::make_unique<HnswIndex>(spec.dim, spec.metric, opts));
 }
 
 common::Result<VectorIndexPtr> BuildDiskAnn(const IndexSpec& spec) {
@@ -42,14 +44,14 @@ common::Result<VectorIndexPtr> BuildDiskAnn(const IndexSpec& spec) {
   opts.pq_m = static_cast<size_t>(spec.GetInt("PQ_M", 8));
   opts.seed = static_cast<uint64_t>(spec.GetInt("SEED", 42));
   opts.simulate_disk_latency = spec.GetInt("SIMULATE_DISK", 1) != 0;
-  return VectorIndexPtr(new DiskAnnIndex(spec.dim, spec.metric, opts));
+  return VectorIndexPtr(std::make_unique<DiskAnnIndex>(spec.dim, spec.metric, opts));
 }
 
 common::Result<VectorIndexPtr> BuildIvfFlat(const IndexSpec& spec) {
   IvfOptions opts;
   opts.nlist = static_cast<size_t>(spec.GetInt("NLIST", 64));
   opts.seed = static_cast<uint64_t>(spec.GetInt("SEED", 42));
-  return VectorIndexPtr(new IvfFlatIndex(spec.dim, spec.metric, opts));
+  return VectorIndexPtr(std::make_unique<IvfFlatIndex>(spec.dim, spec.metric, opts));
 }
 
 common::Result<VectorIndexPtr> BuildIvfPq(const IndexSpec& spec,
@@ -70,7 +72,7 @@ common::Result<VectorIndexPtr> BuildIvfPq(const IndexSpec& spec,
   pq.keep_raw_for_refine = spec.GetInt("REFINE", 1) != 0;
   if (spec.dim % pq.m != 0)
     return common::Status::InvalidArgument("ivfpq: dim not divisible by PQ_M");
-  return VectorIndexPtr(new IvfPqIndex(spec.dim, spec.metric, ivf, pq));
+  return VectorIndexPtr(std::make_unique<IvfPqIndex>(spec.dim, spec.metric, ivf, pq));
 }
 
 }  // namespace
@@ -86,7 +88,8 @@ IndexFactory::IndexFactory() {
 }
 
 IndexFactory& IndexFactory::Global() {
-  static IndexFactory* factory = new IndexFactory();
+  // Intentionally leaked so registrations outlive every static destructor.
+  static IndexFactory* factory = new IndexFactory();  // lint:allow(naked-new)
   return *factory;
 }
 

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_INDEX_FACTORY_H_
-#define BLENDHOUSE_VECINDEX_INDEX_FACTORY_H_
+#pragma once
 
 #include <functional>
 #include <map>
@@ -56,5 +55,3 @@ class IndexFactory {
 };
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_INDEX_FACTORY_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_IVF_INDEX_H_
-#define BLENDHOUSE_VECINDEX_IVF_INDEX_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -148,5 +147,3 @@ class IvfPqIndex : public IvfIndexBase {
 };
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_IVF_INDEX_H_

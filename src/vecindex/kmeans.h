@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_KMEANS_H_
-#define BLENDHOUSE_VECINDEX_KMEANS_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -38,5 +37,3 @@ size_t NearestCentroid(const float* v, const float* centroids, size_t k,
                        size_t dim);
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_KMEANS_H_

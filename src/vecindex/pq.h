@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_PQ_H_
-#define BLENDHOUSE_VECINDEX_PQ_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -62,5 +61,3 @@ class ProductQuantizer {
 };
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_PQ_H_

@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_QUANTIZER_H_
-#define BLENDHOUSE_VECINDEX_QUANTIZER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -41,5 +40,3 @@ class ScalarQuantizer {
 };
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_QUANTIZER_H_

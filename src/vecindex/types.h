@@ -1,5 +1,4 @@
-#ifndef BLENDHOUSE_VECINDEX_TYPES_H_
-#define BLENDHOUSE_VECINDEX_TYPES_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -54,5 +53,3 @@ struct VectorView {
 std::string MetricName(Metric m);
 
 }  // namespace blendhouse::vecindex
-
-#endif  // BLENDHOUSE_VECINDEX_TYPES_H_

@@ -5,16 +5,17 @@
 
 #include "cluster/consistent_hash.h"
 #include "cluster/index_cache.h"
-#include "cluster/lru_cache.h"
 #include "cluster/scheduler.h"
 #include "cluster/virtual_warehouse.h"
 #include "cluster/worker.h"
+#include "common/lru_cache.h"
 #include "storage/lsm_engine.h"
 #include "tests/test_util.h"
 
 namespace blendhouse::cluster {
 namespace {
 
+using common::LruCache;
 using test::MakeClusteredVectors;
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,327 @@
+// Multi-threaded stress tests, sized to finish in seconds so the whole file
+// runs under TSan in tier-1 (-DBLENDHOUSE_SANITIZE=thread). These tests are
+// about absence of data races and torn invariants, not about throughput:
+// assertions are deliberately coarse (counts and accounting identities) and
+// the real verdict comes from the sanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/index_cache.h"
+#include "common/lru_cache.h"
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "sql/plan_cache.h"
+#include "storage/lsm_engine.h"
+#include "storage/object_store.h"
+#include "storage/segment.h"
+#include "tests/test_util.h"
+
+namespace blendhouse {
+namespace {
+
+using test::MakeClusteredVectors;
+
+storage::TableSchema StressSchema(size_t dim, size_t buckets) {
+  storage::TableSchema schema;
+  schema.table_name = "t";
+  schema.columns = {{"id", storage::ColumnType::kInt64},
+                    {"label", storage::ColumnType::kString},
+                    {"emb", storage::ColumnType::kFloatVector}};
+  vecindex::IndexSpec spec;
+  spec.type = "FLAT";
+  spec.dim = dim;
+  schema.index_spec = spec;
+  schema.vector_column = 2;
+  schema.semantic_buckets = buckets;
+  return schema;
+}
+
+std::vector<storage::Row> StressRows(size_t n, size_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<storage::Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> vec(dim);
+    for (auto& v : vec) v = rng.Gaussian();
+    storage::Row row;
+    row.values = {static_cast<int64_t>(i), std::string("lbl"), std::move(vec)};
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// common::LruCache — concurrent get/put/evict/clear
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, LruCacheGetPutEvict) {
+  common::LruCache<int> cache(/*capacity_bytes=*/1024);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      common::Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        std::string key = "k" + std::to_string(rng.UniformInt(0, 63));
+        switch (rng.UniformInt(0, 4)) {
+          case 0:
+          case 1:
+            cache.Put(key, i, /*bytes=*/32);
+            break;
+          case 2:
+            (void)cache.Get(key);
+            break;
+          case 3:
+            cache.Erase(key);
+            break;
+          default:
+            if (i % 512 == 0) cache.Clear();
+            (void)cache.used_bytes();
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Accounting survived the storm: usage is within capacity and the
+  // hit/miss counters saw every Get.
+  EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// sql::PlanCache — concurrent get/put/invalidate
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, PlanCacheGetPutInvalidate) {
+  sql::PlanCache cache(/*capacity=*/32);
+  constexpr int kThreads = 6;
+  constexpr int kIters = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      common::Rng rng(static_cast<uint64_t>(t) + 17);
+      for (int i = 0; i < kIters; ++i) {
+        std::string sig = "sig" + std::to_string(rng.UniformInt(0, 47));
+        if (rng.UniformInt(0, 3) == 0) {
+          sql::CachedPlan plan;
+          plan.rules_fired = i;
+          cache.Put(sig, plan);
+        } else if (i % 1000 == 999) {
+          cache.Invalidate();
+        } else {
+          (void)cache.Get(sig);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), 32u);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// common::ThreadPool — concurrent submit + wait
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, ThreadPoolSubmitAndWait) {
+  common::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kTasks = 500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasks; ++i)
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      pool.Wait();  // Wait() may race with other submitters; must not hang.
+    });
+  }
+  for (auto& th : submitters) th.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasks);
+}
+
+// ---------------------------------------------------------------------------
+// cluster::HierarchicalIndexCache — concurrent load/evict across tiers
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, HierarchicalIndexCacheLoadEvict) {
+  storage::ObjectStore store(storage::StorageCostModel::Instant());
+  common::ThreadPool pool(2);
+  storage::TableSchema schema = StressSchema(/*dim=*/8, /*buckets=*/0);
+  storage::IngestOptions ingest;
+  ingest.max_segment_rows = 50;
+  storage::LsmEngine engine(schema, &store, &pool, ingest);
+  ASSERT_TRUE(engine.Insert(StressRows(200, 8, /*seed=*/3)).ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  storage::TableSnapshot snap = engine.Snapshot();
+  ASSERT_GE(snap.segments.size(), 2u);
+
+  std::vector<std::string> keys;
+  for (const auto& meta : snap.segments)
+    keys.push_back(storage::SegmentKeys::Index("t", meta.segment_id));
+
+  cluster::HierarchicalIndexCache::Options opts;
+  opts.memory_bytes = 64ull << 10;  // small enough to force evictions
+  opts.disk_cost = storage::StorageCostModel::Instant();
+  cluster::HierarchicalIndexCache cache(&store, opts);
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 300;
+  std::atomic<int> load_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      common::Rng rng(static_cast<uint64_t>(t) + 5);
+      for (int i = 0; i < kIters; ++i) {
+        const std::string& key =
+            keys[static_cast<size_t>(rng.UniformInt(0, keys.size() - 1))];
+        switch (rng.UniformInt(0, 4)) {
+          case 0:
+            cache.Evict(key);
+            break;
+          case 1:
+            cache.EvictMemoryOnly(key);
+            break;
+          case 2:
+            (void)cache.GetMeta(key);
+            break;
+          default: {
+            auto got = cache.GetOrLoad(key, *schema.index_spec);
+            if (!got.ok() || (*got).index == nullptr) load_failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(load_failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// storage::LsmEngine — concurrent insert / search / compaction
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, LsmEngineInsertSearchCompact) {
+  storage::ObjectStore store(storage::StorageCostModel::Instant());
+  common::ThreadPool pool(2);
+  constexpr size_t kDim = 8;
+  // CLUSTER BY buckets so the first flush trains + publishes the semantic
+  // partitioner while readers are probing it (the copy-on-train path).
+  storage::TableSchema schema = StressSchema(kDim, /*buckets=*/3);
+  storage::IngestOptions ingest;
+  ingest.flush_threshold_rows = 64;
+  ingest.max_segment_rows = 64;
+  ingest.compaction_trigger_segments = 4;
+  storage::LsmEngine engine(schema, &store, &pool, ingest);
+
+  constexpr int kWriters = 2;
+  constexpr int kBatches = 10;
+  constexpr size_t kBatchRows = 48;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> compactions{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&engine, w] {
+      for (int b = 0; b < kBatches; ++b) {
+        auto rows = StressRows(kBatchRows, kDim,
+                               static_cast<uint64_t>(w * 100 + b + 1));
+        ASSERT_TRUE(engine.Insert(std::move(rows)).ok());
+      }
+    });
+  }
+  threads.emplace_back([&engine, &done, &compactions] {
+    while (!done.load()) {
+      auto n = engine.CompactIfNeeded();
+      ASSERT_TRUE(n.ok());
+      compactions.fetch_add(*n);
+      std::this_thread::yield();
+    }
+  });
+  auto query = MakeClusteredVectors(1, kDim, 1, /*seed=*/7);
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&engine, &done, &query] {
+      while (!done.load()) {
+        storage::TableSnapshot snap = engine.Snapshot();
+        if (!snap.segments.empty()) {
+          auto seg = engine.FetchSegment(snap.segments[0].segment_id);
+          // A segment named by the snapshot may have been compacted away
+          // since; only its *data* must be intact when the fetch succeeds.
+          if (seg.ok()) {
+            ASSERT_GT((*seg)->num_rows(), 0u);
+          }
+        }
+        auto partitioner = engine.semantic_partitioner();
+        if (partitioner != nullptr && partitioner->trained())
+          (void)partitioner->AssignBucket(query.data());
+      }
+    });
+  }
+
+  // Join writers first, then stop the compactor/readers.
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  done.store(true);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  ASSERT_TRUE(engine.Flush().ok());
+  // Every inserted row is visible exactly once: compaction merges segments
+  // but never duplicates or drops live rows.
+  storage::TableSnapshot snap = engine.Snapshot();
+  EXPECT_EQ(snap.TotalRows(),
+            static_cast<uint64_t>(kWriters) * kBatches * kBatchRows);
+  EXPECT_EQ(engine.MemtableRows(), 0u);
+  // The partitioner snapshot published during the run stays valid.
+  auto partitioner = engine.semantic_partitioner();
+  ASSERT_NE(partitioner, nullptr);
+  EXPECT_TRUE(partitioner->trained());
+}
+
+// Async-flush variant: Insert() hands the memtable to a background flush
+// thread, so commit races flush-vs-flush and flush-vs-compaction.
+TEST(ConcurrencyTest, LsmEngineAsyncFlushCommitsEverything) {
+  storage::ObjectStore store(storage::StorageCostModel::Instant());
+  common::ThreadPool pool(2);
+  constexpr size_t kDim = 4;
+  storage::TableSchema schema = StressSchema(kDim, /*buckets=*/0);
+  storage::IngestOptions ingest;
+  ingest.flush_threshold_rows = 32;
+  ingest.max_segment_rows = 32;
+  ingest.async_flush = true;
+  storage::LsmEngine engine(schema, &store, &pool, ingest);
+
+  constexpr int kWriters = 3;
+  constexpr int kBatches = 8;
+  constexpr size_t kBatchRows = 24;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&engine, w] {
+      for (int b = 0; b < kBatches; ++b) {
+        auto rows = StressRows(kBatchRows, kDim,
+                               static_cast<uint64_t>(w * 31 + b + 1));
+        ASSERT_TRUE(engine.Insert(std::move(rows)).ok());
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(engine.Snapshot().TotalRows(),
+            static_cast<uint64_t>(kWriters) * kBatches * kBatchRows);
+}
+
+}  // namespace
+}  // namespace blendhouse

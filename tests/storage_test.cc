@@ -356,7 +356,9 @@ TEST_F(LsmEngineTest, SemanticBucketsAssigned) {
   auto engine = MakeEngine(/*buckets=*/3);
   ASSERT_TRUE(engine->Insert(MakeRows(300, "a")).ok());
   ASSERT_TRUE(engine->Flush().ok());
-  EXPECT_TRUE(engine->semantic_partitioner().trained());
+  auto partitioner = engine->semantic_partitioner();
+  ASSERT_NE(partitioner, nullptr);
+  EXPECT_TRUE(partitioner->trained());
   TableSnapshot snap = engine->Snapshot();
   std::set<int64_t> buckets;
   for (const auto& m : snap.segments) buckets.insert(m.semantic_bucket);

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""BlendHouse source linter.
+
+Runs as a ctest (see tests/CMakeLists.txt) over everything under src/ and
+enforces four concurrency/hygiene rules:
+
+  raw-mutex    Raw standard-library locking primitives (std::mutex,
+               std::condition_variable, std::lock_guard, ...) are banned
+               outside src/common/mutex.h. All locking goes through the
+               annotated common::Mutex / common::MutexLock / common::CondVar
+               wrappers so Clang's thread-safety analysis can see it.
+  naked-new    `new` / `delete` expressions are banned; use std::make_unique
+               / std::make_shared / containers.
+  include-cycle  The `#include "..."` graph under src/ must be acyclic.
+  pragma-once  Every header under src/ must start with #pragma once.
+
+Suppress a finding by putting  lint:allow(<rule>)  in a comment on the same
+line. Usage: tools/lint.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+RAW_MUTEX_TOKENS = (
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::recursive_timed_mutex",
+    "std::shared_mutex",
+    "std::shared_timed_mutex",
+    "std::condition_variable",
+    "std::condition_variable_any",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+)
+
+# The annotated wrapper is the one place allowed to touch the raw primitives.
+RAW_MUTEX_EXEMPT = {os.path.join("src", "common", "mutex.h")}
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment/string/char-literal contents with spaces, keeping
+    line structure intact so reported line numbers stay correct."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def collect_sources(root):
+    files = []
+    src = os.path.join(root, "src")
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc")):
+                files.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(files)
+
+
+def allows_for(raw_lines):
+    """Maps 1-based line number -> set of suppressed rule names."""
+    allows = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        for m in ALLOW_RE.finditer(line):
+            allows.setdefault(lineno, set()).add(m.group(1))
+    return allows
+
+
+DELETE_RE = re.compile(r"\bdelete\b")
+NEW_RE = re.compile(r"\bnew\b")
+
+
+def check_tokens(path, raw_lines, code_lines, findings):
+    allows = allows_for(raw_lines)
+
+    def allowed(lineno, rule):
+        return rule in allows.get(lineno, set())
+
+    exempt_mutex = path in RAW_MUTEX_EXEMPT
+    for lineno, line in enumerate(code_lines, start=1):
+        if not exempt_mutex:
+            for token in RAW_MUTEX_TOKENS:
+                if token in line and not allowed(lineno, "raw-mutex"):
+                    findings.append(
+                        (path, lineno, "raw-mutex",
+                         f"{token} outside src/common/mutex.h; use the "
+                         "annotated common::Mutex wrapper"))
+        for m in NEW_RE.finditer(line):
+            if allowed(lineno, "naked-new"):
+                continue
+            findings.append(
+                (path, lineno, "naked-new",
+                 "naked `new`; use std::make_unique / std::make_shared"))
+        for m in DELETE_RE.finditer(line):
+            before = line[:m.start()].rstrip()
+            if before.endswith("="):  # deleted special member, not a delete-expr
+                continue
+            if allowed(lineno, "naked-new"):
+                continue
+            findings.append(
+                (path, lineno, "naked-new",
+                 "naked `delete`; owning pointers must be smart pointers"))
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def check_pragma_once(path, raw_lines, findings):
+    if not path.endswith(".h"):
+        return
+    if not any(line.strip() == "#pragma once" for line in raw_lines):
+        findings.append((path, 1, "pragma-once", "header is missing #pragma once"))
+
+
+def build_include_graph(root, files):
+    known = set(files)
+    graph = {}
+    for path in files:
+        edges = []
+        with open(os.path.join(root, path), encoding="utf-8") as f:
+            for line in f:
+                m = INCLUDE_RE.match(line)
+                if m:
+                    target = os.path.join("src", m.group(1))
+                    if target in known:
+                        edges.append(target)
+        graph[path] = edges
+    return graph
+
+
+def find_include_cycle(graph):
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack = []
+
+    def dfs(node):
+        color[node] = GREY
+        stack.append(node)
+        for dep in graph[node]:
+            if color[dep] == GREY:
+                return stack[stack.index(dep):] + [dep]
+            if color[dep] == WHITE:
+                cycle = dfs(dep)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            cycle = dfs(node)
+            if cycle:
+                return cycle
+    return None
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    files = collect_sources(root)
+    if not files:
+        print(f"lint: no sources found under {os.path.join(root, 'src')}",
+              file=sys.stderr)
+        return 1
+
+    findings = []
+    for path in files:
+        with open(os.path.join(root, path), encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        code_lines = strip_comments_and_strings(text).splitlines()
+        check_tokens(path, raw_lines, code_lines, findings)
+        check_pragma_once(path, raw_lines, findings)
+
+    cycle = find_include_cycle(build_include_graph(root, files))
+    if cycle:
+        findings.append((cycle[0], 1, "include-cycle",
+                         "include cycle: " + " -> ".join(cycle)))
+
+    for path, lineno, rule, message in findings:
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"lint: {len(findings)} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
