@@ -6,6 +6,7 @@
 // local (14.5x in the paper); serving adds only the RPC round-trip (+16.6%
 // in the paper) — the argument for serving over falling back.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "cluster/virtual_warehouse.h"
@@ -108,5 +109,48 @@ int main() {
               serving, serving / local, (serving / local - 1.0) * 100);
   std::printf("%-24s %14.3f %11.2fx\n", "brute force fallback", brute,
               brute / local);
+
+  // ---- ExecStats breakdown through the executor ----------------------------
+  // The same warm-vs-cold contrast driven end-to-end through the SQL
+  // executor: the async task breakdown attributes each configuration's
+  // latency. Warm caches are compute-bound; a memory budget too small to
+  // retain any index forces every query through the disk tier, and the
+  // simulated I/O charged by the delay queue dominates.
+  {
+    baselines::DatasetSpec spec = bench::Scaled(baselines::CohereSmall());
+    spec.n = std::min<size_t>(spec.n, 4096);
+    baselines::BenchDataset bdata = baselines::MakeDataset(spec);
+    auto run = [&](bool warm) {
+      baselines::BlendHouseSystemOptions opts = bench::DefaultBhOptions();
+      opts.preload = warm;
+      if (!warm) {
+        // A memory budget too small to retain any index plus forced local
+        // loads: every query re-reads the index through the disk tier.
+        opts.db.worker.cache.memory_bytes = 4096;
+        opts.db.settings.acquire.force_local_load = true;
+      }
+      baselines::BlendHouseSystem system(opts);
+      baselines::BlendHouseSystem::AccumulatedExecStats stats;
+      if (!system.Load(bdata).ok()) return stats;
+      (void)system.DrainExecStats();  // drop load/preload accounting
+      (void)bench::SystemQps(system, bdata, /*k=*/10, /*ef=*/64,
+                             /*queries=*/60);
+      return system.DrainExecStats();
+    };
+    auto print_row =
+        [](const char* label,
+           const baselines::BlendHouseSystem::AccumulatedExecStats& s) {
+          double n = s.queries > 0 ? static_cast<double>(s.queries) : 1.0;
+          std::printf("%-24s %10.0f %12.0f %12.0f %12.0f\n", label,
+                      s.exec_micros / n, s.queue_wait_micros / n,
+                      s.compute_micros / n, s.sim_io_micros / n);
+        };
+    std::printf(
+        "\nExecStats breakdown (executor-driven, per-query averages, us):\n");
+    std::printf("%-24s %10s %12s %12s %12s\n", "config", "exec", "queue wait",
+                "compute", "sim I/O");
+    print_row("warm cache", run(true));
+    print_row("cache miss (cold)", run(false));
+  }
   return 0;
 }

@@ -8,10 +8,13 @@
 // Writers are rate-limited so the comparison measures queue interference,
 // not raw host-CPU saturation.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "baselines/blendhouse_system.h"
 #include "bench/bench_util.h"
@@ -20,8 +23,13 @@
 namespace blendhouse {
 namespace {
 
-double ReadQpsUnderWrites(bool separate_write_vw, size_t write_threads,
-                          const baselines::BenchDataset& data) {
+struct RunResult {
+  double qps = -1;
+  baselines::BlendHouseSystem::AccumulatedExecStats stats;
+};
+
+RunResult ReadQpsUnderWrites(bool separate_write_vw, size_t write_threads,
+                             const baselines::BenchDataset& data) {
   baselines::BlendHouseSystemOptions opts = bench::DefaultBhOptions();
   opts.db.separate_write_vw = separate_write_vw;
   opts.db.remote_cost = storage::StorageCostModel::Instant();
@@ -33,7 +41,8 @@ double ReadQpsUnderWrites(bool separate_write_vw, size_t write_threads,
   opts.index_params["M"] = "8";
   opts.index_params["EF_CONSTRUCTION"] = "40";
   baselines::BlendHouseSystem system(opts);
-  if (!system.Load(data).ok()) return -1;
+  if (!system.Load(data).ok()) return {};
+  (void)system.DrainExecStats();  // drop any warm-up accounting
 
   // Rate-limited background writers: each submits one 256-row batch then
   // sleeps, so total write CPU stays well below one core and the measured
@@ -66,7 +75,16 @@ double ReadQpsUnderWrites(bool separate_write_vw, size_t write_threads,
                                         false, 0, 0, /*threads=*/2);
   stop.store(true);
   for (auto& t : writers) t.join();
-  return r.qps;
+  return {r.qps, system.DrainExecStats()};
+}
+
+void PrintBreakdownRow(const char* label, size_t write_threads,
+                       const baselines::BlendHouseSystem::AccumulatedExecStats&
+                           s) {
+  double n = s.queries > 0 ? static_cast<double>(s.queries) : 1.0;
+  std::printf("%-10s %6zu %12.0f %12.0f %12.0f %12.0f %8zu\n", label,
+              write_threads, s.exec_micros / n, s.queue_wait_micros / n,
+              s.compute_micros / n, s.sim_io_micros / n, s.retries);
 }
 
 }  // namespace
@@ -81,17 +99,29 @@ int main() {
   spec.n /= 2;  // this bench rebuilds the system 8 times
   baselines::BenchDataset data = baselines::MakeDataset(spec);
 
+  std::vector<std::pair<size_t, std::array<RunResult, 2>>> runs;
   std::printf("%-18s %14s %14s %10s\n", "write threads", "isolated QPS",
               "mixed-VW QPS", "mixed/iso");
   for (size_t w : {0u, 2u, 4u, 8u}) {
-    double isolated = ReadQpsUnderWrites(true, w, data);
-    double mixed = ReadQpsUnderWrites(false, w, data);
-    std::printf("%-18zu %14.0f %14.0f %9.2f%%\n", w, isolated, mixed,
-                100.0 * mixed / isolated);
+    RunResult isolated = ReadQpsUnderWrites(true, w, data);
+    RunResult mixed = ReadQpsUnderWrites(false, w, data);
+    std::printf("%-18zu %14.0f %14.0f %9.2f%%\n", w, isolated.qps, mixed.qps,
+                100.0 * mixed.qps / isolated.qps);
+    runs.push_back({w, {isolated, mixed}});
+  }
+
+  std::printf("\nExecStats breakdown (per-query averages, us):\n");
+  std::printf("%-10s %6s %12s %12s %12s %12s %8s\n", "config", "writes",
+              "exec", "queue wait", "compute", "sim I/O", "retries");
+  for (const auto& [w, pair] : runs) {
+    PrintBreakdownRow("isolated", w, pair[0].stats);
+    PrintBreakdownRow("mixed", w, pair[1].stats);
   }
   std::printf(
       "\nReading: dedicating a VW to index builds keeps read QPS flat as"
       " write\nconcurrency grows; the mixed VW degrades — the isolation"
-      " benefit of the\ndisaggregated architecture.\n");
+      " benefit of the\ndisaggregated architecture. The breakdown shows the"
+      " degradation is queue\nwait (segment tasks parked behind index-build"
+      " work), not compute.\n");
   return 0;
 }

@@ -82,6 +82,16 @@ common::Result<std::vector<vecindex::Neighbor>> BlendHouseSystem::Search(
   auto result = db_->QueryWithSettings(BuildSearchSql(request), settings);
   if (!result.ok()) return result.status();
 
+  {
+    common::MutexLock lock(stats_mu_);
+    exec_stats_.queries += 1;
+    exec_stats_.exec_micros += result->stats.exec_micros;
+    exec_stats_.queue_wait_micros += result->stats.queue_wait_micros;
+    exec_stats_.compute_micros += result->stats.compute_micros;
+    exec_stats_.sim_io_micros += result->stats.sim_io_micros;
+    exec_stats_.retries += result->stats.retries;
+  }
+
   std::vector<vecindex::Neighbor> out;
   out.reserve(result->rows.size());
   for (const storage::Row& row : result->rows) {
@@ -91,6 +101,13 @@ common::Result<std::vector<vecindex::Neighbor>> BlendHouseSystem::Search(
       return common::Status::Internal("unexpected result row shape");
     out.push_back({*id, static_cast<float>(*dist)});
   }
+  return out;
+}
+
+BlendHouseSystem::AccumulatedExecStats BlendHouseSystem::DrainExecStats() {
+  common::MutexLock lock(stats_mu_);
+  AccumulatedExecStats out = exec_stats_;
+  exec_stats_ = AccumulatedExecStats();
   return out;
 }
 

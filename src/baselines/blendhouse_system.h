@@ -4,6 +4,7 @@
 #include <string>
 
 #include "baselines/vectordb_iface.h"
+#include "common/mutex.h"
 #include "core/blendhouse.h"
 
 namespace blendhouse::baselines {
@@ -46,11 +47,27 @@ class BlendHouseSystem : public VectorSystem {
   /// Renders the SQL this adapter issues for a request (for logs/tests).
   std::string BuildSearchSql(const SearchRequest& request) const;
 
+  /// Per-query ExecStats summed over every successful Search() since the
+  /// last drain; benches print the async execution breakdown from this.
+  struct AccumulatedExecStats {
+    size_t queries = 0;
+    double exec_micros = 0;
+    double queue_wait_micros = 0;
+    double compute_micros = 0;
+    double sim_io_micros = 0;
+    size_t retries = 0;
+  };
+  /// Returns the accumulated stats and resets the accumulator.
+  AccumulatedExecStats DrainExecStats() EXCLUDES(stats_mu_);
+
  private:
   BlendHouseSystemOptions options_;
   std::unique_ptr<core::BlendHouse> db_;
   sql::QuerySettings settings_;
   size_t dim_ = 0;
+
+  mutable common::Mutex stats_mu_;
+  AccumulatedExecStats exec_stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace blendhouse::baselines

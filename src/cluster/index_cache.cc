@@ -1,7 +1,6 @@
 #include "cluster/index_cache.h"
 
-#include <chrono>
-#include <thread>
+#include "common/task_scheduler.h"
 
 namespace blendhouse::cluster {
 
@@ -34,8 +33,7 @@ void HierarchicalIndexCache::ChargeDiskLatency(size_t bytes) const {
   int64_t micros = options_.disk_cost.base_latency_micros +
                    static_cast<int64_t>(static_cast<double>(bytes) /
                                         options_.disk_cost.bytes_per_micro);
-  if (micros > 0)
-    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  if (micros > 0) common::ChargeSimLatency(static_cast<uint64_t>(micros));
 }
 
 void HierarchicalIndexCache::InsertAllTiers(

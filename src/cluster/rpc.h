@@ -1,9 +1,9 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <thread>
+
+#include "common/task_scheduler.h"
 
 namespace blendhouse::cluster {
 
@@ -24,7 +24,8 @@ class RpcFabric {
   explicit RpcFabric(CostModel cost) : cost_(cost) {}
 
   /// Pays the network cost of a call moving `payload_bytes` of argument +
-  /// response data.
+  /// response data. Deferred (accumulated for delay-queue scheduling) when
+  /// the caller runs under a DeferredChargeScope; blocks otherwise.
   void Charge(size_t payload_bytes) const {
     calls_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
@@ -34,7 +35,7 @@ class RpcFabric {
         static_cast<int64_t>(static_cast<double>(payload_bytes) /
                              cost_.bytes_per_micro);
     if (micros > 0)
-      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+      common::ChargeSimLatency(static_cast<uint64_t>(micros));
   }
 
   uint64_t calls() const { return calls_.load(); }

@@ -1,7 +1,10 @@
 #include "cluster/scheduler.h"
 
-#include <future>
+#include <memory>
 #include <unordered_set>
+#include <utility>
+
+#include "common/mutex.h"
 
 namespace blendhouse::cluster {
 
@@ -43,28 +46,64 @@ std::map<std::string, std::vector<storage::SegmentMeta>> Scheduler::Assign(
   return assignment;
 }
 
-common::Status PreloadIndexes(VirtualWarehouse& vw,
-                              const storage::TableSchema& schema,
-                              const storage::TableSnapshot& snapshot) {
+namespace {
+/// Fan-in state for PreloadIndexesAsync: first error wins, the promise fires
+/// when the last outstanding load resolves.
+struct PreloadFanIn {
+  common::Mutex mu;
+  common::Status first_error GUARDED_BY(mu);
+  size_t outstanding GUARDED_BY(mu) = 0;
+  common::Promise<common::Status> done;
+};
+}  // namespace
+
+common::Future<common::Status> PreloadIndexesAsync(
+    VirtualWarehouse& vw, const storage::TableSchema& schema,
+    const storage::TableSnapshot& snapshot) {
   // Same ring placement as the query scheduler, so preloaded indexes land
   // exactly where queries will look for them.
   auto assignment =
       Scheduler::Assign(vw, schema.table_name, snapshot.segments);
-  std::vector<std::future<common::Status>> loads;
+  common::TaskScheduler* sched = &vw.task_scheduler();
+  auto fan_in = std::make_shared<PreloadFanIn>();
+  common::Future<common::Status> result = fan_in->done.GetFuture();
+
+  std::vector<common::Future<common::Status>> loads;
   for (const auto& [worker_id, metas] : assignment) {
     Worker* worker = vw.worker(worker_id);
     if (worker == nullptr) continue;
-    for (const storage::SegmentMeta& meta : metas) {
-      loads.push_back(worker->pool().Submit(
-          [worker, &schema, meta] { return worker->PreloadIndex(schema, meta); }));
-    }
+    for (const storage::SegmentMeta& meta : metas)
+      loads.push_back(worker->PreloadIndexAsync(sched, schema, meta));
   }
-  common::Status status;
+  if (loads.empty()) {
+    fan_in->done.SetValue(common::Status::Ok());
+    return result;
+  }
+  {
+    common::MutexLock lock(fan_in->mu);
+    fan_in->outstanding = loads.size();
+  }
   for (auto& fut : loads) {
-    common::Status s = fut.get();
-    if (!s.ok() && status.ok()) status = s;
+    fut.Then(sched, [fan_in](common::Status s) {
+      bool last = false;
+      common::Status aggregate;
+      {
+        common::MutexLock lock(fan_in->mu);
+        if (!s.ok() && fan_in->first_error.ok())
+          fan_in->first_error = std::move(s);
+        last = --fan_in->outstanding == 0;
+        if (last) aggregate = fan_in->first_error;
+      }
+      if (last) fan_in->done.SetValue(std::move(aggregate));
+    });
   }
-  return status;
+  return result;
+}
+
+common::Status PreloadIndexes(VirtualWarehouse& vw,
+                              const storage::TableSchema& schema,
+                              const storage::TableSnapshot& snapshot) {
+  return PreloadIndexesAsync(vw, schema, snapshot).Get();
 }
 
 }  // namespace blendhouse::cluster

@@ -1,5 +1,6 @@
 #include "cluster/worker.h"
 
+#include <chrono>
 #include <memory>
 
 #include "common/logging.h"
@@ -122,6 +123,67 @@ common::Status Worker::PreloadIndex(const storage::TableSchema& schema,
       storage::SegmentKeys::Index(schema.table_name, meta.segment_id);
   auto got = index_cache_.GetOrLoad(key, *schema.index_spec);
   return got.ok() ? common::Status::Ok() : got.status();
+}
+
+namespace {
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+}  // namespace
+
+void Worker::SearchSegmentAsync(
+    common::TaskScheduler* sched, std::function<void()> search,
+    std::function<void(const AsyncTaskStats&)> done) {
+  auto enqueued = std::chrono::steady_clock::now();
+  pool_.Submit([enqueued, sched, search = std::move(search),
+                done = std::move(done)]() mutable {
+    auto start = std::chrono::steady_clock::now();
+    AsyncTaskStats stats;
+    stats.queue_wait_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(start - enqueued)
+            .count());
+    {
+      common::DeferredChargeScope scope;
+      search();
+      stats.sim_io_micros = scope.accumulated_micros();
+    }
+    stats.compute_micros = ElapsedMicros(start);
+    sched->ScheduleAfter(stats.sim_io_micros,
+                         [done = std::move(done), stats] { done(stats); });
+  });
+}
+
+common::Future<common::Status> Worker::PreloadIndexAsync(
+    common::TaskScheduler* sched, const storage::TableSchema& schema,
+    const storage::SegmentMeta& meta) {
+  common::Promise<common::Status> promise;
+  common::Future<common::Status> fut = promise.GetFuture();
+  if (!schema.index_spec.has_value()) {
+    promise.SetValue(common::Status::Ok());
+    return fut;
+  }
+  std::string key =
+      storage::SegmentKeys::Index(schema.table_name, meta.segment_id);
+  vecindex::IndexSpec spec = *schema.index_spec;
+  loader_.Submit([this, sched, key = std::move(key), spec,
+                  promise = std::move(promise)]() mutable {
+    common::Status status;
+    uint64_t sim_io = 0;
+    {
+      common::DeferredChargeScope scope;
+      auto got = index_cache_.GetOrLoad(key, spec);
+      if (!got.ok()) status = got.status();
+      sim_io = scope.accumulated_micros();
+    }
+    sched->ScheduleAfter(sim_io,
+                         [promise = std::move(promise), status]() mutable {
+                           promise.SetValue(status);
+                         });
+  });
+  return fut;
 }
 
 // ---- RemoteIndexProxy ------------------------------------------------------

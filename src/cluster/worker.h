@@ -7,7 +7,9 @@
 
 #include "cluster/index_cache.h"
 #include "cluster/rpc.h"
+#include "common/future.h"
 #include "common/result.h"
+#include "common/task_scheduler.h"
 #include "common/threadpool.h"
 #include "storage/lsm_engine.h"
 #include "storage/schema.h"
@@ -24,6 +26,16 @@ struct WorkerOptions {
   /// Segments larger than this many rows bypass the segment cache so one
   /// giant hybrid read cannot thrash it (the paper's "row limit setting").
   size_t segment_cache_row_limit = 1u << 20;
+};
+
+/// Time breakdown of one async task on a worker, reported to the completion
+/// continuation. compute is wall time on the pool thread (simulated charges
+/// accumulate instead of blocking, so it is pure work time); sim_io is the
+/// accumulated simulated latency the delay queue then charges.
+struct AsyncTaskStats {
+  uint64_t queue_wait_micros = 0;
+  uint64_t compute_micros = 0;
+  uint64_t sim_io_micros = 0;
 };
 
 /// How AcquireIndex may satisfy a request.
@@ -98,6 +110,27 @@ class Worker {
   /// (the preload path).
   common::Status PreloadIndex(const storage::TableSchema& schema,
                               const storage::SegmentMeta& meta);
+
+  /// Async segment-search endpoint, the unit of the task-graph query path.
+  /// `search` runs on this worker's compute pool under a DeferredChargeScope,
+  /// so simulated I/O (object store, cache disk tier, RPC serving, DiskANN
+  /// beam reads) accumulates instead of parking the pool thread. When
+  /// `search` returns, `done(stats)` is scheduled on `sched`'s delay queue at
+  /// now + accumulated sim-I/O: per-task wall-clock latency is preserved
+  /// while the pool thread is already free to start the next segment.
+  /// `search`/`done` must own everything they touch (shared query context);
+  /// they may outlive the caller's stack frame.
+  void SearchSegmentAsync(common::TaskScheduler* sched,
+                          std::function<void()> search,
+                          std::function<void(const AsyncTaskStats&)> done);
+
+  /// Async preload of one segment's index: same deferred-charge pattern as
+  /// SearchSegmentAsync but on the background loader pool, so N preloads
+  /// overlap their simulated remote reads instead of serializing on one
+  /// loader thread. The future completes via `sched`'s delay queue.
+  common::Future<common::Status> PreloadIndexAsync(
+      common::TaskScheduler* sched, const storage::TableSchema& schema,
+      const storage::SegmentMeta& meta);
 
   common::LruCache<storage::SegmentPtr>& segment_cache() { return segment_cache_; }
 

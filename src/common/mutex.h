@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>  // lint:allow(raw-mutex) -- the one sanctioned wrapper site
 
@@ -58,6 +59,20 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Like Wait(), but also returns (with `mu` re-acquired) once `deadline`
+  /// passes. Returns false on timeout, true when notified. This is the one
+  /// sanctioned way to wait on wall-clock time: the TaskScheduler delay queue
+  /// uses it to fire deadline-scheduled continuations, and sim-latency charges
+  /// without an async scope block here instead of in sleep_for (which lint
+  /// bans because it burns a pool thread invisibly).
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    bool notified = cv_.wait_until(lock, deadline) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,143 @@
+#include "common/task_scheduler.h"
+
+namespace blendhouse::common {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+thread_local DeferredChargeScope* g_charge_scope = nullptr;
+}  // namespace
+
+TaskScheduler::TaskScheduler(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this] { WorkerLoop(); });
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskScheduler::Schedule(MoveOnlyFn fn) {
+  {
+    MutexLock lock(mu_);
+    ready_.push_back(ReadyTask{Clock::now(), std::move(fn)});
+  }
+  cv_.NotifyOne();
+}
+
+void TaskScheduler::ScheduleAfter(uint64_t delay_micros, MoveOnlyFn fn) {
+  if (delay_micros == 0) {
+    Schedule(std::move(fn));
+    return;
+  }
+  auto deadline = Clock::now() + std::chrono::microseconds(delay_micros);
+  {
+    MutexLock lock(mu_);
+    delayed_.push(DelayedTask{deadline, next_seq_++,
+                              std::make_shared<MoveOnlyFn>(std::move(fn))});
+  }
+  // All threads may be parked on a later deadline; wake one to re-arm.
+  cv_.NotifyOne();
+}
+
+void TaskScheduler::WorkerLoop() {
+  for (;;) {
+    MoveOnlyFn task;
+    {
+      MutexLock lock(mu_);
+      for (;;) {
+        if (stop_) return;
+        auto now = Clock::now();
+        // Promote every expired delayed task to the ready queue. Its queue
+        // wait is measured from deadline, not submission: the delay itself is
+        // simulated I/O, not scheduler contention.
+        while (!delayed_.empty() && delayed_.top().deadline <= now) {
+          ready_.push_back(
+              ReadyTask{delayed_.top().deadline,
+                        std::move(*delayed_.top().fn)});
+          delayed_.pop();
+        }
+        if (!ready_.empty()) break;
+        if (delayed_.empty()) {
+          cv_.Wait(mu_);
+        } else {
+          cv_.WaitUntil(mu_, delayed_.top().deadline);
+        }
+      }
+      auto now = Clock::now();
+      queue_wait_micros_ +=
+          static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                    now - ready_.front().enqueue_time)
+                                    .count());
+      task = std::move(ready_.front().fn);
+      ready_.pop_front();
+      ++running_;
+      // More ready work may remain (e.g. several delayed tasks expired at
+      // once); pass the baton before dropping the lock.
+      if (!ready_.empty()) cv_.NotifyOne();
+    }
+    task();
+    {
+      MutexLock lock(mu_);
+      --running_;
+      ++tasks_executed_;
+      if (ready_.empty() && delayed_.empty() && running_ == 0)
+        idle_cv_.NotifyAll();
+    }
+  }
+}
+
+void TaskScheduler::Drain() {
+  MutexLock lock(mu_);
+  while (!ready_.empty() || !delayed_.empty() || running_ != 0) {
+    if (!delayed_.empty()) {
+      idle_cv_.WaitUntil(mu_, delayed_.top().deadline);
+      cv_.NotifyOne();  // a worker must promote the expired task
+    } else {
+      idle_cv_.Wait(mu_);
+    }
+  }
+}
+
+uint64_t TaskScheduler::tasks_executed() const {
+  MutexLock lock(mu_);
+  return tasks_executed_;
+}
+
+uint64_t TaskScheduler::queue_wait_micros() const {
+  MutexLock lock(mu_);
+  return queue_wait_micros_;
+}
+
+DeferredChargeScope::DeferredChargeScope() : prev_(g_charge_scope) {
+  g_charge_scope = this;
+}
+
+DeferredChargeScope::~DeferredChargeScope() { g_charge_scope = prev_; }
+
+void ChargeSimLatency(uint64_t micros) {
+  if (micros == 0) return;
+  if (g_charge_scope != nullptr) {
+    g_charge_scope->accumulated_ += micros;
+    return;
+  }
+  // Sync caller: block for the full duration. A private Mutex/CondVar pair
+  // waited on with a deadline is the sanctioned stand-in for sleep_for (no
+  // one ever notifies, so WaitUntil returns exactly at deadline).
+  Mutex mu;
+  CondVar cv;
+  auto deadline = Clock::now() + std::chrono::microseconds(micros);
+  MutexLock lock(mu);
+  while (Clock::now() < deadline) cv.WaitUntil(mu, deadline);
+}
+
+bool SimChargeDeferred() { return g_charge_scope != nullptr; }
+
+}  // namespace blendhouse::common

@@ -20,7 +20,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    MoveOnlyFn task;
     {
       MutexLock lock(mu_);
       while (!stop_ && queue_.empty()) cv_.Wait(mu_);

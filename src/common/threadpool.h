@@ -1,11 +1,11 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "common/move_only_fn.h"
 #include "common/mutex.h"
 
 namespace blendhouse::common {
@@ -14,8 +14,9 @@ namespace blendhouse::common {
 ///
 /// Used by cluster workers (query execution), the LSM engine (background
 /// compaction and pipelined index build), and bench harnesses (concurrent
-/// clients). Tasks are plain std::function<void()>; Submit() returns a future
-/// for the completion of a callable with a result.
+/// clients). Tasks are move-only callables (common::MoveOnlyFn), so the
+/// packaged_task lives inside the closure itself — one allocation per task
+/// instead of the shared_ptr<packaged_task> + std::function pair.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -30,12 +31,11 @@ class ThreadPool {
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
-    std::future<R> fut = task->get_future();
+    std::packaged_task<R()> task(std::forward<Fn>(fn));
+    std::future<R> fut = task.get_future();
     {
       MutexLock lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.emplace_back([task = std::move(task)]() mutable { task(); });
     }
     cv_.NotifyOne();
     return fut;
@@ -50,7 +50,7 @@ class ThreadPool {
   Mutex mu_;
   CondVar cv_;
   CondVar idle_cv_;
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::deque<MoveOnlyFn> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> threads_;  // written only in the constructor
   size_t active_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;

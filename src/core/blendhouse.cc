@@ -224,6 +224,8 @@ common::Result<sql::QueryResult> BlendHouse::QueryWithSettings(
   double plan_micros = static_cast<double>(plan_timer.ElapsedMicros());
 
   sql::Executor executor(read_vw_.get(), settings);
+  if (executor_topology_hook_for_test_)
+    executor.SetTopologyHookForTest(executor_topology_hook_for_test_);
   auto result = executor.Execute(*plan, *table->engine);
   if (!result.ok()) return result.status();
   result->stats.plan_micros = plan_micros;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -95,6 +96,13 @@ class BlendHouse {
 
   std::vector<std::string> TableNames() const EXCLUDES(catalog_mu_);
 
+  /// Test-only: installed on every query executor this instance constructs;
+  /// lets retry tests mutate the read VW topology between a query's
+  /// placement and its dispatch. See Executor::SetTopologyHookForTest.
+  void SetExecutorTopologyHookForTest(std::function<void(size_t)> hook) {
+    executor_topology_hook_for_test_ = std::move(hook);
+  }
+
  private:
   struct TableState {
     storage::TableSchema schema;
@@ -127,6 +135,7 @@ class BlendHouse {
   storage::ObjectStore store_;
   cluster::RpcFabric rpc_;
   std::unique_ptr<cluster::VirtualWarehouse> read_vw_;
+  std::function<void(size_t)> executor_topology_hook_for_test_;
   std::unique_ptr<common::ThreadPool> build_pool_;
   sql::PlanCache plan_cache_;
 

@@ -1,11 +1,16 @@
 #include "sql/executor.h"
 
 #include <algorithm>
-#include <future>
+#include <atomic>
+#include <chrono>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <queue>
+#include <utility>
 
+#include "common/future.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "vecindex/distance.h"
 
@@ -53,7 +58,82 @@ float OutputDistance(vecindex::Metric metric, float internal) {
   return metric == vecindex::Metric::kInnerProduct ? -internal : internal;
 }
 
+/// Deep copy of a bound query: the predicate tree is cloned so the copy
+/// shares nothing with the caller's stack.
+BoundQuery CopyBoundQuery(const BoundQuery& b) {
+  BoundQuery c;
+  c.table = b.table;
+  if (b.filter != nullptr) c.filter = b.filter->Clone();
+  c.has_ann = b.has_ann;
+  c.vector_column = b.vector_column;
+  c.query_vector = b.query_vector;
+  c.metric = b.metric;
+  c.k = b.k;
+  c.range = b.range;
+  c.range_exclusive = b.range_exclusive;
+  c.output_columns = b.output_columns;
+  c.distance_alias = b.distance_alias;
+  c.read_vector_column = b.read_vector_column;
+  c.scalar_limit = b.scalar_limit;
+  return c;
+}
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
 }  // namespace
+
+struct Executor::QueryContext {
+  BoundQuery bound;
+  ExecStrategy strategy;
+  storage::TableSchema schema;
+  storage::TableSnapshot snapshot;
+  QuerySettings settings;
+};
+
+struct Executor::AttemptState {
+  explicit AttemptState(size_t k) : k(k) {}
+
+  const size_t k;
+  /// Read by segment tasks before doing work; set on first failure and on
+  /// retry so stragglers of a dead attempt short-circuit instead of running.
+  std::atomic<bool> cancelled{false};
+
+  common::Mutex mu;
+  /// Bounded streaming top-k: max-heap by distance of at most k candidates,
+  /// folded as partial results complete.
+  std::vector<Candidate> heap GUARDED_BY(mu);
+  size_t outstanding GUARDED_BY(mu) = 0;
+  /// The completion promise fired — either on the first failure (so retry
+  /// starts without draining stragglers) or when the last task folded.
+  bool completed GUARDED_BY(mu) = false;
+  common::Status first_error GUARDED_BY(mu);
+  size_t segments_scanned GUARDED_BY(mu) = 0;
+  size_t rounds GUARDED_BY(mu) = 0;
+  std::array<size_t, 5> cache_outcomes GUARDED_BY(mu){};
+  uint64_t queue_wait_micros GUARDED_BY(mu) = 0;
+  uint64_t compute_micros GUARDED_BY(mu) = 0;
+  uint64_t sim_io_micros GUARDED_BY(mu) = 0;
+  common::Promise<common::Status> done;
+
+  void FoldCandidate(Candidate c) REQUIRES(mu) {
+    auto worse = [](const Candidate& a, const Candidate& b) {
+      return a.dist < b.dist;
+    };
+    if (heap.size() < k) {
+      heap.push_back(std::move(c));
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (!heap.empty() && c.dist < heap.front().dist) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = std::move(c);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+};
 
 common::Result<QueryResult> Executor::Execute(const OptimizedQuery& query,
                                               storage::LsmEngine& engine) {
@@ -135,14 +215,28 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
     ++stats->adaptive_expansions;
   }
 
-  // Global top-k merge of the per-segment partial top-k sets.
+  // Global top-k merge of the streamed per-round top-k sets.
   std::sort(all_candidates.begin(), all_candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.dist < b.dist;
             });
   if (all_candidates.size() > bound.k) all_candidates.resize(bound.k);
 
-  return Materialize(bound, schema, std::move(all_candidates));
+  // Materialization runs on the caller thread; account its time in the
+  // breakdown (sim charges deferred, then paid once below) so queue-wait +
+  // compute + sim-I/O covers the whole execution, not just segment tasks.
+  auto mat_start = std::chrono::steady_clock::now();
+  uint64_t mat_sim = 0;
+  common::Result<QueryResult> out = [&] {
+    common::DeferredChargeScope scope;
+    auto r = Materialize(bound, schema, std::move(all_candidates));
+    mat_sim = scope.accumulated_micros();
+    return r;
+  }();
+  stats->compute_micros += static_cast<double>(ElapsedMicros(mat_start));
+  stats->sim_io_micros += static_cast<double>(mat_sim);
+  if (mat_sim > 0) common::ChargeSimLatency(mat_sim);
+  return out;
 }
 
 common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
@@ -150,53 +244,128 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
     const storage::TableSchema& schema,
     const std::vector<storage::SegmentMeta>& segments,
     const storage::TableSnapshot& snapshot, ExecStats* stats) {
+  if (segments.empty()) return std::vector<Candidate>{};
+
+  // Shared immutable query context: segment tasks capture this (and only
+  // this) by shared_ptr, so a straggler from a cancelled attempt keeps the
+  // data it reads alive instead of dangling into our stack frame.
+  auto ctx = std::make_shared<const QueryContext>(QueryContext{
+      CopyBoundQuery(bound), strategy, schema, snapshot, settings_});
+  common::TaskScheduler* sched = &vw_->task_scheduler();
+
   for (size_t attempt = 0;; ++attempt) {
     auto assignment =
         cluster::Scheduler::Assign(*vw_, schema.table_name, segments);
+    if (topology_hook_for_test_) topology_hook_for_test_(attempt);
 
-    std::vector<std::future<std::vector<SegmentTaskResult>>> futures;
+    // Resolve the whole assignment before dispatching anything, so a stale
+    // placement (topology changed mid-planning) costs no task churn.
+    std::vector<std::pair<cluster::Worker*,
+                          const std::vector<storage::SegmentMeta>*>>
+        resolved;
     bool assignment_failed = false;
     for (auto& [worker_id, metas] : assignment) {
       cluster::Worker* worker = vw_->worker(worker_id);
       if (worker == nullptr) {
-        assignment_failed = true;  // topology changed mid-planning
+        assignment_failed = true;
         break;
       }
-      // One task per worker; it walks its assigned segments serially,
-      // modelling per-worker CPU.
-      std::vector<storage::SegmentMeta> worker_metas = metas;
-      futures.push_back(worker->pool().Submit(
-          [this, worker, &bound, strategy, &schema, &snapshot,
-           worker_metas = std::move(worker_metas)]() {
-            std::vector<SegmentTaskResult> results;
-            results.reserve(worker_metas.size());
-            for (const storage::SegmentMeta& meta : worker_metas)
-              results.push_back(
-                  RunSegment(worker, bound, strategy, schema, meta, snapshot));
-            return results;
-          }));
+      resolved.emplace_back(worker, &metas);
     }
 
     common::Status failure;
-    std::vector<Candidate> merged;
     if (!assignment_failed) {
-      for (auto& fut : futures) {
-        for (SegmentTaskResult& r : fut.get()) {
-          if (!r.status.ok()) {
-            if (failure.ok()) failure = r.status;
-            continue;
-          }
-          ++stats->segments_scanned;
-          stats->postfilter_rounds += r.rounds;
-          for (size_t i = 0; i < r.cache_outcomes.size(); ++i)
-            stats->cache_outcomes[i] += r.cache_outcomes[i];
-          for (Candidate& c : r.candidates) merged.push_back(std::move(c));
+      auto state = std::make_shared<AttemptState>(bound.k);
+      {
+        common::MutexLock lock(state->mu);
+        state->outstanding = segments.size();
+      }
+      common::Future<common::Status> done = state->done.GetFuture();
+
+      // One task per *segment*: fine granularity keeps every pool thread of
+      // every owning worker busy, and the merge streams below as results
+      // complete instead of barriering per worker.
+      for (auto& [worker, metas] : resolved) {
+        for (const storage::SegmentMeta& meta : *metas) {
+          auto slot = std::make_shared<SegmentTaskResult>();
+          cluster::Worker* w = worker;
+          worker->SearchSegmentAsync(
+              sched,
+              /*search=*/
+              [ctx, state, slot, w, meta] {
+                if (state->cancelled.load(std::memory_order_acquire)) {
+                  slot->skipped = true;
+                  return;
+                }
+                *slot = RunSegment(w, *ctx, meta);
+              },
+              /*done=*/
+              [state, slot](const cluster::AsyncTaskStats& ts) {
+                bool fire = false;
+                common::Status outcome;
+                common::MutexLock lock(state->mu);
+                state->queue_wait_micros += ts.queue_wait_micros;
+                state->compute_micros += ts.compute_micros;
+                state->sim_io_micros += ts.sim_io_micros;
+                if (!slot->skipped) {
+                  if (!slot->status.ok()) {
+                    // First failure completes the attempt immediately (the
+                    // caller retries without draining stragglers) and flags
+                    // the rest to short-circuit.
+                    state->cancelled.store(true, std::memory_order_release);
+                    if (state->first_error.ok())
+                      state->first_error = slot->status;
+                    if (!state->completed) {
+                      state->completed = true;
+                      fire = true;
+                      outcome = state->first_error;
+                    }
+                  } else {
+                    ++state->segments_scanned;
+                    state->rounds += slot->rounds;
+                    for (size_t i = 0; i < slot->cache_outcomes.size(); ++i)
+                      state->cache_outcomes[i] += slot->cache_outcomes[i];
+                    for (Candidate& c : slot->candidates)
+                      state->FoldCandidate(std::move(c));
+                  }
+                }
+                if (--state->outstanding == 0 && !state->completed) {
+                  state->completed = true;
+                  fire = true;
+                  outcome = state->first_error;
+                }
+                if (fire) state->done.SetValue(std::move(outcome));
+              });
         }
       }
-      if (failure.ok()) return merged;
+
+      // Sync bridge at the executor API boundary: park this caller until the
+      // streaming merge completes (or fails fast).
+      common::Status status = done.Get();
+      if (status.ok()) {
+        common::MutexLock lock(state->mu);
+        stats->segments_scanned += state->segments_scanned;
+        stats->postfilter_rounds += state->rounds;
+        for (size_t i = 0; i < state->cache_outcomes.size(); ++i)
+          stats->cache_outcomes[i] += state->cache_outcomes[i];
+        stats->queue_wait_micros +=
+            static_cast<double>(state->queue_wait_micros);
+        stats->compute_micros += static_cast<double>(state->compute_micros);
+        stats->sim_io_micros += static_cast<double>(state->sim_io_micros);
+        std::sort(state->heap.begin(), state->heap.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                    return a.dist < b.dist;
+                  });
+        return std::move(state->heap);
+      }
+      failure = status;
+      // The failed attempt's stragglers drain in the background against the
+      // shared context; cancelled is already set, so they no-op.
+      state->cancelled.store(true, std::memory_order_release);
     }
+
     // Query-level retry (fault tolerance, §II-E): re-snapshot the topology
-    // and re-run once.
+    // and re-run once, without blocking on the dead attempt.
     if (attempt >= settings_.max_query_retries) {
       return assignment_failed
                  ? common::Status::Aborted("worker set changed during query")
@@ -207,18 +376,20 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
 }
 
 Executor::SegmentTaskResult Executor::RunSegment(
-    cluster::Worker* worker, const BoundQuery& bound, ExecStrategy strategy,
-    const storage::TableSchema& schema, const storage::SegmentMeta& meta,
-    const storage::TableSnapshot& snapshot) {
+    cluster::Worker* worker, const QueryContext& ctx,
+    const storage::SegmentMeta& meta) {
+  const BoundQuery& bound = ctx.bound;
+  const storage::TableSchema& schema = ctx.schema;
+  const QuerySettings& settings = ctx.settings;
   SegmentTaskResult result;
-  const common::Bitset* deletes = snapshot.DeletesFor(meta.segment_id);
+  const common::Bitset* deletes = ctx.snapshot.DeletesFor(meta.segment_id);
   size_t k = bound.k;
 
   vecindex::SearchParams params;
   params.k = static_cast<int>(k);
-  params.ef_search = settings_.ef_search;
-  params.nprobe = settings_.nprobe;
-  params.refine_factor = settings_.refine_factor;
+  params.ef_search = settings.ef_search;
+  params.nprobe = settings.nprobe;
+  params.refine_factor = settings.refine_factor;
 
   auto push_candidates = [&](const std::vector<vecindex::Neighbor>& hits) {
     for (const vecindex::Neighbor& n : hits) {
@@ -227,11 +398,11 @@ Executor::SegmentTaskResult Executor::RunSegment(
     }
   };
 
-  switch (strategy) {
+  switch (ctx.strategy) {
     case ExecStrategy::kBruteForce: {
       // Plan A: scalar filter first, exact distances on survivors only.
       auto segment = worker->GetSegment(schema, meta.segment_id,
-                                        settings_.use_column_cache);
+                                        settings.use_column_cache);
       if (!segment.ok()) {
         result.status = segment.status();
         return result;
@@ -281,7 +452,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
       common::Bitset bitmap;
       if (bound.filter != nullptr) {
         auto segment = worker->GetSegment(schema, meta.segment_id,
-                                          settings_.use_column_cache);
+                                          settings.use_column_cache);
         if (!segment.ok()) {
           result.status = segment.status();
           return result;
@@ -291,7 +462,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
           result.status = bind.status();
           return result;
         }
-        bitmap = bind->BuildBitmap(deletes, settings_.use_granule_pruning);
+        bitmap = bind->BuildBitmap(deletes, settings.use_granule_pruning);
         if (!bitmap.Any()) break;  // nothing qualifies in this segment
         params.filter = &bitmap;
       } else if (deletes != nullptr) {
@@ -301,7 +472,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
         if (!bitmap.Any()) break;
         params.filter = &bitmap;
       }
-      auto acquired = worker->AcquireIndex(schema, meta, settings_.acquire);
+      auto acquired = worker->AcquireIndex(schema, meta, settings.acquire);
       if (!acquired.ok()) {
         result.status = acquired.status();
         return result;
@@ -325,7 +496,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
     case ExecStrategy::kPostFilter: {
       // Plan C: iterator ANN scan first, filter candidates, refill until k
       // qualify (partial top-k pushed below the scalar filter).
-      auto acquired = worker->AcquireIndex(schema, meta, settings_.acquire);
+      auto acquired = worker->AcquireIndex(schema, meta, settings.acquire);
       if (!acquired.ok()) {
         result.status = acquired.status();
         return result;
@@ -354,9 +525,9 @@ Executor::SegmentTaskResult Executor::RunSegment(
       storage::SegmentPtr segment;  // fetched lazily, only if needed
       std::optional<PredicateEvaluator> eval;
       size_t batch_size =
-          std::max<size_t>(k, k * std::max(1, settings_.refine_factor));
+          std::max<size_t>(k, k * std::max(1, settings.refine_factor));
       size_t found = 0;
-      for (size_t round = 0; round < settings_.max_postfilter_rounds;
+      for (size_t round = 0; round < settings.max_postfilter_rounds;
            ++round) {
         std::vector<vecindex::Neighbor> batch = (*iter)->Next(batch_size);
         if (batch.empty()) break;
@@ -368,7 +539,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
           if (bound.filter != nullptr) {
             if (segment == nullptr) {
               auto fetched = worker->GetSegment(schema, meta.segment_id,
-                                                settings_.use_column_cache);
+                                                settings.use_column_cache);
               if (!fetched.ok()) {
                 result.status = fetched.status();
                 return result;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -31,6 +32,15 @@ struct ExecStats {
   int rules_fired = 0;
   double plan_micros = 0;
   double exec_micros = 0;
+  /// Async execution time breakdown, fed from the task scheduler: time
+  /// segment tasks spent queued on worker pools, wall time actually
+  /// computing, and simulated I/O charged through the delay queue. Summed
+  /// over all segment tasks of the query — overlapped tasks therefore sum
+  /// past exec_micros; with a single in-flight task the three add up to
+  /// ~exec_micros.
+  double queue_wait_micros = 0;
+  double compute_micros = 0;
+  double sim_io_micros = 0;
 };
 
 struct QueryResult {
@@ -57,6 +67,13 @@ class Executor {
   common::Result<std::vector<std::pair<std::string, std::vector<uint64_t>>>>
   FindMatchingRows(storage::LsmEngine& engine, const Expr* filter);
 
+  /// Test-only: invoked after each attempt's placement with the attempt
+  /// number, before workers are resolved — lets retry tests mutate the VW
+  /// topology at the exact moment a real scaling event would race a query.
+  void SetTopologyHookForTest(std::function<void(size_t attempt)> hook) {
+    topology_hook_for_test_ = std::move(hook);
+  }
+
  private:
   /// One ANN candidate before materialization.
   struct Candidate {
@@ -70,7 +87,19 @@ class Executor {
     std::array<size_t, 5> cache_outcomes{};
     size_t rounds = 0;
     common::Status status;
+    /// True when the task observed its attempt's cancel flag and did no
+    /// work; the merge skips it without treating it as a failure.
+    bool skipped = false;
   };
+
+  /// Immutable query context shared by every segment task of one query.
+  /// Deep copies of the bound query (predicate cloned), schema, and
+  /// snapshot live here behind a shared_ptr, so a straggler task from a
+  /// cancelled attempt can never dangle into the caller's stack frame.
+  struct QueryContext;
+  /// Per-attempt streaming merge state: bounded top-k heap, outstanding
+  /// counter, cancel flag, time breakdown, completion promise.
+  struct AttemptState;
 
   common::Result<QueryResult> ExecuteAnn(const OptimizedQuery& query,
                                          storage::LsmEngine& engine,
@@ -87,11 +116,12 @@ class Executor {
       const std::vector<storage::SegmentMeta>& segments,
       const storage::TableSnapshot& snapshot, ExecStats* stats);
 
-  SegmentTaskResult RunSegment(cluster::Worker* worker,
-                               const BoundQuery& bound, ExecStrategy strategy,
-                               const storage::TableSchema& schema,
-                               const storage::SegmentMeta& meta,
-                               const storage::TableSnapshot& snapshot);
+  /// Static on purpose: segment tasks run on worker pools and may outlive
+  /// this Executor (cancelled-attempt stragglers), so they must not capture
+  /// `this` — everything they need lives in the shared QueryContext.
+  static SegmentTaskResult RunSegment(cluster::Worker* worker,
+                                      const QueryContext& ctx,
+                                      const storage::SegmentMeta& meta);
 
   common::Result<QueryResult> Materialize(const BoundQuery& bound,
                                           const storage::TableSchema& schema,
@@ -104,6 +134,7 @@ class Executor {
 
   cluster::VirtualWarehouse* vw_;
   QuerySettings settings_;
+  std::function<void(size_t attempt)> topology_hook_for_test_;
 };
 
 }  // namespace blendhouse::sql

@@ -1,10 +1,22 @@
 #include "sql/expression.h"
 
 #include <cmath>
+#include <locale>
 
 namespace blendhouse::sql {
 
 namespace {
+
+// libstdc++'s std::ctype<char>::narrow lazily fills a cache shared through
+// the classic locale's facet; concurrent first-time std::regex compiles (one
+// per segment task) race on that fill. The stored values are identical, but
+// it is still a data race — touch every char once here, while dynamic
+// initialization is single-threaded.
+const bool g_ctype_narrow_warmed = [] {
+  const auto& ct = std::use_facet<std::ctype<char>>(std::locale::classic());
+  for (int c = 0; c < 256; ++c) (void)ct.narrow(static_cast<char>(c), '\0');
+  return true;
+}();
 
 double LiteralToDouble(const storage::Value& v) {
   if (const int64_t* i = std::get_if<int64_t>(&v))

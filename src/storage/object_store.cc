@@ -1,17 +1,15 @@
 #include "storage/object_store.h"
 
-#include <chrono>
-#include <thread>
+#include "common/task_scheduler.h"
 
 namespace blendhouse::storage {
 
 void ObjectStore::ChargeLatency(size_t bytes) const {
-  StorageCostModel cost = cost_model();  // copy; never sleep under the lock
+  StorageCostModel cost = cost_model();  // copy; never charge under the lock
   if (!cost.simulate_latency) return;
   double transfer = static_cast<double>(bytes) / cost.bytes_per_micro;
   int64_t total = cost.base_latency_micros + static_cast<int64_t>(transfer);
-  if (total > 0)
-    std::this_thread::sleep_for(std::chrono::microseconds(total));
+  if (total > 0) common::ChargeSimLatency(static_cast<uint64_t>(total));
 }
 
 common::Status ObjectStore::Put(const std::string& key, std::string bytes) {

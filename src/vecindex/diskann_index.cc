@@ -1,13 +1,12 @@
 #include "vecindex/diskann_index.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <random>
-#include <thread>
 #include <unordered_set>
 
 #include "common/io.h"
+#include "common/task_scheduler.h"
 #include "vecindex/distance.h"
 
 namespace blendhouse::vecindex {
@@ -50,7 +49,7 @@ DiskAnnIndex::NodeBlockPtr DiskAnnIndex::ReadBlock(uint32_t pos) const {
         options_.disk_latency_micros +
         static_cast<int64_t>(static_cast<double>(bytes.size()) /
                              options_.disk_bytes_per_micro);
-    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    if (micros > 0) common::ChargeSimLatency(static_cast<uint64_t>(micros));
   }
   disk_reads_.fetch_add(1, std::memory_order_relaxed);
 

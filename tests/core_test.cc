@@ -761,5 +761,151 @@ TEST(BlendHouseSemantic, AdaptiveExpansionFindsFilteredRows) {
     EXPECT_EQ(std::get<int64_t>(row.values[1]), 3);
 }
 
+// ---------------------------------------------------------------------------
+// Query-level retry path (fault tolerance, §II-E)
+// ---------------------------------------------------------------------------
+
+/// Fixture with multiple segments spread over a 2-worker VW, plus a helper
+/// that swaps out the entire worker set — the most hostile topology change a
+/// query can race against.
+class BlendHouseRetry : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BlendHouseOptions opts = BlendHouseOptions::Fast();
+    opts.ingest.max_segment_rows = 100;
+    db_ = std::make_unique<BlendHouse>(opts);
+    ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE t (id Int64,"
+                                " emb Array(Float32),"
+                                " INDEX a emb TYPE HNSW('DIM=8'));")
+                    .ok());
+    data_ = MakeClusteredVectors(400, kDim, 4, 11);
+    std::vector<storage::Row> rows;
+    for (size_t i = 0; i < 400; ++i) {
+      storage::Row row;
+      row.values = {static_cast<int64_t>(i),
+                    std::vector<float>(data_.begin() + i * kDim,
+                                       data_.begin() + (i + 1) * kDim)};
+      rows.push_back(std::move(row));
+    }
+    ASSERT_TRUE(db_->Insert("t", std::move(rows)).ok());
+    ASSERT_TRUE(db_->Flush("t").ok());
+  }
+
+  /// Replaces every worker in the read VW, invalidating any placement
+  /// computed before the call (all assigned worker ids disappear).
+  void ReplaceAllWorkers() {
+    std::vector<std::string> ids;
+    for (cluster::Worker* w : db_->read_vw().workers()) ids.push_back(w->id());
+    for (size_t i = 0; i < ids.size(); ++i) db_->AddReadWorker();
+    for (const std::string& id : ids)
+      ASSERT_TRUE(db_->RemoveReadWorker(id).ok());
+  }
+
+  std::string Query() {
+    std::string vec = "[";
+    for (size_t d = 0; d < kDim; ++d)
+      vec += (d ? "," : "") + std::to_string(data_[d]);
+    vec += "]";
+    return "SELECT id FROM t ORDER BY L2Distance(emb, " + vec +
+           ") LIMIT 5;";
+  }
+
+  std::unique_ptr<BlendHouse> db_;
+  std::vector<float> data_;
+};
+
+TEST_F(BlendHouseRetry, TopologyChangeMidQueryRetriesOnceAndSucceeds) {
+  size_t hook_calls = 0;
+  db_->SetExecutorTopologyHookForTest([&](size_t attempt) {
+    ++hook_calls;
+    // Sabotage only the first attempt: the placement it just computed now
+    // references workers that no longer exist.
+    if (attempt == 0) ReplaceAllWorkers();
+  });
+  auto result = db_->Query(Query());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 5u);
+  EXPECT_EQ(result->stats.retries, 1u);
+  EXPECT_GE(hook_calls, 2u);
+}
+
+TEST_F(BlendHouseRetry, ExhaustedRetriesReturnAborted) {
+  db_->SetExecutorTopologyHookForTest(
+      [&](size_t) { ReplaceAllWorkers(); });
+  auto result = db_->Query(Query());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::Status::Code::kAborted);
+}
+
+TEST_F(BlendHouseRetry, RetriesCountedInStats) {
+  sql::QuerySettings settings = db_->options().settings;
+  settings.max_query_retries = 3;
+  size_t sabotaged = 0;
+  db_->SetExecutorTopologyHookForTest([&](size_t attempt) {
+    if (attempt < 2) {
+      ++sabotaged;
+      ReplaceAllWorkers();
+    }
+  });
+  auto result = db_->QueryWithSettings(Query(), settings);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(sabotaged, 2u);
+  EXPECT_EQ(result->stats.retries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ExecStats async time breakdown
+// ---------------------------------------------------------------------------
+
+TEST(BlendHouseExecStats, BreakdownSumsToExecMicros) {
+  // Single worker, single thread, one segment, dominant simulated storage
+  // latency: queue-wait + compute + sim-I/O must account for essentially the
+  // whole execution time.
+  BlendHouseOptions opts;
+  opts.read_workers = 1;
+  opts.worker_threads = 1;
+  opts.remote_cost = {/*base_latency_micros=*/20000, /*bytes_per_micro=*/1e9,
+                      /*simulate_latency=*/true};
+  opts.rpc_cost.simulate_latency = false;
+  opts.worker.cache.disk_cost = storage::StorageCostModel::Instant();
+  opts.ingest.max_segment_rows = 100000;
+  BlendHouse db(opts);
+  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (id Int64,"
+                            " emb Array(Float32),"
+                            " INDEX a emb TYPE HNSW('DIM=8'));")
+                  .ok());
+  auto data = MakeClusteredVectors(200, kDim, 4, 3);
+  std::vector<storage::Row> rows;
+  for (size_t i = 0; i < 200; ++i) {
+    storage::Row row;
+    row.values = {static_cast<int64_t>(i),
+                  std::vector<float>(data.begin() + i * kDim,
+                                     data.begin() + (i + 1) * kDim)};
+    rows.push_back(std::move(row));
+  }
+  ASSERT_TRUE(db.Insert("t", std::move(rows)).ok());
+  ASSERT_TRUE(db.Flush("t").ok());
+
+  std::string vec = "[";
+  for (size_t d = 0; d < kDim; ++d)
+    vec += (d ? "," : "") + std::to_string(data[d]);
+  vec += "]";
+  auto result =
+      db.Query("SELECT id FROM t ORDER BY L2Distance(emb, " + vec +
+               ") LIMIT 5;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const sql::ExecStats& stats = result->stats;
+  EXPECT_EQ(stats.segments_scanned, 1u);
+  // The 20 ms remote index load dominates; it must show up as sim-I/O.
+  EXPECT_GE(stats.sim_io_micros, 20000.0);
+  double sum = stats.queue_wait_micros + stats.compute_micros +
+               stats.sim_io_micros;
+  EXPECT_GT(stats.exec_micros, 0.0);
+  // Accounted time covers the execution minus scheduling/merge overhead;
+  // generous bounds keep this robust on loaded CI machines.
+  EXPECT_GE(sum, 0.7 * stats.exec_micros);
+  EXPECT_LE(sum, 1.1 * stats.exec_micros);
+}
+
 }  // namespace
 }  // namespace blendhouse::core

@@ -13,6 +13,11 @@ enforces four concurrency/hygiene rules:
                / std::make_shared / containers.
   include-cycle  The `#include "..."` graph under src/ must be acyclic.
   pragma-once  Every header under src/ must start with #pragma once.
+  sleep-for    std::this_thread::sleep_for / sleep_until are banned outside
+               src/baselines/ (the deliberately-blocking comparison systems)
+               and src/common/task_scheduler.cc (the delay queue). Simulated
+               latency must go through common::ChargeSimLatency or
+               TaskScheduler::ScheduleAfter so it never parks a pool thread.
 
 Suppress a finding by putting  lint:allow(<rule>)  in a comment on the same
 line. Usage: tools/lint.py [repo-root]
@@ -39,6 +44,13 @@ RAW_MUTEX_TOKENS = (
 
 # The annotated wrapper is the one place allowed to touch the raw primitives.
 RAW_MUTEX_EXEMPT = {os.path.join("src", "common", "mutex.h")}
+
+SLEEP_TOKENS = ("sleep_for", "sleep_until")
+
+# Baseline comparison systems block on purpose (they model synchronous
+# engines); the delay queue is the one sanctioned timed wait in BlendHouse.
+SLEEP_EXEMPT_PREFIXES = (os.path.join("src", "baselines") + os.sep,)
+SLEEP_EXEMPT_FILES = {os.path.join("src", "common", "task_scheduler.cc")}
 
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 
@@ -133,6 +145,8 @@ def check_tokens(path, raw_lines, code_lines, findings):
         return rule in allows.get(lineno, set())
 
     exempt_mutex = path in RAW_MUTEX_EXEMPT
+    exempt_sleep = (path in SLEEP_EXEMPT_FILES
+                    or path.startswith(SLEEP_EXEMPT_PREFIXES))
     for lineno, line in enumerate(code_lines, start=1):
         if not exempt_mutex:
             for token in RAW_MUTEX_TOKENS:
@@ -141,6 +155,14 @@ def check_tokens(path, raw_lines, code_lines, findings):
                         (path, lineno, "raw-mutex",
                          f"{token} outside src/common/mutex.h; use the "
                          "annotated common::Mutex wrapper"))
+        if not exempt_sleep:
+            for token in SLEEP_TOKENS:
+                if token in line and not allowed(lineno, "sleep-for"):
+                    findings.append(
+                        (path, lineno, "sleep-for",
+                         f"{token} outside src/baselines/; charge simulated "
+                         "latency via common::ChargeSimLatency or "
+                         "TaskScheduler::ScheduleAfter"))
         for m in NEW_RE.finditer(line):
             if allowed(lineno, "naked-new"):
                 continue
