@@ -1,19 +1,30 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels under everything:
-// distance functions, PQ ADC lookups, SQ8 asymmetric distance, bitmap tests,
-// consistent-hash placement, and histogram selectivity estimation.
+// distance functions (per dispatch tier), batched one-vs-many scans, PQ ADC
+// lookups, SQ8 asymmetric distance, bitmap tests, consistent-hash placement,
+// and histogram selectivity estimation.
+//
+// The *Scalar variants pin the scalar table so the SIMD speedup is visible
+// in one run; the unsuffixed variants use whatever tier dispatch selected
+// (printed at startup).
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
 
 #include "cluster/consistent_hash.h"
 #include "common/bitset.h"
 #include "common/rng.h"
 #include "tests/test_util.h"
 #include "vecindex/distance.h"
+#include "vecindex/kernels/kernels.h"
 #include "vecindex/pq.h"
 #include "vecindex/quantizer.h"
 
 namespace blendhouse {
 namespace {
+
+namespace kernels = vecindex::kernels;
 
 void BM_L2Sqr(benchmark::State& state) {
   size_t dim = static_cast<size_t>(state.range(0));
@@ -25,6 +36,18 @@ void BM_L2Sqr(benchmark::State& state) {
 }
 BENCHMARK(BM_L2Sqr)->Arg(64)->Arg(96)->Arg(256)->Arg(768);
 
+void BM_L2SqrScalar(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto data = test::MakeClusteredVectors(2, dim, 1, 1);
+  const kernels::KernelTable* scalar =
+      kernels::GetTable(kernels::SimdTier::kScalar);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        scalar->l2sqr(data.data(), data.data() + dim, dim));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2SqrScalar)->Arg(96)->Arg(768);
+
 void BM_InnerProduct(benchmark::State& state) {
   size_t dim = static_cast<size_t>(state.range(0));
   auto data = test::MakeClusteredVectors(2, dim, 1, 1);
@@ -33,6 +56,63 @@ void BM_InnerProduct(benchmark::State& state) {
         vecindex::InnerProduct(data.data(), data.data() + dim, dim));
 }
 BENCHMARK(BM_InnerProduct)->Arg(96)->Arg(768);
+
+void BM_InnerProductScalar(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto data = test::MakeClusteredVectors(2, dim, 1, 1);
+  const kernels::KernelTable* scalar =
+      kernels::GetTable(kernels::SimdTier::kScalar);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        scalar->inner_product(data.data(), data.data() + dim, dim));
+}
+BENCHMARK(BM_InnerProductScalar)->Arg(96)->Arg(768);
+
+constexpr size_t kBatchRows = 256;
+
+void BM_BatchL2Sqr(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto data = test::MakeClusteredVectors(kBatchRows + 1, dim, 4, 2);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    kernels::Get().batch_l2sqr(data.data(), data.data() + dim, kBatchRows,
+                               dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+BENCHMARK(BM_BatchL2Sqr)->Arg(96)->Arg(768);
+
+void BM_BatchInnerProduct(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto data = test::MakeClusteredVectors(kBatchRows + 1, dim, 4, 2);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    kernels::Get().batch_inner_product(data.data(), data.data() + dim,
+                                       kBatchRows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+BENCHMARK(BM_BatchInnerProduct)->Arg(96)->Arg(768);
+
+void BM_BatchCosineWithNorms(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto data = test::MakeClusteredVectors(kBatchRows + 1, dim, 4, 2);
+  const float* base = data.data() + dim;
+  std::vector<float> norms(kBatchRows);
+  for (size_t i = 0; i < kBatchRows; ++i)
+    norms[i] = std::sqrt(vecindex::SquaredNorm(base + i * dim, dim));
+  float qnorm = std::sqrt(vecindex::SquaredNorm(data.data(), dim));
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    vecindex::BatchCosineWithNorms(data.data(), base, norms.data(), qnorm,
+                                   kBatchRows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+BENCHMARK(BM_BatchCosineWithNorms)->Arg(96)->Arg(768);
 
 void BM_SqAsymmetricDistance(benchmark::State& state) {
   size_t dim = static_cast<size_t>(state.range(0));
@@ -59,6 +139,25 @@ void BM_PqAdcDistance(benchmark::State& state) {
     benchmark::DoNotOptimize(pq.AdcDistance(table.data(), code.data()));
 }
 BENCHMARK(BM_PqAdcDistance);
+
+void BM_PqAdcDistanceBatch(benchmark::State& state) {
+  size_t dim = 96, m = 12;
+  auto data = test::MakeClusteredVectors(2000, dim, 8, 3);
+  vecindex::ProductQuantizer pq;
+  (void)pq.Train(data.data(), 2000, dim, m, 8);
+  std::vector<uint8_t> codes(kBatchRows * pq.code_size());
+  for (size_t i = 0; i < kBatchRows; ++i)
+    pq.Encode(data.data() + (i + 1) * dim, codes.data() + i * pq.code_size());
+  std::vector<float> table(pq.m() * pq.ks());
+  pq.BuildAdcTable(data.data(), table.data());
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    pq.AdcDistanceBatch(table.data(), codes.data(), kBatchRows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+BENCHMARK(BM_PqAdcDistanceBatch);
 
 void BM_PqBuildAdcTable(benchmark::State& state) {
   size_t dim = 96, m = 12;
@@ -97,4 +196,15 @@ BENCHMARK(BM_ConsistentHashPlacement)->Arg(1)->Arg(21);
 }  // namespace
 }  // namespace blendhouse
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf(
+      "simd dispatch: active tier = %s\n",
+      blendhouse::vecindex::kernels::SimdTierName(
+          blendhouse::vecindex::kernels::ActiveTier())
+          .c_str());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,8 +28,8 @@ class BinaryWriter {
     out_->append(s.data(), s.size());
   }
 
-  template <typename T>
-  void WriteVector(const std::vector<T>& v) {
+  template <typename T, typename Alloc>
+  void WriteVector(const std::vector<T, Alloc>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     Write<uint64_t>(v.size());
     if (!v.empty())  // data() may be null for an empty vector
@@ -66,8 +66,8 @@ class BinaryReader {
     return Status::Ok();
   }
 
-  template <typename T>
-  Status ReadVector(std::vector<T>* v) {
+  template <typename T, typename Alloc>
+  Status ReadVector(std::vector<T, Alloc>* v) {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t n = 0;
     BH_RETURN_IF_ERROR(Read(&n));

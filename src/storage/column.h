@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/io.h"
 #include "common/result.h"
 #include "storage/value.h"
@@ -64,8 +65,9 @@ class Column {
 
   Value GetValue(size_t row) const;
 
-  /// Raw packed vector data (vector columns only).
-  const std::vector<float>& vector_data() const { return vectors_; }
+  /// Raw packed vector data (vector columns only), 64-byte aligned so flat
+  /// scans and index builds start the SIMD kernels on an aligned base.
+  const common::AlignedVector<float>& vector_data() const { return vectors_; }
 
   /// Builds min/max marks over `granule_rows`-row granules. No-op for
   /// string/vector columns.
@@ -94,7 +96,7 @@ class Column {
   std::vector<double> doubles_;
   std::string str_arena_;
   std::vector<uint64_t> str_offsets_{0};
-  std::vector<float> vectors_;
+  common::AlignedVector<float> vectors_;
 
   GranuleMarks marks_;
   double col_min_ = std::numeric_limits<double>::max();

@@ -190,7 +190,7 @@ common::Status LsmEngine::BuildAndStoreIndex(const Segment& segment) {
   if (!index.ok()) return index.status();
 
   const Column& vec_col = segment.column(schema_.vector_column);
-  const std::vector<float>& data = vec_col.vector_data();
+  const common::AlignedVector<float>& data = vec_col.vector_data();
   size_t n = segment.num_rows();
   std::vector<vecindex::IdType> ids(n);
   for (size_t i = 0; i < n; ++i) ids[i] = static_cast<vecindex::IdType>(i);

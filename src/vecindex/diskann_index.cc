@@ -15,6 +15,7 @@ DiskAnnIndex::DiskAnnIndex(size_t dim, Metric metric, DiskAnnOptions options)
     : dim_(dim),
       metric_(metric),
       options_(options),
+      dist_(ResolveDistance(metric)),
       block_cache_(options.cached_nodes *
                    (dim * sizeof(float) + options.R * sizeof(uint32_t) + 64)) {}
 
@@ -36,7 +37,7 @@ common::Status DiskAnnIndex::Train(const float* data, size_t n) {
 
 float DiskAnnIndex::ExactDistance(const float* query, uint32_t pos) const {
   NodeBlockPtr block = ReadBlock(pos);
-  return Distance(metric_, query, block->vector.data(), dim_);
+  return dist_(query, block->vector.data(), dim_);
 }
 
 DiskAnnIndex::NodeBlockPtr DiskAnnIndex::ReadBlock(uint32_t pos) const {
@@ -103,9 +104,8 @@ std::vector<uint32_t> DiskAnnIndex::RobustPrune(
     kept.reserve(candidates.size());
     for (size_t i = 1; i < candidates.size(); ++i) {
       uint32_t other = static_cast<uint32_t>(candidates[i].id);
-      float d_c_other =
-          Distance(metric_, base + size_t{c} * dim_,
-                   base + size_t{other} * dim_, dim_);
+      float d_c_other = dist_(base + size_t{c} * dim_,
+                              base + size_t{other} * dim_, dim_);
       if (options_.alpha * d_c_other <= candidates[i].distance) continue;
       kept.push_back(candidates[i]);
     }
@@ -158,11 +158,17 @@ common::Status DiskAnnIndex::AddWithIds(const float* data, const IdType* ids,
   for (size_t d = 0; d < dim_; ++d)
     meanf[d] = static_cast<float>(mean[d] / static_cast<double>(n));
   float best = std::numeric_limits<float>::max();
-  for (size_t i = 0; i < n; ++i) {
-    float d = L2Sqr(meanf.data(), data + i * dim_, dim_);
-    if (d < best) {
-      best = d;
-      medoid_ = static_cast<uint32_t>(i);
+  constexpr size_t kChunk = 256;
+  float chunk_dist[kChunk];
+  for (size_t begin = 0; begin < n; begin += kChunk) {
+    size_t cn = std::min(kChunk, n - begin);
+    BatchDistance(Metric::kL2, meanf.data(), data + begin * dim_, cn, dim_,
+                  chunk_dist);
+    for (size_t i = 0; i < cn; ++i) {
+      if (chunk_dist[i] < best) {
+        best = chunk_dist[i];
+        medoid_ = static_cast<uint32_t>(begin + i);
+      }
     }
   }
 
@@ -195,8 +201,7 @@ common::Status DiskAnnIndex::AddWithIds(const float* data, const IdType* ids,
     std::vector<Neighbor> visited_list;
     InsertBounded(&beam,
                   {static_cast<IdType>(medoid_),
-                   Distance(metric_, query,
-                            data + size_t{medoid_} * dim_, dim_)},
+                   dist_(query, data + size_t{medoid_} * dim_, dim_)},
                   options_.L_build);
     visited.insert(medoid_);
     size_t cursor = 0;
@@ -214,12 +219,15 @@ common::Status DiskAnnIndex::AddWithIds(const float* data, const IdType* ids,
       uint32_t cur = static_cast<uint32_t>(beam[pick_idx].id);
       expanded.insert(cur);
       visited_list.push_back(beam[pick_idx]);
+      // Prefetch the whole neighborhood before the distance loop; beam
+      // expansion touches rows in graph order, not memory order.
+      for (uint32_t nb : build_graph_[cur])
+        kernels::Prefetch(data + size_t{nb} * dim_);
       for (uint32_t nb : build_graph_[cur]) {
         if (!visited.insert(nb).second) continue;
         InsertBounded(&beam,
                       {static_cast<IdType>(nb),
-                       Distance(metric_, query, data + size_t{nb} * dim_,
-                                dim_)},
+                       dist_(query, data + size_t{nb} * dim_, dim_)},
                       options_.L_build);
       }
     }
@@ -235,8 +243,7 @@ common::Status DiskAnnIndex::AddWithIds(const float* data, const IdType* ids,
         cands.reserve(back.size());
         for (uint32_t c : back)
           cands.push_back({static_cast<IdType>(c),
-                           Distance(metric_, nb_vec,
-                                    data + size_t{c} * dim_, dim_)});
+                           dist_(nb_vec, data + size_t{c} * dim_, dim_)});
         build_graph_[nb] = RobustPrune(nb, std::move(cands));
       }
     }
@@ -287,9 +294,11 @@ common::Result<std::vector<Neighbor>> DiskAnnIndex::SearchWithFilter(
     uint32_t cur = static_cast<uint32_t>(beam[pick_idx].id);
     expanded.insert(cur);
     NodeBlockPtr block = ReadBlock(cur);
-    exact.push_back(
-        {static_cast<IdType>(cur),
-         Distance(metric_, query, block->vector.data(), dim_)});
+    exact.push_back({static_cast<IdType>(cur),
+                     dist_(query, block->vector.data(), dim_)});
+    // Re-rank expansion walks PQ codes in graph order; prefetch them.
+    for (uint32_t nb : block->neighbors)
+      kernels::Prefetch(pq_codes_.data() + size_t{nb} * pq_.code_size());
     for (uint32_t nb : block->neighbors) {
       if (!seen.insert(nb).second) continue;
       InsertBounded(&beam, {static_cast<IdType>(nb), approx(nb)}, beam_width);
@@ -348,6 +357,7 @@ common::Status DiskAnnIndex::Load(std::string_view in) {
   BH_RETURN_IF_ERROR(r.Read(&pq_m));
   dim_ = dim;
   metric_ = static_cast<Metric>(metric);
+  dist_ = ResolveDistance(metric_);
   options_.R = big_r;
   options_.L_build = l_build;
   options_.alpha = alpha;

@@ -7,7 +7,9 @@
 
 #include <atomic>
 
+#include "common/aligned.h"
 #include "common/lru_cache.h"
+#include "vecindex/distance.h"
 #include "vecindex/index.h"
 #include "vecindex/pq.h"
 
@@ -88,6 +90,7 @@ class DiskAnnIndex : public VectorIndex {
   size_t dim_;
   Metric metric_;
   DiskAnnOptions options_;
+  DistanceFn dist_;  // resolved once; re-resolved on Load
 
   // In-memory navigation state.
   ProductQuantizer pq_;
@@ -102,7 +105,7 @@ class DiskAnnIndex : public VectorIndex {
   mutable std::atomic<uint64_t> disk_reads_{0};
 
   // Build-time only: full vectors + mutable adjacency before Seal().
-  std::vector<float> build_vectors_;
+  common::AlignedVector<float> build_vectors_;
   std::vector<std::vector<uint32_t>> build_graph_;
   common::Status Seal();
   bool sealed_ = false;

@@ -17,48 +17,88 @@ std::string MetricName(Metric m) {
 }
 
 float L2Sqr(const float* a, const float* b, size_t dim) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < dim; ++i) {
-    float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::Get().l2sqr(a, b, dim);
 }
 
 float InnerProduct(const float* a, const float* b, size_t dim) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::Get().inner_product(a, b, dim);
 }
 
 float CosineDistance(const float* a, const float* b, size_t dim) {
-  float dot = 0.0f, na = 0.0f, nb = 0.0f;
-  for (size_t i = 0; i < dim; ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
+  return kernels::Get().cosine(a, b, dim);
+}
+
+float SquaredNorm(const float* v, size_t dim) {
+  return kernels::Get().inner_product(v, v, dim);
+}
+
+namespace {
+
+// IP similarity is negated into a distance. These wrappers read the active
+// table at call time so a resolved pointer follows SetActiveTier without
+// re-resolution; the extra indirection is one predicted call.
+float NegInnerProduct(const float* a, const float* b, size_t dim) {
+  return -kernels::Get().inner_product(a, b, dim);
+}
+
+void BatchNegInnerProduct(const float* query, const float* base, size_t n,
+                          size_t dim, float* out) {
+  kernels::Get().batch_inner_product(query, base, n, dim, out);
+  for (size_t i = 0; i < n; ++i) out[i] = -out[i];
+}
+
+// Batched full cosine (no precomputed norms): per-row fused kernel with
+// prefetch. Used where base norms aren't cached, e.g. centroid ranking.
+void BatchCosineFull(const float* query, const float* base, size_t n,
+                     size_t dim, float* out) {
+  kernels::DistFn cosine = kernels::Get().cosine;
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 4 < n) kernels::Prefetch(base + (i + 4) * dim);
+    out[i] = cosine(query, base + i * dim, dim);
   }
-  float denom = std::sqrt(na) * std::sqrt(nb);
-  if (denom <= 0.0f) return 1.0f;
-  return 1.0f - dot / denom;
+}
+
+}  // namespace
+
+DistanceFn ResolveDistance(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return kernels::Get().l2sqr;
+    case Metric::kInnerProduct:
+      return NegInnerProduct;
+    case Metric::kCosine:
+      return kernels::Get().cosine;
+  }
+  return kernels::Get().l2sqr;
+}
+
+BatchDistanceFn ResolveBatchDistance(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return kernels::Get().batch_l2sqr;
+    case Metric::kInnerProduct:
+      return BatchNegInnerProduct;
+    case Metric::kCosine:
+      return BatchCosineFull;
+  }
+  return kernels::Get().batch_l2sqr;
 }
 
 float Distance(Metric metric, const float* a, const float* b, size_t dim) {
-  switch (metric) {
-    case Metric::kL2:
-      return L2Sqr(a, b, dim);
-    case Metric::kInnerProduct:
-      return -InnerProduct(a, b, dim);
-    case Metric::kCosine:
-      return CosineDistance(a, b, dim);
-  }
-  return 0.0f;
+  return ResolveDistance(metric)(a, b, dim);
 }
 
 void BatchDistance(Metric metric, const float* query, const float* base,
                    size_t n, size_t dim, float* out) {
+  ResolveBatchDistance(metric)(query, base, n, dim, out);
+}
+
+void BatchCosineWithNorms(const float* query, const float* base,
+                          const float* base_norms, float query_norm, size_t n,
+                          size_t dim, float* out) {
+  kernels::Get().batch_inner_product(query, base, n, dim, out);
   for (size_t i = 0; i < n; ++i)
-    out[i] = Distance(metric, query, base + i * dim, dim);
+    out[i] = CosineFromDot(out[i], query_norm, base_norms[i]);
 }
 
 }  // namespace blendhouse::vecindex

@@ -2,26 +2,64 @@
 
 #include <cstddef>
 
+#include "vecindex/kernels/kernels.h"
 #include "vecindex/types.h"
 
 namespace blendhouse::vecindex {
 
-/// Squared Euclidean distance. Plain loop written for compiler
-/// autovectorization; all indexes share these kernels.
+// Distance entry points. All of them route through the SIMD kernel layer
+// (vecindex/kernels/): AVX-512 / AVX2 / NEON / scalar selected once at
+// startup. Hot paths should resolve a DistanceFn / BatchDistanceFn once per
+// index instance via ResolveDistance / ResolveBatchDistance instead of
+// re-dispatching on Metric per call.
+
+/// Squared Euclidean distance.
 float L2Sqr(const float* a, const float* b, size_t dim);
 
 /// Dot product.
 float InnerProduct(const float* a, const float* b, size_t dim);
 
-/// 1 - cosine similarity (so that smaller = closer, like L2).
+/// 1 - cosine similarity (so that smaller = closer, like L2). Returns 1.0
+/// when either vector has zero norm.
 float CosineDistance(const float* a, const float* b, size_t dim);
 
+/// Squared Euclidean norm of one vector (= InnerProduct(v, v)).
+float SquaredNorm(const float* v, size_t dim);
+
 /// Metric-dispatched distance where smaller always means closer:
-/// L2 -> squared L2; IP -> -dot; Cosine -> 1-cos.
+/// L2 -> squared L2; IP -> -dot; Cosine -> 1-cos. Cold-path convenience;
+/// prefer ResolveDistance on scans.
 float Distance(Metric metric, const float* a, const float* b, size_t dim);
+
+/// Comparable-distance function resolved once for a metric; same smaller =
+/// closer convention as Distance(). Re-resolve after
+/// kernels::SetActiveTier.
+using DistanceFn = kernels::DistFn;
+DistanceFn ResolveDistance(Metric metric);
+
+/// Batched one-query-vs-many variant (4-way register blocking + prefetch in
+/// the SIMD tiers). base holds n packed dim-length rows.
+using BatchDistanceFn = kernels::BatchDistFn;
+BatchDistanceFn ResolveBatchDistance(Metric metric);
 
 /// Distance from `query` to `n` packed vectors, writing n outputs.
 void BatchDistance(Metric metric, const float* query, const float* base,
                    size_t n, size_t dim, float* out);
+
+/// Cosine distance from a raw dot product and precomputed Euclidean
+/// magnitudes (NOT squared norms). Zero magnitude on either side yields 1.0
+/// — the shared zero-norm convention.
+inline float CosineFromDot(float dot, float query_norm, float base_norm) {
+  float denom = query_norm * base_norm;
+  if (denom <= 0.0f) return 1.0f;
+  return 1.0f - dot / denom;
+}
+
+/// Cosine fast path for scans with precomputed base magnitudes: batched dot
+/// kernel, then CosineFromDot per row. Avoids recomputing every stored
+/// vector's norm on every query.
+void BatchCosineWithNorms(const float* query, const float* base,
+                          const float* base_norms, float query_norm, size_t n,
+                          size_t dim, float* out);
 
 }  // namespace blendhouse::vecindex

@@ -1,12 +1,18 @@
 #include "vecindex/flat_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "common/io.h"
-#include "vecindex/distance.h"
 
 namespace blendhouse::vecindex {
+
+namespace {
+/// Rows per batched-kernel call; bounds the stack distance buffer and keeps
+/// the chunk resident in L1/L2 while the heap is updated.
+constexpr size_t kScanChunk = 256;
+}  // namespace
 
 common::Status FlatIndex::Train(const float* /*data*/, size_t /*n*/) {
   return common::Status::Ok();  // brute force needs no training
@@ -16,7 +22,23 @@ common::Status FlatIndex::AddWithIds(const float* data, const IdType* ids,
                                      size_t n) {
   data_.insert(data_.end(), data, data + n * dim_);
   ids_.insert(ids_.end(), ids, ids + n);
+  if (metric_ == Metric::kCosine) {
+    norms_.reserve(norms_.size() + n);
+    for (size_t i = 0; i < n; ++i)
+      norms_.push_back(std::sqrt(SquaredNorm(data + i * dim_, dim_)));
+  }
   return common::Status::Ok();
+}
+
+void FlatIndex::ScanChunk(const float* query, float query_norm, size_t begin,
+                          size_t n, float* out) const {
+  const float* base = data_.data() + begin * dim_;
+  if (metric_ == Metric::kCosine) {
+    BatchCosineWithNorms(query, base, norms_.data() + begin, query_norm, n,
+                         dim_, out);
+  } else {
+    BatchDistance(metric_, query, base, n, dim_, out);
+  }
 }
 
 common::Result<std::vector<Neighbor>> FlatIndex::SearchWithFilter(
@@ -26,16 +48,30 @@ common::Result<std::vector<Neighbor>> FlatIndex::SearchWithFilter(
   // Max-heap of the best k so far; pop when a closer candidate arrives.
   std::priority_queue<Neighbor> heap;
   size_t k = static_cast<size_t>(params.k);
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    if (params.filter != nullptr &&
-        !params.filter->Test(static_cast<size_t>(ids_[i])))
-      continue;
-    float d = Distance(metric_, query, data_.data() + i * dim_, dim_);
+  auto offer = [&](IdType id, float d) {
     if (heap.size() < k) {
-      heap.push({ids_[i], d});
+      heap.push({id, d});
     } else if (d < heap.top().distance) {
       heap.pop();
-      heap.push({ids_[i], d});
+      heap.push({id, d});
+    }
+  };
+  if (params.filter == nullptr) {
+    // Unfiltered: batched kernel over fixed-size chunks.
+    float query_norm = metric_ == Metric::kCosine
+                           ? std::sqrt(SquaredNorm(query, dim_))
+                           : 0.0f;
+    float dist[kScanChunk];
+    for (size_t begin = 0; begin < ids_.size(); begin += kScanChunk) {
+      size_t n = std::min(kScanChunk, ids_.size() - begin);
+      ScanChunk(query, query_norm, begin, n, dist);
+      for (size_t i = 0; i < n; ++i) offer(ids_[begin + i], dist[i]);
+    }
+  } else {
+    // Filtered: per-row so excluded vectors cost no distance computation.
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (!params.filter->Test(static_cast<size_t>(ids_[i]))) continue;
+      offer(ids_[i], dist_(query, data_.data() + i * dim_, dim_));
     }
   }
   std::vector<Neighbor> out(heap.size());
@@ -49,12 +85,23 @@ common::Result<std::vector<Neighbor>> FlatIndex::SearchWithFilter(
 common::Result<std::vector<Neighbor>> FlatIndex::SearchWithRange(
     const float* query, float radius, const SearchParams& params) const {
   std::vector<Neighbor> out;
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    if (params.filter != nullptr &&
-        !params.filter->Test(static_cast<size_t>(ids_[i])))
-      continue;
-    float d = Distance(metric_, query, data_.data() + i * dim_, dim_);
-    if (d <= radius) out.push_back({ids_[i], d});
+  if (params.filter == nullptr) {
+    float query_norm = metric_ == Metric::kCosine
+                           ? std::sqrt(SquaredNorm(query, dim_))
+                           : 0.0f;
+    float dist[kScanChunk];
+    for (size_t begin = 0; begin < ids_.size(); begin += kScanChunk) {
+      size_t n = std::min(kScanChunk, ids_.size() - begin);
+      ScanChunk(query, query_norm, begin, n, dist);
+      for (size_t i = 0; i < n; ++i)
+        if (dist[i] <= radius) out.push_back({ids_[begin + i], dist[i]});
+    }
+  } else {
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (!params.filter->Test(static_cast<size_t>(ids_[i]))) continue;
+      float d = dist_(query, data_.data() + i * dim_, dim_);
+      if (d <= radius) out.push_back({ids_[i], d});
+    }
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -81,10 +128,19 @@ common::Status FlatIndex::Load(std::string_view in) {
   BH_RETURN_IF_ERROR(r.Read(&metric));
   dim_ = dim;
   metric_ = static_cast<Metric>(metric);
+  dist_ = ResolveDistance(metric_);
   BH_RETURN_IF_ERROR(r.ReadVector(&data_));
   BH_RETURN_IF_ERROR(r.ReadVector(&ids_));
   if (ids_.size() * dim_ != data_.size())
     return common::Status::Corruption("flat: size mismatch");
+  // Norms are derived state: recompute rather than serialize, so the on-disk
+  // format is unchanged from pre-kernel builds.
+  norms_.clear();
+  if (metric_ == Metric::kCosine) {
+    norms_.reserve(ids_.size());
+    for (size_t i = 0; i < ids_.size(); ++i)
+      norms_.push_back(std::sqrt(SquaredNorm(data_.data() + i * dim_, dim_)));
+  }
   return common::Status::Ok();
 }
 

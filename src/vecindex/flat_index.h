@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
+#include "vecindex/distance.h"
 #include "vecindex/index.h"
 
 namespace blendhouse::vecindex {
@@ -10,16 +12,23 @@ namespace blendhouse::vecindex {
 /// Exact brute-force index. This is both the "FLAT" user-facing index type
 /// and the fallback BlendHouse uses on a vector-index cache miss (Fig. 11)
 /// and in cost-model Plan A.
+///
+/// Scans run through the batched SIMD kernels (chunked one-query-vs-many)
+/// when unfiltered; vector storage is 64-byte aligned, and for Cosine the
+/// stored vectors' norms are precomputed at insert so queries only pay for
+/// a dot product per row.
 class FlatIndex : public VectorIndex {
  public:
-  FlatIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+  FlatIndex(size_t dim, Metric metric)
+      : dim_(dim), metric_(metric), dist_(ResolveDistance(metric)) {}
 
   std::string Type() const override { return "FLAT"; }
   size_t Dim() const override { return dim_; }
   Metric GetMetric() const override { return metric_; }
   size_t Size() const override { return ids_.size(); }
   size_t MemoryUsage() const override {
-    return data_.size() * sizeof(float) + ids_.size() * sizeof(IdType);
+    return data_.size() * sizeof(float) + ids_.size() * sizeof(IdType) +
+           norms_.size() * sizeof(float);
   }
 
   common::Status Train(const float* data, size_t n) override;
@@ -39,10 +48,17 @@ class FlatIndex : public VectorIndex {
   const std::vector<IdType>& ids() const { return ids_; }
 
  private:
+  /// Distances from `query` to rows [begin, begin+n) into out[0..n).
+  void ScanChunk(const float* query, float query_norm, size_t begin, size_t n,
+                 float* out) const;
+
   size_t dim_;
   Metric metric_;
-  std::vector<float> data_;
+  DistanceFn dist_;  // resolved once; re-resolved on Load
+  common::AlignedVector<float> data_;
   std::vector<IdType> ids_;
+  /// Euclidean magnitude of each stored row; maintained only for Cosine.
+  std::vector<float> norms_;
 };
 
 }  // namespace blendhouse::vecindex

@@ -28,7 +28,8 @@ HnswIndex::HnswIndex(size_t dim, Metric metric, HnswOptions options)
       options_(options),
       level_mult_(1.0 / std::log(static_cast<double>(
                             std::max<size_t>(2, options.M)))),
-      rng_state_(options.seed) {}
+      rng_state_(options.seed),
+      dist_(ResolveDistance(metric)) {}
 
 size_t HnswIndex::MemoryUsage() const {
   size_t bytes = data_.size() * sizeof(float) + codes_.size() +
@@ -47,15 +48,18 @@ common::Status HnswIndex::Train(const float* data, size_t n) {
 
 float HnswIndex::DistToItem(const float* query, uint32_t pos) const {
   if (options_.scalar_quantized) {
-    if (metric_ == Metric::kL2)
-      return sq_.L2SqrToCode(query, codes_.data() + size_t{pos} * dim_);
-    // Rare path (IP/Cosine over SQ): decode into a stack-friendly buffer.
-    thread_local std::vector<float> buf;
-    buf.resize(dim_);
-    sq_.Decode(codes_.data() + size_t{pos} * dim_, buf.data());
-    return Distance(metric_, query, buf.data(), dim_);
+    const uint8_t* code = codes_.data() + size_t{pos} * dim_;
+    switch (metric_) {
+      case Metric::kL2:
+        return sq_.L2SqrToCode(query, code);
+      case Metric::kInnerProduct:
+        return -sq_.DotToCode(query, code);
+      case Metric::kCosine:
+        return sq_.CosineToCode(query, code,
+                                std::sqrt(SquaredNorm(query, dim_)));
+    }
   }
-  return Distance(metric_, query, data_.data() + size_t{pos} * dim_, dim_);
+  return dist_(query, data_.data() + size_t{pos} * dim_, dim_);
 }
 
 size_t HnswIndex::RandomLevel() {
@@ -104,7 +108,12 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
     Neighbor cur = candidates.top();
     if (best.size() >= ef && cur.distance > best.top().distance) break;
     candidates.pop();
-    for (uint32_t nb : LinksAt(static_cast<uint32_t>(cur.id), level)) {
+    const std::vector<uint32_t>& links =
+        LinksAt(static_cast<uint32_t>(cur.id), level);
+    // Pull the whole neighborhood toward the cache before the distance loop;
+    // graph order is random so every expansion is a potential miss.
+    for (uint32_t nb : links) PrefetchItem(nb);
+    for (uint32_t nb : links) {
       if (!visited.insert(nb).second) continue;
       float d = DistToItem(query, nb);
       if (best.size() < ef || d < best.top().distance) {
@@ -313,7 +322,9 @@ class HnswSearchIterator : public SearchIterator {
     Neighbor cur = frontier_.top();
     frontier_.pop();
     uint32_t node = static_cast<uint32_t>(cur.id);
-    for (uint32_t nb : index_->LinksAt(node, 0)) {
+    const std::vector<uint32_t>& links = index_->LinksAt(node, 0);
+    for (uint32_t nb : links) index_->PrefetchItem(nb);
+    for (uint32_t nb : links) {
       if (!visited_.insert(nb).second) continue;
       frontier_.push(
           {static_cast<IdType>(nb), index_->DistToItem(query_.data(), nb)});
@@ -383,6 +394,7 @@ common::Status HnswIndex::Load(std::string_view in) {
   BH_RETURN_IF_ERROR(r.Read(&sq_flag));
   dim_ = dim;
   metric_ = static_cast<Metric>(metric);
+  dist_ = ResolveDistance(metric_);
   options_.M = m;
   options_.ef_construction = efc;
   options_.scalar_quantized = sq_flag != 0;

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
+#include "vecindex/distance.h"
 #include "vecindex/index.h"
 #include "vecindex/quantizer.h"
 
@@ -56,9 +58,19 @@ class HnswIndex : public VectorIndex {
  private:
   friend class HnswSearchIterator;
 
-  /// Distance from a query vector to stored item `pos` (decoding SQ codes on
-  /// the fly when quantized).
+  /// Distance from a query vector to stored item `pos`. SQ codes go through
+  /// the fused dequantize+accumulate kernels — no decode buffer, including
+  /// the IP/Cosine-over-SQ paths.
   float DistToItem(const float* query, uint32_t pos) const;
+
+  /// Hints the cache that item `pos`'s vector (or code) is about to be read;
+  /// issued over a node's neighbor list before the distance loop.
+  void PrefetchItem(uint32_t pos) const {
+    if (options_.scalar_quantized)
+      kernels::Prefetch(codes_.data() + size_t{pos} * dim_);
+    else
+      kernels::Prefetch(data_.data() + size_t{pos} * dim_);
+  }
 
   /// Float view of stored item `pos`: raw data pointer when unquantized,
   /// otherwise decodes into `*buf` and returns buf->data().
@@ -92,9 +104,10 @@ class HnswIndex : public VectorIndex {
   HnswOptions options_;
   double level_mult_;
   uint64_t rng_state_;
+  DistanceFn dist_;  // resolved once; re-resolved on Load
 
   // Raw float storage (non-quantized) or SQ8 codes (quantized).
-  std::vector<float> data_;
+  common::AlignedVector<float> data_;
   std::vector<uint8_t> codes_;
   ScalarQuantizer sq_;
 

@@ -1,13 +1,18 @@
 #include "vecindex/ivf_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/io.h"
-#include "vecindex/distance.h"
 #include "vecindex/kmeans.h"
 
 namespace blendhouse::vecindex {
+
+namespace {
+/// Rows per batched-kernel call during posting-list scans.
+constexpr size_t kScanChunk = 256;
+}  // namespace
 
 common::Status IvfIndexBase::Train(const float* data, size_t n) {
   if (n == 0) return common::Status::InvalidArgument("ivf: empty train set");
@@ -16,7 +21,7 @@ common::Status IvfIndexBase::Train(const float* data, size_t n) {
   opts.seed = options_.seed;
   auto km = RunKMeans(data, n, dim_, opts);
   if (!km.ok()) return km.status();
-  centroids_ = std::move(km->centroids);
+  centroids_.assign(km->centroids.begin(), km->centroids.end());
   lists_.assign(centroids_.size() / dim_, {});
   return TrainCodec(data, n);
 }
@@ -34,18 +39,35 @@ common::Status IvfIndexBase::AddWithIds(const float* data, const IdType* ids,
   return common::Status::Ok();
 }
 
+void IvfIndexBase::RefreshDerivedState() {
+  dist_ = ResolveDistance(metric_);
+  // Norms are derived state: recomputed instead of serialized so the on-disk
+  // format is unchanged from pre-kernel builds.
+  for (auto& list : lists_) {
+    list.norms.clear();
+    if (metric_ != Metric::kCosine || list.vectors.empty()) continue;
+    size_t count = list.vectors.size() / dim_;
+    list.norms.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+      list.norms.push_back(
+          std::sqrt(SquaredNorm(list.vectors.data() + i * dim_, dim_)));
+  }
+}
+
 common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
     const float* query, const SearchParams& params) const {
   if (params.k <= 0)
     return common::Status::InvalidArgument("ivf: k must be positive");
   if (!trained()) return common::Status::Internal("ivf: not trained");
 
-  // Rank lists by centroid distance, probe the nearest nprobe.
+  // Rank lists by centroid distance (one batched kernel call), probe the
+  // nearest nprobe.
+  std::vector<float> centroid_dist(nlist());
+  BatchDistance(metric_, query, centroids_.data(), nlist(), dim_,
+                centroid_dist.data());
   std::vector<Neighbor> centroid_order(nlist());
   for (size_t c = 0; c < nlist(); ++c)
-    centroid_order[c] = {static_cast<IdType>(c),
-                         Distance(metric_, query, centroids_.data() + c * dim_,
-                                  dim_)};
+    centroid_order[c] = {static_cast<IdType>(c), centroid_dist[c]};
   size_t nprobe =
       std::min<size_t>(std::max(1, params.nprobe), nlist());
   std::partial_sort(centroid_order.begin(), centroid_order.begin() + nprobe,
@@ -75,13 +97,21 @@ common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
 
   if (NeedsRefine()) {
     // Re-rank the shortlist with exact distances from the stored raw vectors
-    // (the sigma*k*c_d refine term of Eq. 2/3).
+    // (the sigma*k*c_d refine term of Eq. 2/3). Cosine uses the cached base
+    // norms: dot kernel + CosineFromDot, no per-hit norm recompute.
+    float query_norm = metric_ == Metric::kCosine
+                           ? std::sqrt(SquaredNorm(query, dim_))
+                           : 0.0f;
     for (Hit& h : hits) {
       const PostingList& list = lists_[h.list];
-      if (list.vectors.size() >= (size_t{h.pos} + 1) * dim_)
-        h.distance = Distance(metric_, query,
-                              list.vectors.data() + size_t{h.pos} * dim_,
-                              dim_);
+      if (list.vectors.size() < (size_t{h.pos} + 1) * dim_) continue;
+      const float* vec = list.vectors.data() + size_t{h.pos} * dim_;
+      if (metric_ == Metric::kCosine && h.pos < list.norms.size()) {
+        h.distance = CosineFromDot(InnerProduct(query, vec, dim_), query_norm,
+                                   list.norms[h.pos]);
+      } else {
+        h.distance = dist_(query, vec, dim_);
+      }
     }
     std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
       return a.distance < b.distance;
@@ -99,18 +129,40 @@ common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
 
 void IvfFlatIndex::EncodeInto(const float* vec, PostingList* list) {
   list->vectors.insert(list->vectors.end(), vec, vec + dim_);
+  if (metric_ == Metric::kCosine)
+    list->norms.push_back(std::sqrt(SquaredNorm(vec, dim_)));
 }
 
 void IvfFlatIndex::ScanList(const PostingList& list, uint32_t list_idx,
                             const float* query, const void* /*ctx*/,
                             const SearchParams& params,
                             std::vector<Hit>* out) const {
+  if (params.filter == nullptr) {
+    // Unfiltered: batched kernel over fixed-size chunks; Cosine rides the
+    // precomputed base norms so the kernel is dot-product only.
+    float query_norm = metric_ == Metric::kCosine
+                           ? std::sqrt(SquaredNorm(query, dim_))
+                           : 0.0f;
+    float dist[kScanChunk];
+    for (size_t begin = 0; begin < list.ids.size(); begin += kScanChunk) {
+      size_t n = std::min(kScanChunk, list.ids.size() - begin);
+      const float* base = list.vectors.data() + begin * dim_;
+      if (metric_ == Metric::kCosine) {
+        BatchCosineWithNorms(query, base, list.norms.data() + begin,
+                             query_norm, n, dim_, dist);
+      } else {
+        BatchDistance(metric_, query, base, n, dim_, dist);
+      }
+      for (size_t i = 0; i < n; ++i)
+        out->push_back({dist[i], list.ids[begin + i], list_idx,
+                        static_cast<uint32_t>(begin + i)});
+    }
+    return;
+  }
+  // Filtered: per-row so excluded vectors cost no distance computation.
   for (size_t i = 0; i < list.ids.size(); ++i) {
-    if (params.filter != nullptr &&
-        !params.filter->Test(static_cast<size_t>(list.ids[i])))
-      continue;
-    float d =
-        Distance(metric_, query, list.vectors.data() + i * dim_, dim_);
+    if (!params.filter->Test(static_cast<size_t>(list.ids[i]))) continue;
+    float d = dist_(query, list.vectors.data() + i * dim_, dim_);
     out->push_back({d, list.ids[i], list_idx, static_cast<uint32_t>(i)});
   }
 }
@@ -119,7 +171,8 @@ size_t IvfFlatIndex::MemoryUsage() const {
   size_t bytes = centroids_.size() * sizeof(float);
   for (const auto& list : lists_)
     bytes += list.ids.size() * sizeof(IdType) +
-             list.vectors.size() * sizeof(float);
+             list.vectors.size() * sizeof(float) +
+             list.norms.size() * sizeof(float);
   return bytes;
 }
 
@@ -162,6 +215,7 @@ common::Status IvfFlatIndex::Load(std::string_view in) {
     BH_RETURN_IF_ERROR(r.ReadVector(&list.ids));
     BH_RETURN_IF_ERROR(r.ReadVector(&list.vectors));
   }
+  RefreshDerivedState();
   return common::Status::Ok();
 }
 
@@ -176,8 +230,11 @@ void IvfPqIndex::EncodeInto(const float* vec, PostingList* list) {
   size_t old = list->codes.size();
   list->codes.resize(old + pq_.code_size());
   pq_.Encode(vec, list->codes.data() + old);
-  if (pq_options_.keep_raw_for_refine)
+  if (pq_options_.keep_raw_for_refine) {
     list->vectors.insert(list->vectors.end(), vec, vec + dim_);
+    if (metric_ == Metric::kCosine)
+      list->norms.push_back(std::sqrt(SquaredNorm(vec, dim_)));
+  }
 }
 
 const void* IvfPqIndex::PrepareQuery(const float* query,
@@ -193,10 +250,21 @@ void IvfPqIndex::ScanList(const PostingList& list, uint32_t list_idx,
                           std::vector<Hit>* out) const {
   const float* table = static_cast<const float*>(ctx);
   size_t code_size = pq_.code_size();
+  if (params.filter == nullptr) {
+    // Unfiltered: batched ADC lookups (gather-based in the SIMD tiers).
+    float dist[kScanChunk];
+    for (size_t begin = 0; begin < list.ids.size(); begin += kScanChunk) {
+      size_t n = std::min(kScanChunk, list.ids.size() - begin);
+      pq_.AdcDistanceBatch(table, list.codes.data() + begin * code_size, n,
+                           dist);
+      for (size_t i = 0; i < n; ++i)
+        out->push_back({dist[i], list.ids[begin + i], list_idx,
+                        static_cast<uint32_t>(begin + i)});
+    }
+    return;
+  }
   for (size_t i = 0; i < list.ids.size(); ++i) {
-    if (params.filter != nullptr &&
-        !params.filter->Test(static_cast<size_t>(list.ids[i])))
-      continue;
+    if (!params.filter->Test(static_cast<size_t>(list.ids[i]))) continue;
     float d = pq_.AdcDistance(table, list.codes.data() + i * code_size);
     out->push_back({d, list.ids[i], list_idx, static_cast<uint32_t>(i)});
   }
@@ -265,6 +333,7 @@ common::Status IvfPqIndex::Load(std::string_view in) {
     BH_RETURN_IF_ERROR(r.ReadVector(&list.codes));
     BH_RETURN_IF_ERROR(r.ReadVector(&list.vectors));
   }
+  RefreshDerivedState();
   return common::Status::Ok();
 }
 

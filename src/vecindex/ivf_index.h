@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
+#include "vecindex/distance.h"
 #include "vecindex/index.h"
 #include "vecindex/pq.h"
 
@@ -19,10 +21,17 @@ struct IvfOptions {
 /// postings. Search probes the `nprobe` nearest lists; PQ variants re-rank
 /// the top sigma*k approximate hits with exact distances (the refine step of
 /// cost Eqs. 2/3).
+///
+/// Centroid ranking and flat posting-list scans go through the batched SIMD
+/// kernels; posting vectors are stored 64-byte aligned, and Cosine lists
+/// carry precomputed per-vector norms so scans are dot-product only.
 class IvfIndexBase : public VectorIndex {
  public:
   IvfIndexBase(size_t dim, Metric metric, IvfOptions options)
-      : dim_(dim), metric_(metric), options_(options) {}
+      : dim_(dim),
+        metric_(metric),
+        options_(options),
+        dist_(ResolveDistance(metric)) {}
 
   size_t Dim() const override { return dim_; }
   Metric GetMetric() const override { return metric_; }
@@ -41,8 +50,11 @@ class IvfIndexBase : public VectorIndex {
  protected:
   struct PostingList {
     std::vector<IdType> ids;
-    std::vector<float> vectors;  // flat storage (IVFFLAT / refine source)
-    std::vector<uint8_t> codes;  // PQ codes (IVFPQ*)
+    common::AlignedVector<float> vectors;  // flat storage (IVFFLAT / refine)
+    std::vector<uint8_t> codes;            // PQ codes (IVFPQ*)
+    /// Euclidean magnitude per stored vector; maintained only for Cosine
+    /// on lists that keep raw vectors.
+    std::vector<float> norms;
   };
 
   /// Candidate produced by a list scan; keeps its location so refine can
@@ -72,11 +84,15 @@ class IvfIndexBase : public VectorIndex {
   /// coarse codecs (4-bit PQ) widen the shortlist to recover recall.
   virtual size_t RefineAmplification() const { return 1; }
 
+  /// Re-derives dist_ and any per-list norms after deserialization.
+  void RefreshDerivedState();
+
   size_t dim_;
   Metric metric_;
   IvfOptions options_;
   size_t size_ = 0;
-  std::vector<float> centroids_;  // nlist * dim
+  DistanceFn dist_;  // resolved once; refreshed on Load
+  common::AlignedVector<float> centroids_;  // nlist * dim
   std::vector<PostingList> lists_;
 };
 

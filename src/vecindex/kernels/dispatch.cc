@@ -1,0 +1,139 @@
+// Runtime dispatch: picks the best kernel tier compiled into this binary
+// that the running CPU supports, once, at first use. BLENDHOUSE_FORCE_SCALAR
+// (1/true/yes/on) pins the scalar tier for testing the fallback path.
+//
+// Which per-tier TUs exist is communicated by the build via the
+// BH_KERNELS_COMPILED_* definitions set in src/vecindex/CMakeLists.txt; a
+// tier whose compile flags the toolchain lacks simply doesn't exist here.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "vecindex/kernels/kernel_tables.h"
+
+namespace blendhouse::vecindex::kernels {
+namespace {
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("BLENDHOUSE_FORCE_SCALAR");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "yes") == 0 || std::strcmp(v, "on") == 0;
+}
+
+/// Can the running CPU execute `tier`? (Independent of whether the tier was
+/// compiled in.)
+bool CpuSupports(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architecturally guaranteed on AArch64.
+#else
+      return false;
+#endif
+    case SimdTier::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case SimdTier::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* ResolveActive() {
+  const KernelTable* best = GetTable(ChooseTier());
+  const KernelTable* expected = nullptr;
+  g_active.compare_exchange_strong(expected, best,
+                                   std::memory_order_acq_rel);
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+std::string SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kNeon:
+      return "neon";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+const KernelTable* GetTable(SimdTier tier) {
+  if (!CpuSupports(tier)) return nullptr;
+  switch (tier) {
+    case SimdTier::kScalar:
+      return &ScalarTable();
+    case SimdTier::kNeon:
+#if defined(BH_KERNELS_COMPILED_NEON)
+      return &NeonTable();
+#else
+      return nullptr;
+#endif
+    case SimdTier::kAvx2:
+#if defined(BH_KERNELS_COMPILED_AVX2)
+      return &Avx2Table();
+#else
+      return nullptr;
+#endif
+    case SimdTier::kAvx512:
+#if defined(BH_KERNELS_COMPILED_AVX512)
+      return &Avx512Table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::vector<SimdTier> AvailableTiers() {
+  std::vector<SimdTier> tiers;
+  for (SimdTier t : {SimdTier::kScalar, SimdTier::kNeon, SimdTier::kAvx2,
+                     SimdTier::kAvx512})
+    if (GetTable(t) != nullptr) tiers.push_back(t);
+  return tiers;
+}
+
+SimdTier ChooseTier() {
+  if (EnvForcesScalar()) return SimdTier::kScalar;
+  SimdTier best = SimdTier::kScalar;
+  for (SimdTier t : AvailableTiers()) best = t;  // ascending enum order
+  return best;
+}
+
+const KernelTable& Get() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) t = ResolveActive();
+  return *t;
+}
+
+SimdTier ActiveTier() { return Get().tier; }
+
+SimdTier SetActiveTier(SimdTier tier) {
+  const KernelTable* next = GetTable(tier);
+  SimdTier prev = ActiveTier();
+  if (next != nullptr) g_active.store(next, std::memory_order_release);
+  return prev;
+}
+
+}  // namespace blendhouse::vecindex::kernels

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "vecindex/kernels/kernels.h"
+
+namespace blendhouse::vecindex::kernels {
+
+// Per-tier table factories, one per translation unit so each can be built
+// with its own -m flags. A TU is only added to the build when the compiler
+// supports its flags; dispatch.cc references these behind matching
+// BH_KERNELS_COMPILED_* definitions.
+const KernelTable& ScalarTable();
+const KernelTable& Avx2Table();
+const KernelTable& Avx512Table();
+const KernelTable& NeonTable();
+
+}  // namespace blendhouse::vecindex::kernels

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blendhouse::vecindex::kernels {
+
+/// SIMD instruction tiers, best-last. Which tiers exist in the binary is a
+/// build-time property (per-TU -march flags in src/vecindex/CMakeLists.txt);
+/// which one runs is decided once at startup from CPUID, overridable with
+/// the BLENDHOUSE_FORCE_SCALAR environment variable.
+enum class SimdTier { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+
+std::string SimdTierName(SimdTier tier);
+
+// ---- Kernel signatures -----------------------------------------------------
+//
+// Alignment contract: kernels use unaligned loads and accept any pointer.
+// 64-byte-aligned storage (common::AlignedVector) is a throughput
+// optimization for the packed base side, never a precondition — queries
+// arrive from arbitrary caller buffers.
+
+/// Pairwise float kernel over two dim-length vectors.
+using DistFn = float (*)(const float* a, const float* b, size_t dim);
+
+/// One query against `n` packed base vectors (row stride = dim), writing n
+/// outputs. Implementations block 4 rows per pass and software-prefetch
+/// upcoming rows.
+using BatchDistFn = void (*)(const float* query, const float* base, size_t n,
+                             size_t dim, float* out);
+
+/// SQ8 asymmetric kernel: float query vs uint8 code with per-dimension
+/// affine dequantization decoded[d] = vmin[d] + code[d] * vscale[d], fused
+/// into the accumulation (no materialized float copy).
+using Sq8DistFn = float (*)(const float* query, const uint8_t* code,
+                            const float* vmin, const float* vscale,
+                            size_t dim);
+
+/// Fused SQ8 dot + squared norm of the decoded vector in one pass; feeds
+/// cosine-over-SQ without a decode buffer.
+using Sq8DotNormFn = void (*)(const float* query, const uint8_t* code,
+                              const float* vmin, const float* vscale,
+                              size_t dim, float* dot_out,
+                              float* norm_sqr_out);
+
+/// PQ ADC lookup: sum of table[s * ks + code[s]] over the m subspaces.
+using PqAdcFn = float (*)(const float* table, const uint8_t* code, size_t m,
+                          size_t ks);
+
+/// ADC over `n` packed codes (row stride = m bytes), with prefetch.
+using PqAdcBatchFn = void (*)(const float* table, const uint8_t* codes,
+                              size_t n, size_t m, size_t ks, float* out);
+
+/// One tier's full kernel set. Resolved once; indexes grab the function
+/// pointers they need instead of re-dispatching on Metric per call.
+struct KernelTable {
+  SimdTier tier = SimdTier::kScalar;
+  DistFn l2sqr = nullptr;
+  DistFn inner_product = nullptr;
+  /// 1 - dot/(|a||b|); computes both norms in the same pass. Returns 1.0
+  /// when either norm is zero (the "no similarity evidence" convention every
+  /// index shares).
+  DistFn cosine = nullptr;
+  BatchDistFn batch_l2sqr = nullptr;
+  BatchDistFn batch_inner_product = nullptr;
+  Sq8DistFn sq8_l2sqr = nullptr;
+  Sq8DistFn sq8_inner_product = nullptr;
+  Sq8DotNormFn sq8_dot_norm = nullptr;
+  PqAdcFn pq_adc = nullptr;
+  PqAdcBatchFn pq_adc_batch = nullptr;
+};
+
+// ---- Dispatch --------------------------------------------------------------
+
+/// Active kernel table. First call resolves the tier (CPU features, env
+/// override) and caches it; later calls are one relaxed atomic load.
+const KernelTable& Get();
+
+/// Tier of the active table.
+SimdTier ActiveTier();
+
+/// The table for a specific tier, or nullptr when that tier was not compiled
+/// into this binary or the CPU cannot run it. Scalar always exists.
+const KernelTable* GetTable(SimdTier tier);
+
+/// Tiers compiled into this binary AND runnable on this CPU, ascending.
+std::vector<SimdTier> AvailableTiers();
+
+/// What dispatch would pick right now: best available tier, or kScalar when
+/// BLENDHOUSE_FORCE_SCALAR is set (1/true/yes/on). Re-reads the environment
+/// on every call so tests can exercise the override.
+SimdTier ChooseTier();
+
+/// Testing/diagnostics hook: swap the active table (e.g. to validate the
+/// scalar fallback end to end). Returns the previous tier. Indexes resolve
+/// their function pointers at construction/load, so rebuild or reload
+/// indexes after switching. No-op (returns current) if `tier` is
+/// unavailable.
+SimdTier SetActiveTier(SimdTier tier);
+
+/// Hint the prefetcher at data needed a few iterations from now. Thin
+/// wrapper over the compiler builtin so scan loops outside kernels/ stay
+/// intrinsic-free.
+inline void Prefetch(const void* p) { __builtin_prefetch(p, 0, 1); }
+
+}  // namespace blendhouse::vecindex::kernels

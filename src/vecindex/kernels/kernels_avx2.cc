@@ -1,0 +1,288 @@
+// AVX2+FMA kernels. This TU is compiled with -mavx2 -mfma (set per-source in
+// src/vecindex/CMakeLists.txt) and only linked into dispatch when the build
+// supports those flags; dispatch only selects it when CPUID reports AVX2 and
+// FMA at runtime. All loads are unaligned (loadu): alignment of the packed
+// base storage is a cache optimization, never a precondition.
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "vecindex/kernels/kernel_tables.h"
+
+namespace blendhouse::vecindex::kernels {
+namespace {
+
+inline float Reduce8(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+float L2SqrAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                              _mm256_loadu_ps(b + i + 8));
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float acc = Reduce8(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float InnerProductAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= dim; i += 8)
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  float acc = Reduce8(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float CosineAvx2(const float* a, const float* b, size_t dim) {
+  __m256 dot = _mm256_setzero_ps();
+  __m256 na = _mm256_setzero_ps();
+  __m256 nb = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256 va = _mm256_loadu_ps(a + i);
+    __m256 vb = _mm256_loadu_ps(b + i);
+    dot = _mm256_fmadd_ps(va, vb, dot);
+    na = _mm256_fmadd_ps(va, va, na);
+    nb = _mm256_fmadd_ps(vb, vb, nb);
+  }
+  float sdot = Reduce8(dot), sna = Reduce8(na), snb = Reduce8(nb);
+  for (; i < dim; ++i) {
+    sdot += a[i] * b[i];
+    sna += a[i] * a[i];
+    snb += b[i] * b[i];
+  }
+  float denom = std::sqrt(sna) * std::sqrt(snb);
+  if (denom <= 0.0f) return 1.0f;
+  return 1.0f - sdot / denom;
+}
+
+// 4-way register-blocked batch: one query load feeds four row accumulators,
+// so the query streams from L1 once per block instead of once per row.
+void BatchL2SqrAvx2(const float* query, const float* base, size_t n,
+                    size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* r0 = base + (i + 0) * dim;
+    const float* r1 = base + (i + 1) * dim;
+    const float* r2 = base + (i + 2) * dim;
+    const float* r3 = base + (i + 3) * dim;
+    if (i + 8 <= n) {
+      _mm_prefetch(reinterpret_cast<const char*>(base + (i + 4) * dim),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(base + (i + 6) * dim),
+                   _MM_HINT_T0);
+    }
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      __m256 q = _mm256_loadu_ps(query + d);
+      __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(r0 + d), q);
+      a0 = _mm256_fmadd_ps(d0, d0, a0);
+      __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(r1 + d), q);
+      a1 = _mm256_fmadd_ps(d1, d1, a1);
+      __m256 d2 = _mm256_sub_ps(_mm256_loadu_ps(r2 + d), q);
+      a2 = _mm256_fmadd_ps(d2, d2, a2);
+      __m256 d3 = _mm256_sub_ps(_mm256_loadu_ps(r3 + d), q);
+      a3 = _mm256_fmadd_ps(d3, d3, a3);
+    }
+    float s0 = Reduce8(a0), s1 = Reduce8(a1), s2 = Reduce8(a2),
+          s3 = Reduce8(a3);
+    for (; d < dim; ++d) {
+      float q = query[d];
+      float e0 = r0[d] - q, e1 = r1[d] - q, e2 = r2[d] - q, e3 = r3[d] - q;
+      s0 += e0 * e0;
+      s1 += e1 * e1;
+      s2 += e2 * e2;
+      s3 += e3 * e3;
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < n; ++i) out[i] = L2SqrAvx2(query, base + i * dim, dim);
+}
+
+void BatchInnerProductAvx2(const float* query, const float* base, size_t n,
+                           size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* r0 = base + (i + 0) * dim;
+    const float* r1 = base + (i + 1) * dim;
+    const float* r2 = base + (i + 2) * dim;
+    const float* r3 = base + (i + 3) * dim;
+    if (i + 8 <= n) {
+      _mm_prefetch(reinterpret_cast<const char*>(base + (i + 4) * dim),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(base + (i + 6) * dim),
+                   _MM_HINT_T0);
+    }
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      __m256 q = _mm256_loadu_ps(query + d);
+      a0 = _mm256_fmadd_ps(_mm256_loadu_ps(r0 + d), q, a0);
+      a1 = _mm256_fmadd_ps(_mm256_loadu_ps(r1 + d), q, a1);
+      a2 = _mm256_fmadd_ps(_mm256_loadu_ps(r2 + d), q, a2);
+      a3 = _mm256_fmadd_ps(_mm256_loadu_ps(r3 + d), q, a3);
+    }
+    float s0 = Reduce8(a0), s1 = Reduce8(a1), s2 = Reduce8(a2),
+          s3 = Reduce8(a3);
+    for (; d < dim; ++d) {
+      float q = query[d];
+      s0 += r0[d] * q;
+      s1 += r1[d] * q;
+      s2 += r2[d] * q;
+      s3 += r3[d] * q;
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < n; ++i) out[i] = InnerProductAvx2(query, base + i * dim, dim);
+}
+
+/// Dequantizes 8 SQ8 codes into floats: vmin + float(code) * vscale.
+inline __m256 DecodeSq8(const uint8_t* code, const float* vmin,
+                        const float* vscale) {
+  __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code));
+  __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+  return _mm256_fmadd_ps(f, _mm256_loadu_ps(vscale), _mm256_loadu_ps(vmin));
+}
+
+float Sq8L2SqrAvx2(const float* query, const uint8_t* code, const float* vmin,
+                   const float* vscale, size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(query + d),
+                                DecodeSq8(code + d, vmin + d, vscale + d));
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  float sum = Reduce8(acc);
+  for (; d < dim; ++d) {
+    float decoded = vmin[d] + static_cast<float>(code[d]) * vscale[d];
+    float diff = query[d] - decoded;
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float Sq8InnerProductAvx2(const float* query, const uint8_t* code,
+                          const float* vmin, const float* vscale,
+                          size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8)
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(query + d),
+                          DecodeSq8(code + d, vmin + d, vscale + d), acc);
+  float sum = Reduce8(acc);
+  for (; d < dim; ++d)
+    sum += query[d] * (vmin[d] + static_cast<float>(code[d]) * vscale[d]);
+  return sum;
+}
+
+void Sq8DotNormAvx2(const float* query, const uint8_t* code,
+                    const float* vmin, const float* vscale, size_t dim,
+                    float* dot_out, float* norm_sqr_out) {
+  __m256 dot = _mm256_setzero_ps();
+  __m256 norm = _mm256_setzero_ps();
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    __m256 decoded = DecodeSq8(code + d, vmin + d, vscale + d);
+    dot = _mm256_fmadd_ps(_mm256_loadu_ps(query + d), decoded, dot);
+    norm = _mm256_fmadd_ps(decoded, decoded, norm);
+  }
+  float sdot = Reduce8(dot), snorm = Reduce8(norm);
+  for (; d < dim; ++d) {
+    float decoded = vmin[d] + static_cast<float>(code[d]) * vscale[d];
+    sdot += query[d] * decoded;
+    snorm += decoded * decoded;
+  }
+  *dot_out = sdot;
+  *norm_sqr_out = snorm;
+}
+
+float PqAdcAvx2(const float* table, const uint8_t* code, size_t m,
+                size_t ks) {
+  __m256 acc = _mm256_setzero_ps();
+  const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i vks = _mm256_set1_epi32(static_cast<int>(ks));
+  size_t s = 0;
+  for (; s + 8 <= m; s += 8) {
+    __m128i c8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + s));
+    __m256i idx = _mm256_cvtepu8_epi32(c8);
+    __m256i row = _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(s)),
+                                   iota);
+    idx = _mm256_add_epi32(idx, _mm256_mullo_epi32(row, vks));
+    acc = _mm256_add_ps(acc, _mm256_i32gather_ps(table, idx, 4));
+  }
+  float sum = Reduce8(acc);
+  for (; s < m; ++s) sum += table[s * ks + code[s]];
+  return sum;
+}
+
+void PqAdcBatchAvx2(const float* table, const uint8_t* codes, size_t n,
+                    size_t m, size_t ks, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 4 < n)
+      _mm_prefetch(reinterpret_cast<const char*>(codes + (i + 4) * m),
+                   _MM_HINT_T0);
+    out[i] = PqAdcAvx2(table, codes + i * m, m, ks);
+  }
+}
+
+}  // namespace
+
+const KernelTable& Avx2Table() {
+  static const KernelTable table = {
+      SimdTier::kAvx2,   L2SqrAvx2,
+      InnerProductAvx2,  CosineAvx2,
+      BatchL2SqrAvx2,    BatchInnerProductAvx2,
+      Sq8L2SqrAvx2,      Sq8InnerProductAvx2,
+      Sq8DotNormAvx2,    PqAdcAvx2,
+      PqAdcBatchAvx2,
+  };
+  return table;
+}
+
+}  // namespace blendhouse::vecindex::kernels
+
+#endif  // __AVX2__ && __FMA__

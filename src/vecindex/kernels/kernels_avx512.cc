@@ -1,0 +1,298 @@
+// AVX-512 kernels (F+BW+DQ+VL). Compiled with matching -m flags per-source;
+// dispatch selects this tier only when CPUID reports all four feature bits.
+// Odd dimension tails use maskz loads instead of a scalar epilogue — one of
+// the places AVX-512 genuinely simplifies the code. Loads are unaligned.
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "vecindex/kernels/kernel_tables.h"
+
+namespace blendhouse::vecindex::kernels {
+namespace {
+
+inline __mmask16 TailMask(size_t rem) {
+  return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+float L2SqrAvx512(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    __m512 d0 = _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 16),
+                              _mm512_loadu_ps(b + i + 16));
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    __m512 d = _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  if (i < dim) {
+    __mmask16 k = TailMask(dim - i);
+    __m512 d = _mm512_sub_ps(_mm512_maskz_loadu_ps(k, a + i),
+                             _mm512_maskz_loadu_ps(k, b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float InnerProductAvx512(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= dim; i += 16)
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  if (i < dim) {
+    __mmask16 k = TailMask(dim - i);
+    acc0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, a + i),
+                           _mm512_maskz_loadu_ps(k, b + i), acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float CosineAvx512(const float* a, const float* b, size_t dim) {
+  __m512 dot = _mm512_setzero_ps();
+  __m512 na = _mm512_setzero_ps();
+  __m512 nb = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    __m512 va = _mm512_loadu_ps(a + i);
+    __m512 vb = _mm512_loadu_ps(b + i);
+    dot = _mm512_fmadd_ps(va, vb, dot);
+    na = _mm512_fmadd_ps(va, va, na);
+    nb = _mm512_fmadd_ps(vb, vb, nb);
+  }
+  if (i < dim) {
+    __mmask16 k = TailMask(dim - i);
+    __m512 va = _mm512_maskz_loadu_ps(k, a + i);
+    __m512 vb = _mm512_maskz_loadu_ps(k, b + i);
+    dot = _mm512_fmadd_ps(va, vb, dot);
+    na = _mm512_fmadd_ps(va, va, na);
+    nb = _mm512_fmadd_ps(vb, vb, nb);
+  }
+  float sdot = _mm512_reduce_add_ps(dot);
+  float denom = std::sqrt(_mm512_reduce_add_ps(na)) *
+                std::sqrt(_mm512_reduce_add_ps(nb));
+  if (denom <= 0.0f) return 1.0f;
+  return 1.0f - sdot / denom;
+}
+
+// 4-way register-blocked batch with prefetch; see the AVX2 TU for the
+// blocking rationale.
+void BatchL2SqrAvx512(const float* query, const float* base, size_t n,
+                      size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* r0 = base + (i + 0) * dim;
+    const float* r1 = base + (i + 1) * dim;
+    const float* r2 = base + (i + 2) * dim;
+    const float* r3 = base + (i + 3) * dim;
+    if (i + 8 <= n) {
+      _mm_prefetch(reinterpret_cast<const char*>(base + (i + 4) * dim),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(base + (i + 6) * dim),
+                   _MM_HINT_T0);
+    }
+    __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
+    size_t d = 0;
+    for (; d + 16 <= dim; d += 16) {
+      __m512 q = _mm512_loadu_ps(query + d);
+      __m512 d0 = _mm512_sub_ps(_mm512_loadu_ps(r0 + d), q);
+      a0 = _mm512_fmadd_ps(d0, d0, a0);
+      __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(r1 + d), q);
+      a1 = _mm512_fmadd_ps(d1, d1, a1);
+      __m512 d2 = _mm512_sub_ps(_mm512_loadu_ps(r2 + d), q);
+      a2 = _mm512_fmadd_ps(d2, d2, a2);
+      __m512 d3 = _mm512_sub_ps(_mm512_loadu_ps(r3 + d), q);
+      a3 = _mm512_fmadd_ps(d3, d3, a3);
+    }
+    if (d < dim) {
+      __mmask16 k = TailMask(dim - d);
+      __m512 q = _mm512_maskz_loadu_ps(k, query + d);
+      __m512 d0 = _mm512_sub_ps(_mm512_maskz_loadu_ps(k, r0 + d), q);
+      a0 = _mm512_fmadd_ps(d0, d0, a0);
+      __m512 d1 = _mm512_sub_ps(_mm512_maskz_loadu_ps(k, r1 + d), q);
+      a1 = _mm512_fmadd_ps(d1, d1, a1);
+      __m512 d2 = _mm512_sub_ps(_mm512_maskz_loadu_ps(k, r2 + d), q);
+      a2 = _mm512_fmadd_ps(d2, d2, a2);
+      __m512 d3 = _mm512_sub_ps(_mm512_maskz_loadu_ps(k, r3 + d), q);
+      a3 = _mm512_fmadd_ps(d3, d3, a3);
+    }
+    out[i + 0] = _mm512_reduce_add_ps(a0);
+    out[i + 1] = _mm512_reduce_add_ps(a1);
+    out[i + 2] = _mm512_reduce_add_ps(a2);
+    out[i + 3] = _mm512_reduce_add_ps(a3);
+  }
+  for (; i < n; ++i) out[i] = L2SqrAvx512(query, base + i * dim, dim);
+}
+
+void BatchInnerProductAvx512(const float* query, const float* base, size_t n,
+                             size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* r0 = base + (i + 0) * dim;
+    const float* r1 = base + (i + 1) * dim;
+    const float* r2 = base + (i + 2) * dim;
+    const float* r3 = base + (i + 3) * dim;
+    if (i + 8 <= n) {
+      _mm_prefetch(reinterpret_cast<const char*>(base + (i + 4) * dim),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(base + (i + 6) * dim),
+                   _MM_HINT_T0);
+    }
+    __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
+    size_t d = 0;
+    for (; d + 16 <= dim; d += 16) {
+      __m512 q = _mm512_loadu_ps(query + d);
+      a0 = _mm512_fmadd_ps(_mm512_loadu_ps(r0 + d), q, a0);
+      a1 = _mm512_fmadd_ps(_mm512_loadu_ps(r1 + d), q, a1);
+      a2 = _mm512_fmadd_ps(_mm512_loadu_ps(r2 + d), q, a2);
+      a3 = _mm512_fmadd_ps(_mm512_loadu_ps(r3 + d), q, a3);
+    }
+    if (d < dim) {
+      __mmask16 k = TailMask(dim - d);
+      __m512 q = _mm512_maskz_loadu_ps(k, query + d);
+      a0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, r0 + d), q, a0);
+      a1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, r1 + d), q, a1);
+      a2 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, r2 + d), q, a2);
+      a3 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, r3 + d), q, a3);
+    }
+    out[i + 0] = _mm512_reduce_add_ps(a0);
+    out[i + 1] = _mm512_reduce_add_ps(a1);
+    out[i + 2] = _mm512_reduce_add_ps(a2);
+    out[i + 3] = _mm512_reduce_add_ps(a3);
+  }
+  for (; i < n; ++i) out[i] = InnerProductAvx512(query, base + i * dim, dim);
+}
+
+/// Dequantizes 16 SQ8 codes under mask k: vmin + float(code) * vscale.
+inline __m512 DecodeSq8(const uint8_t* code, const float* vmin,
+                        const float* vscale, __mmask16 k) {
+  __m128i bytes = _mm_maskz_loadu_epi8(k, code);
+  __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
+  return _mm512_fmadd_ps(f, _mm512_maskz_loadu_ps(k, vscale),
+                         _mm512_maskz_loadu_ps(k, vmin));
+}
+
+float Sq8L2SqrAvx512(const float* query, const uint8_t* code,
+                     const float* vmin, const float* vscale, size_t dim) {
+  __m512 acc = _mm512_setzero_ps();
+  size_t d = 0;
+  for (; d + 16 <= dim; d += 16) {
+    __m512 diff =
+        _mm512_sub_ps(_mm512_loadu_ps(query + d),
+                      DecodeSq8(code + d, vmin + d, vscale + d, 0xffff));
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  if (d < dim) {
+    __mmask16 k = TailMask(dim - d);
+    __m512 diff =
+        _mm512_sub_ps(_mm512_maskz_loadu_ps(k, query + d),
+                      DecodeSq8(code + d, vmin + d, vscale + d, k));
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+float Sq8InnerProductAvx512(const float* query, const uint8_t* code,
+                            const float* vmin, const float* vscale,
+                            size_t dim) {
+  __m512 acc = _mm512_setzero_ps();
+  size_t d = 0;
+  for (; d + 16 <= dim; d += 16)
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(query + d),
+                          DecodeSq8(code + d, vmin + d, vscale + d, 0xffff),
+                          acc);
+  if (d < dim) {
+    __mmask16 k = TailMask(dim - d);
+    acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, query + d),
+                          DecodeSq8(code + d, vmin + d, vscale + d, k), acc);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+void Sq8DotNormAvx512(const float* query, const uint8_t* code,
+                      const float* vmin, const float* vscale, size_t dim,
+                      float* dot_out, float* norm_sqr_out) {
+  __m512 dot = _mm512_setzero_ps();
+  __m512 norm = _mm512_setzero_ps();
+  size_t d = 0;
+  for (; d + 16 <= dim; d += 16) {
+    __m512 decoded = DecodeSq8(code + d, vmin + d, vscale + d, 0xffff);
+    dot = _mm512_fmadd_ps(_mm512_loadu_ps(query + d), decoded, dot);
+    norm = _mm512_fmadd_ps(decoded, decoded, norm);
+  }
+  if (d < dim) {
+    __mmask16 k = TailMask(dim - d);
+    __m512 decoded = DecodeSq8(code + d, vmin + d, vscale + d, k);
+    dot = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, query + d), decoded, dot);
+    norm = _mm512_fmadd_ps(decoded, decoded, norm);
+  }
+  *dot_out = _mm512_reduce_add_ps(dot);
+  *norm_sqr_out = _mm512_reduce_add_ps(norm);
+}
+
+float PqAdcAvx512(const float* table, const uint8_t* code, size_t m,
+                  size_t ks) {
+  __m512 acc = _mm512_setzero_ps();
+  const __m512i iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                         12, 13, 14, 15);
+  const __m512i vks = _mm512_set1_epi32(static_cast<int>(ks));
+  size_t s = 0;
+  for (; s + 16 <= m; s += 16) {
+    __m128i c16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + s));
+    __m512i idx = _mm512_cvtepu8_epi32(c16);
+    __m512i row = _mm512_add_epi32(_mm512_set1_epi32(static_cast<int>(s)),
+                                   iota);
+    idx = _mm512_add_epi32(idx, _mm512_mullo_epi32(row, vks));
+    acc = _mm512_add_ps(acc, _mm512_i32gather_ps(idx, table, 4));
+  }
+  float sum = _mm512_reduce_add_ps(acc);
+  for (; s < m; ++s) sum += table[s * ks + code[s]];
+  return sum;
+}
+
+void PqAdcBatchAvx512(const float* table, const uint8_t* codes, size_t n,
+                      size_t m, size_t ks, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 4 < n)
+      _mm_prefetch(reinterpret_cast<const char*>(codes + (i + 4) * m),
+                   _MM_HINT_T0);
+    out[i] = PqAdcAvx512(table, codes + i * m, m, ks);
+  }
+}
+
+}  // namespace
+
+const KernelTable& Avx512Table() {
+  static const KernelTable table = {
+      SimdTier::kAvx512,   L2SqrAvx512,
+      InnerProductAvx512,  CosineAvx512,
+      BatchL2SqrAvx512,    BatchInnerProductAvx512,
+      Sq8L2SqrAvx512,      Sq8InnerProductAvx512,
+      Sq8DotNormAvx512,    PqAdcAvx512,
+      PqAdcBatchAvx512,
+  };
+  return table;
+}
+
+}  // namespace blendhouse::vecindex::kernels
+
+#endif  // AVX-512 F+BW+DQ+VL

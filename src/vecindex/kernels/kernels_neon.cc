@@ -1,0 +1,205 @@
+// NEON kernels for aarch64. NEON is baseline on AArch64 so this TU needs no
+// extra -m flags; it is only added to the build on ARM targets. Kept
+// deliberately simple (4-lane, 2-way unroll): the repo's perf work targets
+// x86 first, but ARM hosts should not fall back to scalar.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+#include "vecindex/kernels/kernel_tables.h"
+
+namespace blendhouse::vecindex::kernels {
+namespace {
+
+float L2SqrNeon(const float* a, const float* b, size_t dim) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    acc0 = vfmaq_f32(acc0, d0, d0);
+    float32x4_t d1 = vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc1 = vfmaq_f32(acc1, d1, d1);
+  }
+  for (; i + 4 <= dim; i += 4) {
+    float32x4_t d = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    acc0 = vfmaq_f32(acc0, d, d);
+  }
+  float acc = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < dim; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float InnerProductNeon(const float* a, const float* b, size_t dim) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+  }
+  for (; i + 4 <= dim; i += 4)
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+  float acc = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float CosineNeon(const float* a, const float* b, size_t dim) {
+  float32x4_t dot = vdupq_n_f32(0.0f);
+  float32x4_t na = vdupq_n_f32(0.0f);
+  float32x4_t nb = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    float32x4_t va = vld1q_f32(a + i);
+    float32x4_t vb = vld1q_f32(b + i);
+    dot = vfmaq_f32(dot, va, vb);
+    na = vfmaq_f32(na, va, va);
+    nb = vfmaq_f32(nb, vb, vb);
+  }
+  float sdot = vaddvq_f32(dot), sna = vaddvq_f32(na), snb = vaddvq_f32(nb);
+  for (; i < dim; ++i) {
+    sdot += a[i] * b[i];
+    sna += a[i] * a[i];
+    snb += b[i] * b[i];
+  }
+  float denom = std::sqrt(sna) * std::sqrt(snb);
+  if (denom <= 0.0f) return 1.0f;
+  return 1.0f - sdot / denom;
+}
+
+template <typename RowKernel>
+void BatchNeon(const float* query, const float* base, size_t n, size_t dim,
+               float* out, RowKernel row) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + 8 <= n) {
+      __builtin_prefetch(base + (i + 4) * dim, 0, 1);
+      __builtin_prefetch(base + (i + 6) * dim, 0, 1);
+    }
+    out[i + 0] = row(query, base + (i + 0) * dim, dim);
+    out[i + 1] = row(query, base + (i + 1) * dim, dim);
+    out[i + 2] = row(query, base + (i + 2) * dim, dim);
+    out[i + 3] = row(query, base + (i + 3) * dim, dim);
+  }
+  for (; i < n; ++i) out[i] = row(query, base + i * dim, dim);
+}
+
+void BatchL2SqrNeon(const float* query, const float* base, size_t n,
+                    size_t dim, float* out) {
+  BatchNeon(query, base, n, dim, out, L2SqrNeon);
+}
+
+void BatchInnerProductNeon(const float* query, const float* base, size_t n,
+                           size_t dim, float* out) {
+  BatchNeon(query, base, n, dim, out, InnerProductNeon);
+}
+
+/// Dequantizes 4 SQ8 codes starting at *code: vmin + float(code) * vscale.
+inline float32x4_t DecodeSq8x4(const uint8_t* code, const float* vmin,
+                               const float* vscale) {
+  // Widen 4 bytes -> u16 -> u32 -> f32.
+  uint8_t tmp[8] = {code[0], code[1], code[2], code[3], 0, 0, 0, 0};
+  uint16x8_t u16 = vmovl_u8(vld1_u8(tmp));
+  float32x4_t f = vcvtq_f32_u32(vmovl_u16(vget_low_u16(u16)));
+  return vfmaq_f32(vld1q_f32(vmin), f, vld1q_f32(vscale));
+}
+
+float Sq8L2SqrNeon(const float* query, const uint8_t* code, const float* vmin,
+                   const float* vscale, size_t dim) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  size_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    float32x4_t diff = vsubq_f32(vld1q_f32(query + d),
+                                 DecodeSq8x4(code + d, vmin + d, vscale + d));
+    acc = vfmaq_f32(acc, diff, diff);
+  }
+  float sum = vaddvq_f32(acc);
+  for (; d < dim; ++d) {
+    float decoded = vmin[d] + static_cast<float>(code[d]) * vscale[d];
+    float diff = query[d] - decoded;
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float Sq8InnerProductNeon(const float* query, const uint8_t* code,
+                          const float* vmin, const float* vscale,
+                          size_t dim) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  size_t d = 0;
+  for (; d + 4 <= dim; d += 4)
+    acc = vfmaq_f32(acc, vld1q_f32(query + d),
+                    DecodeSq8x4(code + d, vmin + d, vscale + d));
+  float sum = vaddvq_f32(acc);
+  for (; d < dim; ++d)
+    sum += query[d] * (vmin[d] + static_cast<float>(code[d]) * vscale[d]);
+  return sum;
+}
+
+void Sq8DotNormNeon(const float* query, const uint8_t* code,
+                    const float* vmin, const float* vscale, size_t dim,
+                    float* dot_out, float* norm_sqr_out) {
+  float32x4_t dot = vdupq_n_f32(0.0f);
+  float32x4_t norm = vdupq_n_f32(0.0f);
+  size_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    float32x4_t decoded = DecodeSq8x4(code + d, vmin + d, vscale + d);
+    dot = vfmaq_f32(dot, vld1q_f32(query + d), decoded);
+    norm = vfmaq_f32(norm, decoded, decoded);
+  }
+  float sdot = vaddvq_f32(dot), snorm = vaddvq_f32(norm);
+  for (; d < dim; ++d) {
+    float decoded = vmin[d] + static_cast<float>(code[d]) * vscale[d];
+    sdot += query[d] * decoded;
+    snorm += decoded * decoded;
+  }
+  *dot_out = sdot;
+  *norm_sqr_out = snorm;
+}
+
+float PqAdcNeon(const float* table, const uint8_t* code, size_t m,
+                size_t ks) {
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  size_t s = 0;
+  for (; s + 4 <= m; s += 4) {
+    a0 += table[(s + 0) * ks + code[s + 0]];
+    a1 += table[(s + 1) * ks + code[s + 1]];
+    a2 += table[(s + 2) * ks + code[s + 2]];
+    a3 += table[(s + 3) * ks + code[s + 3]];
+  }
+  for (; s < m; ++s) a0 += table[s * ks + code[s]];
+  return (a0 + a1) + (a2 + a3);
+}
+
+void PqAdcBatchNeon(const float* table, const uint8_t* codes, size_t n,
+                    size_t m, size_t ks, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 4 < n) __builtin_prefetch(codes + (i + 4) * m, 0, 1);
+    out[i] = PqAdcNeon(table, codes + i * m, m, ks);
+  }
+}
+
+}  // namespace
+
+const KernelTable& NeonTable() {
+  static const KernelTable table = {
+      SimdTier::kNeon,   L2SqrNeon,
+      InnerProductNeon,  CosineNeon,
+      BatchL2SqrNeon,    BatchInnerProductNeon,
+      Sq8L2SqrNeon,      Sq8InnerProductNeon,
+      Sq8DotNormNeon,    PqAdcNeon,
+      PqAdcBatchNeon,
+  };
+  return table;
+}
+
+}  // namespace blendhouse::vecindex::kernels
+
+#endif  // __aarch64__

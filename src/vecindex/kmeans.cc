@@ -23,12 +23,13 @@ std::vector<float> SeedPlusPlus(const float* data, size_t n, size_t dim,
                    data + (first + 1) * dim);
 
   std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  std::vector<float> last_dist(n);
   for (size_t c = 1; c < k; ++c) {
     const float* last = centroids.data() + (c - 1) * dim;
+    kernels::Get().batch_l2sqr(last, data, n, dim, last_dist.data());
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      float d = L2Sqr(data + i * dim, last, dim);
-      if (d < min_dist[i]) min_dist[i] = d;
+      if (last_dist[i] < min_dist[i]) min_dist[i] = last_dist[i];
       total += min_dist[i];
     }
     size_t chosen = 0;
@@ -55,16 +56,23 @@ std::vector<float> SeedPlusPlus(const float* data, size_t n, size_t dim,
 }  // namespace
 
 size_t NearestCentroid(const float* v, const float* centroids, size_t k,
-                       size_t dim) {
+                       size_t dim, float* best_dist) {
+  constexpr size_t kChunk = 256;
+  float dist[kChunk];
+  kernels::BatchDistFn batch_l2sqr = kernels::Get().batch_l2sqr;
   size_t best = 0;
   float best_d = std::numeric_limits<float>::max();
-  for (size_t c = 0; c < k; ++c) {
-    float d = L2Sqr(v, centroids + c * dim, dim);
-    if (d < best_d) {
-      best_d = d;
-      best = c;
+  for (size_t begin = 0; begin < k; begin += kChunk) {
+    size_t n = std::min(kChunk, k - begin);
+    batch_l2sqr(v, centroids + begin * dim, n, dim, dist);
+    for (size_t c = 0; c < n; ++c) {
+      if (dist[c] < best_d) {
+        best_d = dist[c];
+        best = begin + c;
+      }
     }
   }
+  if (best_dist != nullptr) *best_dist = best_d;
   return best;
 }
 
@@ -88,9 +96,7 @@ common::Result<KMeansResult> RunKMeans(const float* data, size_t n, size_t dim,
     size_t changed = 0;
     for (size_t i = 0; i < n; ++i) {
       size_t c = NearestCentroid(data + i * dim, result.centroids.data(), k,
-                                 dim);
-      point_dist[i] = L2Sqr(data + i * dim,
-                            result.centroids.data() + c * dim, dim);
+                                 dim, &point_dist[i]);
       if (c != result.assignments[i]) {
         result.assignments[i] = static_cast<uint32_t>(c);
         ++changed;

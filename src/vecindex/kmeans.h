@@ -33,7 +33,10 @@ common::Result<KMeansResult> RunKMeans(const float* data, size_t n, size_t dim,
                                        const KMeansOptions& options);
 
 /// Index of the centroid (among k packed centroids) nearest to `v` under L2.
+/// Scans through the batched SIMD L2 kernel. When `best_dist` is non-null it
+/// receives the winning squared distance (so callers don't pay a second
+/// distance pass).
 size_t NearestCentroid(const float* v, const float* centroids, size_t k,
-                       size_t dim);
+                       size_t dim, float* best_dist = nullptr);
 
 }  // namespace blendhouse::vecindex

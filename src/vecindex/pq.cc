@@ -64,10 +64,12 @@ void ProductQuantizer::Decode(const uint8_t* code, float* v) const {
 }
 
 void ProductQuantizer::BuildAdcTable(const float* query, float* table) const {
+  // One batched-kernel call per subspace: each codebook is already a packed
+  // ks x dsub row block, exactly the layout the batch kernels scan.
+  kernels::BatchDistFn batch_l2sqr = kernels::Get().batch_l2sqr;
   for (size_t s = 0; s < m_; ++s) {
     const float* book = codebooks_.data() + s * ks_ * dsub_;
-    for (size_t c = 0; c < ks_; ++c)
-      table[s * ks_ + c] = L2Sqr(query + s * dsub_, book + c * dsub_, dsub_);
+    batch_l2sqr(query + s * dsub_, book, ks_, dsub_, table + s * ks_);
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/io.h"
 #include "common/result.h"
+#include "vecindex/kernels/kernels.h"
 
 namespace blendhouse::vecindex {
 
@@ -37,11 +38,16 @@ class ProductQuantizer {
   void BuildAdcTable(const float* query, float* table) const;
 
   /// Approximate squared distance via table lookups (cost `c_c` in the
-  /// paper's cost model, Eq. 2/3).
+  /// paper's cost model, Eq. 2/3). Gather-based in the SIMD kernel tiers.
   float AdcDistance(const float* table, const uint8_t* code) const {
-    float acc = 0.0f;
-    for (size_t s = 0; s < m_; ++s) acc += table[s * ks_ + code[s]];
-    return acc;
+    return kernels::Get().pq_adc(table, code, m_, ks_);
+  }
+
+  /// ADC distances for `n` consecutive codes (n * code_size() bytes),
+  /// written to out[0..n). Prefetches upcoming codes.
+  void AdcDistanceBatch(const float* table, const uint8_t* codes, size_t n,
+                        float* out) const {
+    kernels::Get().pq_adc_batch(table, codes, n, m_, ks_, out);
   }
 
   size_t MemoryUsage() const {

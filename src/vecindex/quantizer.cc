@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "vecindex/distance.h"
+
 namespace blendhouse::vecindex {
 
 common::Status ScalarQuantizer::Train(const float* data, size_t n,
@@ -43,13 +45,22 @@ void ScalarQuantizer::Decode(const uint8_t* code, float* v) const {
 
 float ScalarQuantizer::L2SqrToCode(const float* query,
                                    const uint8_t* code) const {
-  float acc = 0.0f;
-  for (size_t d = 0; d < dim_; ++d) {
-    float decoded = vmin_[d] + static_cast<float>(code[d]) * vscale_[d];
-    float diff = query[d] - decoded;
-    acc += diff * diff;
-  }
-  return acc;
+  return kernels::Get().sq8_l2sqr(query, code, vmin_.data(), vscale_.data(),
+                                  dim_);
+}
+
+float ScalarQuantizer::DotToCode(const float* query,
+                                 const uint8_t* code) const {
+  return kernels::Get().sq8_inner_product(query, code, vmin_.data(),
+                                          vscale_.data(), dim_);
+}
+
+float ScalarQuantizer::CosineToCode(const float* query, const uint8_t* code,
+                                    float query_norm) const {
+  float dot = 0.0f, norm_sqr = 0.0f;
+  kernels::Get().sq8_dot_norm(query, code, vmin_.data(), vscale_.data(), dim_,
+                              &dot, &norm_sqr);
+  return CosineFromDot(dot, query_norm, std::sqrt(norm_sqr));
 }
 
 void ScalarQuantizer::Serialize(common::BinaryWriter* w) const {

@@ -27,8 +27,20 @@ class ScalarQuantizer {
   void Decode(const uint8_t* code, float* v) const;
 
   /// Squared L2 between a float query and an encoded vector (asymmetric:
-  /// decodes on the fly, no materialized float copy).
+  /// the fused SIMD kernel dequantizes into the accumulation, no
+  /// materialized float copy).
   float L2SqrToCode(const float* query, const uint8_t* code) const;
+
+  /// Dot product between a float query and an encoded vector (fused
+  /// dequantize, same contract as L2SqrToCode).
+  float DotToCode(const float* query, const uint8_t* code) const;
+
+  /// Cosine distance (1 - cos) between a float query and an encoded vector.
+  /// `query_norm` is the query's precomputed Euclidean magnitude; the decoded
+  /// vector's dot and norm come from one fused pass — no decode buffer.
+  /// Zero norm on either side yields 1.0 (the shared convention).
+  float CosineToCode(const float* query, const uint8_t* code,
+                     float query_norm) const;
 
   void Serialize(common::BinaryWriter* w) const;
   common::Status Deserialize(common::BinaryReader* r);

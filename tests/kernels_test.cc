@@ -1,0 +1,311 @@
+// Scalar-vs-SIMD parity for the dispatched kernel layer, plus dispatch
+// policy (BLENDHOUSE_FORCE_SCALAR, SetActiveTier) and the aligned-storage
+// contract. Every compiled tier the host CPU supports is checked against the
+// scalar reference over awkward dims (tails, sub-register sizes) and edge
+// inputs (NaN, zero norms).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/io.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "vecindex/distance.h"
+#include "vecindex/hnsw_index.h"
+#include "vecindex/kernels/kernels.h"
+#include "vecindex/quantizer.h"
+
+namespace blendhouse {
+namespace {
+
+namespace kernels = vecindex::kernels;
+using kernels::KernelTable;
+using kernels::SimdTier;
+
+// Dims chosen to hit every tail path: sub-register, exact register widths,
+// multi-register, and one-past (769) for the masked/scalar epilogues.
+const size_t kDims[] = {1, 7, 8, 31, 64, 96, 768, 769};
+
+/// Relative tolerance (1e-5) plus one float ulp per accumulated term: SIMD
+/// accumulation trees reassociate float adds, and with cancellation the
+/// error scales with the number of terms, not the final value.
+void ExpectClose(float a, float b, const char* what, size_t dim) {
+  float tol = 1e-5f * std::max({1.0f, std::fabs(a), std::fabs(b)}) +
+              1.2e-7f * static_cast<float>(dim);
+  EXPECT_NEAR(a, b, tol) << what << " dim=" << dim;
+}
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.Gaussian(0.0f, 1.0f);
+  return v;
+}
+
+std::vector<const KernelTable*> SimdTables() {
+  std::vector<const KernelTable*> tables;
+  for (SimdTier t : kernels::AvailableTiers())
+    if (t != SimdTier::kScalar) tables.push_back(kernels::GetTable(t));
+  return tables;
+}
+
+TEST(KernelsTest, ScalarTableAlwaysAvailable) {
+  ASSERT_NE(kernels::GetTable(SimdTier::kScalar), nullptr);
+  EXPECT_EQ(kernels::GetTable(SimdTier::kScalar)->tier, SimdTier::kScalar);
+  // Dispatch must have settled on one of the available tiers.
+  bool found = false;
+  for (SimdTier t : kernels::AvailableTiers())
+    if (t == kernels::ActiveTier()) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(KernelsTest, DistanceParityAcrossTiers) {
+  const KernelTable* scalar = kernels::GetTable(SimdTier::kScalar);
+  for (const KernelTable* table : SimdTables()) {
+    for (size_t dim : kDims) {
+      auto a = RandomVec(dim, 1 + dim);
+      auto b = RandomVec(dim, 2 + dim);
+      ExpectClose(table->l2sqr(a.data(), b.data(), dim),
+                  scalar->l2sqr(a.data(), b.data(), dim), "l2sqr", dim);
+      ExpectClose(table->inner_product(a.data(), b.data(), dim),
+                  scalar->inner_product(a.data(), b.data(), dim), "ip", dim);
+      ExpectClose(table->cosine(a.data(), b.data(), dim),
+                  scalar->cosine(a.data(), b.data(), dim), "cosine", dim);
+    }
+  }
+}
+
+TEST(KernelsTest, BatchParityAcrossTiers) {
+  const KernelTable* scalar = kernels::GetTable(SimdTier::kScalar);
+  // n values straddle the 4-way blocking boundary and its tail.
+  const size_t kCounts[] = {1, 3, 4, 5, 37};
+  for (const KernelTable* table : SimdTables()) {
+    for (size_t dim : {size_t{7}, size_t{96}, size_t{768}, size_t{769}}) {
+      for (size_t n : kCounts) {
+        auto query = RandomVec(dim, 3 + dim);
+        auto base = RandomVec(n * dim, 4 + dim + n);
+        std::vector<float> got(n), want(n);
+        table->batch_l2sqr(query.data(), base.data(), n, dim, got.data());
+        scalar->batch_l2sqr(query.data(), base.data(), n, dim, want.data());
+        for (size_t i = 0; i < n; ++i)
+          ExpectClose(got[i], want[i], "batch_l2sqr", dim);
+        table->batch_inner_product(query.data(), base.data(), n, dim,
+                                   got.data());
+        scalar->batch_inner_product(query.data(), base.data(), n, dim,
+                                    want.data());
+        for (size_t i = 0; i < n; ++i)
+          ExpectClose(got[i], want[i], "batch_ip", dim);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, BatchAgreesWithSingleRowKernel) {
+  const KernelTable& active = kernels::Get();
+  size_t dim = 96, n = 11;
+  auto query = RandomVec(dim, 7);
+  auto base = RandomVec(n * dim, 8);
+  std::vector<float> batch(n);
+  active.batch_l2sqr(query.data(), base.data(), n, dim, batch.data());
+  for (size_t i = 0; i < n; ++i)
+    ExpectClose(batch[i], active.l2sqr(query.data(), base.data() + i * dim,
+                                       dim),
+                "batch-vs-single", dim);
+}
+
+TEST(KernelsTest, Sq8ParityAcrossTiers) {
+  const KernelTable* scalar = kernels::GetTable(SimdTier::kScalar);
+  for (const KernelTable* table : SimdTables()) {
+    for (size_t dim : kDims) {
+      auto query = RandomVec(dim, 5 + dim);
+      auto vmin = RandomVec(dim, 6 + dim);
+      std::vector<float> vscale(dim);
+      common::Rng rng(7 + dim);
+      std::vector<uint8_t> code(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        vscale[d] = 0.001f + 0.01f * static_cast<float>(d % 7);
+        code[d] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      }
+      ExpectClose(table->sq8_l2sqr(query.data(), code.data(), vmin.data(),
+                                   vscale.data(), dim),
+                  scalar->sq8_l2sqr(query.data(), code.data(), vmin.data(),
+                                    vscale.data(), dim),
+                  "sq8_l2sqr", dim);
+      ExpectClose(
+          table->sq8_inner_product(query.data(), code.data(), vmin.data(),
+                                   vscale.data(), dim),
+          scalar->sq8_inner_product(query.data(), code.data(), vmin.data(),
+                                    vscale.data(), dim),
+          "sq8_ip", dim);
+      float dot_a = 0, norm_a = 0, dot_b = 0, norm_b = 0;
+      table->sq8_dot_norm(query.data(), code.data(), vmin.data(),
+                          vscale.data(), dim, &dot_a, &norm_a);
+      scalar->sq8_dot_norm(query.data(), code.data(), vmin.data(),
+                           vscale.data(), dim, &dot_b, &norm_b);
+      ExpectClose(dot_a, dot_b, "sq8_dot", dim);
+      ExpectClose(norm_a, norm_b, "sq8_norm", dim);
+    }
+  }
+}
+
+TEST(KernelsTest, PqAdcParityAcrossTiers) {
+  const KernelTable* scalar = kernels::GetTable(SimdTier::kScalar);
+  for (const KernelTable* table : SimdTables()) {
+    for (size_t ks : {size_t{16}, size_t{256}}) {   // PQFS and classic PQ
+      for (size_t m : {size_t{1}, size_t{3}, size_t{12}, size_t{16}}) {
+        auto lut = RandomVec(m * ks, 9 + m + ks);
+        common::Rng rng(10 + m);
+        size_t n = 13;
+        std::vector<uint8_t> codes(n * m);
+        for (auto& c : codes)
+          c = static_cast<uint8_t>(
+              rng.UniformInt(0, static_cast<int>(ks) - 1));
+        for (size_t i = 0; i < n; ++i)
+          ExpectClose(table->pq_adc(lut.data(), codes.data() + i * m, m, ks),
+                      scalar->pq_adc(lut.data(), codes.data() + i * m, m, ks),
+                      "pq_adc", m);
+        std::vector<float> got(n), want(n);
+        table->pq_adc_batch(lut.data(), codes.data(), n, m, ks, got.data());
+        scalar->pq_adc_batch(lut.data(), codes.data(), n, m, ks, want.data());
+        for (size_t i = 0; i < n; ++i)
+          ExpectClose(got[i], want[i], "pq_adc_batch", m);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, NanPropagatesInEveryTier) {
+  for (SimdTier t : kernels::AvailableTiers()) {
+    const KernelTable* table = kernels::GetTable(t);
+    for (size_t dim : {size_t{8}, size_t{769}}) {
+      auto a = RandomVec(dim, 11);
+      auto b = RandomVec(dim, 12);
+      a[dim / 2] = std::numeric_limits<float>::quiet_NaN();
+      EXPECT_TRUE(std::isnan(table->l2sqr(a.data(), b.data(), dim)))
+          << kernels::SimdTierName(t) << " dim=" << dim;
+      EXPECT_TRUE(std::isnan(table->inner_product(a.data(), b.data(), dim)))
+          << kernels::SimdTierName(t) << " dim=" << dim;
+      EXPECT_TRUE(std::isnan(table->cosine(a.data(), b.data(), dim)))
+          << kernels::SimdTierName(t) << " dim=" << dim;
+    }
+  }
+}
+
+TEST(KernelsTest, ZeroNormCosineIsOneInEveryTier) {
+  for (SimdTier t : kernels::AvailableTiers()) {
+    const KernelTable* table = kernels::GetTable(t);
+    for (size_t dim : {size_t{8}, size_t{769}}) {
+      std::vector<float> zero(dim, 0.0f);
+      auto b = RandomVec(dim, 13);
+      EXPECT_EQ(table->cosine(zero.data(), b.data(), dim), 1.0f)
+          << kernels::SimdTierName(t);
+      EXPECT_EQ(table->cosine(b.data(), zero.data(), dim), 1.0f)
+          << kernels::SimdTierName(t);
+      EXPECT_EQ(table->cosine(zero.data(), zero.data(), dim), 1.0f)
+          << kernels::SimdTierName(t);
+    }
+  }
+  // The precomputed-norm fast path shares the convention.
+  EXPECT_EQ(vecindex::CosineFromDot(0.0f, 0.0f, 1.0f), 1.0f);
+  EXPECT_EQ(vecindex::CosineFromDot(0.0f, 1.0f, 0.0f), 1.0f);
+}
+
+TEST(KernelsTest, ForceScalarEnvPinsChooseTier) {
+  ASSERT_EQ(setenv("BLENDHOUSE_FORCE_SCALAR", "1", 1), 0);
+  EXPECT_EQ(kernels::ChooseTier(), SimdTier::kScalar);
+  ASSERT_EQ(setenv("BLENDHOUSE_FORCE_SCALAR", "0", 1), 0);
+  SimdTier best = SimdTier::kScalar;
+  for (SimdTier t : kernels::AvailableTiers()) best = t;
+  EXPECT_EQ(kernels::ChooseTier(), best);
+  ASSERT_EQ(unsetenv("BLENDHOUSE_FORCE_SCALAR"), 0);
+  EXPECT_EQ(kernels::ChooseTier(), best);
+}
+
+TEST(KernelsTest, ForcedScalarHnswRoundTripKeepsRecall) {
+  const size_t dim = 32, n = 500, k = 10;
+  auto data = test::MakeClusteredVectors(n, dim, 6, 21);
+  auto ids = test::SequentialIds(n);
+  auto query = RandomVec(dim, 22);
+  auto truth = test::BruteForceTopK(data, dim, query.data(), k);
+
+  auto run = [&]() {
+    vecindex::HnswIndex index(dim, vecindex::Metric::kL2);
+    EXPECT_TRUE(index.AddWithIds(data.data(), ids.data(), n).ok());
+    vecindex::SearchParams params;
+    params.k = static_cast<int>(k);
+    params.ef_search = 64;
+    auto found = index.SearchWithFilter(query.data(), params);
+    EXPECT_TRUE(found.ok());
+    return test::Recall(*found, truth);
+  };
+
+  double recall_simd = run();
+  SimdTier prev = kernels::SetActiveTier(SimdTier::kScalar);
+  ASSERT_EQ(kernels::ActiveTier(), SimdTier::kScalar);
+  double recall_scalar = run();
+  kernels::SetActiveTier(prev);
+
+  // Scalar and SIMD builds may differ in float low bits, but the graph and
+  // search quality must be equivalent.
+  EXPECT_GE(recall_scalar, 0.9);
+  EXPECT_GE(recall_simd, 0.9);
+  EXPECT_NEAR(recall_scalar, recall_simd, 0.05);
+}
+
+TEST(KernelsTest, AlignedVectorIsCacheLineAligned) {
+  for (size_t n : {size_t{1}, size_t{17}, size_t{768}, size_t{100000}}) {
+    common::AlignedVector<float> v(n, 1.0f);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) %
+                  common::kVectorAlignment,
+              0u)
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, AlignedVectorSerializationRoundTrip) {
+  common::AlignedVector<float> v;
+  for (size_t i = 0; i < 100; ++i) v.push_back(static_cast<float>(i) * 0.5f);
+  std::string bytes;
+  common::BinaryWriter w(&bytes);
+  w.WriteVector(v);
+  common::BinaryReader r(bytes);
+  common::AlignedVector<float> back;
+  ASSERT_TRUE(r.ReadVector(&back).ok());
+  EXPECT_EQ(back.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_EQ(back[i], v[i]);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(back.data()) %
+                common::kVectorAlignment,
+            0u);
+}
+
+TEST(KernelsTest, ScalarQuantizerFusedKernelsMatchDecode) {
+  const size_t dim = 96;
+  auto data = test::MakeClusteredVectors(200, dim, 4, 31);
+  vecindex::ScalarQuantizer sq;
+  ASSERT_TRUE(sq.Train(data.data(), 200, dim).ok());
+  auto query = RandomVec(dim, 32);
+  std::vector<uint8_t> code(dim);
+  sq.Encode(data.data() + 5 * dim, code.data());
+  std::vector<float> decoded(dim);
+  sq.Decode(code.data(), decoded.data());
+
+  ExpectClose(sq.L2SqrToCode(query.data(), code.data()),
+              vecindex::L2Sqr(query.data(), decoded.data(), dim), "sq-l2",
+              dim);
+  ExpectClose(sq.DotToCode(query.data(), code.data()),
+              vecindex::InnerProduct(query.data(), decoded.data(), dim),
+              "sq-dot", dim);
+  float qnorm = std::sqrt(vecindex::SquaredNorm(query.data(), dim));
+  ExpectClose(sq.CosineToCode(query.data(), code.data(), qnorm),
+              vecindex::CosineDistance(query.data(), decoded.data(), dim),
+              "sq-cosine", dim);
+}
+
+}  // namespace
+}  // namespace blendhouse

@@ -18,6 +18,11 @@ enforces four concurrency/hygiene rules:
                and src/common/task_scheduler.cc (the delay queue). Simulated
                latency must go through common::ChargeSimLatency or
                TaskScheduler::ScheduleAfter so it never parks a pool thread.
+  simd-intrinsics  Raw SIMD intrinsics (immintrin.h / arm_neon.h includes,
+               _mm*/__m*/v*q_f32 tokens) are banned outside
+               src/vecindex/kernels/. Everything else calls the dispatched
+               kernel layer so per-TU -march flags stay contained and the
+               scalar fallback stays honest.
 
 Suppress a finding by putting  lint:allow(<rule>)  in a comment on the same
 line. Usage: tools/lint.py [repo-root]
@@ -51,6 +56,23 @@ SLEEP_TOKENS = ("sleep_for", "sleep_until")
 # engines); the delay queue is the one sanctioned timed wait in BlendHouse.
 SLEEP_EXEMPT_PREFIXES = (os.path.join("src", "baselines") + os.sep,)
 SLEEP_EXEMPT_FILES = {os.path.join("src", "common", "task_scheduler.cc")}
+
+# Intrinsics headers and vendor-prefixed intrinsic tokens; the kernel layer
+# is the single translation-unit family allowed to touch them.
+SIMD_INCLUDE_TOKENS = (
+    "immintrin.h",
+    "x86intrin.h",
+    "emmintrin.h",
+    "xmmintrin.h",
+    "smmintrin.h",
+    "avxintrin.h",
+    "arm_neon.h",
+)
+SIMD_INTRINSIC_RE = re.compile(
+    r"\b(_mm_|_mm256_|_mm512_|__m128|__m256|__m512|__mmask|vld1q_|vst1q_|"
+    r"vfmaq_|vaddvq_|vdupq_)")
+SIMD_EXEMPT_PREFIXES = (
+    os.path.join("src", "vecindex", "kernels") + os.sep,)
 
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 
@@ -147,6 +169,7 @@ def check_tokens(path, raw_lines, code_lines, findings):
     exempt_mutex = path in RAW_MUTEX_EXEMPT
     exempt_sleep = (path in SLEEP_EXEMPT_FILES
                     or path.startswith(SLEEP_EXEMPT_PREFIXES))
+    exempt_simd = path.startswith(SIMD_EXEMPT_PREFIXES)
     for lineno, line in enumerate(code_lines, start=1):
         if not exempt_mutex:
             for token in RAW_MUTEX_TOKENS:
@@ -163,6 +186,21 @@ def check_tokens(path, raw_lines, code_lines, findings):
                          f"{token} outside src/baselines/; charge simulated "
                          "latency via common::ChargeSimLatency or "
                          "TaskScheduler::ScheduleAfter"))
+        if not exempt_simd and not allowed(lineno, "simd-intrinsics"):
+            raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            for token in SIMD_INCLUDE_TOKENS:
+                if "include" in raw and token in raw:
+                    findings.append(
+                        (path, lineno, "simd-intrinsics",
+                         f"#include <{token}> outside src/vecindex/kernels/; "
+                         "call the dispatched kernel layer instead"))
+            m = SIMD_INTRINSIC_RE.search(line)
+            if m:
+                findings.append(
+                    (path, lineno, "simd-intrinsics",
+                     f"raw intrinsic `{m.group(1)}...` outside "
+                     "src/vecindex/kernels/; call the dispatched kernel "
+                     "layer instead"))
         for m in NEW_RE.finditer(line):
             if allowed(lineno, "naked-new"):
                 continue
