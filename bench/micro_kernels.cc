@@ -11,12 +11,21 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "cluster/consistent_hash.h"
 #include "common/bitset.h"
 #include "common/rng.h"
+#include "sql/expression.h"
+#include "storage/segment.h"
 #include "tests/test_util.h"
 #include "vecindex/distance.h"
+#include "vecindex/flat_index.h"
+#include "vecindex/hnsw_index.h"
+#include "vecindex/ivf_index.h"
 #include "vecindex/kernels/kernels.h"
 #include "vecindex/pq.h"
 #include "vecindex/quantizer.h"
@@ -182,6 +191,178 @@ void BM_BitsetTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitsetTest);
+
+// ---------------------------------------------------------------------------
+// Filter-bitmap construction: row-wise reference vs vectorized evaluator
+// ---------------------------------------------------------------------------
+
+constexpr size_t kFilterRows = 100000;
+
+const storage::SegmentPtr& FilterBenchSegment() {
+  static storage::SegmentPtr segment = [] {
+    storage::TableSchema schema;
+    schema.table_name = "bench";
+    schema.columns = {{"id", storage::ColumnType::kInt64},
+                      {"score", storage::ColumnType::kFloat64},
+                      {"name", storage::ColumnType::kString}};
+    storage::SegmentBuilder builder(schema, "bench_seg");
+    common::Rng rng(11);
+    static const char* kNames[] = {"cat", "dog", "catalog", "hot dog", "x"};
+    for (size_t i = 0; i < kFilterRows; ++i) {
+      storage::Row row;
+      row.values = {static_cast<int64_t>(i), rng.Uniform(0.0, 1.0),
+                    std::string(kNames[rng.UniformInt(0, 4)])};
+      (void)builder.AppendRow(row);
+    }
+    return *builder.Finish();
+  }();
+  return segment;
+}
+
+sql::ExprPtr NumericConjunct() {
+  // id >= 25000 AND id < 75000 AND score < 0.5  (~25% selectivity)
+  using sql::Expr;
+  auto ge = Expr::Compare(Expr::CmpOp::kGe, Expr::Column("id"),
+                          Expr::Literal(int64_t{25000}));
+  auto lt = Expr::Compare(Expr::CmpOp::kLt, Expr::Column("id"),
+                          Expr::Literal(int64_t{75000}));
+  auto sc = Expr::Compare(Expr::CmpOp::kLt, Expr::Column("score"),
+                          Expr::Literal(0.5));
+  return Expr::And(Expr::And(std::move(ge), std::move(lt)), std::move(sc));
+}
+
+void BM_BuildBitmapRowWise(benchmark::State& state) {
+  const storage::SegmentPtr& segment = FilterBenchSegment();
+  sql::ExprPtr expr = NumericConjunct();
+  auto eval = sql::PredicateEvaluator::Bind(*expr, *segment);
+  for (auto _ : state) {
+    common::Bitset bitmap(segment->num_rows());
+    for (size_t i = 0; i < segment->num_rows(); ++i)
+      if (eval->EvalRow(i)) bitmap.Set(i);
+    benchmark::DoNotOptimize(bitmap.words().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kFilterRows);
+}
+BENCHMARK(BM_BuildBitmapRowWise);
+
+void BM_BuildBitmapVectorized(benchmark::State& state) {
+  const bool pruning = state.range(0) != 0;
+  const storage::SegmentPtr& segment = FilterBenchSegment();
+  sql::ExprPtr expr = NumericConjunct();
+  auto eval = sql::PredicateEvaluator::Bind(*expr, *segment);
+  for (auto _ : state) {
+    common::Bitset bitmap = eval->BuildBitmap(nullptr, pruning);
+    benchmark::DoNotOptimize(bitmap.words().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kFilterRows);
+}
+BENCHMARK(BM_BuildBitmapVectorized)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("granule_pruning");
+
+void BM_BuildBitmapStringPredicate(benchmark::State& state) {
+  // Cheap numeric conjunct gates an expensive LIKE: the lazy path should
+  // only pay the string match on rows surviving the word-level AND.
+  using sql::Expr;
+  const storage::SegmentPtr& segment = FilterBenchSegment();
+  auto expr = Expr::And(
+      Expr::Compare(Expr::CmpOp::kLt, Expr::Column("id"),
+                    Expr::Literal(int64_t{10000})),
+      Expr::Like(Expr::Column("name"), "%cat%"));
+  auto eval = sql::PredicateEvaluator::Bind(*expr, *segment);
+  for (auto _ : state) {
+    common::Bitset bitmap = eval->BuildBitmap(nullptr, true);
+    benchmark::DoNotOptimize(bitmap.words().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kFilterRows);
+}
+BENCHMARK(BM_BuildBitmapStringPredicate);
+
+// ---------------------------------------------------------------------------
+// Filtered ANN search: selectivity sweep over flat / IVF / HNSW
+// ---------------------------------------------------------------------------
+
+constexpr size_t kFsN = 20000;
+constexpr size_t kFsDim = 64;
+
+const std::vector<float>& FilteredSearchData() {
+  static std::vector<float> data =
+      test::MakeClusteredVectors(kFsN, kFsDim, 16, 13);
+  return data;
+}
+
+vecindex::VectorIndex* FilteredSearchIndex(const std::string& type) {
+  static std::map<std::string, vecindex::VectorIndexPtr> cache;
+  auto it = cache.find(type);
+  if (it != cache.end()) return it->second.get();
+  const std::vector<float>& data = FilteredSearchData();
+  vecindex::VectorIndexPtr index;
+  if (type == "FLAT") {
+    index = std::make_unique<vecindex::FlatIndex>(kFsDim,
+                                                  vecindex::Metric::kL2);
+  } else if (type == "IVFFLAT") {
+    vecindex::IvfOptions opts;
+    opts.nlist = 64;
+    index = std::make_unique<vecindex::IvfFlatIndex>(
+        kFsDim, vecindex::Metric::kL2, opts);
+  } else {
+    index = std::make_unique<vecindex::HnswIndex>(kFsDim,
+                                                  vecindex::Metric::kL2);
+  }
+  if (index->NeedsTraining()) (void)index->Train(data.data(), kFsN);
+  auto ids = test::SequentialIds(kFsN);
+  (void)index->AddWithIds(data.data(), ids.data(), kFsN);
+  return cache.emplace(type, std::move(index)).first->second.get();
+}
+
+common::Bitset SelectivityFilter(size_t n, int permille) {
+  common::Bitset filter(n);
+  common::Rng rng(17);
+  for (size_t i = 0; i < n; ++i)
+    if (rng.UniformInt(0, 999) < permille) filter.Set(i);
+  return filter;
+}
+
+void RunFilteredSearch(benchmark::State& state, const std::string& type) {
+  vecindex::VectorIndex* index = FilteredSearchIndex(type);
+  common::Bitset filter =
+      SelectivityFilter(kFsN, static_cast<int>(state.range(0)));
+  const std::vector<float>& data = FilteredSearchData();
+  vecindex::SearchParams p;
+  p.k = 10;
+  p.ef_search = 128;
+  p.nprobe = 8;
+  p.filter = &filter;
+  size_t q = 0;
+  for (auto _ : state) {
+    const float* query = data.data() + (q * 127 % kFsN) * kFsDim;
+    ++q;
+    auto found = index->SearchWithFilter(query, p);
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FilteredSearchFlat(benchmark::State& state) {
+  RunFilteredSearch(state, "FLAT");
+}
+void BM_FilteredSearchIvfFlat(benchmark::State& state) {
+  RunFilteredSearch(state, "IVFFLAT");
+}
+void BM_FilteredSearchHnsw(benchmark::State& state) {
+  RunFilteredSearch(state, "HNSW");
+}
+// Arg = selectivity in permille: 0.1%, 1%, 10%, 50%, 90%.
+BENCHMARK(BM_FilteredSearchFlat)
+    ->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(900)
+    ->ArgName("sel_permille");
+BENCHMARK(BM_FilteredSearchIvfFlat)
+    ->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(900)
+    ->ArgName("sel_permille");
+BENCHMARK(BM_FilteredSearchHnsw)
+    ->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(900)
+    ->ArgName("sel_permille");
 
 void BM_ConsistentHashPlacement(benchmark::State& state) {
   cluster::ConsistentHashRing ring(static_cast<size_t>(state.range(0)));

@@ -16,6 +16,7 @@ Worker::Worker(std::string id, storage::ObjectStore* remote, RpcFabric* rpc,
       options_(options),
       index_cache_(remote, options.cache),
       segment_cache_(options.segment_cache_bytes),
+      filter_bitmap_cache_(options.filter_bitmap_cache_bytes),
       pool_(options.threads),
       loader_(1) {}
 

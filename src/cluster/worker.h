@@ -7,6 +7,7 @@
 
 #include "cluster/index_cache.h"
 #include "cluster/rpc.h"
+#include "common/bitset.h"
 #include "common/future.h"
 #include "common/result.h"
 #include "common/task_scheduler.h"
@@ -26,6 +27,9 @@ struct WorkerOptions {
   /// Segments larger than this many rows bypass the segment cache so one
   /// giant hybrid read cannot thrash it (the paper's "row limit setting").
   size_t segment_cache_row_limit = 1u << 20;
+  /// Budget for cached pre-filter bitmaps (one bit per row, so even a small
+  /// budget covers many segments of a repeated hybrid predicate).
+  size_t filter_bitmap_cache_bytes = 16ull << 20;
 };
 
 /// Time breakdown of one async task on a worker, reported to the completion
@@ -134,6 +138,26 @@ class Worker {
 
   common::LruCache<storage::SegmentPtr>& segment_cache() { return segment_cache_; }
 
+  /// Worker-level cache of pre-filter bitmaps, keyed by the executor as
+  /// table/segment@delete-epoch#predicate-fingerprint. Entries are
+  /// self-invalidating: a MarkDeleted commit bumps the segment's delete
+  /// epoch (and compaction mints fresh segment ids), so stale bitmaps stop
+  /// being looked up and age out of the LRU budget.
+  std::shared_ptr<const common::Bitset> GetCachedFilterBitmap(
+      const std::string& key) {
+    auto hit = filter_bitmap_cache_.Get(key);
+    return hit.has_value() ? *hit : nullptr;
+  }
+  void PutFilterBitmap(const std::string& key,
+                       std::shared_ptr<const common::Bitset> bitmap) {
+    size_t bytes = bitmap->words().size() * sizeof(uint64_t) + key.size();
+    filter_bitmap_cache_.Put(key, std::move(bitmap), bytes);
+  }
+  common::LruCache<std::shared_ptr<const common::Bitset>>&
+  filter_bitmap_cache() {
+    return filter_bitmap_cache_;
+  }
+
   uint64_t searches_served_for_peers() const {
     return peer_serves_.load();
   }
@@ -150,6 +174,8 @@ class Worker {
   WorkerOptions options_;
   HierarchicalIndexCache index_cache_;
   common::LruCache<storage::SegmentPtr> segment_cache_;
+  common::LruCache<std::shared_ptr<const common::Bitset>>
+      filter_bitmap_cache_;
   PeerResolver peer_resolver_;
   std::atomic<uint64_t> peer_serves_{0};
   // The pools are declared last on purpose: their destructors drain queued

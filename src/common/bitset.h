@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.h"
+
 namespace blendhouse::common {
 
 /// Dynamically sized bitset used for pre-filter bitmaps and delete bitmaps.
@@ -42,6 +44,27 @@ class Bitset {
     return n;
   }
 
+  /// Number of set bits in [begin, end). Clamped to size(); whole words are
+  /// popcounted, partial edge words are masked.
+  size_t Count(size_t begin, size_t end) const {
+    if (end > num_bits_) end = num_bits_;
+    if (begin >= end) return 0;
+    size_t first = begin >> 6, last = (end - 1) >> 6;
+    uint64_t head_mask = ~uint64_t{0} << (begin & 63);
+    uint64_t tail_mask = (end & 63) == 0
+                             ? ~uint64_t{0}
+                             : (uint64_t{1} << (end & 63)) - 1;
+    if (first == last)
+      return static_cast<size_t>(
+          __builtin_popcountll(words_[first] & head_mask & tail_mask));
+    size_t n =
+        static_cast<size_t>(__builtin_popcountll(words_[first] & head_mask));
+    for (size_t i = first + 1; i < last; ++i)
+      n += static_cast<size_t>(__builtin_popcountll(words_[i]));
+    n += static_cast<size_t>(__builtin_popcountll(words_[last] & tail_mask));
+    return n;
+  }
+
   bool Any() const {
     for (uint64_t w : words_)
       if (w) return true;
@@ -58,13 +81,42 @@ class Bitset {
 
   /// In-place bitwise AND with `other`; sizes must match.
   void And(const Bitset& other) {
+    BH_DCHECK_MSG(num_bits_ == other.num_bits_, "Bitset::And size mismatch");
     for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i)
       words_[i] &= other.words_[i];
   }
   /// In-place bitwise OR with `other`; sizes must match.
   void Or(const Bitset& other) {
+    BH_DCHECK_MSG(num_bits_ == other.num_bits_, "Bitset::Or size mismatch");
     for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i)
       words_[i] |= other.words_[i];
+  }
+  /// In-place `this &= ~other` (e.g. folding a delete bitmap out of a filter
+  /// bitmap in one word-level pass); sizes must match.
+  void AndNot(const Bitset& other) {
+    BH_DCHECK_MSG(num_bits_ == other.num_bits_,
+                  "Bitset::AndNot size mismatch");
+    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i)
+      words_[i] &= ~other.words_[i];
+  }
+  /// In-place bitwise complement over [0, size()).
+  void Not() {
+    for (auto& w : words_) w = ~w;
+    TrimTail();
+  }
+
+  /// Calls `fn(size_t bit_index)` for every set bit in ascending order,
+  /// one ctz per set bit (no per-row Test loop).
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+        fn((wi << 6) + bit);
+        w &= w - 1;  // clear lowest set bit
+      }
+    }
   }
 
   const std::vector<uint64_t>& words() const { return words_; }

@@ -89,6 +89,10 @@ uint64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
 
 struct Executor::QueryContext {
   BoundQuery bound;
+  /// Compiled once per query (regexes, LIKE shapes, literal conversions);
+  /// every segment task binds against this shared immutable form. Null when
+  /// the query has no filter.
+  CompiledPredicatePtr compiled_filter;
   ExecStrategy strategy;
   storage::TableSchema schema;
   storage::TableSnapshot snapshot;
@@ -115,6 +119,8 @@ struct Executor::AttemptState {
   size_t segments_scanned GUARDED_BY(mu) = 0;
   size_t rounds GUARDED_BY(mu) = 0;
   std::array<size_t, 5> cache_outcomes GUARDED_BY(mu){};
+  size_t filter_cache_hits GUARDED_BY(mu) = 0;
+  size_t filter_cache_misses GUARDED_BY(mu) = 0;
   uint64_t queue_wait_micros GUARDED_BY(mu) = 0;
   uint64_t compute_micros GUARDED_BY(mu) = 0;
   uint64_t sim_io_micros GUARDED_BY(mu) = 0;
@@ -171,6 +177,17 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
   }
   stats->segments_after_scalar_prune = segments.size();
 
+  // Compile the predicate once per query: regexes, LIKE shape analysis,
+  // and literal conversions are shared by every segment task of every
+  // adaptive round (a bad regex also fails here, once, instead of once per
+  // segment).
+  CompiledPredicatePtr compiled_filter;
+  if (bound.filter != nullptr) {
+    auto compiled = CompiledPredicate::Compile(*bound.filter);
+    if (!compiled.ok()) return compiled.status();
+    compiled_filter = std::move(compiled).value();
+  }
+
   // Semantic pruning with runtime-adaptive expansion: probe the nearest
   // buckets first; if too few results qualify, widen and scan only the
   // segments not yet covered.
@@ -201,8 +218,9 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
                        }),
         round_segments.end());
 
-    auto candidates = RunOnWorkers(bound, query.choice.strategy, schema,
-                                   round_segments, snapshot, stats);
+    auto candidates =
+        RunOnWorkers(bound, compiled_filter, query.choice.strategy, schema,
+                     round_segments, snapshot, stats);
     if (!candidates.ok()) return candidates.status();
     for (const Candidate& c : *candidates) all_candidates.push_back(c);
     for (const storage::SegmentMeta& m : round_segments)
@@ -240,8 +258,8 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
 }
 
 common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
-    const BoundQuery& bound, ExecStrategy strategy,
-    const storage::TableSchema& schema,
+    const BoundQuery& bound, const CompiledPredicatePtr& compiled_filter,
+    ExecStrategy strategy, const storage::TableSchema& schema,
     const std::vector<storage::SegmentMeta>& segments,
     const storage::TableSnapshot& snapshot, ExecStats* stats) {
   if (segments.empty()) return std::vector<Candidate>{};
@@ -249,8 +267,9 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
   // Shared immutable query context: segment tasks capture this (and only
   // this) by shared_ptr, so a straggler from a cancelled attempt keeps the
   // data it reads alive instead of dangling into our stack frame.
-  auto ctx = std::make_shared<const QueryContext>(QueryContext{
-      CopyBoundQuery(bound), strategy, schema, snapshot, settings_});
+  auto ctx = std::make_shared<const QueryContext>(
+      QueryContext{CopyBoundQuery(bound), compiled_filter, strategy, schema,
+                   snapshot, settings_});
   common::TaskScheduler* sched = &vw_->task_scheduler();
 
   for (size_t attempt = 0;; ++attempt) {
@@ -325,6 +344,8 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
                     state->rounds += slot->rounds;
                     for (size_t i = 0; i < slot->cache_outcomes.size(); ++i)
                       state->cache_outcomes[i] += slot->cache_outcomes[i];
+                    state->filter_cache_hits += slot->filter_cache_hits;
+                    state->filter_cache_misses += slot->filter_cache_misses;
                     for (Candidate& c : slot->candidates)
                       state->FoldCandidate(std::move(c));
                   }
@@ -348,6 +369,8 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
         stats->postfilter_rounds += state->rounds;
         for (size_t i = 0; i < state->cache_outcomes.size(); ++i)
           stats->cache_outcomes[i] += state->cache_outcomes[i];
+        stats->filter_cache_hits += state->filter_cache_hits;
+        stats->filter_cache_misses += state->filter_cache_misses;
         stats->queue_wait_micros +=
             static_cast<double>(state->queue_wait_micros);
         stats->compute_micros += static_cast<double>(state->compute_micros);
@@ -415,31 +438,44 @@ Executor::SegmentTaskResult Executor::RunSegment(
         result.status = common::Status::Internal("vector column missing");
         return result;
       }
-      std::optional<PredicateEvaluator> eval;
+      // Survivor bitmap built vectorized (deletes folded word-level), then
+      // exact distances only on set bits.
+      common::Bitset bitmap;
       if (bound.filter != nullptr) {
-        auto bind = PredicateEvaluator::Bind(*bound.filter, **segment);
+        auto bind =
+            PredicateEvaluator::Bind(ctx.compiled_filter, **segment);
         if (!bind.ok()) {
           result.status = bind.status();
           return result;
         }
-        eval = std::move(*bind);
+        bitmap = bind->BuildBitmap(deletes, settings.use_granule_pruning);
+      } else {
+        bitmap = common::Bitset((*segment)->num_rows(), /*initial=*/true);
+        if (deletes != nullptr) {
+          if (deletes->size() == bitmap.size()) {
+            bitmap.AndNot(*deletes);
+          } else {
+            // Defensive: snapshot invariants size deletes to num_rows.
+            deletes->ForEachSetBit([&](size_t i) {
+              if (i < bitmap.size()) bitmap.Clear(i);
+            });
+          }
+        }
       }
       // Top-k max-heap over qualifying rows.
       std::priority_queue<vecindex::Neighbor> heap;
-      for (size_t i = 0; i < (*segment)->num_rows(); ++i) {
-        if (deletes != nullptr && deletes->Test(i)) continue;
-        if (eval.has_value() && !eval->EvalRow(i)) continue;
-        float d = vecindex::Distance(bound.metric, bound.query_vector.data(),
-                                     vec_col->GetVector(i),
+      const float* qv = bound.query_vector.data();
+      bitmap.ForEachSetBit([&](size_t i) {
+        float d = vecindex::Distance(bound.metric, qv, vec_col->GetVector(i),
                                      vec_col->vector_dim());
-        if (!bound.InRange(d)) continue;
+        if (!bound.InRange(d)) return;
         if (heap.size() < k) {
           heap.push({static_cast<vecindex::IdType>(i), d});
         } else if (d < heap.top().distance) {
           heap.pop();
           heap.push({static_cast<vecindex::IdType>(i), d});
         }
-      }
+      });
       while (!heap.empty()) {
         result.candidates.push_back({heap.top().distance, heap.top().id, {}});
         heap.pop();
@@ -450,25 +486,56 @@ Executor::SegmentTaskResult Executor::RunSegment(
     case ExecStrategy::kPreFilter: {
       // Plan B: build the qualifying-row bitmap, then a bitmap ANN scan.
       common::Bitset bitmap;
+      std::shared_ptr<const common::Bitset> cached;  // keeps a hit alive
       if (bound.filter != nullptr) {
-        auto segment = worker->GetSegment(schema, meta.segment_id,
-                                          settings.use_column_cache);
-        if (!segment.ok()) {
-          result.status = segment.status();
-          return result;
+        // Worker-level bitmap reuse: keyed by segment identity, predicate
+        // fingerprint, and the segment's delete epoch (a MarkDeleted commit
+        // bumps the epoch, so stale bitmaps are never looked up again).
+        std::string cache_key;
+        if (settings.use_filter_bitmap_cache &&
+            ctx.compiled_filter != nullptr) {
+          cache_key = schema.table_name + '/' + meta.segment_id + '@' +
+                      std::to_string(
+                          ctx.snapshot.DeleteEpochFor(meta.segment_id)) +
+                      '#' + ctx.compiled_filter->fingerprint();
+          cached = worker->GetCachedFilterBitmap(cache_key);
+          if (cached != nullptr) ++result.filter_cache_hits;
         }
-        auto bind = PredicateEvaluator::Bind(*bound.filter, **segment);
-        if (!bind.ok()) {
-          result.status = bind.status();
-          return result;
+        if (cached == nullptr) {
+          auto segment = worker->GetSegment(schema, meta.segment_id,
+                                            settings.use_column_cache);
+          if (!segment.ok()) {
+            result.status = segment.status();
+            return result;
+          }
+          auto bind =
+              PredicateEvaluator::Bind(ctx.compiled_filter, **segment);
+          if (!bind.ok()) {
+            result.status = bind.status();
+            return result;
+          }
+          auto fresh = std::make_shared<common::Bitset>(
+              bind->BuildBitmap(deletes, settings.use_granule_pruning));
+          if (!cache_key.empty()) {
+            ++result.filter_cache_misses;
+            worker->PutFilterBitmap(cache_key, fresh);
+          }
+          cached = std::move(fresh);
         }
-        bitmap = bind->BuildBitmap(deletes, settings.use_granule_pruning);
-        if (!bitmap.Any()) break;  // nothing qualifies in this segment
-        params.filter = &bitmap;
+        if (!cached->Any()) break;  // nothing qualifies in this segment
+        params.filter = cached.get();
       } else if (deletes != nullptr) {
+        // Deletes-only: one word-level AndNot over a full bitmap instead of
+        // a per-row Test/Clear loop.
         bitmap = common::Bitset(meta.num_rows, /*initial=*/true);
-        for (size_t i = 0; i < meta.num_rows; ++i)
-          if (deletes->Test(i)) bitmap.Clear(i);
+        if (deletes->size() == bitmap.size()) {
+          bitmap.AndNot(*deletes);
+        } else {
+          // Defensive: snapshot invariants size deletes to num_rows.
+          deletes->ForEachSetBit([&](size_t i) {
+            if (i < bitmap.size()) bitmap.Clear(i);
+          });
+        }
         if (!bitmap.Any()) break;
         params.filter = &bitmap;
       }
@@ -545,7 +612,8 @@ Executor::SegmentTaskResult Executor::RunSegment(
                 return result;
               }
               segment = *fetched;
-              auto bind = PredicateEvaluator::Bind(*bound.filter, *segment);
+              auto bind =
+                  PredicateEvaluator::Bind(ctx.compiled_filter, *segment);
               if (!bind.ok()) {
                 result.status = bind.status();
                 return result;
@@ -664,6 +732,13 @@ common::Result<QueryResult> Executor::ExecuteScalar(
   size_t limit = bound.scalar_limit.value_or(
       std::numeric_limits<size_t>::max());
 
+  CompiledPredicatePtr compiled_filter;
+  if (bound.filter != nullptr) {
+    auto compiled = CompiledPredicate::Compile(*bound.filter);
+    if (!compiled.ok()) return compiled.status();
+    compiled_filter = std::move(compiled).value();
+  }
+
   for (const storage::SegmentMeta& meta : segments) {
     if (out.rows.size() >= limit) break;
     cluster::Worker* owner = vw_->OwnerOf(
@@ -677,8 +752,8 @@ common::Result<QueryResult> Executor::ExecuteScalar(
     const common::Bitset* deletes = snapshot.DeletesFor(meta.segment_id);
 
     std::optional<PredicateEvaluator> eval;
-    if (bound.filter != nullptr) {
-      auto bind = PredicateEvaluator::Bind(*bound.filter, **segment);
+    if (compiled_filter != nullptr) {
+      auto bind = PredicateEvaluator::Bind(compiled_filter, **segment);
       if (!bind.ok()) return bind.status();
       eval = std::move(*bind);
     }
@@ -709,6 +784,12 @@ common::Result<std::vector<std::pair<std::string, std::vector<uint64_t>>>>
 Executor::FindMatchingRows(storage::LsmEngine& engine, const Expr* filter) {
   storage::TableSnapshot snapshot = engine.Snapshot();
   std::vector<std::pair<std::string, std::vector<uint64_t>>> matches;
+  CompiledPredicatePtr compiled_filter;
+  if (filter != nullptr) {
+    auto compiled = CompiledPredicate::Compile(*filter);
+    if (!compiled.ok()) return compiled.status();
+    compiled_filter = std::move(compiled).value();
+  }
   for (const storage::SegmentMeta& meta : snapshot.segments) {
     if (filter != nullptr &&
         !SegmentMayMatch(*filter, meta, engine.schema()))
@@ -718,16 +799,24 @@ Executor::FindMatchingRows(storage::LsmEngine& engine, const Expr* filter) {
     const common::Bitset* deletes = snapshot.DeletesFor(meta.segment_id);
 
     std::optional<PredicateEvaluator> eval;
-    if (filter != nullptr) {
-      auto bind = PredicateEvaluator::Bind(*filter, **segment);
+    if (compiled_filter != nullptr) {
+      auto bind = PredicateEvaluator::Bind(compiled_filter, **segment);
       if (!bind.ok()) return bind.status();
       eval = std::move(*bind);
     }
     std::vector<uint64_t> offsets;
-    for (size_t i = 0; i < (*segment)->num_rows(); ++i) {
-      if (deletes != nullptr && deletes->Test(i)) continue;
-      if (eval.has_value() && !eval->EvalRow(i)) continue;
-      offsets.push_back(i);
+    if (eval.has_value()) {
+      // Vectorized: the bitmap already folds deletes word-level; compact
+      // surviving offsets via set-bit iteration.
+      common::Bitset bitmap = eval->BuildBitmap(deletes, true);
+      offsets.reserve(bitmap.Count());
+      bitmap.ForEachSetBit(
+          [&](size_t i) { offsets.push_back(static_cast<uint64_t>(i)); });
+    } else {
+      for (size_t i = 0; i < (*segment)->num_rows(); ++i) {
+        if (deletes != nullptr && deletes->Test(i)) continue;
+        offsets.push_back(i);
+      }
     }
     if (!offsets.empty())
       matches.emplace_back(meta.segment_id, std::move(offsets));

@@ -24,6 +24,10 @@ struct ExecStats {
   size_t segments_scanned = 0;
   /// Indexed by cluster::CacheOutcome.
   std::array<size_t, 5> cache_outcomes{};
+  /// Worker-level filter-bitmap cache traffic (pre-filter segments with a
+  /// predicate only; a hit skips BuildBitmap entirely).
+  size_t filter_cache_hits = 0;
+  size_t filter_cache_misses = 0;
   size_t postfilter_rounds = 0;
   size_t adaptive_expansions = 0;
   size_t retries = 0;
@@ -85,6 +89,8 @@ class Executor {
   struct SegmentTaskResult {
     std::vector<Candidate> candidates;
     std::array<size_t, 5> cache_outcomes{};
+    size_t filter_cache_hits = 0;
+    size_t filter_cache_misses = 0;
     size_t rounds = 0;
     common::Status status;
     /// True when the task observed its attempt's cancel flag and did no
@@ -109,10 +115,12 @@ class Executor {
                                             ExecStats* stats);
 
   /// Runs the physical strategy over `segments` on their owning workers and
-  /// returns the merged candidate set.
+  /// returns the merged candidate set. `compiled_filter` is the per-query
+  /// compiled predicate (null when the query has no filter), compiled once
+  /// in ExecuteAnn so segment binds share its regexes and LIKE shapes.
   common::Result<std::vector<Candidate>> RunOnWorkers(
-      const BoundQuery& bound, ExecStrategy strategy,
-      const storage::TableSchema& schema,
+      const BoundQuery& bound, const CompiledPredicatePtr& compiled_filter,
+      ExecStrategy strategy, const storage::TableSchema& schema,
       const std::vector<storage::SegmentMeta>& segments,
       const storage::TableSnapshot& snapshot, ExecStats* stats);
 

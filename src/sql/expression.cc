@@ -1,7 +1,10 @@
 #include "sql/expression.h"
 
+#include <algorithm>
 #include <cmath>
 #include <locale>
+
+#include "common/assert.h"
 
 namespace blendhouse::sql {
 
@@ -83,6 +86,91 @@ const char* OpName(Expr::CmpOp op) {
       return ">=";
   }
   return "?";
+}
+
+// ---- Columnar word-fill kernels --------------------------------------------
+
+constexpr size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+
+/// Fills `words` with pred(row) over rows [begin, end); bit 0 of words[0] is
+/// row `begin`. Every word in the range is fully written (tail bits zero).
+template <typename Pred>
+void FillRowPredWords(size_t begin, size_t end, uint64_t* words, Pred pred) {
+  const size_t n = end - begin;
+  const size_t full = n >> 6;
+  for (size_t wi = 0; wi < full; ++wi) {
+    const size_t base = begin + (wi << 6);
+    uint64_t w = 0;
+    for (unsigned b = 0; b < 64; ++b)
+      w |= static_cast<uint64_t>(pred(base + b)) << b;
+    words[wi] = w;
+  }
+  const size_t tail = n & 63;
+  if (tail != 0) {
+    const size_t base = begin + (full << 6);
+    uint64_t w = 0;
+    for (unsigned b = 0; b < tail; ++b)
+      w |= static_cast<uint64_t>(pred(base + b)) << b;
+    words[full] = w;
+  }
+}
+
+/// Typed compare leaf: a tight branchless loop over the raw column storage,
+/// 64 rows per emitted word. Int64 is widened to double per row, matching
+/// Column::GetNumeric, so results are bit-identical to EvalRow (including
+/// NaN behaviour: every comparison false except !=).
+template <typename T, typename Cmp>
+void FillCompareWords(const T* vals, size_t begin, size_t end, uint64_t* words,
+                      Cmp cmp) {
+  const size_t n = end - begin;
+  const size_t full = n >> 6;
+  for (size_t wi = 0; wi < full; ++wi) {
+    const T* v = vals + begin + (wi << 6);
+    uint64_t w = 0;
+    for (unsigned b = 0; b < 64; ++b)
+      w |= static_cast<uint64_t>(cmp(static_cast<double>(v[b]))) << b;
+    words[wi] = w;
+  }
+  const size_t tail = n & 63;
+  if (tail != 0) {
+    const T* v = vals + begin + (full << 6);
+    uint64_t w = 0;
+    for (unsigned b = 0; b < tail; ++b)
+      w |= static_cast<uint64_t>(cmp(static_cast<double>(v[b]))) << b;
+    words[full] = w;
+  }
+}
+
+template <typename T>
+void CompareColumnWords(const T* vals, Expr::CmpOp op, double lit,
+                        size_t begin, size_t end, uint64_t* words) {
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      FillCompareWords(vals, begin, end, words,
+                       [lit](double v) { return v == lit; });
+      return;
+    case Expr::CmpOp::kNe:
+      FillCompareWords(vals, begin, end, words,
+                       [lit](double v) { return v != lit; });
+      return;
+    case Expr::CmpOp::kLt:
+      FillCompareWords(vals, begin, end, words,
+                       [lit](double v) { return v < lit; });
+      return;
+    case Expr::CmpOp::kLe:
+      FillCompareWords(vals, begin, end, words,
+                       [lit](double v) { return v <= lit; });
+      return;
+    case Expr::CmpOp::kGt:
+      FillCompareWords(vals, begin, end, words,
+                       [lit](double v) { return v > lit; });
+      return;
+    case Expr::CmpOp::kGe:
+      FillCompareWords(vals, begin, end, words,
+                       [lit](double v) { return v >= lit; });
+      return;
+  }
+  std::fill(words, words + WordsFor(end - begin), uint64_t{0});
 }
 
 }  // namespace
@@ -225,22 +313,20 @@ bool LikeMatch(std::string_view text, std::string_view pattern) {
   return p == pattern.size();
 }
 
-// ---- PredicateEvaluator ----------------------------------------------------
+// ---- CompiledPredicate -----------------------------------------------------
 
-common::Status PredicateEvaluator::BuildNode(const Expr& expr,
-                                             const storage::Segment& segment,
-                                             Node* node) {
+common::Status CompiledPredicate::CompileNode(const Expr& expr, CNode* node) {
   node->kind = expr.kind;
   node->op = expr.op;
-  node->literal = expr.literal;
   switch (expr.kind) {
-    case Expr::Kind::kColumn: {
-      node->column = segment.FindColumn(expr.column);
-      if (node->column == nullptr)
-        return common::Status::NotFound("column: " + expr.column);
+    case Expr::Kind::kColumn:
+      node->column = expr.column;
       break;
-    }
     case Expr::Kind::kLiteral:
+      node->literal = expr.literal;
+      node->literal_is_numeric = IsNumericLiteral(expr.literal);
+      if (node->literal_is_numeric)
+        node->num_literal = LiteralToDouble(expr.literal);
       break;
     case Expr::Kind::kRegex:
       try {
@@ -248,30 +334,133 @@ common::Status PredicateEvaluator::BuildNode(const Expr& expr,
       } catch (const std::regex_error&) {
         return common::Status::InvalidArgument("bad regex: " + expr.pattern);
       }
+      node->cost = 128;
       break;
-    case Expr::Kind::kLike:
-      node->like_pattern = expr.pattern;
+    case Expr::Kind::kLike: {
+      // Classify the pattern into an anchored fast path so the common
+      // shapes (exact / 'abc%' / '%abc' / '%abc%') never hit the
+      // backtracking matcher.
+      const std::string& p = expr.pattern;
+      node->like_pattern = p;
+      auto wildcard_free = [](std::string_view s) {
+        return s.find_first_of("%_") == std::string_view::npos;
+      };
+      const std::string_view pv(p);
+      if (wildcard_free(pv)) {
+        node->like_shape = LikeShape::kExact;
+        node->like_literal = p;
+        node->cost = 10;
+      } else if (p.size() >= 2 && p.front() == '%' && p.back() == '%' &&
+                 wildcard_free(pv.substr(1, p.size() - 2))) {
+        node->like_shape = LikeShape::kContains;
+        node->like_literal = p.substr(1, p.size() - 2);
+        node->cost = 16;
+      } else if (p.back() == '%' && wildcard_free(pv.substr(0, p.size() - 1))) {
+        node->like_shape = LikeShape::kPrefix;
+        node->like_literal = p.substr(0, p.size() - 1);
+        node->cost = 10;
+      } else if (p.front() == '%' && wildcard_free(pv.substr(1))) {
+        node->like_shape = LikeShape::kSuffix;
+        node->like_literal = p.substr(1);
+        node->cost = 10;
+      } else {
+        node->like_shape = LikeShape::kGeneric;
+        node->cost = 32;
+      }
       break;
+    }
     default:
       break;
   }
   node->children.resize(expr.children.size());
   for (size_t i = 0; i < expr.children.size(); ++i)
-    BH_RETURN_IF_ERROR(BuildNode(*expr.children[i], segment,
-                                 &node->children[i]));
+    BH_RETURN_IF_ERROR(CompileNode(*expr.children[i], &node->children[i]));
+  // Cost roll-up (children are compiled at this point). Drives both
+  // cheapest-first conjunct ordering and the lazy-evaluation threshold.
+  switch (expr.kind) {
+    case Expr::Kind::kCompare: {
+      const bool string_cmp =
+          node->children.size() == 2 &&
+          node->children[1].kind == Expr::Kind::kLiteral &&
+          std::holds_alternative<std::string>(node->children[1].literal);
+      node->cost = string_cmp ? 8 : 1;
+      break;
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      node->cost = 0;
+      for (const CNode& c : node->children) node->cost += c.cost;
+      break;
+    case Expr::Kind::kNot:
+      node->cost = node->children.empty() ? 0 : node->children[0].cost;
+      break;
+    default:
+      break;
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::shared_ptr<const CompiledPredicate>>
+CompiledPredicate::Compile(const Expr& expr) {
+  auto compiled = std::make_shared<CompiledPredicate>();
+  BH_RETURN_IF_ERROR(CompileNode(expr, &compiled->root_));
+  compiled->fingerprint_ = expr.ToString();
+  return std::shared_ptr<const CompiledPredicate>(std::move(compiled));
+}
+
+// ---- PredicateEvaluator ----------------------------------------------------
+
+common::Status PredicateEvaluator::BindNode(const CNode& cnode, Node* node) {
+  node->c = &cnode;
+  if (cnode.kind == Expr::Kind::kColumn) {
+    node->column = segment_->FindColumn(cnode.column);
+    if (node->column == nullptr)
+      return common::Status::NotFound("column: " + cnode.column);
+  }
+  node->children.resize(cnode.children.size());
+  for (size_t i = 0; i < cnode.children.size(); ++i)
+    BH_RETURN_IF_ERROR(BindNode(cnode.children[i], &node->children[i]));
   return common::Status::Ok();
 }
 
 common::Result<PredicateEvaluator> PredicateEvaluator::Bind(
-    const Expr& expr, const storage::Segment& segment) {
+    CompiledPredicatePtr compiled, const storage::Segment& segment) {
   PredicateEvaluator ev;
   ev.segment_ = &segment;
-  BH_RETURN_IF_ERROR(BuildNode(expr, segment, &ev.root_));
+  ev.compiled_ = std::move(compiled);
+  BH_RETURN_IF_ERROR(ev.BindNode(ev.compiled_->root_, &ev.root_));
   return ev;
 }
 
+common::Result<PredicateEvaluator> PredicateEvaluator::Bind(
+    const Expr& expr, const storage::Segment& segment) {
+  auto compiled = CompiledPredicate::Compile(expr);
+  BH_RETURN_IF_ERROR(compiled.status());
+  return Bind(std::move(compiled).value(), segment);
+}
+
+bool PredicateEvaluator::MatchLike(const CompiledPredicate::CNode& c,
+                                   std::string_view text) {
+  const std::string& lit = c.like_literal;
+  switch (c.like_shape) {
+    case CompiledPredicate::LikeShape::kExact:
+      return text == lit;
+    case CompiledPredicate::LikeShape::kPrefix:
+      return text.size() >= lit.size() &&
+             text.compare(0, lit.size(), lit) == 0;
+    case CompiledPredicate::LikeShape::kSuffix:
+      return text.size() >= lit.size() &&
+             text.compare(text.size() - lit.size(), lit.size(), lit) == 0;
+    case CompiledPredicate::LikeShape::kContains:
+      return text.find(lit) != std::string_view::npos;
+    case CompiledPredicate::LikeShape::kGeneric:
+      break;
+  }
+  return LikeMatch(text, c.like_pattern);
+}
+
 bool PredicateEvaluator::EvalNode(const Node& node, size_t row) const {
-  switch (node.kind) {
+  switch (node.c->kind) {
     case Expr::Kind::kAnd:
       return EvalNode(node.children[0], row) && EvalNode(node.children[1], row);
     case Expr::Kind::kOr:
@@ -282,17 +471,17 @@ bool PredicateEvaluator::EvalNode(const Node& node, size_t row) const {
       const Node& lhs = node.children[0];
       const Node& rhs = node.children[1];
       // Supported shape: column op literal (normalized by the parser).
-      if (lhs.kind == Expr::Kind::kColumn &&
-          rhs.kind == Expr::Kind::kLiteral) {
+      if (lhs.c->kind == Expr::Kind::kColumn &&
+          rhs.c->kind == Expr::Kind::kLiteral) {
         const storage::Column& col = *lhs.column;
         if (col.type() == storage::ColumnType::kString) {
-          const std::string* s = std::get_if<std::string>(&rhs.literal);
+          const std::string* s = std::get_if<std::string>(&rhs.c->literal);
           if (s == nullptr) return false;
-          return CompareStrings(node.op, col.GetString(row), *s);
+          return CompareStrings(node.c->op, col.GetString(row), *s);
         }
-        if (!IsNumericLiteral(rhs.literal)) return false;
-        return CompareDoubles(node.op, col.GetNumeric(row),
-                              LiteralToDouble(rhs.literal));
+        if (!rhs.c->literal_is_numeric) return false;
+        return CompareDoubles(node.c->op, col.GetNumeric(row),
+                              rhs.c->num_literal);
       }
       return false;
     }
@@ -301,7 +490,7 @@ bool PredicateEvaluator::EvalNode(const Node& node, size_t row) const {
       if (col_node.column == nullptr ||
           col_node.column->type() != storage::ColumnType::kString)
         return false;
-      return LikeMatch(col_node.column->GetString(row), node.like_pattern);
+      return MatchLike(*node.c, col_node.column->GetString(row));
     }
     case Expr::Kind::kRegex: {
       const Node& col_node = node.children[0];
@@ -309,7 +498,7 @@ bool PredicateEvaluator::EvalNode(const Node& node, size_t row) const {
           col_node.column->type() != storage::ColumnType::kString)
         return false;
       std::string_view text = col_node.column->GetString(row);
-      return std::regex_search(text.begin(), text.end(), node.regex);
+      return std::regex_search(text.begin(), text.end(), node.c->regex);
     }
     default:
       return false;
@@ -322,7 +511,7 @@ bool PredicateEvaluator::EvalRow(size_t row) const {
 
 bool PredicateEvaluator::MayMatchRange(const Node& node,
                                        size_t granule) const {
-  switch (node.kind) {
+  switch (node.c->kind) {
     case Expr::Kind::kAnd:
       return MayMatchRange(node.children[0], granule) &&
              MayMatchRange(node.children[1], granule);
@@ -332,16 +521,15 @@ bool PredicateEvaluator::MayMatchRange(const Node& node,
     case Expr::Kind::kCompare: {
       const Node& lhs = node.children[0];
       const Node& rhs = node.children[1];
-      if (lhs.kind != Expr::Kind::kColumn ||
-          rhs.kind != Expr::Kind::kLiteral ||
-          !IsNumericLiteral(rhs.literal))
+      if (lhs.c->kind != Expr::Kind::kColumn ||
+          rhs.c->kind != Expr::Kind::kLiteral || !rhs.c->literal_is_numeric)
         return true;
       const storage::GranuleMarks* marks = lhs.column->granule_marks();
       if (marks == nullptr || granule >= marks->NumGranules()) return true;
-      double v = LiteralToDouble(rhs.literal);
+      double v = rhs.c->num_literal;
       double lo = marks->min_vals[granule];
       double hi = marks->max_vals[granule];
-      switch (node.op) {
+      switch (node.c->op) {
         case Expr::CmpOp::kEq:
           return lo <= v && v <= hi;
         case Expr::CmpOp::kLt:
@@ -363,19 +551,209 @@ bool PredicateEvaluator::MayMatchRange(const Node& node,
   }
 }
 
+// ---- Vectorized evaluation -------------------------------------------------
+
+namespace {
+
+/// Rows per EvalRange block: a multiple of both the granule size (128) and
+/// the bitmap word size, small enough that AND/OR temporaries live on the
+/// stack.
+constexpr size_t kEvalBlockRows = 4096;
+constexpr size_t kEvalBlockWords = kEvalBlockRows / 64;
+
+}  // namespace
+
+void PredicateEvaluator::LeafRange(const Node& node, size_t begin, size_t end,
+                                   uint64_t* words) const {
+  switch (node.c->kind) {
+    case Expr::Kind::kCompare: {
+      if (node.children.size() == 2 &&
+          node.children[0].c->kind == Expr::Kind::kColumn &&
+          node.children[1].c->kind == Expr::Kind::kLiteral) {
+        const storage::Column& col = *node.children[0].column;
+        const CNode& rhs = *node.children[1].c;
+        if (col.type() == storage::ColumnType::kInt64 &&
+            rhs.literal_is_numeric) {
+          CompareColumnWords(col.raw_ints().data(), node.c->op,
+                             rhs.num_literal, begin, end, words);
+          return;
+        }
+        if (col.type() == storage::ColumnType::kFloat64 &&
+            rhs.literal_is_numeric) {
+          CompareColumnWords(col.raw_doubles().data(), node.c->op,
+                             rhs.num_literal, begin, end, words);
+          return;
+        }
+        if (col.type() == storage::ColumnType::kString) {
+          const std::string* s = std::get_if<std::string>(&rhs.literal);
+          if (s == nullptr) break;  // type mismatch: all-false, like EvalNode
+          const Expr::CmpOp op = node.c->op;
+          FillRowPredWords(begin, end, words, [&col, s, op](size_t row) {
+            return CompareStrings(op, col.GetString(row), *s);
+          });
+          return;
+        }
+      }
+      break;
+    }
+    case Expr::Kind::kLike: {
+      const Node& cn = node.children[0];
+      if (cn.column == nullptr ||
+          cn.column->type() != storage::ColumnType::kString)
+        break;
+      const storage::Column& col = *cn.column;
+      const CNode* c = node.c;
+      FillRowPredWords(begin, end, words, [&col, c](size_t row) {
+        return MatchLike(*c, col.GetString(row));
+      });
+      return;
+    }
+    case Expr::Kind::kRegex: {
+      const Node& cn = node.children[0];
+      if (cn.column == nullptr ||
+          cn.column->type() != storage::ColumnType::kString)
+        break;
+      const storage::Column& col = *cn.column;
+      const std::regex& re = node.c->regex;
+      FillRowPredWords(begin, end, words, [&col, &re](size_t row) {
+        std::string_view text = col.GetString(row);
+        return std::regex_search(text.begin(), text.end(), re);
+      });
+      return;
+    }
+    default:
+      break;
+  }
+  // Unsupported shape: EvalNode returns false for every row.
+  std::fill(words, words + WordsFor(end - begin), uint64_t{0});
+}
+
+void PredicateEvaluator::RefineRange(const Node& node, size_t begin,
+                                     size_t end, uint64_t* words) const {
+  const size_t width = WordsFor(end - begin);
+  for (size_t wi = 0; wi < width; ++wi) {
+    uint64_t w = words[wi];
+    while (w != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+      const size_t row = begin + (wi << 6) + bit;
+      if (!EvalNode(node, row)) words[wi] &= ~(uint64_t{1} << bit);
+      w &= w - 1;
+    }
+  }
+}
+
+void PredicateEvaluator::OrRefineRange(const Node& node, size_t begin,
+                                       size_t end, uint64_t* words) const {
+  const size_t nbits = end - begin;
+  const size_t width = WordsFor(nbits);
+  for (size_t wi = 0; wi < width; ++wi) {
+    // Only visit clear bits that map to real rows of this range.
+    const uint64_t valid = ((wi + 1) << 6) <= nbits
+                               ? ~uint64_t{0}
+                               : (uint64_t{1} << (nbits & 63)) - 1;
+    uint64_t w = ~words[wi] & valid;
+    while (w != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+      const size_t row = begin + (wi << 6) + bit;
+      if (EvalNode(node, row)) words[wi] |= uint64_t{1} << bit;
+      w &= w - 1;
+    }
+  }
+}
+
+void PredicateEvaluator::EvalRange(const Node& node, size_t begin, size_t end,
+                                   uint64_t* words) const {
+  BH_DCHECK_MSG((begin & 63) == 0 && end - begin <= kEvalBlockRows,
+                "EvalRange block misaligned or oversized");
+  const size_t width = WordsFor(end - begin);
+  switch (node.c->kind) {
+    case Expr::Kind::kAnd: {
+      // Cheapest conjunct first; the expensive arm then only runs on
+      // surviving rows (lazy) or word-ANDs in (cheap).
+      const Node* first = &node.children[0];
+      const Node* second = &node.children[1];
+      if (first->c->cost > second->c->cost) std::swap(first, second);
+      EvalRange(*first, begin, end, words);
+      bool any = false;
+      for (size_t i = 0; i < width; ++i)
+        if (words[i] != 0) {
+          any = true;
+          break;
+        }
+      if (!any) return;
+      if (second->c->cost >= CompiledPredicate::kLazyEvalCost) {
+        RefineRange(*second, begin, end, words);
+        return;
+      }
+      uint64_t tmp[kEvalBlockWords];
+      EvalRange(*second, begin, end, tmp);
+      for (size_t i = 0; i < width; ++i) words[i] &= tmp[i];
+      return;
+    }
+    case Expr::Kind::kOr: {
+      const Node* first = &node.children[0];
+      const Node* second = &node.children[1];
+      if (first->c->cost > second->c->cost) std::swap(first, second);
+      EvalRange(*first, begin, end, words);
+      if (second->c->cost >= CompiledPredicate::kLazyEvalCost) {
+        // Expensive disjunct only runs on rows the cheap arm rejected.
+        OrRefineRange(*second, begin, end, words);
+        return;
+      }
+      uint64_t tmp[kEvalBlockWords];
+      EvalRange(*second, begin, end, tmp);
+      for (size_t i = 0; i < width; ++i) words[i] |= tmp[i];
+      return;
+    }
+    case Expr::Kind::kNot: {
+      EvalRange(node.children[0], begin, end, words);
+      for (size_t i = 0; i < width; ++i) words[i] = ~words[i];
+      const size_t tail = (end - begin) & 63;
+      if (tail != 0) words[width - 1] &= (uint64_t{1} << tail) - 1;
+      return;
+    }
+    default:
+      LeafRange(node, begin, end, words);
+      return;
+  }
+}
+
 common::Bitset PredicateEvaluator::BuildBitmap(
     const common::Bitset* deletes, bool use_granule_pruning) const {
-  size_t n = segment_->num_rows();
+  const size_t n = segment_->num_rows();
   common::Bitset bitmap(n);
-  size_t granule_rows = 128;
-  // Find any column with marks to define granule geometry.
-  for (size_t g = 0; g * granule_rows < n; ++g) {
-    if (use_granule_pruning && !MayMatchRange(root_, g)) continue;
-    size_t end = std::min(n, (g + 1) * granule_rows);
-    for (size_t i = g * granule_rows; i < end; ++i) {
-      if (deletes != nullptr && deletes->Test(i)) continue;
-      if (EvalNode(root_, i)) bitmap.Set(i);
+  if (n == 0) return bitmap;
+  // Granule geometry matches SegmentBuilder's marks (128 rows), so granule
+  // boundaries are always 64-bit-word aligned.
+  constexpr size_t kGranuleRows = 128;
+  const size_t num_granules = (n + kGranuleRows - 1) / kGranuleRows;
+  uint64_t* words = bitmap.mutable_words().data();
+  size_t g = 0;
+  while (g < num_granules) {
+    if (use_granule_pruning && !MayMatchRange(root_, g)) {
+      ++g;
+      continue;
     }
+    // Coalesce the run of surviving granules into one columnar sweep,
+    // blocked so word-level temporaries stay on the stack.
+    const size_t run_begin = g;
+    do {
+      ++g;
+    } while (g < num_granules &&
+             (!use_granule_pruning || MayMatchRange(root_, g)));
+    const size_t begin = run_begin * kGranuleRows;
+    const size_t end = std::min(n, g * kGranuleRows);
+    for (size_t b = begin; b < end; b += kEvalBlockRows)
+      EvalRange(root_, b, std::min(end, b + kEvalBlockRows),
+                words + (b >> 6));
+  }
+  if (deletes != nullptr) {
+    // Fold the delete bitmap with one word-level AndNot pass; a shorter
+    // bitmap means "no deletes past its end" (the Test() convention).
+    auto& bw = bitmap.mutable_words();
+    const auto& dw = deletes->words();
+    const size_t m = std::min(bw.size(), dw.size());
+    for (size_t i = 0; i < m; ++i) bw[i] &= ~dw[i];
   }
   return bitmap;
 }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <regex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bitset.h"
@@ -64,43 +65,132 @@ struct Expr {
 
 using ExprPtr = std::unique_ptr<Expr>;
 
-/// Compiled evaluator over one segment: resolves column references to
-/// Column pointers and precompiles regexes once, then evaluates per row.
+/// Per-query compiled form of an Expr, shared immutably by every segment
+/// bind of the query: regexes compiled once (not once per segment), LIKE
+/// patterns classified into anchored fast paths (exact / prefix / suffix /
+/// substring), literals pre-converted to their comparison domain, and each
+/// node tagged with a per-row cost estimate that drives cheapest-first
+/// conjunct ordering in the vectorized evaluator.
+class CompiledPredicate {
+ public:
+  /// Compiles `expr`. Fails (InvalidArgument) on a malformed regex, so a bad
+  /// pattern is rejected once at bind/plan time instead of per segment.
+  static common::Result<std::shared_ptr<const CompiledPredicate>> Compile(
+      const Expr& expr);
+
+  /// Canonical textual form of the source expression (literals included);
+  /// the predicate component of filter-bitmap cache keys.
+  const std::string& fingerprint() const { return fingerprint_; }
+
+ private:
+  friend class PredicateEvaluator;
+
+  /// Anchored LIKE fast paths: everything except kGeneric avoids the
+  /// backtracking matcher.
+  enum class LikeShape { kGeneric, kExact, kPrefix, kSuffix, kContains };
+
+  /// Relative per-row evaluation cost; string leaves at or above
+  /// kLazyEvalCost are evaluated lazily (only on rows surviving the cheap
+  /// word-level conjuncts).
+  static constexpr int kLazyEvalCost = 8;
+
+  struct CNode {
+    Expr::Kind kind = Expr::Kind::kLiteral;
+    Expr::CmpOp op = Expr::CmpOp::kEq;
+    std::string column;      // kColumn
+    storage::Value literal;  // kLiteral
+    // Pre-converted literal views (kLiteral only).
+    double num_literal = 0;
+    bool literal_is_numeric = false;
+    std::regex regex;  // kRegex, compiled once per query
+    LikeShape like_shape = LikeShape::kGeneric;
+    std::string like_pattern;  // original pattern (generic matcher)
+    std::string like_literal;  // wildcard-free payload of anchored shapes
+    int cost = 0;
+    std::vector<CNode> children;
+  };
+
+  static common::Status CompileNode(const Expr& expr, CNode* node);
+
+  CNode root_;
+  std::string fingerprint_;
+};
+
+using CompiledPredicatePtr = std::shared_ptr<const CompiledPredicate>;
+
+/// Evaluator of one compiled predicate over one segment: binding resolves
+/// column references to Column pointers (all per-query state — regexes,
+/// literal conversions, LIKE shapes — lives in the shared CompiledPredicate).
+///
+/// Two evaluation modes:
+///  - EvalRow: row-at-a-time tree interpretation (the reference
+///    implementation, and what post-filter candidate checks use).
+///  - BuildBitmap: vectorized columnar evaluation — typed leaf kernels emit
+///    64-bit bitmap words over granule runs, AND/OR/NOT combine at word
+///    level, and expensive leaves (LIKE/REGEXP/string) run only on rows
+///    surviving the cheap numeric conjuncts.
 class PredicateEvaluator {
  public:
-  /// Binds `expr` against the segment's columns. Fails on unknown columns.
+  /// Binds a per-query compiled predicate against the segment's columns.
+  /// Fails on unknown columns.
+  static common::Result<PredicateEvaluator> Bind(
+      CompiledPredicatePtr compiled, const storage::Segment& segment);
+
+  /// Convenience: compile + bind in one step. The executor prefers the
+  /// per-query Compile + per-segment Bind split so regexes compile once.
   static common::Result<PredicateEvaluator> Bind(
       const Expr& expr, const storage::Segment& segment);
 
   bool EvalRow(size_t row) const;
 
   /// Builds the pre-filter bitmap over all rows (rows where the predicate
-  /// holds, minus deleted rows). Uses granule marks to skip whole granules
+  /// holds, minus deleted rows; the delete bitmap is folded with one
+  /// word-level AndNot pass). Uses granule marks to skip whole granules
   /// whose [min,max] cannot satisfy the predicate.
   common::Bitset BuildBitmap(const common::Bitset* deletes,
                              bool use_granule_pruning) const;
 
  private:
+  using CNode = CompiledPredicate::CNode;
+
+  /// Thin per-segment mirror of the compiled tree: static node state is
+  /// read through `c`, only column resolution is per segment.
   struct Node {
-    Expr::Kind kind;
-    Expr::CmpOp op = Expr::CmpOp::kEq;
+    const CNode* c = nullptr;
     const storage::Column* column = nullptr;  // kColumn leaves
-    storage::Value literal;
     std::vector<Node> children;
-    std::regex regex;       // kRegex
-    std::string like_pattern;  // kLike
   };
+
+  common::Status BindNode(const CNode& cnode, Node* node);
+
+  /// LIKE via the precompiled shape (exact/prefix/suffix/substring fast
+  /// paths; generic patterns fall back to the backtracking matcher). Shared
+  /// by EvalNode and the columnar LIKE kernel so both modes agree bit for
+  /// bit.
+  static bool MatchLike(const CompiledPredicate::CNode& c,
+                        std::string_view text);
 
   bool EvalNode(const Node& node, size_t row) const;
   /// Conservative: may any row in [begin,end) satisfy `node`?
   bool MayMatchRange(const Node& node, size_t granule) const;
 
-  const storage::Segment* segment_ = nullptr;
-  Node root_;
+  /// Vectorized evaluation of `node` over rows [begin, end) into `words`
+  /// (bit 0 of words[0] = row `begin`; begin must be 64-aligned).
+  void EvalRange(const Node& node, size_t begin, size_t end,
+                 uint64_t* words) const;
+  /// Typed columnar leaf kernels emitting words directly.
+  void LeafRange(const Node& node, size_t begin, size_t end,
+                 uint64_t* words) const;
+  /// Lazy AND arm: clears set bits whose row fails `node` (ctz iteration).
+  void RefineRange(const Node& node, size_t begin, size_t end,
+                   uint64_t* words) const;
+  /// Lazy OR arm: sets clear bits whose row satisfies `node`.
+  void OrRefineRange(const Node& node, size_t begin, size_t end,
+                     uint64_t* words) const;
 
-  static common::Status BuildNode(const Expr& expr,
-                                  const storage::Segment& segment,
-                                  Node* node);
+  const storage::Segment* segment_ = nullptr;
+  CompiledPredicatePtr compiled_;  // owns regexes/literals Node points into
+  Node root_;
 };
 
 /// Conservative segment-level prune test: can any row of a segment with

@@ -34,6 +34,9 @@ struct QuerySettings {
   // ---- Workload-aware read optimizations (Fig. 17, READ_Opt) ----
   bool use_column_cache = true;
   bool use_granule_pruning = true;
+  /// Reuse pre-filter bitmaps across queries via the worker-level cache
+  /// keyed by (segment, predicate fingerprint, delete epoch).
+  bool use_filter_bitmap_cache = true;
 
   // ---- Workload-aware plan optimizations (Fig. 17, Query_Opt) ----
   bool use_plan_cache = true;

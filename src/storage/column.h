@@ -69,6 +69,12 @@ class Column {
   /// scans and index builds start the SIMD kernels on an aligned base.
   const common::AlignedVector<float>& vector_data() const { return vectors_; }
 
+  /// Raw typed storage for columnar predicate kernels (valid only for the
+  /// matching column type): tight loops over these emit bitmap words
+  /// directly instead of calling GetNumeric per row.
+  const std::vector<int64_t>& raw_ints() const { return ints_; }
+  const std::vector<double>& raw_doubles() const { return doubles_; }
+
   /// Builds min/max marks over `granule_rows`-row granules. No-op for
   /// string/vector columns.
   void BuildGranuleMarks(size_t granule_rows = 128);

@@ -25,6 +25,7 @@ common::Status VersionSet::ReplaceSegments(
   for (const std::string& id : removed_ids) {
     segments_.erase(id);
     deletes_.erase(id);
+    delete_epochs_.erase(id);
   }
   for (const SegmentMeta& m : added) {
     BH_INVARIANT(segments_.count(m.segment_id) == 0,
@@ -58,6 +59,7 @@ common::Status VersionSet::MarkDeleted(
     fresh->Set(row);
   }
   deletes_[segment_id] = std::move(fresh);
+  ++delete_epochs_[segment_id];
   ++version_;
   return common::Status::Ok();
 }
@@ -69,6 +71,7 @@ TableSnapshot VersionSet::Snapshot() const {
   snap.segments.reserve(segments_.size());
   for (const auto& [_, meta] : segments_) snap.segments.push_back(meta);
   snap.delete_bitmaps = deletes_;
+  snap.delete_epochs = delete_epochs_;
   return snap;
 }
 

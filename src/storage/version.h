@@ -20,10 +20,21 @@ struct TableSnapshot {
   std::vector<SegmentMeta> segments;
   /// segment_id -> delete bitmap; absent means no deletions.
   std::map<std::string, std::shared_ptr<const common::Bitset>> delete_bitmaps;
+  /// segment_id -> count of MarkDeleted commits against that segment; absent
+  /// means 0 (never deleted from). Keys worker-level filter-bitmap caches:
+  /// a cached bitmap is valid exactly while (segment_id, epoch) is unchanged,
+  /// and compaction produces fresh segment ids so replaced segments can never
+  /// alias a stale entry.
+  std::map<std::string, uint64_t> delete_epochs;
 
   const common::Bitset* DeletesFor(const std::string& segment_id) const {
     auto it = delete_bitmaps.find(segment_id);
     return it == delete_bitmaps.end() ? nullptr : it->second.get();
+  }
+
+  uint64_t DeleteEpochFor(const std::string& segment_id) const {
+    auto it = delete_epochs.find(segment_id);
+    return it == delete_epochs.end() ? 0 : it->second;
   }
 
   uint64_t TotalRows() const {
@@ -70,6 +81,7 @@ class VersionSet {
   std::map<std::string, SegmentMeta> segments_ GUARDED_BY(mu_);
   std::map<std::string, std::shared_ptr<const common::Bitset>> deletes_
       GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> delete_epochs_ GUARDED_BY(mu_);
 };
 
 }  // namespace blendhouse::storage

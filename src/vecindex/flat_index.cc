@@ -20,6 +20,15 @@ common::Status FlatIndex::Train(const float* /*data*/, size_t /*n*/) {
 
 common::Status FlatIndex::AddWithIds(const float* data, const IdType* ids,
                                      size_t n) {
+  if (ids_are_offsets_) {
+    const size_t base = ids_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (ids[i] != static_cast<IdType>(base + i)) {
+        ids_are_offsets_ = false;
+        break;
+      }
+    }
+  }
   data_.insert(data_.end(), data, data + n * dim_);
   ids_.insert(ids_.end(), ids, ids + n);
   if (metric_ == Metric::kCosine) {
@@ -39,6 +48,50 @@ void FlatIndex::ScanChunk(const float* query, float query_norm, size_t begin,
   } else {
     BatchDistance(metric_, query, base, n, dim_, out);
   }
+}
+
+template <typename Emit>
+void FlatIndex::ScanFiltered(const float* query, const common::Bitset& filter,
+                             Emit&& emit) const {
+  const float query_norm = metric_ == Metric::kCosine
+                               ? std::sqrt(SquaredNorm(query, dim_))
+                               : 0.0f;
+  const size_t n = ids_.size();
+  uint32_t rows[kScanChunk];
+  float dist[kScanChunk];
+  size_t cnt = 0;
+  common::AlignedVector<float> gathered;  // sized on first scattered tile
+  std::vector<float> gathered_norms;
+  auto flush = [&] {
+    if (cnt == 0) return;
+    if (static_cast<size_t>(rows[cnt - 1] - rows[0]) + 1 == cnt) {
+      // Contiguous survivor run: the kernels scan storage in place.
+      ScanChunk(query, query_norm, rows[0], cnt, dist);
+    } else {
+      // Scattered survivors: gather into a dense tile so one batched kernel
+      // call covers them (excluded rows still cost no distance math).
+      if (gathered.empty()) gathered.resize(kScanChunk * dim_);
+      for (size_t i = 0; i < cnt; ++i)
+        std::copy_n(data_.data() + static_cast<size_t>(rows[i]) * dim_, dim_,
+                    gathered.data() + i * dim_);
+      if (metric_ == Metric::kCosine) {
+        if (gathered_norms.empty()) gathered_norms.resize(kScanChunk);
+        for (size_t i = 0; i < cnt; ++i) gathered_norms[i] = norms_[rows[i]];
+        BatchCosineWithNorms(query, gathered.data(), gathered_norms.data(),
+                             query_norm, cnt, dim_, dist);
+      } else {
+        BatchDistance(metric_, query, gathered.data(), cnt, dim_, dist);
+      }
+    }
+    for (size_t i = 0; i < cnt; ++i) emit(ids_[rows[i]], dist[i]);
+    cnt = 0;
+  };
+  filter.ForEachSetBit([&](size_t row) {
+    if (row >= n) return;  // filter may be sized past the index
+    rows[cnt++] = static_cast<uint32_t>(row);
+    if (cnt == kScanChunk) flush();
+  });
+  flush();
 }
 
 common::Result<std::vector<Neighbor>> FlatIndex::SearchWithFilter(
@@ -67,8 +120,12 @@ common::Result<std::vector<Neighbor>> FlatIndex::SearchWithFilter(
       ScanChunk(query, query_norm, begin, n, dist);
       for (size_t i = 0; i < n; ++i) offer(ids_[begin + i], dist[i]);
     }
+  } else if (ids_are_offsets_) {
+    // Filter bits address row offsets == storage positions: compact
+    // survivors from set bits and batch their distances.
+    ScanFiltered(query, *params.filter, offer);
   } else {
-    // Filtered: per-row so excluded vectors cost no distance computation.
+    // Remapped ids (bits address ids, not positions): per-row fallback.
     for (size_t i = 0; i < ids_.size(); ++i) {
       if (!params.filter->Test(static_cast<size_t>(ids_[i]))) continue;
       offer(ids_[i], dist_(query, data_.data() + i * dim_, dim_));
@@ -96,6 +153,10 @@ common::Result<std::vector<Neighbor>> FlatIndex::SearchWithRange(
       for (size_t i = 0; i < n; ++i)
         if (dist[i] <= radius) out.push_back({ids_[begin + i], dist[i]});
     }
+  } else if (ids_are_offsets_) {
+    ScanFiltered(query, *params.filter, [&](IdType id, float d) {
+      if (d <= radius) out.push_back({id, d});
+    });
   } else {
     for (size_t i = 0; i < ids_.size(); ++i) {
       if (!params.filter->Test(static_cast<size_t>(ids_[i]))) continue;
@@ -133,6 +194,15 @@ common::Status FlatIndex::Load(std::string_view in) {
   BH_RETURN_IF_ERROR(r.ReadVector(&ids_));
   if (ids_.size() * dim_ != data_.size())
     return common::Status::Corruption("flat: size mismatch");
+  // Derived state (not serialized): identity-id detection for the
+  // filter-aware scan path.
+  ids_are_offsets_ = true;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] != static_cast<IdType>(i)) {
+      ids_are_offsets_ = false;
+      break;
+    }
+  }
   // Norms are derived state: recompute rather than serialize, so the on-disk
   // format is unchanged from pre-kernel builds.
   norms_.clear();

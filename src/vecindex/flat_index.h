@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/aligned.h"
+#include "common/bitset.h"
 #include "vecindex/distance.h"
 #include "vecindex/index.h"
 
@@ -52,6 +53,16 @@ class FlatIndex : public VectorIndex {
   void ScanChunk(const float* query, float query_norm, size_t begin, size_t n,
                  float* out) const;
 
+  /// Filter-aware scan (valid only when ids_are_offsets_): walks the
+  /// filter's set bits, compacts surviving positions into kScanChunk tiles,
+  /// and feeds the batched kernels — contiguous runs scan in place,
+  /// scattered survivors are gathered into a dense scratch tile. Calls
+  /// `emit(id, distance)` per survivor. Defined in the .cc (only used
+  /// there).
+  template <typename Emit>
+  void ScanFiltered(const float* query, const common::Bitset& filter,
+                    Emit&& emit) const;
+
   size_t dim_;
   Metric metric_;
   DistanceFn dist_;  // resolved once; re-resolved on Load
@@ -59,6 +70,10 @@ class FlatIndex : public VectorIndex {
   std::vector<IdType> ids_;
   /// Euclidean magnitude of each stored row; maintained only for Cosine.
   std::vector<float> norms_;
+  /// True while ids_[i] == i for all rows (the executor's row-offset
+  /// convention). Filter bitmaps index row ids, so identity ids let the
+  /// filtered scan address storage positions directly from set bits.
+  bool ids_are_offsets_ = true;
 };
 
 }  // namespace blendhouse::vecindex

@@ -247,10 +247,24 @@ common::Result<std::vector<Neighbor>> HnswIndex::SearchWithFilter(
 
   size_t k = static_cast<size_t>(params.k);
   size_t ef = std::max<size_t>(static_cast<size_t>(params.ef_search), k);
+  // With a filter, widen the beam so enough passing rows survive collection.
+  // Density-aware: the sparser the filter, the more collected nodes fail it,
+  // so ef grows inversely with the pass rate (bounded to 8x the base
+  // widening; an empty filter short-circuits the graph walk entirely).
+  if (params.filter != nullptr) {
+    const size_t selected = params.filter->Count();
+    if (selected == 0) return std::vector<Neighbor>{};
+    const size_t base = std::max(ef * 2, k * 4);
+    const double density = std::min(
+        1.0, static_cast<double>(selected) / static_cast<double>(ids_.size()));
+    const size_t widened = static_cast<size_t>(
+        std::ceil(static_cast<double>(k) / density)) * 2;
+    ef = std::min(std::max(base, widened), base * 8);
+    ef = std::min(ef, ids_.size());
+    ef = std::max<size_t>(ef, 1);
+  }
   uint32_t entry = GreedyDescend(query, entry_point_,
                                  static_cast<size_t>(max_level_), 0);
-  // With a filter, widen the beam so enough passing rows survive collection.
-  if (params.filter != nullptr) ef = std::max(ef * 2, k * 4);
   std::vector<Neighbor> found = SearchLayer(query, entry, ef, 0);
 
   std::vector<Neighbor> out;

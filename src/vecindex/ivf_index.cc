@@ -159,12 +159,54 @@ void IvfFlatIndex::ScanList(const PostingList& list, uint32_t list_idx,
     }
     return;
   }
-  // Filtered: per-row so excluded vectors cost no distance computation.
+  // Filtered: compact surviving positions and feed the batched kernels —
+  // contiguous survivor runs scan the posting list in place, scattered
+  // survivors are gathered into a dense tile. Excluded vectors still cost
+  // no distance computation.
+  float query_norm = metric_ == Metric::kCosine
+                         ? std::sqrt(SquaredNorm(query, dim_))
+                         : 0.0f;
+  uint32_t pos[kScanChunk];
+  float dist[kScanChunk];
+  size_t cnt = 0;
+  std::vector<float> gathered;        // sized on first scattered tile
+  std::vector<float> gathered_norms;
+  auto flush = [&] {
+    if (cnt == 0) return;
+    const float* base;
+    const float* norm_base = nullptr;
+    if (static_cast<size_t>(pos[cnt - 1] - pos[0]) + 1 == cnt) {
+      base = list.vectors.data() + size_t{pos[0]} * dim_;
+      if (metric_ == Metric::kCosine) norm_base = list.norms.data() + pos[0];
+    } else {
+      if (gathered.empty()) gathered.resize(kScanChunk * dim_);
+      for (size_t i = 0; i < cnt; ++i)
+        std::copy_n(list.vectors.data() + size_t{pos[i]} * dim_, dim_,
+                    gathered.data() + i * dim_);
+      base = gathered.data();
+      if (metric_ == Metric::kCosine) {
+        if (gathered_norms.empty()) gathered_norms.resize(kScanChunk);
+        for (size_t i = 0; i < cnt; ++i)
+          gathered_norms[i] = list.norms[pos[i]];
+        norm_base = gathered_norms.data();
+      }
+    }
+    if (metric_ == Metric::kCosine) {
+      BatchCosineWithNorms(query, base, norm_base, query_norm, cnt, dim_,
+                           dist);
+    } else {
+      BatchDistance(metric_, query, base, cnt, dim_, dist);
+    }
+    for (size_t i = 0; i < cnt; ++i)
+      out->push_back({dist[i], list.ids[pos[i]], list_idx, pos[i]});
+    cnt = 0;
+  };
   for (size_t i = 0; i < list.ids.size(); ++i) {
     if (!params.filter->Test(static_cast<size_t>(list.ids[i]))) continue;
-    float d = dist_(query, list.vectors.data() + i * dim_, dim_);
-    out->push_back({d, list.ids[i], list_idx, static_cast<uint32_t>(i)});
+    pos[cnt++] = static_cast<uint32_t>(i);
+    if (cnt == kScanChunk) flush();
   }
+  flush();
 }
 
 size_t IvfFlatIndex::MemoryUsage() const {
@@ -263,11 +305,37 @@ void IvfPqIndex::ScanList(const PostingList& list, uint32_t list_idx,
     }
     return;
   }
+  // Filtered: compact surviving positions; contiguous code runs feed the
+  // batched ADC kernel in place, scattered survivors are gathered into a
+  // dense code tile first.
+  uint32_t pos[kScanChunk];
+  float dist[kScanChunk];
+  size_t cnt = 0;
+  std::vector<uint8_t> code_tile;  // sized on first scattered tile
+  auto flush = [&] {
+    if (cnt == 0) return;
+    const uint8_t* codes;
+    if (static_cast<size_t>(pos[cnt - 1] - pos[0]) + 1 == cnt) {
+      codes = list.codes.data() + size_t{pos[0]} * code_size;
+    } else {
+      if (code_tile.empty()) code_tile.resize(kScanChunk * code_size);
+      for (size_t i = 0; i < cnt; ++i)
+        std::memcpy(code_tile.data() + i * code_size,
+                    list.codes.data() + size_t{pos[i]} * code_size,
+                    code_size);
+      codes = code_tile.data();
+    }
+    pq_.AdcDistanceBatch(table, codes, cnt, dist);
+    for (size_t i = 0; i < cnt; ++i)
+      out->push_back({dist[i], list.ids[pos[i]], list_idx, pos[i]});
+    cnt = 0;
+  };
   for (size_t i = 0; i < list.ids.size(); ++i) {
     if (!params.filter->Test(static_cast<size_t>(list.ids[i]))) continue;
-    float d = pq_.AdcDistance(table, list.codes.data() + i * code_size);
-    out->push_back({d, list.ids[i], list_idx, static_cast<uint32_t>(i)});
+    pos[cnt++] = static_cast<uint32_t>(i);
+    if (cnt == kScanChunk) flush();
   }
+  flush();
 }
 
 size_t IvfPqIndex::MemoryUsage() const {

@@ -105,6 +105,74 @@ TEST(BitsetTest, AndOr) {
   EXPECT_EQ(either.Count(), 3u);
 }
 
+TEST(BitsetTest, AndNot) {
+  Bitset a(130, /*initial=*/true);
+  Bitset deletes(130);
+  deletes.Set(0);
+  deletes.Set(64);
+  deletes.Set(129);
+  a.AndNot(deletes);
+  EXPECT_EQ(a.Count(), 127u);
+  EXPECT_FALSE(a.Test(0));
+  EXPECT_FALSE(a.Test(64));
+  EXPECT_FALSE(a.Test(129));
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(128));
+}
+
+TEST(BitsetTest, NotRespectsTail) {
+  Bitset b(70);
+  b.Set(0);
+  b.Set(69);
+  b.Not();
+  EXPECT_EQ(b.Count(), 68u);
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(69));
+  EXPECT_TRUE(b.Test(1));
+  // Bits past size() must stay clear so Count() and word-level consumers
+  // agree with Test()'s out-of-range-is-false convention.
+  EXPECT_FALSE(b.Test(70));
+  b.Not();
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, RangedCount) {
+  Bitset b(200);
+  for (size_t i = 0; i < 200; i += 3) b.Set(i);
+  for (size_t begin = 0; begin < 200; begin += 17) {
+    for (size_t end = begin; end <= 210; end += 23) {
+      size_t expect = 0;
+      for (size_t i = begin; i < end && i < 200; ++i)
+        if (b.Test(i)) ++expect;
+      EXPECT_EQ(b.Count(begin, end), expect) << begin << ":" << end;
+    }
+  }
+  EXPECT_EQ(b.Count(0, 200), b.Count());
+  EXPECT_EQ(b.Count(64, 128), b.Count() - b.Count(0, 64) - b.Count(128, 200));
+}
+
+TEST(BitsetTest, ForEachSetBit) {
+  Bitset b(300);
+  std::vector<size_t> expect = {0, 1, 63, 64, 65, 127, 128, 199, 299};
+  for (size_t i : expect) b.Set(i);
+  std::vector<size_t> got;
+  b.ForEachSetBit([&](size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, expect);
+  Bitset empty(300);
+  size_t calls = 0;
+  empty.ForEachSetBit([&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+#if !defined(NDEBUG) || defined(BLENDHOUSE_DCHECKS)
+TEST(BitsetDeathTest, WordOpsCheckSizes) {
+  Bitset a(100), b(90);
+  EXPECT_DEATH(a.And(b), "Bitset::And size mismatch");
+  EXPECT_DEATH(a.Or(b), "Bitset::Or size mismatch");
+  EXPECT_DEATH(a.AndNot(b), "Bitset::AndNot size mismatch");
+}
+#endif
+
 TEST(HistogramTest, Percentiles) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) h.Add(i);

@@ -154,6 +154,65 @@ TEST_F(BlendHouseE2E, AllStrategiesAgreeOnFilteredResults) {
   }
 }
 
+TEST_F(BlendHouseE2E, FilterBitmapCacheHitsOnRepeat) {
+  Ingest(1000);
+  sql::QuerySettings settings = db_->options().settings;
+  settings.forced_strategy = sql::ExecStrategy::kPreFilter;
+  settings.use_plan_cache = false;  // force real execution on every run
+  settings.short_circuit = false;
+  std::string sql =
+      "SELECT id, attr FROM items WHERE attr < 50 ORDER BY L2Distance(emb, " +
+      VecLiteral(data_.data()) + ") LIMIT 10;";
+
+  auto r1 = db_->QueryWithSettings(sql, settings);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_GT(r1->stats.filter_cache_misses, 0u);
+
+  // Second identical query: every segment bitmap comes from the worker cache.
+  auto r2 = db_->QueryWithSettings(sql, settings);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->stats.filter_cache_hits, 0u);
+  EXPECT_EQ(r2->stats.filter_cache_misses, 0u);
+  ASSERT_EQ(r2->rows.size(), r1->rows.size());
+  for (size_t i = 0; i < r1->rows.size(); ++i)
+    EXPECT_EQ(std::get<int64_t>(r2->rows[i].values[0]),
+              std::get<int64_t>(r1->rows[i].values[0]));
+
+  // A DELETE bumps the segments' delete epochs: cached bitmaps that predate
+  // it must not be served, and results must exclude the deleted rows.
+  ASSERT_TRUE(db_->ExecuteSql("DELETE FROM items WHERE attr < 10;").ok());
+  auto r3 = db_->QueryWithSettings(sql, settings);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_GT(r3->stats.filter_cache_misses, 0u);
+  for (const auto& row : r3->rows)
+    EXPECT_GE(std::get<int64_t>(row.values[1]), 10);
+
+  // Toggling the knob off bypasses the cache entirely.
+  settings.use_filter_bitmap_cache = false;
+  auto r4 = db_->QueryWithSettings(sql, settings);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4->stats.filter_cache_hits, 0u);
+  EXPECT_EQ(r4->stats.filter_cache_misses, 0u);
+}
+
+TEST_F(BlendHouseE2E, PreFilterDeletesOnlyExcludesDeleted) {
+  // No WHERE clause + deletes: the pre-filter path builds its bitmap purely
+  // from the delete bitmap (word-level SetAll + AndNot).
+  Ingest(500);
+  ASSERT_TRUE(db_->ExecuteSql("DELETE FROM items WHERE attr < 50;").ok());
+  sql::QuerySettings settings = db_->options().settings;
+  settings.forced_strategy = sql::ExecStrategy::kPreFilter;
+  settings.use_plan_cache = false;
+  auto result = db_->QueryWithSettings(
+      "SELECT id, attr FROM items ORDER BY L2Distance(emb, " +
+          VecLiteral(data_.data()) + ") LIMIT 20;",
+      settings);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 20u);
+  for (const auto& row : result->rows)
+    EXPECT_GE(std::get<int64_t>(row.values[1]), 50);
+}
+
 TEST_F(BlendHouseE2E, HighlySelectiveFilterStillReturnsK) {
   Ingest(1000);
   const float* q = data_.data();

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/rng.h"
 #include "sql/cost_model.h"
 #include "sql/expression.h"
 #include "sql/lexer.h"
@@ -284,6 +287,161 @@ TEST_F(ExprEvalTest, BitmapExcludesDeleted) {
   common::Bitset bitmap = eval->BuildBitmap(&deletes, true);
   EXPECT_FALSE(bitmap.Test(2));
   EXPECT_EQ(bitmap.Count(), 4u);
+}
+
+TEST_F(ExprEvalTest, CompiledPredicateBadRegexFailsAtCompile) {
+  ExprPtr expr = Parse("name REGEXP '[unclosed'");
+  auto compiled = CompiledPredicate::Compile(*expr);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_TRUE(compiled.status().IsInvalidArgument());
+}
+
+TEST_F(ExprEvalTest, CompiledPredicateSharedAcrossSegments) {
+  // One compile serves every per-segment bind (the per-query contract the
+  // executor relies on); the fingerprint is the canonical text form.
+  ExprPtr expr = Parse("name REGEXP '^..l' AND id > 0");
+  auto compiled = CompiledPredicate::Compile(*expr);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ((*compiled)->fingerprint(), expr->ToString());
+  for (int pass = 0; pass < 2; ++pass) {
+    auto eval = PredicateEvaluator::Bind(*compiled, *segment_);
+    ASSERT_TRUE(eval.ok());
+    EXPECT_EQ(Matching("name REGEXP '^..l' AND id > 0"),
+              (std::vector<size_t>{3}));
+    common::Bitset bitmap = eval->BuildBitmap(nullptr, true);
+    EXPECT_TRUE(bitmap.Test(3));
+    EXPECT_EQ(bitmap.Count(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: vectorized BuildBitmap is bit-identical to row-wise EvalRow
+// ---------------------------------------------------------------------------
+
+storage::SegmentPtr MakeRandomSegment(common::Rng& rng, size_t rows) {
+  storage::TableSchema schema;
+  schema.table_name = "t";
+  schema.columns = {{"id", storage::ColumnType::kInt64},
+                    {"score", storage::ColumnType::kFloat64},
+                    {"name", storage::ColumnType::kString}};
+  storage::SegmentBuilder builder(schema, "prop");
+  static const char* kNames[] = {"",        "cat",    "catalog", "concat",
+                                 "dog",     "hot dog", "c_t",    "a%b",
+                                 "categry", "x"};
+  for (size_t i = 0; i < rows; ++i) {
+    storage::Row row;
+    double score = rng.UniformInt(0, 9) == 0
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : rng.Uniform(-5.0, 5.0);
+    row.values = {rng.UniformInt(-50, 50), score,
+                  std::string(kNames[rng.UniformInt(0, 9)])};
+    EXPECT_TRUE(builder.AppendRow(row).ok());
+  }
+  auto segment = builder.Finish();
+  EXPECT_TRUE(segment.ok());
+  return *segment;
+}
+
+ExprPtr RandomPredicate(common::Rng& rng, int depth) {
+  static const Expr::CmpOp kOps[] = {Expr::CmpOp::kEq, Expr::CmpOp::kNe,
+                                     Expr::CmpOp::kLt, Expr::CmpOp::kLe,
+                                     Expr::CmpOp::kGt, Expr::CmpOp::kGe};
+  if (depth > 0) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        return Expr::And(RandomPredicate(rng, depth - 1),
+                         RandomPredicate(rng, depth - 1));
+      case 1:
+        return Expr::Or(RandomPredicate(rng, depth - 1),
+                        RandomPredicate(rng, depth - 1));
+      case 2:
+        return Expr::Not(RandomPredicate(rng, depth - 1));
+      default:
+        break;  // fall through to a leaf
+    }
+  }
+  Expr::CmpOp op = kOps[rng.UniformInt(0, 5)];
+  switch (rng.UniformInt(0, 6)) {
+    case 0:  // int column vs int literal
+      return Expr::Compare(op, Expr::Column("id"),
+                           Expr::Literal(rng.UniformInt(-50, 50)));
+    case 1: {  // double column, occasionally a NaN literal
+      double lit = rng.UniformInt(0, 9) == 0
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : rng.Uniform(-5.0, 5.0);
+      return Expr::Compare(op, Expr::Column("score"), Expr::Literal(lit));
+    }
+    case 2:  // string ordering compare
+      return Expr::Compare(op, Expr::Column("name"),
+                           Expr::Literal(std::string("cat")));
+    case 3:  // type mismatch: always false
+      return rng.UniformInt(0, 1) == 0
+                 ? Expr::Compare(op, Expr::Column("name"),
+                                 Expr::Literal(int64_t{3}))
+                 : Expr::Compare(op, Expr::Column("id"),
+                                 Expr::Literal(std::string("cat")));
+    case 4: {  // LIKE across every anchored shape plus generic
+      static const char* kPatterns[] = {"cat",   "cat%", "%cat", "%cat%",
+                                        "c_t",   "%a%o%", "%",   "",
+                                        "%%",    "cat_log"};
+      return Expr::Like(Expr::Column("name"),
+                        kPatterns[rng.UniformInt(0, 9)]);
+    }
+    case 5: {  // REGEXP (compiled once per query)
+      static const char* kPatterns[] = {"^cat", "dog$", "c.t", "o", "^$"};
+      return Expr::Regex(Expr::Column("name"),
+                         kPatterns[rng.UniformInt(0, 4)]);
+    }
+    default:  // LIKE on a numeric column: always false
+      return Expr::Like(Expr::Column("id"), "cat%");
+  }
+}
+
+TEST(FilterBitmapPropertyTest, VectorizedMatchesRowWise) {
+  common::Rng rng(20250805);
+  for (int iter = 0; iter < 80; ++iter) {
+    // Sizes straddle word (64) and granule (128) boundaries and exceed the
+    // 4096-row evaluation block on the last iterations.
+    size_t rows = iter < 70 ? static_cast<size_t>(rng.UniformInt(1, 700))
+                            : static_cast<size_t>(rng.UniformInt(4000, 5000));
+    storage::SegmentPtr segment = MakeRandomSegment(rng, rows);
+    ExprPtr expr = RandomPredicate(rng, 3);
+    auto compiled = CompiledPredicate::Compile(*expr);
+    ASSERT_TRUE(compiled.ok()) << expr->ToString();
+    auto eval = PredicateEvaluator::Bind(*compiled, *segment);
+    ASSERT_TRUE(eval.ok()) << expr->ToString();
+
+    common::Bitset deletes;
+    const common::Bitset* deletes_ptr = nullptr;
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        break;  // no delete bitmap
+      case 1:  // full-size random deletes
+        deletes.Resize(rows);
+        for (size_t i = 0; i < rows; ++i)
+          if (rng.UniformInt(0, 3) == 0) deletes.Set(i);
+        deletes_ptr = &deletes;
+        break;
+      default:  // shorter bitmap: remaining bits read as unset
+        deletes.Resize(rows / 2);
+        for (size_t i = 0; i < rows / 2; ++i)
+          if (rng.UniformInt(0, 3) == 0) deletes.Set(i);
+        deletes_ptr = &deletes;
+        break;
+    }
+
+    for (bool pruning : {false, true}) {
+      common::Bitset bitmap = eval->BuildBitmap(deletes_ptr, pruning);
+      ASSERT_EQ(bitmap.size(), rows);
+      for (size_t i = 0; i < rows; ++i) {
+        bool expect = eval->EvalRow(i) &&
+                      !(deletes_ptr != nullptr && deletes_ptr->Test(i));
+        ASSERT_EQ(bitmap.Test(i), expect)
+            << "iter=" << iter << " row=" << i << " pruning=" << pruning
+            << " rows=" << rows << " expr=" << expr->ToString();
+      }
+    }
+  }
 }
 
 TEST(SegmentPruneTest, NumericRangesPrune) {
