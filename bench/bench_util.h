@@ -15,6 +15,7 @@
 #include "baselines/vectordb_iface.h"
 #include "common/histogram.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace blendhouse::bench {
@@ -188,6 +189,27 @@ inline void PrintHeader(const std::string& title) {
 }
 
 inline void QuietLogs() { common::SetLogLevel(common::LogLevel::kError); }
+
+/// Dumps the process-wide metrics registry (DESIGN.md §10) filtered to the
+/// given `bh_<subsystem>_` name prefixes. Benches print this after their
+/// runs so the figures can be reconciled against the telemetry the system
+/// itself exports. Note the registry accumulates across every system built
+/// in the process — values are per-run only if the bench builds one system.
+inline void PrintRegistrySnapshot(
+    std::initializer_list<const char*> prefixes) {
+  std::printf("\nMetrics registry snapshot:\n");
+  for (const auto& sample :
+       common::metrics::MetricsRegistry::Instance().Snapshot()) {
+    bool match = prefixes.size() == 0;
+    for (const char* prefix : prefixes)
+      if (sample.name.rfind(prefix, 0) == 0) {
+        match = true;
+        break;
+      }
+    if (match)
+      std::printf("  %-52s %.0f\n", sample.name.c_str(), sample.value);
+  }
+}
 
 }  // namespace blendhouse::bench
 

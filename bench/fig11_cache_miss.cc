@@ -152,5 +152,8 @@ int main() {
     print_row("warm cache", run(true));
     print_row("cache miss (cold)", run(false));
   }
+  bench::PrintRegistrySnapshot({"bh_object_store_", "bh_index_cache_",
+                                "bh_segment_cache_",
+                                "bh_filter_bitmap_cache_"});
   return 0;
 }

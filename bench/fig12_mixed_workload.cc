@@ -123,5 +123,7 @@ int main() {
       " benefit of the\ndisaggregated architecture. The breakdown shows the"
       " degradation is queue\nwait (segment tasks parked behind index-build"
       " work), not compute.\n");
+  bench::PrintRegistrySnapshot(
+      {"bh_sql_", "bh_threadpool_", "bh_scheduler_", "bh_lsm_"});
   return 0;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -57,7 +58,11 @@ class BlendHouseSystem : public VectorSystem {
     double sim_io_micros = 0;
     size_t retries = 0;
   };
-  /// Returns the accumulated stats and resets the accumulator.
+  /// Epoch-based drain: closes the current accumulation epoch, waits for
+  /// every Search() that entered it (in-flight at the instant of the drain,
+  /// e.g. racing a worker scale-down) to fold its stats, and returns the
+  /// epoch's totals. Searches that start after the drain land in the next
+  /// epoch, so concurrent drains never lose or double-count a query.
   AccumulatedExecStats DrainExecStats() EXCLUDES(stats_mu_);
 
  private:
@@ -66,8 +71,17 @@ class BlendHouseSystem : public VectorSystem {
   sql::QuerySettings settings_;
   size_t dim_ = 0;
 
+  /// One accumulation window. Kept in a map keyed by epoch number until its
+  /// last in-flight search folds and a drain collects it.
+  struct EpochSlot {
+    AccumulatedExecStats stats;
+    size_t inflight = 0;
+  };
+
   mutable common::Mutex stats_mu_;
-  AccumulatedExecStats exec_stats_ GUARDED_BY(stats_mu_);
+  common::CondVar stats_cv_;
+  uint64_t epoch_ GUARDED_BY(stats_mu_) = 0;
+  std::map<uint64_t, EpochSlot> epochs_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace blendhouse::baselines

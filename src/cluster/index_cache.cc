@@ -26,7 +26,19 @@ HierarchicalIndexCache::HierarchicalIndexCache(storage::ObjectStore* remote,
       options_(options),
       memory_(options.memory_bytes),
       metadata_(options.metadata_bytes),
-      disk_(options.disk_bytes) {}
+      disk_(options.disk_bytes) {
+  auto& reg = common::metrics::MetricsRegistry::Instance();
+  memory_.InstrumentMetrics(
+      reg.GetCounter("bh_index_cache_memory_hits_total"),
+      reg.GetCounter("bh_index_cache_memory_misses_total"),
+      reg.GetCounter("bh_index_cache_memory_evictions_total"),
+      reg.GetGauge("bh_index_cache_memory_bytes"));
+  disk_.InstrumentMetrics(
+      reg.GetCounter("bh_index_cache_disk_hits_total"),
+      reg.GetCounter("bh_index_cache_disk_misses_total"),
+      reg.GetCounter("bh_index_cache_disk_evictions_total"),
+      reg.GetGauge("bh_index_cache_disk_bytes"));
+}
 
 void HierarchicalIndexCache::ChargeDiskLatency(size_t bytes) const {
   if (!options_.disk_cost.simulate_latency) return;
@@ -75,6 +87,10 @@ HierarchicalIndexCache::GetOrLoad(const std::string& key,
   std::shared_ptr<vecindex::VectorIndex> shared = std::move(*index);
   InsertAllTiers(key, std::move(*bytes), shared);
   remote_loads_.fetch_add(1, std::memory_order_relaxed);
+  static common::metrics::Counter* remote_loads_metric =
+      common::metrics::MetricsRegistry::Instance().GetCounter(
+          "bh_index_cache_remote_loads_total");
+  remote_loads_metric->Add(1);
   return GetResult{shared, CacheOutcome::kRemoteLoad};
 }
 

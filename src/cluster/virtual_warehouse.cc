@@ -16,6 +16,35 @@ VirtualWarehouse::VirtualWarehouse(std::string name, size_t num_workers,
   for (size_t i = 0; i < num_workers; ++i) AddWorkerLocked();
 }
 
+VirtualWarehouse::~VirtualWarehouse() {
+  // Stragglers from cancelled attempts may still hold leases (and call back
+  // into OwnerOf/PreviousOwnerOf from worker pools); wait them out before
+  // member destruction starts tearing down the worker map they resolve
+  // against. Wait releases mu_, so those callbacks make progress.
+  common::MutexLock lock(mu_);
+  while (!active_leases_.empty()) lease_cv_.Wait(mu_);
+}
+
+VirtualWarehouse::QueryLease::QueryLease(VirtualWarehouse* vw) : vw_(vw) {
+  common::MutexLock lock(vw_->mu_);
+  gen_ = vw_->lease_gen_;
+  ++vw_->active_leases_[gen_];
+}
+
+void VirtualWarehouse::QueryLease::Release() {
+  if (vw_ == nullptr) return;
+  // Notify while holding mu_: a waiter woken by this release may destroy the
+  // warehouse (and this condvar) the moment it reacquires the lock, which it
+  // cannot do until we are fully out of the critical section.
+  common::MutexLock lock(vw_->mu_);
+  auto it = vw_->active_leases_.find(gen_);
+  if (--it->second == 0) {
+    vw_->active_leases_.erase(it);
+    vw_->lease_cv_.NotifyAll();
+  }
+  vw_ = nullptr;
+}
+
 Worker* VirtualWarehouse::AddWorkerLocked() {
   std::string id = name_ + "_w" + std::to_string(worker_counter_++);
   auto worker = std::make_unique<Worker>(id, remote_, rpc_, worker_options_);
@@ -37,16 +66,34 @@ Worker* VirtualWarehouse::AddWorker() {
 }
 
 common::Status VirtualWarehouse::RemoveWorker(const std::string& id) {
-  common::MutexLock lock(mu_);
-  auto it = workers_.find(id);
-  if (it == workers_.end())
-    return common::Status::NotFound("worker: " + id);
-  previous_ring_ = ring_;
-  has_previous_ring_ = true;
-  ring_.RemoveNode(id);
-  workers_.erase(it);
-  BH_DCHECK_MSG(ring_.NumNodes() == workers_.size(),
-                "ring and worker set diverged after scale-down");
+  // Unlink under the lock, destroy outside it: ~Worker joins the worker's
+  // compute pool, and an in-flight task there may be resolving peers through
+  // OwnerOf/PreviousOwnerOf — which need mu_. Destroying under mu_ deadlocks
+  // the whole warehouse the moment a scale-down races a serving query.
+  std::unique_ptr<Worker> retired;
+  {
+    common::MutexLock lock(mu_);
+    auto it = workers_.find(id);
+    if (it == workers_.end())
+      return common::Status::NotFound("worker: " + id);
+    previous_ring_ = ring_;
+    has_previous_ring_ = true;
+    ring_.RemoveNode(id);
+    retired = std::move(it->second);
+    workers_.erase(it);
+    BH_DCHECK_MSG(ring_.NumNodes() == workers_.size(),
+                  "ring and worker set diverged after scale-down");
+    // Grace period: a query that resolved this worker before the unlink may
+    // still be dispatching to it or serving from it. Wait out every lease
+    // taken before the unlink; leases taken after it (gen > cutoff) place on
+    // the new ring and never see the retiring worker, so they don't gate us
+    // and continuous query traffic cannot starve the scale-down.
+    uint64_t cutoff = lease_gen_++;
+    while (!active_leases_.empty() &&
+           active_leases_.begin()->first <= cutoff)
+      lease_cv_.Wait(mu_);
+  }
+  retired.reset();
   return common::Status::Ok();
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,6 +31,46 @@ class VirtualWarehouse {
   VirtualWarehouse(std::string name, size_t num_workers,
                    storage::ObjectStore* remote, RpcFabric* rpc,
                    WorkerOptions worker_options = {});
+  ~VirtualWarehouse();
+
+  /// Pins the worker set against destruction: RemoveWorker (and ~VirtualWarehouse)
+  /// wait for every lease taken before the scale-down began, so a `Worker*`
+  /// resolved while a lease is held stays valid for the lease's lifetime.
+  /// Leases are generation-stamped — a scale-down only waits out leases older
+  /// than its own unlink, so continuous queries cannot starve it. Query
+  /// execution holds one per dispatch attempt (released by the attempt's last
+  /// straggler, not at query return); synchronous scan paths hold one across
+  /// their worker calls. Control-plane callers of workers()/worker() that
+  /// never race a scale-down (benches, tests, preload) may skip the lease.
+  class QueryLease {
+   public:
+    QueryLease() = default;
+    explicit QueryLease(VirtualWarehouse* vw);
+    ~QueryLease() { Release(); }
+    QueryLease(QueryLease&& other) noexcept
+        : vw_(other.vw_), gen_(other.gen_) {
+      other.vw_ = nullptr;
+    }
+    QueryLease& operator=(QueryLease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        vw_ = other.vw_;
+        gen_ = other.gen_;
+        other.vw_ = nullptr;
+      }
+      return *this;
+    }
+    QueryLease(const QueryLease&) = delete;
+    QueryLease& operator=(const QueryLease&) = delete;
+
+   private:
+    void Release();
+
+    VirtualWarehouse* vw_ = nullptr;
+    uint64_t gen_ = 0;
+  };
+
+  QueryLease AcquireQueryLease() { return QueryLease(this); }
 
   const std::string& name() const { return name_; }
   size_t num_workers() const EXCLUDES(mu_);
@@ -81,6 +122,12 @@ class VirtualWarehouse {
   mutable common::TaskScheduler scheduler_{2};
 
   mutable common::Mutex mu_;
+  mutable common::CondVar lease_cv_;
+  /// Bumped by every scale-down unlink; open leases are counted per
+  /// generation so RemoveWorker can wait for exactly the leases that might
+  /// have resolved the retiring worker.
+  uint64_t lease_gen_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, size_t> active_leases_ GUARDED_BY(mu_);
   size_t worker_counter_ GUARDED_BY(mu_) = 0;
   std::map<std::string, std::unique_ptr<Worker>> workers_ GUARDED_BY(mu_);
   ConsistentHashRing ring_ GUARDED_BY(mu_);

@@ -18,7 +18,19 @@ Worker::Worker(std::string id, storage::ObjectStore* remote, RpcFabric* rpc,
       segment_cache_(options.segment_cache_bytes),
       filter_bitmap_cache_(options.filter_bitmap_cache_bytes),
       pool_(options.threads),
-      loader_(1) {}
+      loader_(1) {
+  auto& reg = common::metrics::MetricsRegistry::Instance();
+  segment_cache_.InstrumentMetrics(
+      reg.GetCounter("bh_segment_cache_hits_total"),
+      reg.GetCounter("bh_segment_cache_misses_total"),
+      reg.GetCounter("bh_segment_cache_evictions_total"),
+      reg.GetGauge("bh_segment_cache_bytes"));
+  filter_bitmap_cache_.InstrumentMetrics(
+      reg.GetCounter("bh_filter_bitmap_cache_hits_total"),
+      reg.GetCounter("bh_filter_bitmap_cache_misses_total"),
+      reg.GetCounter("bh_filter_bitmap_cache_evictions_total"),
+      reg.GetGauge("bh_filter_bitmap_cache_bytes"));
+}
 
 common::Result<storage::SegmentPtr> Worker::GetSegment(
     const storage::TableSchema& schema, const std::string& segment_id,

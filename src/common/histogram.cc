@@ -1,6 +1,8 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+
+#include "common/assert.h"
 #include <cmath>
 #include <cstdio>
 #include <numeric>
@@ -35,6 +37,9 @@ void Histogram::EnsureSorted() const {
 double Histogram::Percentile(double p) const {
   if (samples_.empty()) return 0.0;
   EnsureSorted();
+  // Clamp: p > 100 used to compute hi == size() and read past the end, and
+  // p < 0 wrapped the rank through the size_t cast.
+  p = std::clamp(p, 0.0, 100.0);
   double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   size_t lo = static_cast<size_t>(std::floor(rank));
   size_t hi = static_cast<size_t>(std::ceil(rank));
@@ -48,6 +53,89 @@ std::string Histogram::Summary() const {
                 "count=%zu mean=%.4f p50=%.4f p95=%.4f p99=%.4f max=%.4f",
                 Count(), Mean(), Percentile(50), Percentile(95),
                 Percentile(99), Max());
+  return buf;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+BucketedHistogram::BucketedHistogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  BH_DCHECK(!upper_bounds_.empty());
+  for (size_t i = 1; i < upper_bounds_.size(); ++i)
+    BH_DCHECK(upper_bounds_[i - 1] < upper_bounds_[i]);
+}
+
+BucketedHistogram BucketedHistogram::FromParts(
+    std::vector<double> upper_bounds, std::vector<uint64_t> counts,
+    double sum) {
+  BucketedHistogram h(std::move(upper_bounds));
+  BH_DCHECK(counts.size() == h.counts_.size());
+  h.counts_ = std::move(counts);
+  h.count_ = std::accumulate(h.counts_.begin(), h.counts_.end(), uint64_t{0});
+  h.sum_ = sum;
+  return h;
+}
+
+void BucketedHistogram::Add(double v) {
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v) -
+      upper_bounds_.begin());
+  ++counts_[idx];
+  ++count_;
+  sum_ += v;
+}
+
+double BucketedHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample (1-based); walk buckets until the cumulative
+  // count covers it, then interpolate linearly within that bucket.
+  double target = p / 100.0 * static_cast<double>(count_);
+  if (target < 1.0) target = 1.0;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    double lo_rank = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Overflow bucket has no finite upper edge; report the last bound.
+    if (i >= upper_bounds_.size()) return upper_bounds_.back();
+    double lo_edge = i == 0 ? 0.0 : upper_bounds_[i - 1];
+    double hi_edge = upper_bounds_[i];
+    double frac = (target - lo_rank) / static_cast<double>(counts_[i]);
+    return lo_edge + (hi_edge - lo_edge) * frac;
+  }
+  return upper_bounds_.back();
+}
+
+Status BucketedHistogram::Merge(const BucketedHistogram& other) {
+  if (upper_bounds_ != other.upper_bounds_) {
+    return Status::InvalidArgument(
+        "BucketedHistogram::Merge: mismatched bucket bounds");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return Status::Ok();
+}
+
+void BucketedHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+std::string BucketedHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.4f p50=%.4f p95=%.4f p99=%.4f",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(50), Percentile(95), Percentile(99));
   return buf;
 }
 

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace blendhouse::common {
 
@@ -23,11 +26,15 @@ class Histogram {
   double Min() const;
   double Max() const;
 
-  /// Value at percentile p in [0, 100]. Returns 0 when empty.
+  /// Value at percentile p. p is clamped to [0, 100]; returns 0 when empty.
   double Percentile(double p) const;
 
   /// "count=N mean=X p50=... p95=... p99=..." summary line.
   std::string Summary() const;
+
+  /// Appends all of `other`'s samples. Exact histograms have no bucket
+  /// bounds, so merging cannot misbin and never fails.
+  void Merge(const Histogram& other);
 
   void Clear() {
     samples_.clear();
@@ -41,6 +48,54 @@ class Histogram {
 
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+};
+
+/// Fixed-bucket histogram: explicit ascending upper bounds plus an implicit
+/// overflow bucket. O(buckets) memory regardless of sample count, so it is
+/// safe for hot paths and for long-running registries where the exact
+/// `Histogram` above would grow without bound. Percentiles interpolate
+/// linearly within the winning bucket.
+class BucketedHistogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit BucketedHistogram(std::vector<double> upper_bounds);
+
+  /// Rebuilds a histogram from exported state (metrics snapshots). `counts`
+  /// must have upper_bounds.size() + 1 entries (last = overflow bucket).
+  static BucketedHistogram FromParts(std::vector<double> upper_bounds,
+                                     std::vector<uint64_t> counts, double sum);
+
+  void Add(double v);
+
+  uint64_t Count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value at percentile p. p is clamped to [0, 100]; returns 0 when empty.
+  /// Samples in the overflow bucket report the last finite bound.
+  double Percentile(double p) const;
+
+  /// Adds `other`'s buckets into this histogram. The bucket bounds must be
+  /// identical; merging mismatched layouts would silently misbin samples, so
+  /// that case returns InvalidArgument and leaves *this untouched.
+  Status Merge(const BucketedHistogram& other);
+
+  void Clear();
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts; index upper_bounds().size() is the overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  /// "count=N mean=X p50=... p95=... p99=..." summary line.
+  std::string Summary() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<uint64_t> counts_;  // upper_bounds_.size() + 1 entries
+  uint64_t count_ = 0;
+  double sum_ = 0;
 };
 
 }  // namespace blendhouse::common

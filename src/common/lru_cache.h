@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 
 namespace blendhouse::common {
@@ -24,15 +25,28 @@ class LruCache {
  public:
   explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
+  /// Mirrors this cache's traffic into registry metrics (any pointer may be
+  /// null). Call once at wiring time, before concurrent use; the per-cache
+  /// atomic counters keep working either way.
+  void InstrumentMetrics(metrics::Counter* hits, metrics::Counter* misses,
+                         metrics::Counter* evictions, metrics::Gauge* bytes) {
+    metric_hits_ = hits;
+    metric_misses_ = misses;
+    metric_evictions_ = evictions;
+    metric_bytes_ = bytes;
+  }
+
   std::optional<V> Get(const std::string& key) EXCLUDES(mu_) {
     MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_misses_ != nullptr) metric_misses_->Add(1);
       return std::nullopt;
     }
     order_.splice(order_.begin(), order_, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_hits_ != nullptr) metric_hits_->Add(1);
     return it->second->value;
   }
 
@@ -54,7 +68,11 @@ class LruCache {
       map_.erase(it);
     }
     // An entry larger than the whole budget is not cacheable.
-    if (bytes > capacity_) return;
+    if (bytes > capacity_) {
+      if (metric_bytes_ != nullptr)
+        metric_bytes_->Set(static_cast<int64_t>(used_));
+      return;
+    }
     order_.push_front(Entry{key, std::move(value), bytes});
     map_[key] = order_.begin();
     used_ += bytes;
@@ -65,7 +83,10 @@ class LruCache {
       map_.erase(victim.key);
       order_.pop_back();
       evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_evictions_ != nullptr) metric_evictions_->Add(1);
     }
+    if (metric_bytes_ != nullptr)
+      metric_bytes_->Set(static_cast<int64_t>(used_));
     BH_DCHECK_MSG(map_.size() == order_.size(),
                   "LRU map and recency list diverged");
     BH_DCHECK_MSG(used_ <= capacity_ || order_.empty(),
@@ -80,6 +101,8 @@ class LruCache {
     used_ -= it->second->bytes;
     order_.erase(it->second);
     map_.erase(it);
+    if (metric_bytes_ != nullptr)
+      metric_bytes_->Set(static_cast<int64_t>(used_));
   }
 
   void Clear() EXCLUDES(mu_) {
@@ -87,6 +110,7 @@ class LruCache {
     map_.clear();
     order_.clear();
     used_ = 0;
+    if (metric_bytes_ != nullptr) metric_bytes_->Set(0);
   }
 
   bool Contains(const std::string& key) const EXCLUDES(mu_) {
@@ -125,6 +149,11 @@ class LruCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  // Optional registry mirrors; written before concurrent use, never after.
+  metrics::Counter* metric_hits_ = nullptr;
+  metrics::Counter* metric_misses_ = nullptr;
+  metrics::Counter* metric_evictions_ = nullptr;
+  metrics::Gauge* metric_bytes_ = nullptr;
 };
 
 }  // namespace blendhouse::common

@@ -1,0 +1,175 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace blendhouse::common::metrics {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // Trim to integer form when exact — keeps counter exports stable.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<double>& DefaultLatencyBoundsMicros() {
+  // Leaked like the registry: stays valid during static destruction.
+  static const std::vector<double>* bounds =
+      new std::vector<double>{  // lint:allow(naked-new)
+      10,    20,    50,    100,   200,   500,    1000,   2000,   5000,
+      10000, 20000, 50000, 1e5,   2e5,   5e5,    1e6,    2e6,    5e6,
+      1e7};
+  return *bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked intentionally: metric pointers must stay valid during static
+  // destruction of late-exiting threads.
+  static MetricsRegistry* instance = new MetricsRegistry();  // lint:allow(naked-new)
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, DefaultLatencyBoundsMicros());
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(
+    const std::string& name, std::vector<double> upper_bounds) {
+  MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr)
+    slot = std::make_unique<HistogramMetric>(std::move(upper_bounds));
+  return slot.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 5);
+  for (const auto& [name, c] : counters_)
+    out.push_back({name, static_cast<double>(c->Value())});
+  for (const auto& [name, g] : gauges_)
+    out.push_back({name, static_cast<double>(g->Value())});
+  for (const auto& [name, h] : histograms_) {
+    BucketedHistogram snap = h->Snapshot();
+    out.push_back({name + "_count", static_cast<double>(snap.Count())});
+    out.push_back({name + "_sum", snap.Sum()});
+    out.push_back({name + "_p50", snap.Percentile(50)});
+    out.push_back({name + "_p95", snap.Percentile(95)});
+    out.push_back({name + "_p99", snap.Percentile(99)});
+  }
+  // Maps iterate sorted, but the three groups interleave; one sort keeps the
+  // contract simple.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + FormatDouble(static_cast<double>(c->Value())) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(static_cast<double>(g->Value())) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    BucketedHistogram snap = h->Snapshot();
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cum = 0;
+    const auto& bounds = snap.upper_bounds();
+    const auto& counts = snap.bucket_counts();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cum += counts[i];
+      out += name + "_bucket{le=\"" + FormatDouble(bounds[i]) + "\"} " +
+             FormatDouble(static_cast<double>(cum)) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " +
+           FormatDouble(static_cast<double>(snap.Count())) + "\n";
+    out += name + "_sum " + FormatDouble(snap.Sum()) + "\n";
+    out += name + "_count " + FormatDouble(static_cast<double>(snap.Count())) +
+           "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  MutexLock lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + FormatDouble(static_cast<double>(c->Value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + FormatDouble(static_cast<double>(g->Value()));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    BucketedHistogram snap = h->Snapshot();
+    out += "\"" + name + "\":{";
+    out += "\"count\":" + FormatDouble(static_cast<double>(snap.Count()));
+    out += ",\"sum\":" + FormatDouble(snap.Sum());
+    out += ",\"p50\":" + FormatDouble(snap.Percentile(50));
+    out += ",\"p95\":" + FormatDouble(snap.Percentile(95));
+    out += ",\"p99\":" + FormatDouble(snap.Percentile(99));
+    out += ",\"buckets\":[";
+    const auto& bounds = snap.upper_bounds();
+    const auto& counts = snap.bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) out += ",";
+      std::string le =
+          i < bounds.size() ? FormatDouble(bounds[i]) : std::string("-1");
+      out += "[" + le + "," + FormatDouble(static_cast<double>(counts[i])) +
+             "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  MutexLock lock(mu_);
+  for (auto& [name, c] : counters_) c->ResetForTest();
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) h->ResetForTest();
+}
+
+}  // namespace blendhouse::common::metrics

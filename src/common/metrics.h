@@ -1,0 +1,205 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/mutex.h"
+
+namespace blendhouse::common::metrics {
+
+/// Process-wide telemetry registry (DESIGN.md §10).
+///
+/// Naming convention: `bh_<subsystem>_<name>_<unit>` — e.g.
+/// `bh_object_store_sim_latency_micros_total`. Counters end in `_total`,
+/// gauges name the instantaneous quantity (`bh_scheduler_queue_depth`), and
+/// histograms name the recorded unit (`bh_sql_exec_micros`).
+///
+/// Hot-path contract: Counter::Add and Gauge::Add are single relaxed atomic
+/// RMWs (counters additionally shard by thread so concurrent writers do not
+/// bounce one cache line); HistogramMetric::Record is a branchless-ish bucket
+/// search over an immutable bounds array plus three relaxed RMWs. Call sites
+/// resolve metric pointers once (constructor or static local), never per op.
+
+/// Monotonic counter with a thread-sharded lock-free fast path.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    shards_[ThisThreadSlot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Test-only: counters are monotonic in production.
+  void ResetForTest() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // 16 shards bound the worst case: more threads than shards just means some
+  // sharing, never incorrectness.
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  static size_t ThisThreadSlot() {
+    static std::atomic<size_t> next{0};
+    thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+  }
+
+  Shard shards_[kShards];
+};
+
+/// Instantaneous value (queue depth, in-flight calls, resident bytes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket concurrent histogram. Bounds are immutable after
+/// construction; Record touches only relaxed atomics. Snapshot() materialises
+/// a common::BucketedHistogram for percentile queries and exporters.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> upper_bounds)
+      : upper_bounds_(std::move(upper_bounds)),
+        counts_(upper_bounds_.size() + 1) {}
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+
+  void Record(double v) {
+    size_t idx = 0;
+    while (idx < upper_bounds_.size() && v > upper_bounds_[idx]) ++idx;
+    counts_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // C++20 atomic<double>::fetch_add.
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  BucketedHistogram Snapshot() const {
+    std::vector<uint64_t> counts(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i)
+      counts[i] = counts_[i].load(std::memory_order_relaxed);
+    return BucketedHistogram::FromParts(upper_bounds_, std::move(counts),
+                                        Sum());
+  }
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+  void ResetForTest() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const std::vector<double> upper_bounds_;
+  // unique_ptr-free: vector of atomics is sized once in the ctor and never
+  // resized, so the deleted move ctor of std::atomic is irrelevant.
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default micros-latency bucket bounds: 10us .. 10s, ~1-2-5 ladder.
+const std::vector<double>& DefaultLatencyBoundsMicros();
+
+/// One flattened (name, value) pair; histograms expand into _count/_sum/_p50/
+/// _p95/_p99 rows. This is what `SELECT * FROM system.metrics` and the bench
+/// registry dumps consume.
+struct MetricSample {
+  std::string name;
+  double value = 0;
+};
+
+/// Process-wide named-metric registry. Metric objects are never destroyed:
+/// Get* returns a stable pointer callers may cache for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  /// Bounds are fixed at first registration; later callers get the existing
+  /// histogram regardless of the bounds they pass.
+  HistogramMetric* GetHistogram(const std::string& name) EXCLUDES(mu_);
+  HistogramMetric* GetHistogram(const std::string& name,
+                                std::vector<double> upper_bounds) EXCLUDES(mu_);
+
+  /// Flattened snapshot of every metric, sorted by name.
+  std::vector<MetricSample> Snapshot() const EXCLUDES(mu_);
+
+  /// Prometheus text exposition format.
+  std::string ExportPrometheus() const EXCLUDES(mu_);
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// p50, p95, p99, buckets: [[le, n], ...]}}}
+  std::string ExportJson() const EXCLUDES(mu_);
+
+  /// Zeroes every value but keeps (and never invalidates) metric pointers.
+  void ResetForTest() EXCLUDES(mu_);
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      GUARDED_BY(mu_);
+};
+
+/// Records elapsed wall micros into a histogram on destruction. The metrics
+/// layer's replacement for ad-hoc common::Timer stat fields (lint rule
+/// `adhoc-timer`).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramMetric* hist) : hist_(hist) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(ElapsedMicros());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  HistogramMetric* hist_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace blendhouse::common::metrics

@@ -8,7 +8,13 @@ using Clock = std::chrono::steady_clock;
 thread_local DeferredChargeScope* g_charge_scope = nullptr;
 }  // namespace
 
-TaskScheduler::TaskScheduler(size_t num_threads) {
+TaskScheduler::TaskScheduler(size_t num_threads)
+    : tasks_total_metric_(metrics::MetricsRegistry::Instance().GetCounter(
+          "bh_scheduler_tasks_total")),
+      queue_depth_metric_(metrics::MetricsRegistry::Instance().GetGauge(
+          "bh_scheduler_queue_depth")),
+      queue_wait_metric_(metrics::MetricsRegistry::Instance().GetHistogram(
+          "bh_scheduler_queue_wait_micros")) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i)
@@ -29,6 +35,7 @@ void TaskScheduler::Schedule(MoveOnlyFn fn) {
     MutexLock lock(mu_);
     ready_.push_back(ReadyTask{Clock::now(), std::move(fn)});
   }
+  queue_depth_metric_->Add(1);
   cv_.NotifyOne();
 }
 
@@ -63,6 +70,7 @@ void TaskScheduler::WorkerLoop() {
               ReadyTask{delayed_.top().deadline,
                         std::move(*delayed_.top().fn)});
           delayed_.pop();
+          queue_depth_metric_->Add(1);
         }
         if (!ready_.empty()) break;
         if (delayed_.empty()) {
@@ -72,18 +80,22 @@ void TaskScheduler::WorkerLoop() {
         }
       }
       auto now = Clock::now();
-      queue_wait_micros_ +=
+      uint64_t wait =
           static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                     now - ready_.front().enqueue_time)
                                     .count());
+      queue_wait_micros_ += wait;
+      queue_wait_metric_->Record(static_cast<double>(wait));
       task = std::move(ready_.front().fn);
       ready_.pop_front();
+      queue_depth_metric_->Sub(1);
       ++running_;
       // More ready work may remain (e.g. several delayed tasks expired at
       // once); pass the baton before dropping the lock.
       if (!ready_.empty()) cv_.NotifyOne();
     }
     task();
+    tasks_total_metric_->Add(1);
     {
       MutexLock lock(mu_);
       --running_;

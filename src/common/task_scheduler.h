@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/move_only_fn.h"
 #include "common/mutex.h"
 
@@ -86,6 +87,11 @@ class TaskScheduler {
   bool stop_ GUARDED_BY(mu_) = false;
   uint64_t tasks_executed_ GUARDED_BY(mu_) = 0;
   uint64_t queue_wait_micros_ GUARDED_BY(mu_) = 0;
+  // Registry metrics, shared by every scheduler instance in the process;
+  // resolved once here so the hot path never touches the registry map.
+  metrics::Counter* tasks_total_metric_;
+  metrics::Gauge* queue_depth_metric_;
+  metrics::HistogramMetric* queue_wait_metric_;
   std::vector<std::thread> threads_;  // written only in the constructor
 };
 

@@ -2,7 +2,13 @@
 
 namespace blendhouse::common {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : tasks_total_metric_(metrics::MetricsRegistry::Instance().GetCounter(
+          "bh_threadpool_tasks_total")),
+      queue_depth_metric_(metrics::MetricsRegistry::Instance().GetGauge(
+          "bh_threadpool_queue_depth")),
+      queue_wait_metric_(metrics::MetricsRegistry::Instance().GetHistogram(
+          "bh_threadpool_queue_wait_micros")) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i)
@@ -16,6 +22,22 @@ ThreadPool::~ThreadPool() {
   }
   cv_.NotifyAll();
   for (auto& t : threads_) t.join();
+  // A Submit racing shutdown can enqueue after every worker thread observed
+  // stop-and-empty and exited. Run the leftovers inline: completion
+  // continuations (SearchSegmentAsync's `done`) must fire for every accepted
+  // task or the dispatching query waits forever.
+  for (;;) {
+    MoveOnlyFn task;
+    {
+      MutexLock lock(mu_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front().fn);
+      queue_.pop_front();
+      queue_depth_metric_->Sub(1);
+    }
+    task();
+    tasks_total_metric_->Add(1);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -25,11 +47,17 @@ void ThreadPool::WorkerLoop() {
       MutexLock lock(mu_);
       while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
+      queue_wait_metric_->Record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - queue_.front().enqueue_time)
+              .count());
+      task = std::move(queue_.front().fn);
       queue_.pop_front();
+      queue_depth_metric_->Sub(1);
       ++active_;
     }
     task();
+    tasks_total_metric_->Add(1);
     {
       MutexLock lock(mu_);
       --active_;

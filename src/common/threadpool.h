@@ -1,10 +1,12 @@
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/move_only_fn.h"
 #include "common/mutex.h"
 
@@ -35,8 +37,11 @@ class ThreadPool {
     std::future<R> fut = task.get_future();
     {
       MutexLock lock(mu_);
-      queue_.emplace_back([task = std::move(task)]() mutable { task(); });
+      queue_.push_back(QueueEntry{
+          std::chrono::steady_clock::now(),
+          MoveOnlyFn([task = std::move(task)]() mutable { task(); })});
     }
+    queue_depth_metric_->Add(1);
     cv_.NotifyOne();
     return fut;
   }
@@ -45,12 +50,22 @@ class ThreadPool {
   void Wait() EXCLUDES(mu_);
 
  private:
+  struct QueueEntry {
+    std::chrono::steady_clock::time_point enqueue_time;
+    MoveOnlyFn fn;
+  };
+
   void WorkerLoop() EXCLUDES(mu_);
 
   Mutex mu_;
   CondVar cv_;
   CondVar idle_cv_;
-  std::deque<MoveOnlyFn> queue_ GUARDED_BY(mu_);
+  std::deque<QueueEntry> queue_ GUARDED_BY(mu_);
+  // Registry metrics (process-wide, summed over all pools); resolved once in
+  // the constructor so Submit never touches the registry map.
+  metrics::Counter* tasks_total_metric_;
+  metrics::Gauge* queue_depth_metric_;
+  metrics::HistogramMetric* queue_wait_metric_;
   std::vector<std::thread> threads_;  // written only in the constructor
   size_t active_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;

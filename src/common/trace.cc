@@ -1,0 +1,246 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+namespace blendhouse::trace {
+
+namespace {
+
+std::atomic<uint64_t> g_next_trace_id{1};
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Span
+
+Span::Span(TracePtr trace, uint64_t span_id, uint64_t parent_id,
+           std::string name, double start_micros)
+    : trace_(std::move(trace)), start_(std::chrono::steady_clock::now()) {
+  record_.span_id = span_id;
+  record_.parent_id = parent_id;
+  record_.name = std::move(name);
+  record_.start_micros = start_micros;
+}
+
+Span::~Span() { End(); }
+
+void Span::SetTag(std::string key, std::string value) {
+  common::MutexLock lock(mu_);
+  record_.tags.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::SetBreakdown(double compute_micros, double sim_io_micros,
+                        double queue_wait_micros) {
+  common::MutexLock lock(mu_);
+  record_.compute_micros = compute_micros;
+  record_.sim_io_micros = sim_io_micros;
+  record_.queue_wait_micros = queue_wait_micros;
+}
+
+void Span::AddSimIo(double micros) {
+  common::MutexLock lock(mu_);
+  record_.sim_io_micros += micros;
+}
+
+double Span::ElapsedMicros() const { return MicrosSince(start_); }
+
+void Span::End() {
+  if (ended_.exchange(true, std::memory_order_acq_rel)) return;
+  SpanRecord record;
+  {
+    common::MutexLock lock(mu_);
+    record_.wall_micros = MicrosSince(start_);
+    record = record_;
+  }
+  trace_->Finish(std::move(record));
+}
+
+// ---------------------------------------------------------------- Trace
+
+Trace::Trace(std::string name)
+    : trace_id_(g_next_trace_id.fetch_add(1, std::memory_order_relaxed)),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+TracePtr Trace::Make(std::string name) {
+  return TracePtr(new Trace(std::move(name)));  // lint:allow(naked-new)
+}
+
+SpanPtr Trace::StartSpan(std::string name, const SpanPtr& parent) {
+  open_spans_.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t parent_id = parent ? parent->span_id() : 0;
+  return SpanPtr(new Span(shared_from_this(), id, parent_id,  // lint:allow(naked-new)
+                          std::move(name), MicrosSince(start_)));
+}
+
+void Trace::Finish(SpanRecord record) {
+  {
+    common::MutexLock lock(mu_);
+    finished_.push_back(std::move(record));
+  }
+  open_spans_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::vector<SpanRecord> Trace::Collect() const {
+  common::MutexLock lock(mu_);
+  return finished_;
+}
+
+double Trace::ElapsedMicros() const { return MicrosSince(start_); }
+
+// ---------------------------------------------------------------- TraceSink
+
+TraceSink::TraceSink() : TraceSink(Options()) {}
+
+TraceSink::TraceSink(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+bool TraceSink::ShouldSample() {
+  if (opts_.sample_rate <= 0.0) return false;
+  if (opts_.sample_rate >= 1.0) return true;
+  common::MutexLock lock(mu_);
+  return rng_.Uniform() < opts_.sample_rate;
+}
+
+void TraceSink::Record(const Trace& trace) {
+  FinishedTrace finished;
+  finished.trace_id = trace.trace_id();
+  finished.name = trace.name();
+  finished.spans = trace.Collect();
+  common::MutexLock lock(mu_);
+  traces_.push_back(std::move(finished));
+  while (traces_.size() > opts_.max_traces) {
+    traces_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<FinishedTrace> TraceSink::Traces() const {
+  common::MutexLock lock(mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+size_t TraceSink::size() const {
+  common::MutexLock lock(mu_);
+  return traces_.size();
+}
+
+uint64_t TraceSink::dropped() const {
+  common::MutexLock lock(mu_);
+  return dropped_;
+}
+
+void TraceSink::Clear() {
+  common::MutexLock lock(mu_);
+  traces_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceSink::DumpJson() const {
+  std::vector<FinishedTrace> traces = Traces();
+  std::string out = "[";
+  for (size_t t = 0; t < traces.size(); ++t) {
+    const FinishedTrace& ft = traces[t];
+    if (t != 0) out += ",";
+    out += "{\"trace_id\":" + std::to_string(ft.trace_id);
+    out += ",\"name\":\"" + JsonEscape(ft.name) + "\",\"spans\":[";
+    for (size_t i = 0; i < ft.spans.size(); ++i) {
+      const SpanRecord& s = ft.spans[i];
+      if (i != 0) out += ",";
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"span_id\":%llu,\"parent_id\":%llu,\"start_micros\":%."
+                    "3f,\"wall_micros\":%.3f,\"compute_micros\":%.3f,\"sim_io_"
+                    "micros\":%.3f,\"queue_wait_micros\":%.3f",
+                    static_cast<unsigned long long>(s.span_id),
+                    static_cast<unsigned long long>(s.parent_id),
+                    s.start_micros, s.wall_micros, s.compute_micros,
+                    s.sim_io_micros, s.queue_wait_micros);
+      out += buf;
+      out += ",\"name\":\"" + JsonEscape(s.name) + "\",\"tags\":{";
+      for (size_t k = 0; k < s.tags.size(); ++k) {
+        if (k != 0) out += ",";
+        out += "\"" + JsonEscape(s.tags[k].first) + "\":\"" +
+               JsonEscape(s.tags[k].second) + "\"";
+      }
+      out += "}}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+// ---------------------------------------------------------------- Render
+
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans) {
+  // Group children under parents, keeping start order within siblings.
+  std::map<uint64_t, std::vector<const SpanRecord*>> children;
+  for (const SpanRecord& s : spans) children[s.parent_id].push_back(&s);
+  for (auto& [pid, kids] : children) {
+    std::sort(kids.begin(), kids.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                if (a->start_micros != b->start_micros)
+                  return a->start_micros < b->start_micros;
+                return a->span_id < b->span_id;
+              });
+  }
+
+  std::string out;
+  std::function<void(uint64_t, int)> render = [&](uint64_t parent, int depth) {
+    auto it = children.find(parent);
+    if (it == children.end()) return;
+    for (const SpanRecord* s : it->second) {
+      out.append(static_cast<size_t>(depth) * 2, ' ');
+      char buf[192];
+      std::snprintf(buf, sizeof(buf), "%s: wall=%.0fus", s->name.c_str(),
+                    s->wall_micros);
+      out += buf;
+      if (s->compute_micros > 0 || s->sim_io_micros > 0 ||
+          s->queue_wait_micros > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      " compute=%.0fus sim_io=%.0fus queue_wait=%.0fus",
+                      s->compute_micros, s->sim_io_micros,
+                      s->queue_wait_micros);
+        out += buf;
+      }
+      for (const auto& [k, v] : s->tags) out += " " + k + "=" + v;
+      out += "\n";
+      render(s->span_id, depth + 1);
+    }
+  };
+  render(0, 0);
+  return out;
+}
+
+}  // namespace blendhouse::trace

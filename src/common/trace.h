@@ -1,0 +1,174 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+
+namespace blendhouse::trace {
+
+/// Per-query distributed tracing (DESIGN.md §10).
+///
+/// A query creates one Trace; every stage opens a Span parented to its
+/// caller's span. Spans are shared_ptrs captured by async continuations, so
+/// they survive Future::Then hops and delay-queue rescheduling; End() is
+/// exactly-once (atomic exchange), and an un-ended span self-closes when the
+/// last reference drops — a straggler continuation can therefore never leak
+/// an open span or double-record one.
+///
+/// Span taxonomy: query → plan | execute | materialize; execute →
+/// segment_scan (one per segment task, repeated per retry attempt) →
+/// acquire_index | build_filter_bitmap. Tags carry cache outcomes.
+
+/// Finished-span record. Times are micros; start is relative to trace start.
+struct SpanRecord {
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  double start_micros = 0;
+  double wall_micros = 0;
+  // Breakdown fields are optional (zero when a stage has no async breakdown).
+  double compute_micros = 0;
+  double sim_io_micros = 0;
+  double queue_wait_micros = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+class Trace;
+using TracePtr = std::shared_ptr<Trace>;
+
+class Span {
+ public:
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void SetTag(std::string key, std::string value) EXCLUDES(mu_);
+  /// Async time breakdown, set once by the completing continuation.
+  void SetBreakdown(double compute_micros, double sim_io_micros,
+                    double queue_wait_micros) EXCLUDES(mu_);
+  /// Accumulates simulated I/O attributed to this span (plan-stage object
+  /// store reads, materialize fetches).
+  void AddSimIo(double micros) EXCLUDES(mu_);
+
+  /// Closes the span and records it into the owning trace. Exactly-once: a
+  /// second End() (or the destructor after an End()) is a no-op.
+  void End();
+
+  double ElapsedMicros() const;
+  uint64_t span_id() const { return record_.span_id; }
+
+ private:
+  friend class Trace;
+  Span(TracePtr trace, uint64_t span_id, uint64_t parent_id, std::string name,
+       double start_micros);
+
+  TracePtr trace_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<bool> ended_{false};
+  mutable common::Mutex mu_;
+  SpanRecord record_ GUARDED_BY(mu_);
+};
+
+using SpanPtr = std::shared_ptr<Span>;
+
+/// One query's span collection. Created per query (cheap: one allocation and
+/// a steady_clock read); whether the finished trace is retained in the
+/// TraceSink is a separate, sampled decision.
+class Trace : public std::enable_shared_from_this<Trace> {
+ public:
+  static TracePtr Make(std::string name);
+
+  /// Opens a span. `parent` may be null (root span).
+  SpanPtr StartSpan(std::string name, const SpanPtr& parent = nullptr);
+
+  uint64_t trace_id() const { return trace_id_; }
+  const std::string& name() const { return name_; }
+
+  /// Spans started but not yet ended — 0 after a complete query.
+  int64_t open_spans() const {
+    return open_spans_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of finished spans, in End() order.
+  std::vector<SpanRecord> Collect() const EXCLUDES(mu_);
+
+  double ElapsedMicros() const;
+
+ private:
+  friend class Span;
+  explicit Trace(std::string name);
+
+  void Finish(SpanRecord record) EXCLUDES(mu_);
+
+  const uint64_t trace_id_;
+  const std::string name_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<int64_t> open_spans_{0};
+  mutable common::Mutex mu_;
+  std::vector<SpanRecord> finished_ GUARDED_BY(mu_);
+};
+
+/// A finished trace as retained by the sink.
+struct FinishedTrace {
+  uint64_t trace_id = 0;
+  std::string name;
+  std::vector<SpanRecord> spans;
+};
+
+/// Bounded in-memory store of sampled finished traces.
+class TraceSink {
+ public:
+  struct Options {
+    /// Ring capacity; oldest traces are dropped first.
+    size_t max_traces = 64;
+    /// Probability a finished trace is retained, in [0, 1]. 0 disables
+    /// retention entirely (ShouldSample never consults the RNG, so a given
+    /// seed yields the same decisions regardless of interleaved 0-rate use).
+    double sample_rate = 1.0;
+    /// Seed for the sampling RNG — sampling decisions are deterministic for
+    /// a fixed seed and call sequence.
+    uint64_t seed = 42;
+  };
+
+  TraceSink();
+  explicit TraceSink(Options opts);
+
+  /// Deterministic sampling decision for the next finished trace.
+  bool ShouldSample() EXCLUDES(mu_);
+
+  /// Retains a finished trace (caller already decided to sample it).
+  void Record(const Trace& trace) EXCLUDES(mu_);
+
+  std::vector<FinishedTrace> Traces() const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
+  /// Traces evicted by the ring bound (not ones skipped by sampling).
+  uint64_t dropped() const EXCLUDES(mu_);
+  void Clear() EXCLUDES(mu_);
+
+  /// JSON array of retained traces; input format of tools/trace2json.py.
+  std::string DumpJson() const EXCLUDES(mu_);
+
+  const Options& options() const { return opts_; }
+
+ private:
+  const Options opts_;
+  mutable common::Mutex mu_;
+  common::Rng rng_ GUARDED_BY(mu_);
+  std::deque<FinishedTrace> traces_ GUARDED_BY(mu_);
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+};
+
+/// Renders a span tree as indented text — the body of EXPLAIN ANALYZE.
+/// One line per span: name, wall/compute/sim-I/O/queue-wait micros, tags.
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans);
+
+}  // namespace blendhouse::trace

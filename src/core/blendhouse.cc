@@ -5,14 +5,41 @@
 
 #include "cluster/scheduler.h"
 #include "common/logging.h"
-#include "common/timer.h"
+#include "common/metrics.h"
 
 namespace blendhouse::core {
+
+namespace {
+
+/// Per-query SQL-layer metrics: query counts by type and per-stage latency
+/// histograms. Resolved once; the per-query cost is a few relaxed RMWs.
+struct SqlMetrics {
+  common::metrics::Counter* queries_ann;
+  common::metrics::Counter* queries_scalar;
+  common::metrics::Counter* query_failures;
+  common::metrics::HistogramMetric* plan_micros;
+  common::metrics::HistogramMetric* query_micros;
+};
+
+const SqlMetrics& QueryMetrics() {
+  auto& reg = common::metrics::MetricsRegistry::Instance();
+  static const SqlMetrics m{
+      reg.GetCounter("bh_sql_queries_ann_total"),
+      reg.GetCounter("bh_sql_queries_scalar_total"),
+      reg.GetCounter("bh_sql_query_failures_total"),
+      reg.GetHistogram("bh_sql_plan_micros"),
+      reg.GetHistogram("bh_sql_query_micros"),
+  };
+  return m;
+}
+
+}  // namespace
 
 BlendHouse::BlendHouse(BlendHouseOptions options)
     : options_(std::move(options)),
       store_(options_.remote_cost),
-      rpc_(options_.rpc_cost) {
+      rpc_(options_.rpc_cost),
+      trace_sink_(options_.trace) {
   cluster::WorkerOptions worker_options = options_.worker;
   worker_options.threads = options_.worker_threads;
   read_vw_ = std::make_unique<cluster::VirtualWarehouse>(
@@ -206,28 +233,88 @@ common::Result<sql::OptimizedQuery> BlendHouse::Plan(
   return optimized;
 }
 
+common::Result<sql::QueryResult> BlendHouse::QuerySystemMetrics(
+    const sql::SelectStmt& select) {
+  if (!select.select_star)
+    return common::Status::InvalidArgument(
+        "system.metrics supports SELECT * only");
+  sql::QueryResult out;
+  out.column_names = {"name", "value"};
+  for (const common::metrics::MetricSample& s :
+       common::metrics::MetricsRegistry::Instance().Snapshot()) {
+    storage::Row row;
+    row.values.emplace_back(s.name);
+    row.values.emplace_back(s.value);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
 common::Result<sql::QueryResult> BlendHouse::QueryWithSettings(
     const std::string& sql, const sql::QuerySettings& settings) {
   auto stmt = sql::ParseStatement(sql);
   if (!stmt.ok()) return stmt.status();
   if (stmt->kind != sql::Statement::Kind::kSelect)
     return common::Status::InvalidArgument("Query() expects SELECT");
-  const sql::SelectStmt& select = *stmt->select;
+  return RunSelect(sql, *stmt->select, settings, /*out_trace=*/nullptr);
+}
+
+common::Result<sql::QueryResult> BlendHouse::RunSelect(
+    const std::string& sql, const sql::SelectStmt& select,
+    const sql::QuerySettings& settings, trace::TracePtr* out_trace) {
+  if (select.table == "system.metrics") return QuerySystemMetrics(select);
   TableState* table = FindTable(select.table);
   if (table == nullptr)
     return common::Status::NotFound("table: " + select.table);
 
+  const SqlMetrics& m = QueryMetrics();
+  (select.ann.has_value() ? m.queries_ann : m.queries_scalar)->Add(1);
+
+  trace::TracePtr trace = trace::Trace::Make("query");
+  trace::SpanPtr root = trace->StartSpan("query");
+  root->SetTag("table", select.table);
+  root->SetTag("type", select.ann.has_value() ? "ann" : "scalar");
+
+  // Planning (which may refresh statistics with real object-store reads)
+  // runs under a deferred scope so its simulated I/O is attributed to the
+  // plan span, then paid once afterwards — total latency is unchanged, but
+  // EXPLAIN ANALYZE can reconcile span I/O against the store's counters.
   sql::ExecStats pre_stats;
-  common::Timer plan_timer;
-  auto plan = Plan(sql, select, table, settings, &pre_stats);
-  if (!plan.ok()) return plan.status();
-  double plan_micros = static_cast<double>(plan_timer.ElapsedMicros());
+  trace::SpanPtr plan_span = trace->StartSpan("plan", root);
+  uint64_t plan_sim = 0;
+  auto plan = [&] {
+    common::DeferredChargeScope scope;
+    auto p = Plan(sql, select, table, settings, &pre_stats);
+    plan_sim = scope.accumulated_micros();
+    return p;
+  }();
+  double plan_micros = plan_span->ElapsedMicros();
+  plan_span->SetBreakdown(plan_micros, static_cast<double>(plan_sim), 0);
+  plan_span->SetTag("plan_cache", pre_stats.used_plan_cache ? "hit" : "miss");
+  plan_span->End();
+  if (plan_sim > 0) common::ChargeSimLatency(plan_sim);
+  m.plan_micros->Record(plan_micros);
+  if (!plan.ok()) {
+    root->End();
+    m.query_failures->Add(1);
+    return plan.status();
+  }
 
   sql::Executor executor(read_vw_.get(), settings);
+  executor.SetTrace(trace, root);
   if (executor_topology_hook_for_test_)
     executor.SetTopologyHookForTest(executor_topology_hook_for_test_);
   auto result = executor.Execute(*plan, *table->engine);
-  if (!result.ok()) return result.status();
+
+  m.query_micros->Record(root->ElapsedMicros());
+  root->End();
+  if (out_trace != nullptr) *out_trace = trace;
+  if (trace_sink_.ShouldSample()) trace_sink_.Record(*trace);
+
+  if (!result.ok()) {
+    m.query_failures->Add(1);
+    return result.status();
+  }
   result->stats.plan_micros = plan_micros;
   result->stats.used_plan_cache = pre_stats.used_plan_cache;
   result->stats.used_short_circuit = pre_stats.used_short_circuit;
@@ -237,9 +324,17 @@ common::Result<sql::QueryResult> BlendHouse::QueryWithSettings(
 common::Result<std::string> BlendHouse::Explain(const std::string& sql) {
   auto stmt = sql::ParseStatement(sql);
   if (!stmt.ok()) return stmt.status();
+  // Accept both "SELECT ..." and "EXPLAIN [ANALYZE] SELECT ..." spellings.
+  if (stmt->kind == sql::Statement::Kind::kExplain)
+    return stmt->explain->analyze ? ExplainAnalyze(sql)
+                                  : ExplainSelect(stmt->explain->select);
   if (stmt->kind != sql::Statement::Kind::kSelect)
     return common::Status::InvalidArgument("EXPLAIN expects SELECT");
-  const sql::SelectStmt& select = *stmt->select;
+  return ExplainSelect(*stmt->select);
+}
+
+common::Result<std::string> BlendHouse::ExplainSelect(
+    const sql::SelectStmt& select) {
   TableState* table = FindTable(select.table);
   if (table == nullptr)
     return common::Status::NotFound("table: " + select.table);
@@ -258,6 +353,30 @@ common::Result<std::string> BlendHouse::Explain(const std::string& sql) {
                 optimized->choice.cost_a, optimized->choice.cost_b,
                 optimized->choice.cost_c);
   return std::string(buf) + optimized->explain;
+}
+
+common::Result<std::string> BlendHouse::ExplainAnalyze(
+    const std::string& sql) {
+  auto stmt = sql::ParseStatement(sql);
+  if (!stmt.ok()) return stmt.status();
+  const sql::SelectStmt* select = nullptr;
+  if (stmt->kind == sql::Statement::Kind::kExplain)
+    select = &stmt->explain->select;
+  else if (stmt->kind == sql::Statement::Kind::kSelect)
+    select = &*stmt->select;
+  else
+    return common::Status::InvalidArgument("EXPLAIN ANALYZE expects SELECT");
+
+  trace::TracePtr trace;
+  auto result = RunSelect(sql, *select, options_.settings, &trace);
+  if (!result.ok()) return result.status();
+  if (trace == nullptr)
+    return common::Status::Internal("query produced no trace");
+
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "rows=%zu plan_micros=%.0f\n",
+                result->rows.size(), result->stats.plan_micros);
+  return std::string(buf) + trace::RenderSpanTree(trace->Collect());
 }
 
 common::Status BlendHouse::ApplySetting(const sql::SetStmt& stmt) {
@@ -382,6 +501,29 @@ common::Result<sql::QueryResult> BlendHouse::ExecuteSql(
   switch (stmt->kind) {
     case sql::Statement::Kind::kSelect:
       return Query(sql);
+    case sql::Statement::Kind::kExplain: {
+      // EXPLAIN → the optimizer report; EXPLAIN ANALYZE → execute and render
+      // the trace span tree. Either way the text comes back one row per
+      // line in a single "explain" column.
+      auto text = stmt->explain->analyze ? ExplainAnalyze(sql)
+                                         : ExplainSelect(stmt->explain->select);
+      if (!text.ok()) return text.status();
+      sql::QueryResult out;
+      out.column_names = {"explain"};
+      size_t begin = 0;
+      const std::string& s = *text;
+      while (begin <= s.size()) {
+        size_t end = s.find('\n', begin);
+        if (end == std::string::npos) end = s.size();
+        if (end > begin) {
+          storage::Row row;
+          row.values.emplace_back(s.substr(begin, end - begin));
+          out.rows.push_back(std::move(row));
+        }
+        begin = end + 1;
+      }
+      return out;
+    }
     case sql::Statement::Kind::kCreateTable:
       BH_RETURN_IF_ERROR(CreateTable(stmt->create_table->schema));
       return sql::QueryResult{};

@@ -9,6 +9,7 @@
 #include "cluster/virtual_warehouse.h"
 #include "common/mutex.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/options.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -63,6 +64,10 @@ class BlendHouse {
   /// costs, chosen strategy.
   common::Result<std::string> Explain(const std::string& sql);
 
+  /// EXPLAIN ANALYZE: executes the SELECT and returns its rendered trace
+  /// span tree (per-span wall/compute/sim-I/O times, cache-hit tags).
+  common::Result<std::string> ExplainAnalyze(const std::string& sql);
+
   // ---- Programmatic surface ------------------------------------------------
 
   common::Status CreateTable(storage::TableSchema schema);
@@ -91,6 +96,8 @@ class BlendHouse {
   storage::ObjectStore& object_store() { return store_; }
   cluster::RpcFabric& rpc() { return rpc_; }
   sql::PlanCache& plan_cache() { return plan_cache_; }
+  /// Sampled per-query traces (see BlendHouseOptions::trace).
+  trace::TraceSink& trace_sink() { return trace_sink_; }
   BlendHouseOptions& mutable_options() { return options_; }
   const BlendHouseOptions& options() const { return options_; }
 
@@ -126,6 +133,20 @@ class BlendHouse {
                                            const sql::QuerySettings& settings,
                                            sql::ExecStats* stats);
 
+  /// Shared SELECT path: plans + executes `select` under a fresh trace.
+  /// When `out_trace` is non-null the finished trace is handed back (EXPLAIN
+  /// ANALYZE), independent of the sink's sampling decision.
+  common::Result<sql::QueryResult> RunSelect(
+      const std::string& sql, const sql::SelectStmt& select,
+      const sql::QuerySettings& settings, trace::TracePtr* out_trace);
+
+  /// `SELECT * FROM system.metrics`: (name, value) rows from the registry.
+  static common::Result<sql::QueryResult> QuerySystemMetrics(
+      const sql::SelectStmt& select);
+
+  /// Optimizer report for an already-parsed SELECT (plain EXPLAIN body).
+  common::Result<std::string> ExplainSelect(const sql::SelectStmt& select);
+
   common::Status ApplySetting(const sql::SetStmt& stmt);
   common::Status ExecuteInsert(const sql::InsertStmt& stmt);
   common::Status ExecuteUpdate(const sql::UpdateStmt& stmt);
@@ -138,6 +159,7 @@ class BlendHouse {
   std::function<void(size_t)> executor_topology_hook_for_test_;
   std::unique_ptr<common::ThreadPool> build_pool_;
   sql::PlanCache plan_cache_;
+  trace::TraceSink trace_sink_;
 
   mutable common::Mutex catalog_mu_;
   std::map<std::string, std::unique_ptr<TableState>> tables_

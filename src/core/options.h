@@ -4,6 +4,7 @@
 
 #include "cluster/rpc.h"
 #include "cluster/worker.h"
+#include "common/trace.h"
 #include "sql/settings.h"
 #include "storage/lsm_engine.h"
 #include "storage/object_store.h"
@@ -44,6 +45,11 @@ struct BlendHouseOptions {
 
   /// Session defaults; per-query overrides via QueryWithSettings.
   sql::QuerySettings settings;
+
+  /// Trace retention: ring capacity, sampling rate, and RNG seed for the
+  /// per-instance TraceSink. Spans are always produced (they feed ExecStats
+  /// and EXPLAIN ANALYZE); this only controls which finished traces are kept.
+  trace::TraceSink::Options trace;
 
   /// Rebuild table statistics when the committed version changes.
   bool auto_refresh_statistics = true;

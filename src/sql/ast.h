@@ -45,6 +45,13 @@ struct SelectStmt {
   std::optional<size_t> scalar_limit;
 };
 
+/// EXPLAIN SELECT ... (plan only) or EXPLAIN ANALYZE SELECT ... (executes
+/// the query and renders its trace span tree).
+struct ExplainStmt {
+  bool analyze = false;
+  SelectStmt select;
+};
+
 /// UPDATE t SET col = value, ... WHERE pred; (realtime update path)
 struct UpdateStmt {
   std::string table;
@@ -74,6 +81,7 @@ struct Statement {
     kCreateTable,
     kInsert,
     kSelect,
+    kExplain,
     kUpdate,
     kDelete,
     kOptimize,
@@ -83,6 +91,7 @@ struct Statement {
   std::optional<CreateTableStmt> create_table;
   std::optional<InsertStmt> insert;
   std::optional<SelectStmt> select;
+  std::optional<ExplainStmt> explain;
   std::optional<UpdateStmt> update;
   std::optional<DeleteStmt> del;
   std::optional<OptimizeStmt> optimize;

@@ -10,8 +10,8 @@
 #include <utility>
 
 #include "common/future.h"
+#include "common/metrics.h"
 #include "common/task_scheduler.h"
-#include "common/timer.h"
 #include "vecindex/distance.h"
 
 namespace blendhouse::sql {
@@ -85,9 +85,35 @@ uint64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+/// Runs one sub-stage of a segment task under its own child span, with the
+/// stage's simulated I/O attributed to that span. The nested
+/// DeferredChargeScope captures the stage's charges (innermost scope wins),
+/// so the I/O is handed back to the enclosing worker-level scope afterwards —
+/// without the re-charge the task's AsyncTaskStats would lose it.
+template <typename Fn>
+auto TracedStage(const trace::TracePtr& trace, const trace::SpanPtr& parent,
+                 const char* name, Fn&& fn) {
+  if (trace == nullptr) return fn(static_cast<trace::Span*>(nullptr));
+  trace::SpanPtr span = trace->StartSpan(name, parent);
+  auto start = std::chrono::steady_clock::now();
+  uint64_t sim = 0;
+  auto result = [&] {
+    common::DeferredChargeScope scope;
+    auto r = fn(span.get());
+    sim = scope.accumulated_micros();
+    return r;
+  }();
+  span->SetBreakdown(static_cast<double>(ElapsedMicros(start)),
+                     static_cast<double>(sim), 0);
+  span->End();
+  if (sim > 0) common::ChargeSimLatency(sim);
+  return result;
+}
+
 }  // namespace
 
 struct Executor::QueryContext {
+  trace::TracePtr trace;
   BoundQuery bound;
   /// Compiled once per query (regexes, LIKE shapes, literal conversions);
   /// every segment task binds against this shared immutable form. Null when
@@ -103,6 +129,11 @@ struct Executor::AttemptState {
   explicit AttemptState(size_t k) : k(k) {}
 
   const size_t k;
+  /// Pins the workers this attempt resolved: every task closure captures the
+  /// state, so the lease is released by the attempt's last straggler — not at
+  /// query return — and a concurrent scale-down cannot destroy a Worker the
+  /// attempt still touches.
+  cluster::VirtualWarehouse::QueryLease lease;
   /// Read by segment tasks before doing work; set on first failure and on
   /// retry so stragglers of a dead attempt short-circuit instead of running.
   std::atomic<bool> cancelled{false};
@@ -146,11 +177,24 @@ common::Result<QueryResult> Executor::Execute(const OptimizedQuery& query,
   ExecStats stats;
   stats.strategy = query.choice.strategy;
   stats.rules_fired = query.rules_fired;
-  common::Timer timer;
+  // Every execution traces; callers that never attached one simply drop the
+  // private trace on return. The span's wall clock doubles as exec_micros,
+  // so there is no separate ad-hoc timer to keep consistent with the spans.
+  if (trace_ == nullptr) trace_ = trace::Trace::Make("query");
+  exec_span_ = trace_->StartSpan("execute", parent_span_);
+  exec_span_->SetTag("strategy", ExecStrategyName(query.choice.strategy));
   auto result = query.bound.has_ann ? ExecuteAnn(query, engine, &stats)
                                     : ExecuteScalar(query, engine, &stats);
+  stats.exec_micros = exec_span_->ElapsedMicros();
+  exec_span_->SetBreakdown(stats.compute_micros, stats.sim_io_micros,
+                           stats.queue_wait_micros);
+  exec_span_->End();
+  exec_span_ = nullptr;
+  static common::metrics::HistogramMetric* exec_hist =
+      common::metrics::MetricsRegistry::Instance().GetHistogram(
+          "bh_sql_exec_micros");
+  exec_hist->Record(stats.exec_micros);
   if (!result.ok()) return result.status();
-  stats.exec_micros = static_cast<double>(timer.ElapsedMicros());
   result->stats = stats;
   return result;
 }
@@ -243,6 +287,7 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
   // Materialization runs on the caller thread; account its time in the
   // breakdown (sim charges deferred, then paid once below) so queue-wait +
   // compute + sim-I/O covers the whole execution, not just segment tasks.
+  trace::SpanPtr mat_span = trace_->StartSpan("materialize", exec_span_);
   auto mat_start = std::chrono::steady_clock::now();
   uint64_t mat_sim = 0;
   common::Result<QueryResult> out = [&] {
@@ -251,8 +296,12 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
     mat_sim = scope.accumulated_micros();
     return r;
   }();
-  stats->compute_micros += static_cast<double>(ElapsedMicros(mat_start));
+  double mat_compute = static_cast<double>(ElapsedMicros(mat_start));
+  stats->compute_micros += mat_compute;
   stats->sim_io_micros += static_cast<double>(mat_sim);
+  mat_span->SetTag("rows", std::to_string(out.ok() ? out->rows.size() : 0));
+  mat_span->SetBreakdown(mat_compute, static_cast<double>(mat_sim), 0);
+  mat_span->End();
   if (mat_sim > 0) common::ChargeSimLatency(mat_sim);
   return out;
 }
@@ -268,14 +317,20 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
   // this) by shared_ptr, so a straggler from a cancelled attempt keeps the
   // data it reads alive instead of dangling into our stack frame.
   auto ctx = std::make_shared<const QueryContext>(
-      QueryContext{CopyBoundQuery(bound), compiled_filter, strategy, schema,
-                   snapshot, settings_});
+      QueryContext{trace_, CopyBoundQuery(bound), compiled_filter, strategy,
+                   schema, snapshot, settings_});
   common::TaskScheduler* sched = &vw_->task_scheduler();
 
   for (size_t attempt = 0;; ++attempt) {
     auto assignment =
         cluster::Scheduler::Assign(*vw_, schema.table_name, segments);
     if (topology_hook_for_test_) topology_hook_for_test_(attempt);
+
+    // Leased from resolution onward (after the hook: the hook may scale down,
+    // and RemoveWorker waits for leases — taking ours first would self-
+    // deadlock). Moved into AttemptState below so the attempt's stragglers
+    // keep their workers alive past our return.
+    cluster::VirtualWarehouse::QueryLease lease = vw_->AcquireQueryLease();
 
     // Resolve the whole assignment before dispatching anything, so a stale
     // placement (topology changed mid-planning) costs no task churn.
@@ -295,6 +350,7 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
     common::Status failure;
     if (!assignment_failed) {
       auto state = std::make_shared<AttemptState>(bound.k);
+      state->lease = std::move(lease);
       {
         common::MutexLock lock(state->mu);
         state->outstanding = segments.size();
@@ -308,18 +364,34 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
         for (const storage::SegmentMeta& meta : *metas) {
           auto slot = std::make_shared<SegmentTaskResult>();
           cluster::Worker* w = worker;
+          // Span opened at dispatch so it covers pool queueing; both
+          // continuations share the SpanPtr, so it survives the hop through
+          // the worker pool and the delay queue, and is closed exactly once
+          // in `done` (which runs for every dispatched task — success,
+          // failure, skip).
+          trace::SpanPtr span = trace_->StartSpan("segment_scan", exec_span_);
+          span->SetTag("segment", meta.segment_id);
+          span->SetTag("worker", w->id());
+          if (attempt > 0) span->SetTag("attempt", std::to_string(attempt));
           worker->SearchSegmentAsync(
               sched,
               /*search=*/
-              [ctx, state, slot, w, meta] {
+              [ctx, state, slot, w, meta, span] {
                 if (state->cancelled.load(std::memory_order_acquire)) {
                   slot->skipped = true;
                   return;
                 }
-                *slot = RunSegment(w, *ctx, meta);
+                *slot = RunSegment(w, *ctx, meta, span);
               },
               /*done=*/
-              [state, slot](const cluster::AsyncTaskStats& ts) {
+              [state, slot, span](const cluster::AsyncTaskStats& ts) {
+                span->SetBreakdown(static_cast<double>(ts.compute_micros),
+                                   static_cast<double>(ts.sim_io_micros),
+                                   static_cast<double>(ts.queue_wait_micros));
+                if (slot->skipped) span->SetTag("skipped", "true");
+                if (!slot->skipped && !slot->status.ok())
+                  span->SetTag("error", slot->status.ToString());
+                span->End();
                 bool fire = false;
                 common::Status outcome;
                 common::MutexLock lock(state->mu);
@@ -400,7 +472,7 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
 
 Executor::SegmentTaskResult Executor::RunSegment(
     cluster::Worker* worker, const QueryContext& ctx,
-    const storage::SegmentMeta& meta) {
+    const storage::SegmentMeta& meta, const trace::SpanPtr& span) {
   const BoundQuery& bound = ctx.bound;
   const storage::TableSchema& schema = ctx.schema;
   const QuerySettings& settings = ctx.settings;
@@ -424,8 +496,11 @@ Executor::SegmentTaskResult Executor::RunSegment(
   switch (ctx.strategy) {
     case ExecStrategy::kBruteForce: {
       // Plan A: scalar filter first, exact distances on survivors only.
-      auto segment = worker->GetSegment(schema, meta.segment_id,
-                                        settings.use_column_cache);
+      auto segment = TracedStage(
+          ctx.trace, span, "fetch_segment", [&](trace::Span*) {
+            return worker->GetSegment(schema, meta.segment_id,
+                                      settings.use_column_cache);
+          });
       if (!segment.ok()) {
         result.status = segment.status();
         return result;
@@ -499,28 +574,35 @@ Executor::SegmentTaskResult Executor::RunSegment(
                           ctx.snapshot.DeleteEpochFor(meta.segment_id)) +
                       '#' + ctx.compiled_filter->fingerprint();
           cached = worker->GetCachedFilterBitmap(cache_key);
-          if (cached != nullptr) ++result.filter_cache_hits;
+          if (cached != nullptr) {
+            ++result.filter_cache_hits;
+            if (span != nullptr) span->SetTag("filter_cache", "hit");
+          }
         }
         if (cached == nullptr) {
-          auto segment = worker->GetSegment(schema, meta.segment_id,
-                                            settings.use_column_cache);
-          if (!segment.ok()) {
-            result.status = segment.status();
+          auto fresh = TracedStage(
+              ctx.trace, span, "build_filter_bitmap",
+              [&](trace::Span* sp)
+                  -> common::Result<std::shared_ptr<common::Bitset>> {
+                if (sp != nullptr) sp->SetTag("filter_cache", "miss");
+                auto segment = worker->GetSegment(schema, meta.segment_id,
+                                                  settings.use_column_cache);
+                if (!segment.ok()) return segment.status();
+                auto bind =
+                    PredicateEvaluator::Bind(ctx.compiled_filter, **segment);
+                if (!bind.ok()) return bind.status();
+                return std::make_shared<common::Bitset>(
+                    bind->BuildBitmap(deletes, settings.use_granule_pruning));
+              });
+          if (!fresh.ok()) {
+            result.status = fresh.status();
             return result;
           }
-          auto bind =
-              PredicateEvaluator::Bind(ctx.compiled_filter, **segment);
-          if (!bind.ok()) {
-            result.status = bind.status();
-            return result;
-          }
-          auto fresh = std::make_shared<common::Bitset>(
-              bind->BuildBitmap(deletes, settings.use_granule_pruning));
           if (!cache_key.empty()) {
             ++result.filter_cache_misses;
-            worker->PutFilterBitmap(cache_key, fresh);
+            worker->PutFilterBitmap(cache_key, *fresh);
           }
-          cached = std::move(fresh);
+          cached = std::move(*fresh);
         }
         if (!cached->Any()) break;  // nothing qualifies in this segment
         params.filter = cached.get();
@@ -539,7 +621,13 @@ Executor::SegmentTaskResult Executor::RunSegment(
         if (!bitmap.Any()) break;
         params.filter = &bitmap;
       }
-      auto acquired = worker->AcquireIndex(schema, meta, settings.acquire);
+      auto acquired = TracedStage(
+          ctx.trace, span, "acquire_index", [&](trace::Span* sp) {
+            auto r = worker->AcquireIndex(schema, meta, settings.acquire);
+            if (sp != nullptr && r.ok())
+              sp->SetTag("outcome", cluster::CacheOutcomeName(r->outcome));
+            return r;
+          });
       if (!acquired.ok()) {
         result.status = acquired.status();
         return result;
@@ -563,7 +651,13 @@ Executor::SegmentTaskResult Executor::RunSegment(
     case ExecStrategy::kPostFilter: {
       // Plan C: iterator ANN scan first, filter candidates, refill until k
       // qualify (partial top-k pushed below the scalar filter).
-      auto acquired = worker->AcquireIndex(schema, meta, settings.acquire);
+      auto acquired = TracedStage(
+          ctx.trace, span, "acquire_index", [&](trace::Span* sp) {
+            auto r = worker->AcquireIndex(schema, meta, settings.acquire);
+            if (sp != nullptr && r.ok())
+              sp->SetTag("outcome", cluster::CacheOutcomeName(r->outcome));
+            return r;
+          });
       if (!acquired.ok()) {
         result.status = acquired.status();
         return result;
@@ -686,6 +780,7 @@ common::Result<QueryResult> Executor::Materialize(
 
 common::Result<storage::SegmentPtr> Executor::FetchForMaterialize(
     const storage::TableSchema& schema, const std::string& segment_id) {
+  cluster::VirtualWarehouse::QueryLease lease = vw_->AcquireQueryLease();
   cluster::Worker* owner = vw_->OwnerOf(
       storage::SegmentKeys::Index(schema.table_name, segment_id));
   if (owner == nullptr) return common::Status::Aborted("no worker available");
@@ -739,6 +834,7 @@ common::Result<QueryResult> Executor::ExecuteScalar(
     compiled_filter = std::move(compiled).value();
   }
 
+  cluster::VirtualWarehouse::QueryLease lease = vw_->AcquireQueryLease();
   for (const storage::SegmentMeta& meta : segments) {
     if (out.rows.size() >= limit) break;
     cluster::Worker* owner = vw_->OwnerOf(

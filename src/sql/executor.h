@@ -9,6 +9,7 @@
 #include "cluster/scheduler.h"
 #include "cluster/virtual_warehouse.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "sql/optimizer.h"
 #include "sql/settings.h"
 #include "storage/lsm_engine.h"
@@ -61,6 +62,14 @@ class Executor {
  public:
   Executor(cluster::VirtualWarehouse* read_vw, const QuerySettings& settings)
       : vw_(read_vw), settings_(settings) {}
+
+  /// Attaches a per-query trace: execution spans parent under `parent`.
+  /// Without this, Execute creates a private trace so span bookkeeping is
+  /// identical on every path (the trace is simply never retained).
+  void SetTrace(trace::TracePtr trace, trace::SpanPtr parent) {
+    trace_ = std::move(trace);
+    parent_span_ = std::move(parent);
+  }
 
   /// Runs an optimized SELECT against one table's engine.
   common::Result<QueryResult> Execute(const OptimizedQuery& query,
@@ -127,9 +136,11 @@ class Executor {
   /// Static on purpose: segment tasks run on worker pools and may outlive
   /// this Executor (cancelled-attempt stragglers), so they must not capture
   /// `this` — everything they need lives in the shared QueryContext.
+  /// `span` is the task's segment_scan span (sub-stage spans parent there).
   static SegmentTaskResult RunSegment(cluster::Worker* worker,
                                       const QueryContext& ctx,
-                                      const storage::SegmentMeta& meta);
+                                      const storage::SegmentMeta& meta,
+                                      const trace::SpanPtr& span);
 
   common::Result<QueryResult> Materialize(const BoundQuery& bound,
                                           const storage::TableSchema& schema,
@@ -142,6 +153,10 @@ class Executor {
 
   cluster::VirtualWarehouse* vw_;
   QuerySettings settings_;
+  trace::TracePtr trace_;
+  trace::SpanPtr parent_span_;
+  /// The query's "execute" span; segment_scan spans parent here.
+  trace::SpanPtr exec_span_;
   std::function<void(size_t attempt)> topology_hook_for_test_;
 };
 

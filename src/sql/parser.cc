@@ -18,6 +18,7 @@ class Parser {
     if (t.IsKeyword("CREATE")) return ParseCreateTable();
     if (t.IsKeyword("INSERT")) return ParseInsert();
     if (t.IsKeyword("SELECT")) return ParseSelect();
+    if (t.IsKeyword("EXPLAIN")) return ParseExplain();
     if (t.IsKeyword("UPDATE")) return ParseUpdate();
     if (t.IsKeyword("DELETE")) return ParseDelete();
     if (t.IsKeyword("OPTIMIZE")) return ParseOptimize();
@@ -429,6 +430,14 @@ class Parser {
     auto table = ExpectIdentifier();
     if (!table.ok()) return table.status();
     stmt.table = *table;
+    // Qualified names (database.table) — used by the system.metrics virtual
+    // table; stored as one dotted string.
+    if (MatchSymbol(".")) {
+      auto second = ExpectIdentifier();
+      if (!second.ok()) return second.status();
+      stmt.table += '.';
+      stmt.table += *second;
+    }
 
     if (MatchKeyword("WHERE")) {
       auto pred = ParseOrExpr();
@@ -483,6 +492,20 @@ class Parser {
     Statement out;
     out.kind = Statement::Kind::kSelect;
     out.select = std::move(stmt);
+    return out;
+  }
+
+  common::Result<Statement> ParseExplain() {
+    BH_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
+    ExplainStmt stmt;
+    stmt.analyze = MatchKeyword("ANALYZE");
+    auto inner = ParseSelect();
+    if (!inner.ok()) return inner.status();
+    stmt.select = std::move(*inner->select);
+
+    Statement out;
+    out.kind = Statement::Kind::kExplain;
+    out.explain = std::move(stmt);
     return out;
   }
 

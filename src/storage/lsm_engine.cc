@@ -6,11 +6,40 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
-#include "common/timer.h"
+#include "common/metrics.h"
 #include "vecindex/auto_index.h"
 #include "vecindex/index_factory.h"
 
 namespace blendhouse::storage {
+
+namespace {
+
+/// Process-wide LSM registry metrics (summed over engines/tables).
+struct LsmMetrics {
+  common::metrics::Counter* rows_ingested;
+  common::metrics::Counter* flushes;
+  common::metrics::Counter* segments_flushed;
+  common::metrics::Counter* compactions;
+  common::metrics::Gauge* memtable_rows;
+  common::metrics::HistogramMetric* index_build_micros;
+  common::metrics::HistogramMetric* segment_write_micros;
+};
+
+const LsmMetrics& EngineMetrics() {
+  auto& reg = common::metrics::MetricsRegistry::Instance();
+  static const LsmMetrics m{
+      reg.GetCounter("bh_lsm_rows_ingested_total"),
+      reg.GetCounter("bh_lsm_flushes_total"),
+      reg.GetCounter("bh_lsm_segments_flushed_total"),
+      reg.GetCounter("bh_lsm_compactions_total"),
+      reg.GetGauge("bh_lsm_memtable_rows"),
+      reg.GetHistogram("bh_lsm_index_build_micros"),
+      reg.GetHistogram("bh_lsm_segment_write_micros"),
+  };
+  return m;
+}
+
+}  // namespace
 
 Row RowFromSegment(const Segment& segment, size_t i) {
   Row row;
@@ -56,13 +85,17 @@ size_t LsmEngine::MemtableRows() const {
 common::Status LsmEngine::Insert(std::vector<Row> rows) {
   size_t num_rows = rows.size();
   std::vector<Row> to_flush;
+  size_t memtable_rows = 0;
   {
     common::MutexLock lock(memtable_mu_);
     for (Row& r : rows) memtable_.push_back(std::move(r));
     if (memtable_.size() >= options_.flush_threshold_rows)
       to_flush = std::move(memtable_);
+    memtable_rows = memtable_.size();
   }
   stats_.rows_ingested.fetch_add(num_rows, std::memory_order_relaxed);
+  EngineMetrics().rows_ingested->Add(num_rows);
+  EngineMetrics().memtable_rows->Set(static_cast<int64_t>(memtable_rows));
   if (to_flush.empty()) return common::Status::Ok();
   if (flush_pool_ == nullptr) return FlushBatch(std::move(to_flush));
   // Async ingestion pipeline: hand the batch to the background flusher so
@@ -97,6 +130,7 @@ common::Status LsmEngine::Flush() {
     common::MutexLock lock(memtable_mu_);
     to_flush = std::move(memtable_);
   }
+  EngineMetrics().memtable_rows->Set(0);
   common::Status tail;
   if (!to_flush.empty()) tail = FlushBatch(std::move(to_flush));
   common::Status drained = DrainPendingFlushes();
@@ -182,7 +216,7 @@ common::Result<std::vector<SegmentPtr>> LsmEngine::BuildSegments(
 common::Status LsmEngine::BuildAndStoreIndex(const Segment& segment) {
   if (!schema_.index_spec.has_value() || schema_.vector_column < 0)
     return common::Status::Ok();
-  common::Timer timer;
+  common::metrics::ScopedTimer timer(EngineMetrics().index_build_micros);
   vecindex::IndexSpec spec = *schema_.index_spec;
   if (options_.auto_tune_index)
     spec = vecindex::AutoTuneSpec(spec, segment.num_rows());
@@ -219,13 +253,16 @@ common::Status LsmEngine::FlushBatch(std::vector<Row> rows) {
   std::vector<std::future<common::Status>> index_builds;
   common::Status index_status;
   for (const SegmentPtr& segment : *segments) {
-    common::Timer write_timer;
-    BH_RETURN_IF_ERROR(store_->Put(
-        SegmentKeys::Data(schema_.table_name, segment->meta().segment_id),
-        segment->SerializeToString()));
-    stats_.segment_write_micros.fetch_add(
-        static_cast<uint64_t>(write_timer.ElapsedMicros()),
-        std::memory_order_relaxed);
+    {
+      common::metrics::ScopedTimer write_timer(
+          EngineMetrics().segment_write_micros);
+      BH_RETURN_IF_ERROR(store_->Put(
+          SegmentKeys::Data(schema_.table_name, segment->meta().segment_id),
+          segment->SerializeToString()));
+      stats_.segment_write_micros.fetch_add(
+          static_cast<uint64_t>(write_timer.ElapsedMicros()),
+          std::memory_order_relaxed);
+    }
     if (!options_.build_index_on_ingest) continue;
     if (options_.pipelined_index_build) {
       // Index of this segment builds while the next segment is written.
@@ -247,6 +284,8 @@ common::Status LsmEngine::FlushBatch(std::vector<Row> rows) {
   versions_.AddSegments(metas);
   stats_.segments_flushed.fetch_add(segments->size(),
                                     std::memory_order_relaxed);
+  EngineMetrics().flushes->Add(1);
+  EngineMetrics().segments_flushed->Add(segments->size());
   return common::Status::Ok();
 }
 
@@ -319,6 +358,7 @@ common::Status LsmEngine::CompactGroup(const std::vector<SegmentMeta>& group) {
     (void)store_->Delete(SegmentKeys::Index(schema_.table_name, id));
   }
   stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics().compactions->Add(1);
   return common::Status::Ok();
 }
 

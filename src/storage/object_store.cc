@@ -4,18 +4,37 @@
 
 namespace blendhouse::storage {
 
+const ObjectStore::Metrics& ObjectStore::RegistryMetrics() {
+  auto& reg = common::metrics::MetricsRegistry::Instance();
+  static const Metrics m{
+      reg.GetCounter("bh_object_store_gets_total"),
+      reg.GetCounter("bh_object_store_puts_total"),
+      reg.GetCounter("bh_object_store_bytes_read_total"),
+      reg.GetCounter("bh_object_store_bytes_written_total"),
+      reg.GetCounter("bh_object_store_sim_latency_micros_total"),
+  };
+  return m;
+}
+
 void ObjectStore::ChargeLatency(size_t bytes) const {
   StorageCostModel cost = cost_model();  // copy; never charge under the lock
   if (!cost.simulate_latency) return;
   double transfer = static_cast<double>(bytes) / cost.bytes_per_micro;
   int64_t total = cost.base_latency_micros + static_cast<int64_t>(transfer);
-  if (total > 0) common::ChargeSimLatency(static_cast<uint64_t>(total));
+  if (total > 0) {
+    stats_.sim_latency_micros.fetch_add(static_cast<uint64_t>(total),
+                                        std::memory_order_relaxed);
+    RegistryMetrics().sim_latency_micros->Add(static_cast<uint64_t>(total));
+    common::ChargeSimLatency(static_cast<uint64_t>(total));
+  }
 }
 
 common::Status ObjectStore::Put(const std::string& key, std::string bytes) {
   ChargeLatency(bytes.size());
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(bytes.size(), std::memory_order_relaxed);
+  RegistryMetrics().puts->Add(1);
+  RegistryMetrics().bytes_written->Add(bytes.size());
   common::MutexLock lock(mu_);
   objects_[key] = std::move(bytes);
   return common::Status::Ok();
@@ -33,6 +52,8 @@ common::Result<std::string> ObjectStore::Get(const std::string& key) const {
   ChargeLatency(bytes.size());
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_read.fetch_add(bytes.size(), std::memory_order_relaxed);
+  RegistryMetrics().gets->Add(1);
+  RegistryMetrics().bytes_read->Add(bytes.size());
   return bytes;
 }
 
@@ -65,6 +86,7 @@ void ObjectStore::ResetStats() {
   stats_.puts.store(0);
   stats_.bytes_read.store(0);
   stats_.bytes_written.store(0);
+  stats_.sim_latency_micros.store(0);
 }
 
 }  // namespace blendhouse::storage

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -34,6 +35,10 @@ struct ObjectStoreStats {
   std::atomic<uint64_t> puts{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  /// Total simulated latency charged by this store's cost model. The
+  /// EXPLAIN ANALYZE reconciliation test checks span sim-I/O sums against
+  /// the registry mirror of this value.
+  std::atomic<uint64_t> sim_latency_micros{0};
 };
 
 /// Simulated remote shared storage (the paper's HDFS/S3 tier). Thread-safe
@@ -67,6 +72,15 @@ class ObjectStore {
   }
 
  private:
+  struct Metrics {
+    common::metrics::Counter* gets;
+    common::metrics::Counter* puts;
+    common::metrics::Counter* bytes_read;
+    common::metrics::Counter* bytes_written;
+    common::metrics::Counter* sim_latency_micros;
+  };
+  static const Metrics& RegistryMetrics();
+
   void ChargeLatency(size_t bytes) const;
 
   mutable common::Mutex mu_;

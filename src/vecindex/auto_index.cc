@@ -4,7 +4,9 @@
 #include <cmath>
 #include <string>
 
-#include "common/timer.h"
+// Trial timing here is an algorithm input (candidate selection), not
+// telemetry — a registry histogram would be the wrong sink for it.
+#include "common/timer.h"  // lint:allow(adhoc-timer)
 #include "vecindex/ivf_index.h"
 
 namespace blendhouse::vecindex {
@@ -64,7 +66,7 @@ common::Result<AutoTuneReport> MeasuredAutoTuneIvf(const float* data, size_t n,
     params.k = static_cast<int>(k);
     params.nprobe =
         std::max(1, static_cast<int>(index.nlist() / 8));
-    common::Timer timer;
+    common::Timer timer;  // lint:allow(adhoc-timer) -- measured trial input
     size_t queries = std::min(sample_queries, n);
     for (size_t q = 0; q < queries; ++q) {
       auto r = index.SearchWithFilter(data + (q * (n / queries)) * dim, params);

@@ -189,6 +189,72 @@ TEST(HistogramTest, EmptyIsSafe) {
   EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
 }
 
+TEST(HistogramTest, PercentileClampsOutOfRangeInputs) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.Add(i);
+  // p > 100 used to read one past the end; p < 0 wrapped the size_t index.
+  EXPECT_DOUBLE_EQ(h.Percentile(150), h.Percentile(100));
+  EXPECT_DOUBLE_EQ(h.Percentile(-5), h.Percentile(0));
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
+}
+
+TEST(HistogramTest, MergeAppendsSamples) {
+  Histogram a, b;
+  for (int i = 1; i <= 50; ++i) a.Add(i);
+  for (int i = 51; i <= 100; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 100u);
+  EXPECT_NEAR(a.Percentile(50), 50.5, 0.01);
+  EXPECT_DOUBLE_EQ(a.Max(), 100.0);
+}
+
+TEST(BucketedHistogramTest, EmptyPercentileIsZero) {
+  BucketedHistogram h({1, 10, 100});
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(BucketedHistogramTest, PercentileInterpolatesWithinBuckets) {
+  BucketedHistogram h({10, 100, 1000});
+  for (int i = 0; i < 100; ++i) h.Add(5);     // all in [0, 10)
+  EXPECT_GT(h.Percentile(50), 0.0);
+  EXPECT_LE(h.Percentile(50), 10.0);
+  h.Add(500);  // one sample in (100, 1000]
+  EXPECT_LE(h.Percentile(99), 1000.0);
+  EXPECT_GT(h.Percentile(99.9), 100.0);
+}
+
+TEST(BucketedHistogramTest, OverflowBucketReportsLastBound) {
+  BucketedHistogram h({10, 100});
+  h.Add(1e9);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 100.0);
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+}
+
+TEST(BucketedHistogramTest, MergeMismatchedBoundsIsInvalidArgument) {
+  BucketedHistogram a({10, 100});
+  BucketedHistogram b({10, 200});
+  a.Add(5);
+  b.Add(150);
+  Status s = a.Merge(b);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  // The failed merge left the target untouched.
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 5.0);
+}
+
+TEST(BucketedHistogramTest, MergeMatchingBoundsAccumulates) {
+  BucketedHistogram a({10, 100});
+  BucketedHistogram b({10, 100});
+  a.Add(5);
+  b.Add(50);
+  b.Add(7);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 62.0);
+}
+
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};

@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "baselines/blendhouse_system.h"
+#include "baselines/dataset.h"
 #include "cluster/index_cache.h"
 #include "common/future.h"
 #include "common/lru_cache.h"
@@ -469,6 +472,72 @@ TEST(ConcurrencyTest, LsmEngineAsyncFlushCommitsEverything) {
   ASSERT_TRUE(engine.Flush().ok());
   EXPECT_EQ(engine.Snapshot().TotalRows(),
             static_cast<uint64_t>(kWriters) * kBatches * kBatchRows);
+}
+
+// Epoch-based exec-stats accounting: drains racing in-flight queries (the
+// worker scale-down scenario) must neither lose nor double-count a query.
+// Every successful search folds into exactly one epoch, and every epoch is
+// collected by exactly one drain, so the drained `queries` totals sum to the
+// number of successful searches.
+TEST(ConcurrencyTest, BlendHouseSystemDrainExecStatsRacesQueries) {
+  baselines::BlendHouseSystemOptions opts;
+  opts.db = core::BlendHouseOptions::Fast();
+  opts.db.ingest.max_segment_rows = 64;
+  opts.preload = false;
+  baselines::BlendHouseSystem system(opts);
+
+  baselines::DatasetSpec spec;
+  spec.n = 256;
+  spec.dim = 8;
+  spec.clusters = 4;
+  spec.num_queries = 8;
+  baselines::BenchDataset data = baselines::MakeDataset(spec);
+  ASSERT_TRUE(system.Load(data).ok());
+
+  constexpr int kSearchers = 4;
+  constexpr int kSearchesEach = 30;
+  std::atomic<size_t> successes{0};
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> drained_queries{0};
+  std::atomic<double> drained_exec{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSearchers; ++t) {
+    threads.emplace_back([&system, &data, &successes, t] {
+      for (int i = 0; i < kSearchesEach; ++i) {
+        baselines::SearchRequest req;
+        req.query = data.query((t + i) % data.num_queries);
+        req.k = 5;
+        if (system.Search(req).ok()) successes.fetch_add(1);
+      }
+    });
+  }
+  // Drains race the searchers; worker churn makes the epochs non-trivial
+  // (queries retried across a scale event still fold exactly once).
+  threads.emplace_back([&system, &stop, &drained_queries, &drained_exec] {
+    while (!stop.load()) {
+      if (system.db().AddReadWorker() != nullptr) {
+        auto workers = system.db().read_vw().workers();
+        (void)system.db().RemoveReadWorker(workers.front()->id());
+      }
+      auto stats = system.DrainExecStats();
+      drained_queries.fetch_add(stats.queries);
+      drained_exec.store(drained_exec.load() + stats.exec_micros);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (int t = 0; t < kSearchers; ++t) threads[t].join();
+  stop.store(true);
+  threads.back().join();
+
+  // A final drain collects whatever the last open epoch accumulated.
+  auto tail = system.DrainExecStats();
+  drained_queries.fetch_add(tail.queries);
+  drained_exec.store(drained_exec.load() + tail.exec_micros);
+
+  EXPECT_GT(successes.load(), 0u);
+  EXPECT_EQ(drained_queries.load(), successes.load());
+  if (successes.load() > 0) EXPECT_GT(drained_exec.load(), 0.0);
 }
 
 }  // namespace

@@ -23,6 +23,13 @@ enforces four concurrency/hygiene rules:
                src/vecindex/kernels/. Everything else calls the dispatched
                kernel layer so per-TU -march flags stay contained and the
                scalar fallback stays honest.
+  adhoc-timer  common::Timer (common/timer.h) is banned outside src/common/
+               and src/baselines/. Ad-hoc timer-fed stat fields fragment
+               telemetry: production timing flows through the metrics layer
+               (common::metrics::ScopedTimer into a registry histogram) or
+               trace spans, so every measurement is exported and
+               reconcilable. Algorithms that consume elapsed time as an
+               input (e.g. auto-index trials) annotate the use.
 
 Suppress a finding by putting  lint:allow(<rule>)  in a comment on the same
 line. Usage: tools/lint.py [repo-root]
@@ -73,6 +80,14 @@ SIMD_INTRINSIC_RE = re.compile(
     r"vfmaq_|vaddvq_|vdupq_)")
 SIMD_EXEMPT_PREFIXES = (
     os.path.join("src", "vecindex", "kernels") + os.sep,)
+
+# The metrics layer wraps Timer (ScopedTimer); baselines model synchronous
+# engines whose internal timing is not part of BlendHouse's telemetry.
+ADHOC_TIMER_TOKENS = ("common::Timer", "common/timer.h")
+ADHOC_TIMER_EXEMPT_PREFIXES = (
+    os.path.join("src", "common") + os.sep,
+    os.path.join("src", "baselines") + os.sep,
+)
 
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 
@@ -170,6 +185,7 @@ def check_tokens(path, raw_lines, code_lines, findings):
     exempt_sleep = (path in SLEEP_EXEMPT_FILES
                     or path.startswith(SLEEP_EXEMPT_PREFIXES))
     exempt_simd = path.startswith(SIMD_EXEMPT_PREFIXES)
+    exempt_timer = path.startswith(ADHOC_TIMER_EXEMPT_PREFIXES)
     for lineno, line in enumerate(code_lines, start=1):
         if not exempt_mutex:
             for token in RAW_MUTEX_TOKENS:
@@ -201,6 +217,18 @@ def check_tokens(path, raw_lines, code_lines, findings):
                      f"raw intrinsic `{m.group(1)}...` outside "
                      "src/vecindex/kernels/; call the dispatched kernel "
                      "layer instead"))
+        if not exempt_timer and not allowed(lineno, "adhoc-timer"):
+            raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            for token in ADHOC_TIMER_TOKENS:
+                # The include token lives inside a string literal, so match
+                # against the raw line; the type token against code.
+                hay = raw if token.endswith(".h") else line
+                if token in hay:
+                    findings.append(
+                        (path, lineno, "adhoc-timer",
+                         f"{token} outside src/common/; time through "
+                         "common::metrics::ScopedTimer (registry histogram) "
+                         "or a trace span instead"))
         for m in NEW_RE.finditer(line):
             if allowed(lineno, "naked-new"):
                 continue

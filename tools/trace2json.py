@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Converts a TraceSink dump (trace::TraceSink::DumpJson) into Chrome trace
+JSON loadable by chrome://tracing or https://ui.perfetto.dev.
+
+Usage:
+  tools/trace2json.py [dump.json] [-o out.json]
+
+Reads the sink dump from the given file (or stdin), writes Chrome trace
+events to -o (or stdout). Each trace becomes one "process" (pid = trace_id);
+spans become complete ("X") events. Concurrent spans of one trace are packed
+onto the fewest "threads" (lanes) that keep every lane non-overlapping, so a
+query renders as a compact waterfall instead of one row per span.
+"""
+
+import argparse
+import json
+import sys
+
+
+def assign_lanes(spans):
+    """Greedy interval packing: span -> lane index (tid)."""
+    lanes = []  # lane -> end time of its last span
+    out = {}
+    for span in sorted(spans, key=lambda s: (s["start_micros"], s["span_id"])):
+        start = span["start_micros"]
+        end = start + span["wall_micros"]
+        for i, lane_end in enumerate(lanes):
+            if lane_end <= start:
+                lanes[i] = end
+                out[span["span_id"]] = i
+                break
+        else:
+            out[span["span_id"]] = len(lanes)
+            lanes.append(end)
+    return out
+
+
+def convert(sink_dump):
+    events = []
+    for trace in sink_dump:
+        pid = trace["trace_id"]
+        spans = trace.get("spans", [])
+        lanes = assign_lanes(spans)
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": f'{trace.get("name", "trace")} #{pid}'},
+        })
+        for span in spans:
+            args = {
+                "parent_id": span.get("parent_id", 0),
+                "compute_micros": span.get("compute_micros", 0),
+                "sim_io_micros": span.get("sim_io_micros", 0),
+                "queue_wait_micros": span.get("queue_wait_micros", 0),
+            }
+            args.update(span.get("tags", {}))
+            events.append({
+                "ph": "X",
+                "pid": pid,
+                "tid": lanes[span["span_id"]],
+                "name": span["name"],
+                "cat": trace.get("name", "trace"),
+                "ts": span["start_micros"],
+                "dur": max(span["wall_micros"], 1e-3),
+                "args": args,
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", nargs="?", default="-",
+                        help="TraceSink dump JSON (default: stdin)")
+    parser.add_argument("-o", "--output", default="-",
+                        help="Chrome trace JSON output (default: stdout)")
+    args = parser.parse_args()
+
+    if args.input == "-":
+        sink_dump = json.load(sys.stdin)
+    else:
+        with open(args.input, encoding="utf-8") as f:
+            sink_dump = json.load(f)
+
+    result = convert(sink_dump)
+    text = json.dumps(result, indent=1)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        n_traces = len(sink_dump)
+        n_events = len(result["traceEvents"])
+        print(f"wrote {n_events} events from {n_traces} traces to "
+              f"{args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
