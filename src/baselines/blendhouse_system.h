@@ -78,7 +78,7 @@ class BlendHouseSystem : public VectorSystem {
     size_t inflight = 0;
   };
 
-  mutable common::Mutex stats_mu_;
+  mutable common::Mutex stats_mu_{common::lockrank::kBaselineStats};
   common::CondVar stats_cv_;
   uint64_t epoch_ GUARDED_BY(stats_mu_) = 0;
   std::map<uint64_t, EpochSlot> epochs_ GUARDED_BY(stats_mu_);

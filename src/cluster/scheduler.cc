@@ -50,7 +50,7 @@ namespace {
 /// Fan-in state for PreloadIndexesAsync: first error wins, the promise fires
 /// when the last outstanding load resolves.
 struct PreloadFanIn {
-  common::Mutex mu;
+  common::Mutex mu{common::lockrank::kQueryFanIn};
   common::Status first_error GUARDED_BY(mu);
   size_t outstanding GUARDED_BY(mu) = 0;
   common::Promise<common::Status> done;

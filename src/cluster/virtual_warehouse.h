@@ -121,7 +121,7 @@ class VirtualWarehouse {
   // whatever is still queued when the scheduler finally stops is safe.
   mutable common::TaskScheduler scheduler_{2};
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::lockrank::kVirtualWarehouse};
   mutable common::CondVar lease_cv_;
   /// Bumped by every scale-down unlink; open leases are counted per
   /// generation so RemoveWorker can wait for exactly the leases that might

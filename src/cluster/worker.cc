@@ -91,13 +91,20 @@ common::Result<Worker::AcquiredIndex> Worker::AcquireIndex(
 
   // Miss. Ask the pre-scale owner to serve from its hot cache.
   if (opts.allow_remote_serving && peer_resolver_) {
+    // The resolver is VirtualWarehouse code that takes vw->mu_; calling it
+    // with any worker-side lock held would invert the VW > worker hierarchy.
+    BH_LOCK_RANK_ONLY(
+        common::lockrank::AssertNoneHeld("Worker peer resolver"));
     Worker* prev = peer_resolver_(key);
     if (prev != nullptr && prev != this) {
       std::shared_ptr<vecindex::VectorIndex> hot = prev->PeekHotIndex(key);
       if (hot != nullptr) {
         prev->NotePeerServe();
         if (opts.background_load_on_fallback) {
-          loader_.Submit([this, key, spec] {
+          // `this` outlives the task: loader_ is the last member of Worker,
+          // so ~Worker joins it (draining the queue) before anything else
+          // of *this is torn down.
+          loader_.Submit([this, key, spec] {  // lint:allow(this-capture)
             auto st = index_cache_.GetOrLoad(key, spec);
             if (!st.ok())
               BH_LOG(kWarn, "background index load failed: " +
@@ -115,7 +122,8 @@ common::Result<Worker::AcquiredIndex> Worker::AcquireIndex(
   // query) or block on a remote load (slow once, fast after).
   if (opts.allow_brute_force) {
     if (opts.background_load_on_fallback) {
-      loader_.Submit([this, key, spec] {
+      // Safe for the same reason as above: ~Worker joins loader_ first.
+      loader_.Submit([this, key, spec] {  // lint:allow(this-capture)
         auto st = index_cache_.GetOrLoad(key, spec);
         if (!st.ok())
           BH_LOG(kWarn,
@@ -181,8 +189,10 @@ common::Future<common::Status> Worker::PreloadIndexAsync(
   std::string key =
       storage::SegmentKeys::Index(schema.table_name, meta.segment_id);
   vecindex::IndexSpec spec = *schema.index_spec;
-  loader_.Submit([this, sched, key = std::move(key), spec,
-                  promise = std::move(promise)]() mutable {
+  // `this` outlives the task: ~Worker joins loader_ (declared last) before
+  // index_cache_ is destroyed.
+  loader_.Submit([this, sched, key = std::move(key),  // lint:allow(this-capture)
+                  promise = std::move(promise), spec]() mutable {
     common::Status status;
     uint64_t sim_io = 0;
     {

@@ -42,6 +42,11 @@ class FutureState {
       if (sched != nullptr) {
         sched->Schedule(std::move(cont));
       } else {
+        // Inline continuation: runs on the Set() caller's stack, so any lock
+        // that caller holds is held across arbitrary user code — the PR5
+        // deadlock shape. Callers must release everything before SetValue.
+        BH_LOCK_RANK_ONLY(
+            lockrank::AssertNoneHeld("inline Future continuation (Set)"));
         cont();
       }
     }
@@ -82,13 +87,15 @@ class FutureState {
       if (sched != nullptr) {
         sched->Schedule(std::move(cont));
       } else {
+        BH_LOCK_RANK_ONLY(
+            lockrank::AssertNoneHeld("inline Future continuation (Then)"));
         cont();
       }
     }
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kFuture};
   CondVar cv_;
   std::optional<T> value_ GUARDED_BY(mu_);
   bool ready_ GUARDED_BY(mu_) = false;

@@ -141,7 +141,7 @@ class LruCache {
   };
 
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kLruCache};
   std::list<Entry> order_ GUARDED_BY(mu_);  // front = most recent
   std::unordered_map<std::string, typename std::list<Entry>::iterator> map_
       GUARDED_BY(mu_);

@@ -171,7 +171,7 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kMetricsRegistry};
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_

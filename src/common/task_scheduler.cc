@@ -94,6 +94,7 @@ void TaskScheduler::WorkerLoop() {
       // once); pass the baton before dropping the lock.
       if (!ready_.empty()) cv_.NotifyOne();
     }
+    BH_LOCK_RANK_ONLY(lockrank::AssertNoneHeld("TaskScheduler task"));
     task();
     tasks_total_metric_->Add(1);
     {
@@ -143,7 +144,7 @@ void ChargeSimLatency(uint64_t micros) {
   // Sync caller: block for the full duration. A private Mutex/CondVar pair
   // waited on with a deadline is the sanctioned stand-in for sleep_for (no
   // one ever notifies, so WaitUntil returns exactly at deadline).
-  Mutex mu;
+  Mutex mu{lockrank::kSimWait};
   CondVar cv;
   auto deadline = Clock::now() + std::chrono::microseconds(micros);
   MutexLock lock(mu);

@@ -75,7 +75,7 @@ class TaskScheduler {
 
   void WorkerLoop() EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kTaskScheduler};
   CondVar cv_;
   CondVar idle_cv_;
   std::deque<ReadyTask> ready_ GUARDED_BY(mu_);

@@ -35,6 +35,8 @@ ThreadPool::~ThreadPool() {
       queue_.pop_front();
       queue_depth_metric_->Sub(1);
     }
+    BH_LOCK_RANK_ONLY(
+        lockrank::AssertNoneHeld("ThreadPool shutdown inline drain"));
     task();
     tasks_total_metric_->Add(1);
   }
@@ -56,6 +58,7 @@ void ThreadPool::WorkerLoop() {
       queue_depth_metric_->Sub(1);
       ++active_;
     }
+    BH_LOCK_RANK_ONLY(lockrank::AssertNoneHeld("ThreadPool task"));
     task();
     tasks_total_metric_->Add(1);
     {

@@ -57,7 +57,7 @@ class ThreadPool {
 
   void WorkerLoop() EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{lockrank::kThreadPool};
   CondVar cv_;
   CondVar idle_cv_;
   std::deque<QueueEntry> queue_ GUARDED_BY(mu_);

@@ -73,7 +73,7 @@ class Span {
   TracePtr trace_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<bool> ended_{false};
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::lockrank::kSpan};
   SpanRecord record_ GUARDED_BY(mu_);
 };
 
@@ -113,7 +113,7 @@ class Trace : public std::enable_shared_from_this<Trace> {
   const std::chrono::steady_clock::time_point start_;
   std::atomic<uint64_t> next_span_id_{1};
   std::atomic<int64_t> open_spans_{0};
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::lockrank::kTrace};
   std::vector<SpanRecord> finished_ GUARDED_BY(mu_);
 };
 
@@ -161,7 +161,7 @@ class TraceSink {
 
  private:
   const Options opts_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::lockrank::kTraceSink};
   common::Rng rng_ GUARDED_BY(mu_);
   std::deque<FinishedTrace> traces_ GUARDED_BY(mu_);
   uint64_t dropped_ GUARDED_BY(mu_) = 0;

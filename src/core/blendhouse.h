@@ -114,7 +114,7 @@ class BlendHouse {
   struct TableState {
     storage::TableSchema schema;
     std::unique_ptr<storage::LsmEngine> engine;
-    common::Mutex stats_mu;
+    common::Mutex stats_mu{common::lockrank::kTableStats};
     /// Immutable statistics snapshot: queries copy the shared_ptr under
     /// stats_mu and keep using it while refreshes swap in new snapshots.
     std::shared_ptr<const sql::TableStatistics> stats GUARDED_BY(stats_mu);
@@ -161,7 +161,7 @@ class BlendHouse {
   sql::PlanCache plan_cache_;
   trace::TraceSink trace_sink_;
 
-  mutable common::Mutex catalog_mu_;
+  mutable common::Mutex catalog_mu_{common::lockrank::kCatalog};
   std::map<std::string, std::unique_ptr<TableState>> tables_
       GUARDED_BY(catalog_mu_);
 };

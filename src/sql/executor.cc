@@ -138,7 +138,7 @@ struct Executor::AttemptState {
   /// retry so stragglers of a dead attempt short-circuit instead of running.
   std::atomic<bool> cancelled{false};
 
-  common::Mutex mu;
+  common::Mutex mu{common::lockrank::kQueryFanIn};
   /// Bounded streaming top-k: max-heap by distance of at most k candidates,
   /// folded as partial results complete.
   std::vector<Candidate> heap GUARDED_BY(mu);
@@ -394,39 +394,46 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
                 span->End();
                 bool fire = false;
                 common::Status outcome;
-                common::MutexLock lock(state->mu);
-                state->queue_wait_micros += ts.queue_wait_micros;
-                state->compute_micros += ts.compute_micros;
-                state->sim_io_micros += ts.sim_io_micros;
-                if (!slot->skipped) {
-                  if (!slot->status.ok()) {
-                    // First failure completes the attempt immediately (the
-                    // caller retries without draining stragglers) and flags
-                    // the rest to short-circuit.
-                    state->cancelled.store(true, std::memory_order_release);
-                    if (state->first_error.ok())
-                      state->first_error = slot->status;
-                    if (!state->completed) {
-                      state->completed = true;
-                      fire = true;
-                      outcome = state->first_error;
+                {
+                  common::MutexLock lock(state->mu);
+                  state->queue_wait_micros += ts.queue_wait_micros;
+                  state->compute_micros += ts.compute_micros;
+                  state->sim_io_micros += ts.sim_io_micros;
+                  if (!slot->skipped) {
+                    if (!slot->status.ok()) {
+                      // First failure completes the attempt immediately (the
+                      // caller retries without draining stragglers) and flags
+                      // the rest to short-circuit.
+                      state->cancelled.store(true, std::memory_order_release);
+                      if (state->first_error.ok())
+                        state->first_error = slot->status;
+                      if (!state->completed) {
+                        state->completed = true;
+                        fire = true;
+                        outcome = state->first_error;
+                      }
+                    } else {
+                      ++state->segments_scanned;
+                      state->rounds += slot->rounds;
+                      for (size_t i = 0; i < slot->cache_outcomes.size(); ++i)
+                        state->cache_outcomes[i] += slot->cache_outcomes[i];
+                      state->filter_cache_hits += slot->filter_cache_hits;
+                      state->filter_cache_misses += slot->filter_cache_misses;
+                      for (Candidate& c : slot->candidates)
+                        state->FoldCandidate(std::move(c));
                     }
-                  } else {
-                    ++state->segments_scanned;
-                    state->rounds += slot->rounds;
-                    for (size_t i = 0; i < slot->cache_outcomes.size(); ++i)
-                      state->cache_outcomes[i] += slot->cache_outcomes[i];
-                    state->filter_cache_hits += slot->filter_cache_hits;
-                    state->filter_cache_misses += slot->filter_cache_misses;
-                    for (Candidate& c : slot->candidates)
-                      state->FoldCandidate(std::move(c));
+                  }
+                  if (--state->outstanding == 0 && !state->completed) {
+                    state->completed = true;
+                    fire = true;
+                    outcome = state->first_error;
                   }
                 }
-                if (--state->outstanding == 0 && !state->completed) {
-                  state->completed = true;
-                  fire = true;
-                  outcome = state->first_error;
-                }
+                // Fire the completion promise only after releasing state->mu:
+                // SetValue may run the waiter's continuation inline, and that
+                // continuation must be free to take any lock (the PR5
+                // RemoveWorker deadlock shape; lockgraph.py flags SetValue
+                // under a held lock as callback-under-lock).
                 if (fire) state->done.SetValue(std::move(outcome));
               });
         }

@@ -43,7 +43,7 @@ class PlanCache {
 
  private:
   const size_t capacity_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::lockrank::kPlanCache};
   std::list<std::pair<std::string, CachedPlan>> order_ GUARDED_BY(mu_);
   std::unordered_map<std::string,
                      std::list<std::pair<std::string, CachedPlan>>::iterator>

@@ -141,19 +141,20 @@ class LsmEngine {
   /// Waits for queued background flushes; returns the first error seen.
   common::Status DrainPendingFlushes() EXCLUDES(pending_mu_);
 
-  mutable common::Mutex memtable_mu_;
+  mutable common::Mutex memtable_mu_{common::lockrank::kLsmMemtable};
   std::vector<Row> memtable_ GUARDED_BY(memtable_mu_);
 
   std::unique_ptr<common::ThreadPool> flush_pool_;  // async_flush only
-  common::Mutex pending_mu_;
+  common::Mutex pending_mu_{common::lockrank::kLsmPending};
   std::vector<std::future<common::Status>> pending_flushes_
       GUARDED_BY(pending_mu_);
 
-  common::Mutex flush_mu_;  // serializes flush/compaction commits
+  common::Mutex flush_mu_{
+      common::lockrank::kLsmFlush};  // serializes flush/compaction commits
   VersionSet versions_;
   /// Published (copy-on-train) under partitioner_mu_; trained under
   /// flush_mu_ on the first CLUSTER BY flush.
-  mutable common::Mutex partitioner_mu_;
+  mutable common::Mutex partitioner_mu_{common::lockrank::kLsmPartitioner};
   std::shared_ptr<const SemanticPartitioner> semantic_partitioner_
       GUARDED_BY(partitioner_mu_);
   std::atomic<uint64_t> segment_counter_{0};

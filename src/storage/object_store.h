@@ -83,7 +83,7 @@ class ObjectStore {
 
   void ChargeLatency(size_t bytes) const;
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::lockrank::kObjectStore};
   StorageCostModel cost_model_ GUARDED_BY(mu_);
   std::map<std::string, std::string> objects_ GUARDED_BY(mu_);
   mutable ObjectStoreStats stats_;

@@ -76,7 +76,7 @@ class VersionSet {
   size_t NumSegments() const EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::lockrank::kVersionSet};
   uint64_t version_ GUARDED_BY(mu_) = 0;
   std::map<std::string, SegmentMeta> segments_ GUARDED_BY(mu_);
   std::map<std::string, std::shared_ptr<const common::Bitset>> deletes_

@@ -30,6 +30,15 @@ enforces four concurrency/hygiene rules:
                trace spans, so every measurement is exported and
                reconcilable. Algorithms that consume elapsed time as an
                input (e.g. auto-index trials) annotate the use.
+  this-capture  Lambdas passed to Future::Then / ThreadPool::Submit /
+               TaskScheduler::Schedule(/After) inside src/cluster/ must not
+               capture raw `this`: the continuation can outlive the object
+               during a scale-down (the use-after-free shape PR5's
+               generation-stamped leases exist to prevent). Capture a
+               shared_ptr/weak_ptr or stamped handle instead; audited sites
+               where lifetime is structurally guaranteed (e.g. a pool owned
+               by *this and destroyed first) carry lint:allow(this-capture)
+               with a justification.
 
 Suppress a finding by putting  lint:allow(<rule>)  in a comment on the same
 line. Usage: tools/lint.py [repo-root]
@@ -90,6 +99,14 @@ ADHOC_TIMER_EXEMPT_PREFIXES = (
 )
 
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+# A continuation-shaped call (Then/Submit/Schedule/ScheduleAfter) whose
+# lambda capture list contains a bare `this`. The window between the call
+# and `[` spans small leading args (scheduler pointer, delay).
+THIS_CAPTURE_RE = re.compile(
+    r"\b(?:Then|Submit|Schedule|ScheduleAfter)\s*\(([^\[\]();]{0,80})"
+    r"\[([^\]]*)\]", re.S)
+THIS_CAPTURE_PREFIXES = (os.path.join("src", "cluster") + os.sep,)
 
 
 def strip_comments_and_strings(text):
@@ -246,6 +263,31 @@ def check_tokens(path, raw_lines, code_lines, findings):
                  "naked `delete`; owning pointers must be smart pointers"))
 
 
+# Bare `this` in a capture list; `*this` (capture by copy) is safe.
+RAW_THIS_RE = re.compile(r"(?<![\w*])this\b")
+
+
+def check_this_capture(path, raw_lines, code_text, findings):
+    if not path.startswith(THIS_CAPTURE_PREFIXES):
+        return
+    allows = allows_for(raw_lines)
+    for m in THIS_CAPTURE_RE.finditer(code_text):
+        captures = m.group(2)
+        if not RAW_THIS_RE.search(captures):
+            continue
+        # Line of the `[` that opens the capture list.
+        lineno = code_text.count("\n", 0, m.start() + len(m.group(0)) -
+                                 len(captures) - 2) + 1
+        if "this-capture" in allows.get(lineno, set()):
+            continue
+        findings.append(
+            (path, lineno, "this-capture",
+             "continuation captures raw `this`; the task can outlive the "
+             "object during scale-down — capture a shared_ptr/weak_ptr or "
+             "generation-stamped handle, or lint:allow(this-capture) with "
+             "a lifetime justification"))
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
@@ -312,8 +354,10 @@ def main():
         with open(os.path.join(root, path), encoding="utf-8") as f:
             text = f.read()
         raw_lines = text.splitlines()
-        code_lines = strip_comments_and_strings(text).splitlines()
+        code_text = strip_comments_and_strings(text)
+        code_lines = code_text.splitlines()
         check_tokens(path, raw_lines, code_lines, findings)
+        check_this_capture(path, raw_lines, code_text, findings)
         check_pragma_once(path, raw_lines, findings)
 
     cycle = find_include_cycle(build_include_graph(root, files))
