@@ -1,0 +1,19 @@
+#include "common/sharding.h"
+
+#include <atomic>
+
+namespace blendhouse::common {
+
+namespace {
+std::atomic<bool> g_scheduler_sharding{true};
+}  // namespace
+
+bool SchedulerShardingEnabled() {
+  return g_scheduler_sharding.load(std::memory_order_relaxed);
+}
+
+void SetSchedulerSharding(bool enabled) {
+  g_scheduler_sharding.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace blendhouse::common

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+
+namespace blendhouse::common {
+
+/// "No preference" affinity hint for ThreadPool::Submit /
+/// TaskScheduler::Schedule*: the target shard is chosen round-robin.
+/// Any other value is reduced modulo the shard count, so callers can pass a
+/// stable hash (e.g. of a segment id) and repeatedly land on the same shard.
+inline constexpr size_t kNoAffinity = ~static_cast<size_t>(0);
+
+/// Process-wide default for the execution substrate's queue topology
+/// (DESIGN.md §12). When true (the default), ThreadPool and TaskScheduler
+/// construct one run-queue shard per worker thread with randomized work
+/// stealing; when false they construct the PR2-era single shared FIFO queue.
+///
+/// The flag is read at *construction* time: flipping it affects pools and
+/// schedulers created afterwards (a fresh BlendHouse instance, a scale-out
+/// worker), never ones already running. `SET scheduler_sharding = 0|1`
+/// (core::BlendHouse::ApplySetting) and bench A/B harnesses write it;
+/// BlendHouseOptions::scheduler_sharding pins it per instance.
+bool SchedulerShardingEnabled();
+void SetSchedulerSharding(bool enabled);
+
+/// RAII override for tests and A/B benches: sets the flag for the scope's
+/// lifetime and restores the previous value on exit.
+class ScopedSchedulerSharding {
+ public:
+  explicit ScopedSchedulerSharding(bool enabled)
+      : previous_(SchedulerShardingEnabled()) {
+    SetSchedulerSharding(enabled);
+  }
+  ~ScopedSchedulerSharding() { SetSchedulerSharding(previous_); }
+
+  ScopedSchedulerSharding(const ScopedSchedulerSharding&) = delete;
+  ScopedSchedulerSharding& operator=(const ScopedSchedulerSharding&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace blendhouse::common
