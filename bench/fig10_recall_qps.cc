@@ -4,8 +4,14 @@
 // Expected shape (paper): BlendHouse's curve dominates (higher QPS at equal
 // recall); Milvus sits below due to the per-query proxy hop; all curves bend
 // down as ef grows.
+//
+// The tail section runs BlendHouse again with an int8 first-pass index and
+// the executor's fp32 rerank (DESIGN.md §13); with BH_BENCH_ASSERT=1 its
+// recall@10 must stay within 1% of the pure-fp32 run.
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "baselines/blendhouse_system.h"
 #include "baselines/milvus_sim.h"
@@ -59,6 +65,49 @@ int main() {
       std::printf("%-12s %8d %9.2f%% %10.0f\n", name, ef, recall * 100,
                   qps.qps);
     }
+  }
+
+  // ---- Reduced-precision parity: int8 first pass + fp32 rerank ----
+  auto int8_opts = bench::DefaultBhOptions();
+  int8_opts.index_params["PRECISION"] = "INT8";
+  baselines::BlendHouseSystem bh_int8(int8_opts);
+  if (!bh_int8.Load(data).ok()) {
+    std::fprintf(stderr, "int8 load failed\n");
+    return 1;
+  }
+  auto recall_at = [&](baselines::VectorSystem& system, int ef) {
+    double total = 0;
+    for (size_t q = 0; q < queries; ++q) {
+      baselines::SearchRequest req;
+      req.query = data.query(q);
+      req.k = k;
+      req.ef_search = ef;
+      auto hits = system.Search(req);
+      if (hits.ok()) total += baselines::RecallOf(*hits, truth[q]);
+    }
+    return total / static_cast<double>(queries);
+  };
+  const int kParityEf = 160;
+  double recall_fp32 = recall_at(blendhouse, kParityEf);
+  double recall_int8 = recall_at(bh_int8, kParityEf);
+  bench::QpsResult qps_int8 =
+      bench::SystemQps(bh_int8, data, k, kParityEf, kMeasureQueries);
+  std::printf(
+      "\nint8 first pass + fp32 rerank (ef=%d): recall %.2f%% vs fp32 "
+      "%.2f%%, QPS %.0f\n",
+      kParityEf, recall_int8 * 100, recall_fp32 * 100, qps_int8.qps);
+  bench::PrintRegistrySnapshot({"bh_exec_fp32_rerank"});
+
+  if (const char* gate = std::getenv("BH_BENCH_ASSERT");
+      gate != nullptr && gate[0] == '1') {
+    if (std::fabs(recall_fp32 - recall_int8) > 0.01) {
+      std::fprintf(stderr,
+                   "BENCH ASSERT FAILED: int8+rerank recall@10 %.4f deviates "
+                   "more than 1%% from fp32 %.4f\n",
+                   recall_int8, recall_fp32);
+      return 1;
+    }
+    std::printf("bench assert: int8+rerank recall within 1%% of fp32\n");
   }
   return 0;
 }

@@ -11,10 +11,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "common/timer.h"
 
 #include "cluster/consistent_hash.h"
 #include "common/bitset.h"
@@ -122,6 +126,30 @@ void BM_BatchCosineWithNorms(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatchRows);
 }
 BENCHMARK(BM_BatchCosineWithNorms)->Arg(96)->Arg(768);
+
+// One first-pass scan chunk through the reduced-precision store (the per-
+// chunk work FLAT/IVF scans issue at fp16/bf16/int8; DESIGN.md §13).
+void BM_StoreBatchDistance(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto precision = static_cast<vecindex::Precision>(state.range(1));
+  auto data = test::MakeClusteredVectors(kBatchRows + 1, dim, 4, 2);
+  vecindex::PrecisionStore store;
+  store.Configure(precision, dim, vecindex::Metric::kL2);
+  store.Train(data.data() + dim, kBatchRows);
+  store.Append(data.data() + dim, kBatchRows);
+  vecindex::PrecisionStore::QueryCtx ctx;
+  store.PrepareQuery(data.data(), &ctx);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    store.BatchDistance(ctx, 0, kBatchRows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+  state.SetLabel(vecindex::PrecisionName(precision));
+}
+BENCHMARK(BM_StoreBatchDistance)
+    ->ArgsProduct({{96, 768}, {1, 2, 3}})  // precision: fp16, bf16, int8
+    ->ArgNames({"dim", "precision"});
 
 void BM_SqAsymmetricDistance(benchmark::State& state) {
   size_t dim = static_cast<size_t>(state.range(0));
@@ -364,6 +392,165 @@ BENCHMARK(BM_FilteredSearchHnsw)
     ->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(900)
     ->ArgName("sel_permille");
 
+// ---------------------------------------------------------------------------
+// Reduced-precision scan sweep -> BENCH_micro_kernels.json (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+struct SweepEntry {
+  vecindex::Precision precision;
+  const char* metric;
+  size_t dim;
+  double rows_per_sec;
+};
+
+/// Rows/s of one 256-row scan chunk at the given precision and metric: the
+/// fp32 path uses the dispatched batch kernels directly, the reduced
+/// precisions go through PrecisionStore::BatchDistance — exactly what the
+/// index scans issue per chunk.
+double MeasureScanRowsPerSec(vecindex::Precision p, vecindex::Metric m,
+                             size_t dim) {
+  auto data = test::MakeClusteredVectors(kBatchRows + 1, dim, 4, 5);
+  const float* query = data.data();
+  const float* base = data.data() + dim;
+  std::vector<float> out(kBatchRows);
+  std::vector<float> norms;
+  float qnorm = std::sqrt(vecindex::SquaredNorm(query, dim));
+  vecindex::PrecisionStore store;
+  vecindex::PrecisionStore::QueryCtx ctx;
+  std::function<void()> run;
+  if (p == vecindex::Precision::kFp32) {
+    const kernels::KernelTable& kt = kernels::Get();
+    switch (m) {
+      case vecindex::Metric::kL2:
+        run = [&, l2 = kt.batch_l2sqr] {
+          l2(query, base, kBatchRows, dim, out.data());
+        };
+        break;
+      case vecindex::Metric::kInnerProduct:
+        run = [&, ip = kt.batch_inner_product] {
+          ip(query, base, kBatchRows, dim, out.data());
+        };
+        break;
+      case vecindex::Metric::kCosine:
+        norms.resize(kBatchRows);
+        for (size_t i = 0; i < kBatchRows; ++i)
+          norms[i] = std::sqrt(vecindex::SquaredNorm(base + i * dim, dim));
+        run = [&] {
+          vecindex::BatchCosineWithNorms(query, base, norms.data(), qnorm,
+                                         kBatchRows, dim, out.data());
+        };
+        break;
+    }
+  } else {
+    store.Configure(p, dim, m);
+    store.Train(base, kBatchRows);
+    store.Append(base, kBatchRows);
+    store.PrepareQuery(query, &ctx);
+    run = [&] { store.BatchDistance(ctx, 0, kBatchRows, out.data()); };
+  }
+  for (int i = 0; i < 16; ++i) run();  // warm caches and the dispatch table
+  common::Timer timer;
+  size_t iters = 0;
+  do {
+    for (int i = 0; i < 8; ++i) run();
+    iters += 8;
+    benchmark::DoNotOptimize(out.data());
+  } while (timer.ElapsedSeconds() < 0.05);
+  return static_cast<double>(iters * kBatchRows) / timer.ElapsedSeconds();
+}
+
+/// Sweeps all four precisions x metrics x dims, prints the table, writes
+/// BENCH_micro_kernels.json, and (under BH_BENCH_ASSERT=1) gates on the
+/// two-tier pipeline's premise: at least one of int8/fp16 must scan >= 1.5x
+/// faster than fp32 at dim 768.
+bool RunReducedPrecisionSweep() {
+  const size_t kSweepDims[] = {96, 768};
+  const struct {
+    vecindex::Metric m;
+    const char* name;
+  } kMetrics[] = {{vecindex::Metric::kL2, "l2"},
+                  {vecindex::Metric::kInnerProduct, "ip"},
+                  {vecindex::Metric::kCosine, "cosine"}};
+  const vecindex::Precision kPrecisions[] = {
+      vecindex::Precision::kFp32, vecindex::Precision::kFp16,
+      vecindex::Precision::kBf16, vecindex::Precision::kInt8};
+
+  std::vector<SweepEntry> entries;
+  std::printf("\nReduced-precision scan sweep (rows/s, batch=%zu):\n",
+              kBatchRows);
+  std::printf("%-10s %-8s %6s %14s %10s\n", "precision", "metric", "dim",
+              "rows/s", "vs fp32");
+  std::map<std::string, double> fp32_baseline;
+  for (size_t dim : kSweepDims) {
+    for (const auto& metric : kMetrics) {
+      for (vecindex::Precision p : kPrecisions) {
+        SweepEntry e{p, metric.name, dim,
+                     MeasureScanRowsPerSec(p, metric.m, dim)};
+        std::string key = std::string(metric.name) + "/" +
+                          std::to_string(dim);
+        if (p == vecindex::Precision::kFp32) fp32_baseline[key] = e.rows_per_sec;
+        entries.push_back(e);
+        std::printf("%-10s %-8s %6zu %14.0f %9.2fx\n",
+                    vecindex::PrecisionName(p).c_str(), metric.name, dim,
+                    e.rows_per_sec, e.rows_per_sec / fp32_baseline[key]);
+      }
+    }
+  }
+
+  auto speedup = [&](vecindex::Precision p, const char* metric, size_t dim) {
+    for (const SweepEntry& e : entries)
+      if (e.precision == p && e.dim == dim &&
+          std::string(e.metric) == metric)
+        return e.rows_per_sec /
+               fp32_baseline[std::string(metric) + "/" + std::to_string(dim)];
+    return 0.0;
+  };
+
+  std::FILE* f = std::fopen("BENCH_micro_kernels.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"micro_kernels\",\n");
+    std::fprintf(f, "  \"tier\": \"%s\",\n",
+                 kernels::SimdTierName(kernels::ActiveTier()).c_str());
+    std::fprintf(f, "  \"batch_rows\": %zu,\n", kBatchRows);
+    std::fprintf(f, "  \"scan\": [\n");
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const SweepEntry& e = entries[i];
+      std::fprintf(f,
+                   "    {\"precision\": \"%s\", \"metric\": \"%s\", "
+                   "\"dim\": %zu, \"rows_per_sec\": %.0f}%s\n",
+                   vecindex::PrecisionName(e.precision).c_str(), e.metric,
+                   e.dim, e.rows_per_sec,
+                   i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"speedup_vs_fp32_l2_768\": {\"fp16\": %.3f, "
+                 "\"bf16\": %.3f, \"int8\": %.3f}\n",
+                 speedup(vecindex::Precision::kFp16, "l2", 768),
+                 speedup(vecindex::Precision::kBf16, "l2", 768),
+                 speedup(vecindex::Precision::kInt8, "l2", 768));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\n(sweep written to BENCH_micro_kernels.json)\n");
+  }
+
+  if (const char* gate = std::getenv("BH_BENCH_ASSERT");
+      gate != nullptr && gate[0] == '1') {
+    double best = std::max(speedup(vecindex::Precision::kFp16, "l2", 768),
+                           speedup(vecindex::Precision::kInt8, "l2", 768));
+    if (best < 1.5) {
+      std::fprintf(stderr,
+                   "BENCH ASSERT FAILED: best reduced-precision scan speedup "
+                   "%.2fx < 1.5x (fp16/int8 vs fp32, l2, dim 768)\n",
+                   best);
+      return false;
+    }
+    std::printf("bench assert: reduced-precision scan speedup %.2fx >= 1.5x\n",
+                best);
+  }
+  return true;
+}
+
 void BM_ConsistentHashPlacement(benchmark::State& state) {
   cluster::ConsistentHashRing ring(static_cast<size_t>(state.range(0)));
   for (int n = 0; n < 16; ++n) ring.AddNode("worker_" + std::to_string(n));
@@ -387,5 +574,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return blendhouse::RunReducedPrecisionSweep() ? 0 : 1;
 }

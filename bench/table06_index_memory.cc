@@ -3,12 +3,38 @@
 //
 // Expected shape (paper): HNSW > HNSWSQ (~2.5x smaller) > IVFPQFS (~6.5x
 // smaller) — SQ8 quarters the vector payload; PQ keeps only short codes.
+// The reduced-precision sweep (DESIGN.md §13) shows the same lever on the
+// first-pass tier: fp16/bf16 halve and int8 quarters the vector payload,
+// with the exact fp32 copies living in cold segment storage for the
+// executor's rerank, not in the index.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "tests/test_util.h"
 #include "vecindex/index_factory.h"
+
+namespace {
+
+blendhouse::vecindex::VectorIndexPtr BuildIndex(
+    const char* type, const char* precision, size_t dim, const float* data,
+    const blendhouse::vecindex::IdType* ids, size_t n) {
+  using namespace blendhouse;
+  vecindex::IndexSpec spec;
+  spec.type = type;
+  spec.dim = dim;
+  spec.params["NLIST"] = "256";
+  spec.params["PQ_M"] = "16";
+  if (precision != nullptr) spec.params["PRECISION"] = precision;
+  auto index = vecindex::IndexFactory::Global().Create(spec);
+  if (!index.ok()) return nullptr;
+  if ((*index)->NeedsTraining() && !(*index)->Train(data, n).ok())
+    return nullptr;
+  if (!(*index)->AddWithIds(data, ids, n).ok()) return nullptr;
+  return std::move(*index);
+}
+
+}  // namespace
 
 int main() {
   using namespace blendhouse;
@@ -26,25 +52,51 @@ int main() {
   std::printf("%-14s %12s %10s\n", "Index", "Size (MB)", "vs HNSW");
   double hnsw_mb = 0;
   for (const char* type : {"HNSW", "HNSWSQ", "IVFPQFS"}) {
-    vecindex::IndexSpec spec;
-    spec.type = type;
-    spec.dim = dim;
-    spec.params["NLIST"] = "256";
-    spec.params["PQ_M"] = "16";
-    auto index = vecindex::IndexFactory::Global().Create(spec);
-    if (!index.ok()) return 1;
-    if ((*index)->NeedsTraining() &&
-        !(*index)->Train(data.data(), n).ok())
-      return 1;
-    if (!(*index)->AddWithIds(data.data(), ids.data(), n).ok()) return 1;
-    double mb =
-        static_cast<double>((*index)->MemoryUsage()) / (1024.0 * 1024.0);
+    auto index = BuildIndex(type, nullptr, dim, data.data(), ids.data(), n);
+    if (index == nullptr) return 1;
+    double mb = static_cast<double>(index->MemoryUsage()) / (1024.0 * 1024.0);
     if (hnsw_mb == 0) hnsw_mb = mb;
     std::printf("BH-%-11s %12.1f %9.2fx\n", type, mb, mb / hnsw_mb);
   }
+
+  // Reduced-precision first-pass tier (DESIGN.md §13): FLAT isolates the
+  // vector payload (the graph links of HNSW dilute the ratio), so the int8
+  // row is where the 4x storage win must show.
+  std::printf("\n%-14s %12s %10s\n", "Index", "Size (MB)", "vs fp32");
+  double flat_fp32 = 0, flat_int8 = 0;
+  for (const char* precision : {"FP32", "FP16", "BF16", "INT8"}) {
+    auto index =
+        BuildIndex("FLAT", precision, dim, data.data(), ids.data(), n);
+    if (index == nullptr) return 1;
+    double mb = static_cast<double>(index->MemoryUsage()) / (1024.0 * 1024.0);
+    if (flat_fp32 == 0) flat_fp32 = mb;
+    if (std::string(precision) == "INT8") flat_int8 = mb;
+    std::printf("FLAT-%-9s %12.1f %9.2fx\n", precision, mb, mb / flat_fp32);
+  }
+  double hnsw_fp32 = 0;
+  for (const char* precision : {"FP32", "FP16", "BF16", "INT8"}) {
+    auto index =
+        BuildIndex("HNSW", precision, dim, data.data(), ids.data(), n);
+    if (index == nullptr) return 1;
+    double mb = static_cast<double>(index->MemoryUsage()) / (1024.0 * 1024.0);
+    if (hnsw_fp32 == 0) hnsw_fp32 = mb;
+    std::printf("HNSW-%-9s %12.1f %9.2fx\n", precision, mb, mb / hnsw_fp32);
+  }
   std::printf(
-      "\nNote: IVFPQFS memory counts codes + codebooks + centroids; the raw"
-      " vectors\nused for optional re-ranking live in cold segment storage,"
-      " not the index.\n");
+      "\nNote: IVFPQFS memory counts codes + codebooks + centroids; reduced-"
+      "\nprecision indexes count packed codes only — the raw fp32 vectors the"
+      "\nexecutor reranks with live in cold segment storage, not the index.\n");
+
+  // Hard gate, always on: the int8 tier must actually deliver the storage
+  // win (codes + ids vs floats + ids, so the bound is 0.3x, not 0.25x).
+  if (flat_int8 > 0.3 * flat_fp32) {
+    std::fprintf(stderr,
+                 "BENCH ASSERT FAILED: FLAT int8 resident bytes %.1f MB > "
+                 "0.3x fp32 (%.1f MB)\n",
+                 flat_int8, flat_fp32);
+    return 1;
+  }
+  std::printf("bench assert: FLAT int8 = %.2fx fp32 resident bytes (<= 0.3x)\n",
+              flat_int8 / flat_fp32);
   return 0;
 }

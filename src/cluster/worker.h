@@ -211,6 +211,9 @@ class RemoteIndexProxy : public vecindex::VectorIndex {
   vecindex::Metric GetMetric() const override {
     return peer_index_->GetMetric();
   }
+  vecindex::Precision StoragePrecision() const override {
+    return peer_index_->StoragePrecision();
+  }
   size_t Size() const override { return peer_index_->Size(); }
   size_t MemoryUsage() const override { return 0; }  // lives on the peer
 

@@ -87,6 +87,15 @@ common::Status BlendHouse::CreateTable(storage::TableSchema schema) {
   if (schema.index_spec.has_value() && schema.index_spec->dim == 0)
     return common::Status::InvalidArgument(
         "vector index needs DIM, e.g. HNSW('DIM=96')");
+  // Session default storage precision: injected into index specs that don't
+  // pin PRECISION themselves, so `SET distance_precision = 'int8'` covers
+  // every subsequently created table (DESIGN.md §13).
+  if (schema.index_spec.has_value() &&
+      options_.settings.distance_precision != vecindex::Precision::kFp32 &&
+      schema.index_spec->params.count("PRECISION") == 0) {
+    schema.index_spec->params["PRECISION"] =
+        vecindex::PrecisionName(options_.settings.distance_precision);
+  }
   common::MutexLock lock(catalog_mu_);
   if (tables_.count(schema.table_name) > 0)
     return common::Status::AlreadyExists("table: " + schema.table_name);
@@ -400,6 +409,7 @@ common::Status BlendHouse::ApplySetting(const sql::SetStmt& stmt) {
       {"ef_search", &s.ef_search},
       {"nprobe", &s.nprobe},
       {"refine_factor", &s.refine_factor},
+      {"rerank_depth", &s.rerank_depth},
   };
   if (auto it = int_knobs.find(name); it != int_knobs.end()) {
     auto v = as_int();
@@ -432,6 +442,19 @@ common::Status BlendHouse::ApplySetting(const sql::SetStmt& stmt) {
     if (!v.ok()) return v.status();
     *it->second = *v != 0;
     if (name == "use_plan_cache" && !*it->second) plan_cache_.Invalidate();
+    return common::Status::Ok();
+  }
+  if (name == "distance_precision") {
+    // String knob: the default storage precision for indexes created after
+    // this point (DESIGN.md §13). `SET distance_precision = 'int8'`.
+    const std::string* v = std::get_if<std::string>(&stmt.value);
+    if (v == nullptr)
+      return common::Status::InvalidArgument(
+          "SET distance_precision expects a name (fp32/fp16/bf16/int8)");
+    vecindex::Precision p;
+    if (!vecindex::ParsePrecision(*v, &p))
+      return common::Status::InvalidArgument("unknown precision: " + *v);
+    s.distance_precision = p;
     return common::Status::Ok();
   }
   if (name == "scheduler_sharding") {

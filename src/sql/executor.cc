@@ -500,9 +500,24 @@ Executor::SegmentTaskResult Executor::RunSegment(
   params.nprobe = settings.nprobe;
   params.refine_factor = settings.refine_factor;
 
+  // Two-tier quantized scan (DESIGN.md §13): when the acquired index stores
+  // reduced-precision codes, its first pass returns approximate distances
+  // over a widened top-k (up to settings.rerank_depth survivors), and this
+  // task reranks them in fp32 from the segment's vector column below. The
+  // range bound is deferred to the exact distances.
+  bool rerank_fp32 = false;
+  auto widen_for_rerank = [&](const vecindex::VectorIndex& index) {
+    if (index.StoragePrecision() == vecindex::Precision::kFp32) return;
+    size_t depth = std::min<size_t>(
+        static_cast<size_t>(std::max(1, settings.rerank_depth)),
+        meta.num_rows);
+    params.k = static_cast<int>(std::max(k, depth));
+    rerank_fp32 = true;
+  };
+
   auto push_candidates = [&](const std::vector<vecindex::Neighbor>& hits) {
     for (const vecindex::Neighbor& n : hits) {
-      if (!bound.InRange(n.distance)) continue;
+      if (!rerank_fp32 && !bound.InRange(n.distance)) continue;
       result.candidates.push_back({n.distance, n.id, {}});
     }
   };
@@ -647,6 +662,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
         return result;
       }
       result.cache_outcomes[static_cast<size_t>(acquired->outcome)]++;
+      widen_for_rerank(*acquired->index);
       common::Result<std::vector<vecindex::Neighbor>> hits =
           bound.range >= 0
               ? acquired->index->SearchWithRange(
@@ -677,6 +693,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
         return result;
       }
       result.cache_outcomes[static_cast<size_t>(acquired->outcome)]++;
+      widen_for_rerank(*acquired->index);
       if (bound.filter == nullptr && bound.range < 0 && deletes == nullptr) {
         // Nothing to post-filter (no predicate, no range, no delete bitmap):
         // a plain top-k index search is cheaper than an incremental
@@ -710,7 +727,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
         for (const vecindex::Neighbor& n : batch) {
           size_t row = static_cast<size_t>(n.id);
           if (deletes != nullptr && deletes->Test(row)) continue;
-          if (!bound.InRange(n.distance)) continue;
+          if (!rerank_fp32 && !bound.InRange(n.distance)) continue;
           if (bound.filter != nullptr) {
             if (segment == nullptr) {
               auto fetched = worker->GetSegment(schema, meta.segment_id,
@@ -740,6 +757,48 @@ Executor::SegmentTaskResult Executor::RunSegment(
           break;
       }
       break;
+    }
+  }
+
+  if (rerank_fp32 && !result.candidates.empty()) {
+    // Second tier: exact fp32 distances for the quantized first pass's
+    // survivors, straight from the segment's vector column (candidate ids
+    // are row offsets). The deferred range bound applies to the exact
+    // distances, and the sort below re-ranks before the top-k truncation.
+    common::Status reranked = TracedStage(
+        ctx.trace, span, "fp32_rerank", [&](trace::Span* sp) {
+          auto segment = worker->GetSegment(schema, meta.segment_id,
+                                            settings.use_column_cache);
+          if (!segment.ok()) return segment.status();
+          const storage::Column* vec_col =
+              (*segment)->FindColumn(bound.vector_column);
+          if (vec_col == nullptr)
+            return common::Status::Internal("vector column missing");
+          const float* qv = bound.query_vector.data();
+          for (Candidate& c : result.candidates)
+            c.dist = vecindex::Distance(
+                bound.metric, qv,
+                vec_col->GetVector(static_cast<size_t>(c.row)),
+                vec_col->vector_dim());
+          if (sp != nullptr)
+            sp->SetTag("rows", std::to_string(result.candidates.size()));
+          static common::metrics::Counter* rerank_rows =
+              common::metrics::MetricsRegistry::Instance().GetCounter(
+                  "bh_exec_fp32_rerank_rows");
+          rerank_rows->Add(result.candidates.size());
+          return common::Status::Ok();
+        });
+    if (!reranked.ok()) {
+      result.status = reranked;
+      return result;
+    }
+    if (bound.range >= 0) {
+      result.candidates.erase(
+          std::remove_if(result.candidates.begin(), result.candidates.end(),
+                         [&](const Candidate& c) {
+                           return !bound.InRange(c.dist);
+                         }),
+          result.candidates.end());
     }
   }
 

@@ -5,6 +5,7 @@
 
 #include "cluster/worker.h"
 #include "sql/cost_model.h"
+#include "vecindex/types.h"
 
 namespace blendhouse::sql {
 
@@ -15,6 +16,14 @@ struct QuerySettings {
   int ef_search = 64;
   int nprobe = 8;
   int refine_factor = 2;
+
+  // ---- Reduced-precision pipeline (DESIGN.md §13) ----
+  /// Default storage precision injected into CREATE TABLE index specs that
+  /// don't set PRECISION themselves (`SET distance_precision = 'int8'`).
+  vecindex::Precision distance_precision = vecindex::Precision::kFp32;
+  /// Survivors of a quantized first pass that get exact fp32 rerank per
+  /// segment; the first-pass k is widened to min(rerank_depth, rows).
+  int rerank_depth = 4096;
 
   // ---- Cost-based optimization (Fig. 15) ----
   bool use_cbo = true;

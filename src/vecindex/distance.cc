@@ -1,5 +1,6 @@
 #include "vecindex/distance.h"
 
+#include <cctype>
 #include <cmath>
 
 namespace blendhouse::vecindex {
@@ -14,6 +15,52 @@ std::string MetricName(Metric m) {
       return "Cosine";
   }
   return "?";
+}
+
+std::string PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "FP32";
+    case Precision::kFp16:
+      return "FP16";
+    case Precision::kBf16:
+      return "BF16";
+    case Precision::kInt8:
+      return "INT8";
+  }
+  return "?";
+}
+
+bool ParsePrecision(const std::string& name, Precision* out) {
+  std::string up;
+  up.reserve(name.size());
+  for (char c : name)
+    up.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  if (up == "FP32" || up == "FLOAT32" || up == "FLOAT") {
+    *out = Precision::kFp32;
+  } else if (up == "FP16" || up == "FLOAT16" || up == "HALF") {
+    *out = Precision::kFp16;
+  } else if (up == "BF16" || up == "BFLOAT16") {
+    *out = Precision::kBf16;
+  } else if (up == "INT8" || up == "I8") {
+    *out = Precision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+size_t PrecisionBytes(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return 4;
+    case Precision::kFp16:
+    case Precision::kBf16:
+      return 2;
+    case Precision::kInt8:
+      return 1;
+  }
+  return 4;
 }
 
 float L2Sqr(const float* a, const float* b, size_t dim) {

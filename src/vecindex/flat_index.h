@@ -7,6 +7,7 @@
 #include "common/bitset.h"
 #include "vecindex/distance.h"
 #include "vecindex/index.h"
+#include "vecindex/quantizer.h"
 
 namespace blendhouse::vecindex {
 
@@ -18,18 +19,32 @@ namespace blendhouse::vecindex {
 /// when unfiltered; vector storage is 64-byte aligned, and for Cosine the
 /// stored vectors' norms are precomputed at insert so queries only pay for
 /// a dot product per row.
+///
+/// With a reduced `precision` (DESIGN.md §13) the raw floats are never
+/// kept: rows live only as packed fp16/bf16/int8 codes in a
+/// PrecisionStore, every scan path runs the batched reduced-precision
+/// kernels over the codes, and the executor reranks survivors in fp32
+/// from the segment's vector column.
 class FlatIndex : public VectorIndex {
  public:
-  FlatIndex(size_t dim, Metric metric)
-      : dim_(dim), metric_(metric), dist_(ResolveDistance(metric)) {}
+  FlatIndex(size_t dim, Metric metric,
+            Precision precision = Precision::kFp32)
+      : dim_(dim),
+        metric_(metric),
+        precision_(precision),
+        dist_(ResolveDistance(metric)) {
+    if (quantized()) store_.Configure(precision, dim, metric);
+  }
 
   std::string Type() const override { return "FLAT"; }
   size_t Dim() const override { return dim_; }
   Metric GetMetric() const override { return metric_; }
+  Precision StoragePrecision() const override { return precision_; }
   size_t Size() const override { return ids_.size(); }
   size_t MemoryUsage() const override {
     return data_.size() * sizeof(float) + ids_.size() * sizeof(IdType) +
-           norms_.size() * sizeof(float);
+           norms_.size() * sizeof(float) +
+           (quantized() ? store_.MemoryBytes() : 0);
   }
 
   common::Status Train(const float* data, size_t n) override;
@@ -45,12 +60,20 @@ class FlatIndex : public VectorIndex {
       const SearchParams& params) const override;
 
   /// Raw vector for row offset lookup (used by PQ refinement and tests).
+  /// Valid only at fp32 precision — quantized builds keep no raw floats.
   const float* VectorAt(size_t pos) const { return data_.data() + pos * dim_; }
   const std::vector<IdType>& ids() const { return ids_; }
 
  private:
-  /// Distances from `query` to rows [begin, begin+n) into out[0..n).
-  void ScanChunk(const float* query, float query_norm, size_t begin, size_t n,
+  bool quantized() const { return precision_ != Precision::kFp32; }
+
+  /// Per-query scan state shared by both storage forms: fp32 scans read
+  /// query/query_norm, quantized scans carry the prepared int8 query too.
+  PrecisionStore::QueryCtx MakeQueryCtx(const float* query) const;
+
+  /// Distances from the prepared query to rows [begin, begin+n) into
+  /// out[0..n).
+  void ScanChunk(const PrecisionStore::QueryCtx& ctx, size_t begin, size_t n,
                  float* out) const;
 
   /// Filter-aware scan (valid only when ids_are_offsets_): walks the
@@ -60,12 +83,15 @@ class FlatIndex : public VectorIndex {
   /// `emit(id, distance)` per survivor. Defined in the .cc (only used
   /// there).
   template <typename Emit>
-  void ScanFiltered(const float* query, const common::Bitset& filter,
-                    Emit&& emit) const;
+  void ScanFiltered(const PrecisionStore::QueryCtx& ctx,
+                    const common::Bitset& filter, Emit&& emit) const;
 
   size_t dim_;
   Metric metric_;
+  Precision precision_;
   DistanceFn dist_;  // resolved once; re-resolved on Load
+  /// Packed codes when precision_ != kFp32; data_/norms_ stay empty then.
+  PrecisionStore store_;
   common::AlignedVector<float> data_;
   std::vector<IdType> ids_;
   /// Euclidean magnitude of each stored row; maintained only for Cosine.

@@ -7,6 +7,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "common/assert.h"
 #include "common/io.h"
 #include "vecindex/distance.h"
 
@@ -29,11 +30,16 @@ HnswIndex::HnswIndex(size_t dim, Metric metric, HnswOptions options)
       level_mult_(1.0 / std::log(static_cast<double>(
                             std::max<size_t>(2, options.M)))),
       rng_state_(options.seed),
-      dist_(ResolveDistance(metric)) {}
+      dist_(ResolveDistance(metric)) {
+  BH_ASSERT_MSG(!(options_.scalar_quantized && reduced_precision()),
+                "hnsw: scalar_quantized and precision are mutually exclusive");
+  if (reduced_precision()) store_.Configure(options_.precision, dim_, metric_);
+}
 
 size_t HnswIndex::MemoryUsage() const {
   size_t bytes = data_.size() * sizeof(float) + codes_.size() +
-                 ids_.size() * sizeof(IdType) + levels_.size();
+                 ids_.size() * sizeof(IdType) + levels_.size() +
+                 store_.MemoryBytes();
   for (const auto& node : links_) {
     for (const auto& lvl : node) bytes += lvl.size() * sizeof(uint32_t);
     bytes += node.size() * sizeof(std::vector<uint32_t>);
@@ -42,11 +48,20 @@ size_t HnswIndex::MemoryUsage() const {
 }
 
 common::Status HnswIndex::Train(const float* data, size_t n) {
+  if (reduced_precision()) {
+    store_.Train(data, n);  // fixes the int8 scale; no-op for fp16/bf16
+    return common::Status::Ok();
+  }
   if (!options_.scalar_quantized) return common::Status::Ok();
   return sq_.Train(data, n, dim_);
 }
 
 float HnswIndex::DistToItem(const float* query, uint32_t pos) const {
+  if (reduced_precision()) {
+    // Asymmetric reduced-precision kernel: the fp32 query meets the packed
+    // code directly — per-hop work, so no batching tier here.
+    return store_.DistanceToRow(query, pos);
+  }
   if (options_.scalar_quantized) {
     const uint8_t* code = codes_.data() + size_t{pos} * dim_;
     switch (metric_) {
@@ -134,6 +149,11 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
 
 const float* HnswIndex::ItemVector(uint32_t pos,
                                    std::vector<float>* buf) const {
+  if (reduced_precision()) {
+    buf->resize(dim_);
+    store_.Decode(pos, buf->data());
+    return buf->data();
+  }
   if (!options_.scalar_quantized) return data_.data() + size_t{pos} * dim_;
   buf->resize(dim_);
   sq_.Decode(codes_.data() + size_t{pos} * dim_, buf->data());
@@ -174,7 +194,9 @@ std::vector<uint32_t> HnswIndex::SelectNeighbors(
 void HnswIndex::InsertOne(const float* vec, IdType external_id) {
   uint32_t node = static_cast<uint32_t>(ids_.size());
   ids_.push_back(external_id);
-  if (options_.scalar_quantized) {
+  if (reduced_precision()) {
+    store_.Append(vec, 1);  // codes only — no fp32 copy
+  } else if (options_.scalar_quantized) {
     codes_.resize(codes_.size() + dim_);
     sq_.Encode(vec, codes_.data() + size_t{node} * dim_);
   } else {
@@ -231,10 +253,12 @@ common::Status HnswIndex::AddWithIds(const float* data, const IdType* ids,
                                      size_t n) {
   if (options_.scalar_quantized && !sq_.trained())
     BH_RETURN_IF_ERROR(sq_.Train(data, n, dim_));
+  if (reduced_precision() && !store_.calibrated()) store_.Train(data, n);
   size_t expected = ids_.size() + n;
   ids_.reserve(expected);
   links_.reserve(expected);
-  if (!options_.scalar_quantized) data_.reserve(expected * dim_);
+  if (!options_.scalar_quantized && !reduced_precision())
+    data_.reserve(expected * dim_);
   for (size_t i = 0; i < n; ++i) InsertOne(data + i * dim_, ids[i]);
   return common::Status::Ok();
 }
@@ -376,11 +400,14 @@ common::Status HnswIndex::Save(std::string* out) const {
   w.Write<uint64_t>(options_.M);
   w.Write<uint64_t>(options_.ef_construction);
   w.Write<uint8_t>(options_.scalar_quantized ? 1 : 0);
+  w.Write<uint8_t>(static_cast<uint8_t>(options_.precision));
   w.Write<uint32_t>(entry_point_);
   w.Write<int32_t>(max_level_);
   w.WriteVector(ids_);
   w.WriteVector(levels_);
-  if (options_.scalar_quantized) {
+  if (reduced_precision()) {
+    store_.Serialize(&w);
+  } else if (options_.scalar_quantized) {
     sq_.Serialize(&w);
     w.WriteVector(codes_);
   } else {
@@ -401,23 +428,35 @@ common::Status HnswIndex::Load(std::string_view in) {
   uint64_t dim = 0, m = 0, efc = 0;
   uint32_t metric = 0;
   uint8_t sq_flag = 0;
+  uint8_t precision = 0;
   BH_RETURN_IF_ERROR(r.Read(&dim));
   BH_RETURN_IF_ERROR(r.Read(&metric));
   BH_RETURN_IF_ERROR(r.Read(&m));
   BH_RETURN_IF_ERROR(r.Read(&efc));
   BH_RETURN_IF_ERROR(r.Read(&sq_flag));
+  BH_RETURN_IF_ERROR(r.Read(&precision));
+  if (precision > static_cast<uint8_t>(Precision::kInt8))
+    return common::Status::Corruption("hnsw: bad precision tag");
   dim_ = dim;
   metric_ = static_cast<Metric>(metric);
   dist_ = ResolveDistance(metric_);
   options_.M = m;
   options_.ef_construction = efc;
   options_.scalar_quantized = sq_flag != 0;
+  options_.precision = static_cast<Precision>(precision);
+  if (options_.scalar_quantized && reduced_precision())
+    return common::Status::Corruption("hnsw: conflicting quantization tags");
   if (type != Type()) return common::Status::Corruption("hnsw: type mismatch");
   BH_RETURN_IF_ERROR(r.Read(&entry_point_));
   BH_RETURN_IF_ERROR(r.Read(&max_level_));
   BH_RETURN_IF_ERROR(r.ReadVector(&ids_));
   BH_RETURN_IF_ERROR(r.ReadVector(&levels_));
-  if (options_.scalar_quantized) {
+  if (reduced_precision()) {
+    BH_RETURN_IF_ERROR(store_.Deserialize(&r));
+    if (store_.precision() != options_.precision || store_.dim() != dim_ ||
+        store_.size() != ids_.size())
+      return common::Status::Corruption("hnsw: store mismatch");
+  } else if (options_.scalar_quantized) {
     BH_RETURN_IF_ERROR(sq_.Deserialize(&r));
     BH_RETURN_IF_ERROR(r.ReadVector(&codes_));
   } else {

@@ -21,6 +21,11 @@ struct HnswOptions {
   /// Store SQ8 codes instead of raw floats (the paper's HNSWSQ type:
   /// ~4x smaller, slightly lower recall).
   bool scalar_quantized = false;
+  /// Reduced-precision storage (DESIGN.md §13): keep only fp16/bf16/int8
+  /// codes and walk the graph with the asymmetric reduced-precision
+  /// kernels; the executor reranks survivors in fp32. Mutually exclusive
+  /// with scalar_quantized.
+  Precision precision = Precision::kFp32;
 };
 
 /// Hierarchical Navigable Small World graph (Malkov & Yashunin), built from
@@ -37,6 +42,7 @@ class HnswIndex : public VectorIndex {
   }
   size_t Dim() const override { return dim_; }
   Metric GetMetric() const override { return metric_; }
+  Precision StoragePrecision() const override { return options_.precision; }
   size_t Size() const override { return ids_.size(); }
   size_t MemoryUsage() const override;
 
@@ -63,10 +69,16 @@ class HnswIndex : public VectorIndex {
   /// the IP/Cosine-over-SQ paths.
   float DistToItem(const float* query, uint32_t pos) const;
 
+  bool reduced_precision() const {
+    return options_.precision != Precision::kFp32;
+  }
+
   /// Hints the cache that item `pos`'s vector (or code) is about to be read;
   /// issued over a node's neighbor list before the distance loop.
   void PrefetchItem(uint32_t pos) const {
-    if (options_.scalar_quantized)
+    if (reduced_precision())
+      kernels::Prefetch(store_.RowPtr(pos));
+    else if (options_.scalar_quantized)
       kernels::Prefetch(codes_.data() + size_t{pos} * dim_);
     else
       kernels::Prefetch(data_.data() + size_t{pos} * dim_);
@@ -110,6 +122,9 @@ class HnswIndex : public VectorIndex {
   common::AlignedVector<float> data_;
   std::vector<uint8_t> codes_;
   ScalarQuantizer sq_;
+  /// Packed fp16/bf16/int8 codes when options_.precision != kFp32; the
+  /// other storage forms stay empty then.
+  PrecisionStore store_;
 
   std::vector<IdType> ids_;
   std::vector<std::vector<std::vector<uint32_t>>> links_;  // [node][level]

@@ -44,6 +44,11 @@ class VectorIndex {
   virtual std::string Type() const = 0;
   virtual size_t Dim() const = 0;
   virtual Metric GetMetric() const = 0;
+  /// Storage precision of the first-pass distance tier (DESIGN.md §13).
+  /// kFp32 means exact storage; anything else tells the executor this
+  /// index's distances are approximate and survivors should be reranked
+  /// in fp32 from the vector column.
+  virtual Precision StoragePrecision() const { return Precision::kFp32; }
   /// Number of indexed vectors.
   virtual size_t Size() const = 0;
   /// Resident bytes of the index structure (Table VI).

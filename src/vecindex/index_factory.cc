@@ -23,8 +23,24 @@ int64_t IndexSpec::GetInt(const std::string& key, int64_t def) const {
 
 namespace {
 
+/// Parses the optional PRECISION parameter ("fp16" / "bf16" / "int8",
+/// defaulting to fp32). Unknown names are a hard error: silently falling
+/// back to fp32 would quietly lose the memory and throughput the user
+/// asked for.
+common::Result<Precision> GetPrecision(const IndexSpec& spec) {
+  auto it = spec.params.find("PRECISION");
+  if (it == spec.params.end()) return Precision::kFp32;
+  Precision p;
+  if (!ParsePrecision(it->second, &p))
+    return common::Status::InvalidArgument("unknown precision: " + it->second);
+  return p;
+}
+
 common::Result<VectorIndexPtr> BuildFlat(const IndexSpec& spec) {
-  return VectorIndexPtr(std::make_unique<FlatIndex>(spec.dim, spec.metric));
+  auto precision = GetPrecision(spec);
+  if (!precision.ok()) return precision.status();
+  return VectorIndexPtr(
+      std::make_unique<FlatIndex>(spec.dim, spec.metric, *precision));
 }
 
 common::Result<VectorIndexPtr> BuildHnsw(const IndexSpec& spec, bool sq) {
@@ -34,6 +50,12 @@ common::Result<VectorIndexPtr> BuildHnsw(const IndexSpec& spec, bool sq) {
       static_cast<size_t>(spec.GetInt("EF_CONSTRUCTION", 200));
   opts.seed = static_cast<uint64_t>(spec.GetInt("SEED", 42));
   opts.scalar_quantized = sq;
+  auto precision = GetPrecision(spec);
+  if (!precision.ok()) return precision.status();
+  opts.precision = *precision;
+  if (sq && opts.precision != Precision::kFp32)
+    return common::Status::InvalidArgument(
+        "hnswsq: PRECISION conflicts with SQ8 codes");
   return VectorIndexPtr(std::make_unique<HnswIndex>(spec.dim, spec.metric, opts));
 }
 
@@ -51,7 +73,10 @@ common::Result<VectorIndexPtr> BuildIvfFlat(const IndexSpec& spec) {
   IvfOptions opts;
   opts.nlist = static_cast<size_t>(spec.GetInt("NLIST", 64));
   opts.seed = static_cast<uint64_t>(spec.GetInt("SEED", 42));
-  return VectorIndexPtr(std::make_unique<IvfFlatIndex>(spec.dim, spec.metric, opts));
+  auto precision = GetPrecision(spec);
+  if (!precision.ok()) return precision.status();
+  return VectorIndexPtr(std::make_unique<IvfFlatIndex>(spec.dim, spec.metric,
+                                                       opts, *precision));
 }
 
 common::Result<VectorIndexPtr> BuildIvfPq(const IndexSpec& spec,

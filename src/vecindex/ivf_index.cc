@@ -127,7 +127,24 @@ common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
 
 // ---- IVFFLAT ---------------------------------------------------------------
 
+common::Status IvfFlatIndex::TrainCodec(const float* data, size_t n) {
+  if (!quantized()) return common::Status::Ok();
+  // One store per posting list, all sharing the int8 scale calibrated from
+  // the full train sample so distances are comparable across probed lists.
+  stores_.assign(nlist(), {});
+  for (auto& store : stores_) {
+    store.Configure(precision_, dim_, metric_);
+    store.Train(data, n);
+  }
+  return common::Status::Ok();
+}
+
 void IvfFlatIndex::EncodeInto(const float* vec, PostingList* list) {
+  if (quantized()) {
+    // Codes only — the posting list keeps no fp32 copy.
+    stores_[static_cast<size_t>(list - lists_.data())].Append(vec, 1);
+    return;
+  }
   list->vectors.insert(list->vectors.end(), vec, vec + dim_);
   if (metric_ == Metric::kCosine)
     list->norms.push_back(std::sqrt(SquaredNorm(vec, dim_)));
@@ -137,6 +154,60 @@ void IvfFlatIndex::ScanList(const PostingList& list, uint32_t list_idx,
                             const float* query, const void* /*ctx*/,
                             const SearchParams& params,
                             std::vector<Hit>* out) const {
+  if (quantized()) {
+    // Quantized first pass: the probed list's packed codes run through the
+    // batched reduced-precision kernels; the executor reranks survivors in
+    // fp32 from the vector column. Mirrors the fp32 path's filter-aware
+    // compaction (contiguous runs in place, scattered survivors gathered
+    // into a dense byte tile).
+    const PrecisionStore& store = stores_[list_idx];
+    PrecisionStore::QueryCtx qctx;
+    store.PrepareQuery(query, &qctx);
+    const size_t row_bytes = store.row_bytes();
+    float dist[kScanChunk];
+    if (params.filter == nullptr) {
+      for (size_t begin = 0; begin < list.ids.size(); begin += kScanChunk) {
+        size_t n = std::min(kScanChunk, list.ids.size() - begin);
+        store.BatchDistance(qctx, begin, n, dist);
+        for (size_t i = 0; i < n; ++i)
+          out->push_back({dist[i], list.ids[begin + i], list_idx,
+                          static_cast<uint32_t>(begin + i)});
+      }
+      return;
+    }
+    uint32_t pos[kScanChunk];
+    size_t cnt = 0;
+    common::AlignedVector<uint8_t> code_tile;  // sized on first scattered tile
+    std::vector<float> norm_tile;
+    auto flush = [&] {
+      if (cnt == 0) return;
+      if (static_cast<size_t>(pos[cnt - 1] - pos[0]) + 1 == cnt) {
+        store.BatchDistance(qctx, pos[0], cnt, dist);
+      } else {
+        if (code_tile.empty()) code_tile.resize(kScanChunk * row_bytes);
+        for (size_t i = 0; i < cnt; ++i)
+          std::memcpy(code_tile.data() + i * row_bytes, store.RowPtr(pos[i]),
+                      row_bytes);
+        const float* norms = nullptr;
+        if (metric_ == Metric::kCosine) {
+          if (norm_tile.empty()) norm_tile.resize(kScanChunk);
+          for (size_t i = 0; i < cnt; ++i) norm_tile[i] = store.norms()[pos[i]];
+          norms = norm_tile.data();
+        }
+        store.BatchDistanceCodes(qctx, code_tile.data(), norms, cnt, dist);
+      }
+      for (size_t i = 0; i < cnt; ++i)
+        out->push_back({dist[i], list.ids[pos[i]], list_idx, pos[i]});
+      cnt = 0;
+    };
+    for (size_t i = 0; i < list.ids.size(); ++i) {
+      if (!params.filter->Test(static_cast<size_t>(list.ids[i]))) continue;
+      pos[cnt++] = static_cast<uint32_t>(i);
+      if (cnt == kScanChunk) flush();
+    }
+    flush();
+    return;
+  }
   if (params.filter == nullptr) {
     // Unfiltered: batched kernel over fixed-size chunks; Cosine rides the
     // precomputed base norms so the kernel is dot-product only.
@@ -215,6 +286,7 @@ size_t IvfFlatIndex::MemoryUsage() const {
     bytes += list.ids.size() * sizeof(IdType) +
              list.vectors.size() * sizeof(float) +
              list.norms.size() * sizeof(float);
+  for (const auto& store : stores_) bytes += store.MemoryBytes();
   return bytes;
 }
 
@@ -223,13 +295,18 @@ common::Status IvfFlatIndex::Save(std::string* out) const {
   w.WriteString(Type());
   w.Write<uint64_t>(dim_);
   w.Write<uint32_t>(static_cast<uint32_t>(metric_));
+  w.Write<uint8_t>(static_cast<uint8_t>(precision_));
   w.Write<uint64_t>(options_.nlist);
   w.Write<uint64_t>(size_);
   w.WriteVector(centroids_);
   w.Write<uint64_t>(lists_.size());
-  for (const auto& list : lists_) {
-    w.WriteVector(list.ids);
-    w.WriteVector(list.vectors);
+  for (size_t i = 0; i < lists_.size(); ++i) {
+    w.WriteVector(lists_[i].ids);
+    if (quantized()) {
+      stores_[i].Serialize(&w);
+    } else {
+      w.WriteVector(lists_[i].vectors);
+    }
   }
   return common::Status::Ok();
 }
@@ -241,21 +318,35 @@ common::Status IvfFlatIndex::Load(std::string_view in) {
   if (type != Type()) return common::Status::Corruption("ivfflat: wrong type");
   uint64_t dim = 0, nlist = 0, size = 0;
   uint32_t metric = 0;
+  uint8_t precision = 0;
   BH_RETURN_IF_ERROR(r.Read(&dim));
   BH_RETURN_IF_ERROR(r.Read(&metric));
+  BH_RETURN_IF_ERROR(r.Read(&precision));
+  if (precision > static_cast<uint8_t>(Precision::kInt8))
+    return common::Status::Corruption("ivfflat: bad precision tag");
   BH_RETURN_IF_ERROR(r.Read(&nlist));
   BH_RETURN_IF_ERROR(r.Read(&size));
   dim_ = dim;
   metric_ = static_cast<Metric>(metric);
+  precision_ = static_cast<Precision>(precision);
   options_.nlist = nlist;
   size_ = size;
   BH_RETURN_IF_ERROR(r.ReadVector(&centroids_));
   uint64_t num_lists = 0;
   BH_RETURN_IF_ERROR(r.Read(&num_lists));
   lists_.assign(num_lists, {});
-  for (auto& list : lists_) {
-    BH_RETURN_IF_ERROR(r.ReadVector(&list.ids));
-    BH_RETURN_IF_ERROR(r.ReadVector(&list.vectors));
+  stores_.clear();
+  if (quantized()) stores_.assign(num_lists, {});
+  for (size_t i = 0; i < lists_.size(); ++i) {
+    BH_RETURN_IF_ERROR(r.ReadVector(&lists_[i].ids));
+    if (quantized()) {
+      BH_RETURN_IF_ERROR(stores_[i].Deserialize(&r));
+      if (stores_[i].precision() != precision_ || stores_[i].dim() != dim_ ||
+          stores_[i].size() != lists_[i].ids.size())
+        return common::Status::Corruption("ivfflat: store mismatch");
+    } else {
+      BH_RETURN_IF_ERROR(r.ReadVector(&lists_[i].vectors));
+    }
   }
   RefreshDerivedState();
   return common::Status::Ok();

@@ -7,6 +7,7 @@
 #include "vecindex/distance.h"
 #include "vecindex/index.h"
 #include "vecindex/pq.h"
+#include "vecindex/quantizer.h"
 
 namespace blendhouse::vecindex {
 
@@ -96,21 +97,25 @@ class IvfIndexBase : public VectorIndex {
   std::vector<PostingList> lists_;
 };
 
-/// IVF with full-precision vectors in the postings.
+/// IVF with full-precision vectors in the postings — or, with a reduced
+/// `precision` (DESIGN.md §13), per-list PrecisionStores of packed
+/// fp16/bf16/int8 codes scanned by the batched reduced-precision kernels.
+/// All list stores share one int8 scale calibrated from the train sample,
+/// no fp32 copies are retained, and the executor reranks survivors exactly.
 class IvfFlatIndex : public IvfIndexBase {
  public:
-  IvfFlatIndex(size_t dim, Metric metric, IvfOptions options = {})
-      : IvfIndexBase(dim, metric, options) {}
+  IvfFlatIndex(size_t dim, Metric metric, IvfOptions options = {},
+               Precision precision = Precision::kFp32)
+      : IvfIndexBase(dim, metric, options), precision_(precision) {}
 
   std::string Type() const override { return "IVFFLAT"; }
+  Precision StoragePrecision() const override { return precision_; }
   size_t MemoryUsage() const override;
   common::Status Save(std::string* out) const override;
   common::Status Load(std::string_view in) override;
 
  protected:
-  common::Status TrainCodec(const float*, size_t) override {
-    return common::Status::Ok();
-  }
+  common::Status TrainCodec(const float* data, size_t n) override;
   void EncodeInto(const float* vec, PostingList* list) override;
   void ScanList(const PostingList& list, uint32_t list_idx, const float* query,
                 const void* ctx, const SearchParams& params,
@@ -119,6 +124,13 @@ class IvfFlatIndex : public IvfIndexBase {
     return nullptr;
   }
   bool NeedsRefine() const override { return false; }
+
+ private:
+  bool quantized() const { return precision_ != Precision::kFp32; }
+
+  Precision precision_;
+  /// Parallel to lists_ when quantized; empty at fp32.
+  std::vector<PrecisionStore> stores_;
 };
 
 struct IvfPqOptions {

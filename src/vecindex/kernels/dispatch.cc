@@ -36,7 +36,10 @@ bool CpuSupports(SimdTier tier) {
 #endif
     case SimdTier::kAvx2:
 #if defined(__x86_64__) || defined(__i386__)
-      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+      // F16C is required alongside AVX2+FMA: the tier's fp16 kernels use
+      // vcvtph2ps, and every AVX2 core ships F16C.
+      return __builtin_cpu_supports("avx2") &&
+             __builtin_cpu_supports("fma") && __builtin_cpu_supports("f16c");
 #else
       return false;
 #endif
@@ -98,6 +101,11 @@ const KernelTable* GetTable(SimdTier tier) {
 #endif
     case SimdTier::kAvx512:
 #if defined(BH_KERNELS_COMPILED_AVX512)
+      // Same tier, better int8 kernels: prefer the VNNI overlay when the TU
+      // exists in this build and the CPU reports avx512vnni.
+#if defined(BH_KERNELS_COMPILED_AVX512VNNI)
+      if (__builtin_cpu_supports("avx512vnni")) return &Avx512VnniTable();
+#endif
       return &Avx512Table();
 #else
       return nullptr;

@@ -13,4 +13,9 @@ const KernelTable& Avx2Table();
 const KernelTable& Avx512Table();
 const KernelTable& NeonTable();
 
+/// AVX-512 base table with the symmetric int8 entries replaced by VNNI
+/// dot-product kernels. Same tier (kAvx512): dispatch picks it over the base
+/// table when CPUID additionally reports avx512vnni.
+const KernelTable& Avx512VnniTable();
+
 }  // namespace blendhouse::vecindex::kernels

@@ -53,8 +53,41 @@ using PqAdcFn = float (*)(const float* table, const uint8_t* code, size_t m,
 using PqAdcBatchFn = void (*)(const float* table, const uint8_t* codes,
                               size_t n, size_t m, size_t ks, float* out);
 
+// ---- Reduced-precision kernels (DESIGN.md §13) -----------------------------
+//
+// fp16/bf16 kernels are asymmetric: the query stays fp32 (it arrives once
+// per search; narrowing it buys nothing) and the packed base side holds
+// 16-bit codes widened to fp32 in registers. int8 comes in two shapes: a
+// symmetric i8 x i8 integer kernel for batch scans (the VNNI dot-product
+// idiom — the query is quantized once per search) and an asymmetric
+// fp32 x int8 kernel for graph walks, where the fp32 query keeps hop
+// ordering stable without a per-hop decode buffer.
+
+/// fp32 query vs one packed 16-bit (fp16 or bf16) base vector.
+using HalfDistFn = float (*)(const float* query, const uint16_t* code,
+                             size_t dim);
+
+/// One fp32 query against n packed 16-bit rows (row stride = dim).
+using HalfBatchFn = void (*)(const float* query, const uint16_t* base,
+                             size_t n, size_t dim, float* out);
+
+/// fp32 query vs int8 code under one symmetric scale: decoded = scale*code.
+using I8AsymDistFn = float (*)(const float* query, const int8_t* code,
+                               float scale, size_t dim);
+
+/// Symmetric int8 kernel returning the raw integer accumulation (sum of
+/// squared differences, or dot product); the caller applies scale factors.
+/// Contract: dim <= 32768 so the i32 accumulators cannot overflow.
+using I8DistFn = int32_t (*)(const int8_t* a, const int8_t* b, size_t dim);
+
+/// Batched symmetric int8 kernel writing raw i32 accumulations.
+using I8BatchFn = void (*)(const int8_t* query, const int8_t* base, size_t n,
+                           size_t dim, int32_t* out);
+
 /// One tier's full kernel set. Resolved once; indexes grab the function
 /// pointers they need instead of re-dispatching on Metric per call.
+/// Reduced-precision cosine has no dedicated kernels: scans compose the dot
+/// kernel with stored base norms via CosineFromDot.
 struct KernelTable {
   SimdTier tier = SimdTier::kScalar;
   DistFn l2sqr = nullptr;
@@ -70,7 +103,92 @@ struct KernelTable {
   Sq8DotNormFn sq8_dot_norm = nullptr;
   PqAdcFn pq_adc = nullptr;
   PqAdcBatchFn pq_adc_batch = nullptr;
+  HalfDistFn fp16_l2sqr = nullptr;
+  HalfDistFn fp16_inner_product = nullptr;
+  HalfBatchFn batch_fp16_l2sqr = nullptr;
+  HalfBatchFn batch_fp16_inner_product = nullptr;
+  HalfDistFn bf16_l2sqr = nullptr;
+  HalfDistFn bf16_inner_product = nullptr;
+  HalfBatchFn batch_bf16_l2sqr = nullptr;
+  HalfBatchFn batch_bf16_inner_product = nullptr;
+  I8AsymDistFn i8_asym_l2sqr = nullptr;
+  I8AsymDistFn i8_asym_dot = nullptr;
+  I8DistFn i8_l2sqr = nullptr;
+  I8DistFn i8_dot = nullptr;
+  I8BatchFn batch_i8_l2sqr = nullptr;
+  I8BatchFn batch_i8_dot = nullptr;
 };
+
+// ---- fp16 / bf16 scalar conversions ----------------------------------------
+//
+// Bit-twiddled (no compiler half-float extension) so every tier — including
+// plain scalar — encodes and decodes with identical results. Encoding
+// rounds to nearest-even; decoding is exact.
+
+inline float Fp16ToFloat(uint16_t h) {
+  uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t man = h & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (man == 0) {
+      bits = sign;  // +-0
+    } else {
+      // Subnormal half: renormalize into a normal float.
+      uint32_t e = 113;  // 127 - 15 + 1
+      while ((man & 0x400u) == 0) {
+        man <<= 1;
+        --e;
+      }
+      bits = sign | (e << 23) | ((man & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    bits = sign | 0x7f800000u | (man << 13);  // inf / nan
+  } else {
+    bits = sign | ((exp + 112u) << 23) | (man << 13);
+  }
+  return __builtin_bit_cast(float, bits);
+}
+
+inline uint16_t FloatToFp16(float f) {
+  uint32_t x = __builtin_bit_cast(uint32_t, f);
+  uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+  x &= 0x7fffffffu;
+  if (x >= 0x7f800000u) {  // inf / nan
+    return static_cast<uint16_t>(
+        sign | (x > 0x7f800000u ? 0x7e00u : 0x7c00u));
+  }
+  if (x >= 0x47800000u) return static_cast<uint16_t>(sign | 0x7c00u);  // ovf
+  if (x < 0x38800000u) {  // subnormal half (or zero)
+    uint32_t shift = 126u - (x >> 23);  // 14 (top subnormal) .. 24 (epsilon)
+    if (shift > 24u) return sign;
+    uint32_t man = (x & 0x7fffffu) | 0x800000u;
+    uint16_t h = static_cast<uint16_t>(man >> shift);
+    uint32_t rem = man & ((1u << shift) - 1u);
+    uint32_t half = 1u << (shift - 1u);
+    if (rem > half || (rem == half && (h & 1u))) ++h;
+    return static_cast<uint16_t>(sign | h);
+  }
+  uint32_t exp = (x >> 23) - 112u;
+  uint16_t h = static_cast<uint16_t>((exp << 10) | ((x >> 13) & 0x3ffu));
+  uint32_t rem = x & 0x1fffu;
+  // Round to nearest-even; a mantissa carry correctly bumps the exponent
+  // (65504.x -> inf included).
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+  return static_cast<uint16_t>(sign | h);
+}
+
+inline float Bf16ToFloat(uint16_t h) {
+  return __builtin_bit_cast(float, static_cast<uint32_t>(h) << 16);
+}
+
+inline uint16_t FloatToBf16(float f) {
+  uint32_t x = __builtin_bit_cast(uint32_t, f);
+  if ((x & 0x7fffffffu) > 0x7f800000u)
+    return static_cast<uint16_t>((x >> 16) | 0x0040u);  // quieten nan
+  uint32_t rounding = 0x7fffu + ((x >> 16) & 1u);
+  return static_cast<uint16_t>((x + rounding) >> 16);
+}
 
 // ---- Dispatch --------------------------------------------------------------
 

@@ -128,16 +128,130 @@ void PqAdcBatchScalar(const float* table, const uint8_t* codes, size_t n,
   }
 }
 
+// ---- Reduced-precision kernels ---------------------------------------------
+//
+// The 16-bit kernels are templated on the decoder so fp16 and bf16 share
+// one loop body; instantiated function templates are what lands in the
+// table. Batch variants reuse BatchScalar's 4-way blocking via the
+// row-kernel instantiations.
+
+template <float (*Decode)(uint16_t)>
+float HalfL2SqrScalar(const float* query, const uint16_t* code, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    float d = query[i] - Decode(code[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+template <float (*Decode)(uint16_t)>
+float HalfInnerProductScalar(const float* query, const uint16_t* code,
+                             size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) acc += query[i] * Decode(code[i]);
+  return acc;
+}
+
+template <float (*Row)(const float*, const uint16_t*, size_t)>
+void HalfBatchScalar(const float* query, const uint16_t* base, size_t n,
+                     size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + 8 <= n) {
+      __builtin_prefetch(base + (i + 4) * dim, 0, 1);
+      __builtin_prefetch(base + (i + 6) * dim, 0, 1);
+    }
+    out[i + 0] = Row(query, base + (i + 0) * dim, dim);
+    out[i + 1] = Row(query, base + (i + 1) * dim, dim);
+    out[i + 2] = Row(query, base + (i + 2) * dim, dim);
+    out[i + 3] = Row(query, base + (i + 3) * dim, dim);
+  }
+  for (; i < n; ++i) out[i] = Row(query, base + i * dim, dim);
+}
+
+float I8AsymL2SqrScalar(const float* query, const int8_t* code, float scale,
+                        size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    float d = query[i] - scale * static_cast<float>(code[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+float I8AsymDotScalar(const float* query, const int8_t* code, float scale,
+                      size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i)
+    acc += query[i] * static_cast<float>(code[i]);
+  return scale * acc;
+}
+
+int32_t I8L2SqrScalar(const int8_t* a, const int8_t* b, size_t dim) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    int32_t d = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+int32_t I8DotScalar(const int8_t* a, const int8_t* b, size_t dim) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < dim; ++i)
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  return acc;
+}
+
+template <int32_t (*Row)(const int8_t*, const int8_t*, size_t)>
+void I8BatchScalar(const int8_t* query, const int8_t* base, size_t n,
+                   size_t dim, int32_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + 8 <= n) {
+      __builtin_prefetch(base + (i + 4) * dim, 0, 1);
+      __builtin_prefetch(base + (i + 6) * dim, 0, 1);
+    }
+    out[i + 0] = Row(query, base + (i + 0) * dim, dim);
+    out[i + 1] = Row(query, base + (i + 1) * dim, dim);
+    out[i + 2] = Row(query, base + (i + 2) * dim, dim);
+    out[i + 3] = Row(query, base + (i + 3) * dim, dim);
+  }
+  for (; i < n; ++i) out[i] = Row(query, base + i * dim, dim);
+}
+
 }  // namespace
 
 const KernelTable& ScalarTable() {
   static const KernelTable table = {
-      SimdTier::kScalar,   L2SqrScalar,
-      InnerProductScalar,  CosineScalar,
-      BatchL2SqrScalar,    BatchInnerProductScalar,
-      Sq8L2SqrScalar,      Sq8InnerProductScalar,
-      Sq8DotNormScalar,    PqAdcScalar,
-      PqAdcBatchScalar,
+      .tier = SimdTier::kScalar,
+      .l2sqr = L2SqrScalar,
+      .inner_product = InnerProductScalar,
+      .cosine = CosineScalar,
+      .batch_l2sqr = BatchL2SqrScalar,
+      .batch_inner_product = BatchInnerProductScalar,
+      .sq8_l2sqr = Sq8L2SqrScalar,
+      .sq8_inner_product = Sq8InnerProductScalar,
+      .sq8_dot_norm = Sq8DotNormScalar,
+      .pq_adc = PqAdcScalar,
+      .pq_adc_batch = PqAdcBatchScalar,
+      .fp16_l2sqr = HalfL2SqrScalar<Fp16ToFloat>,
+      .fp16_inner_product = HalfInnerProductScalar<Fp16ToFloat>,
+      .batch_fp16_l2sqr = HalfBatchScalar<HalfL2SqrScalar<Fp16ToFloat>>,
+      .batch_fp16_inner_product =
+          HalfBatchScalar<HalfInnerProductScalar<Fp16ToFloat>>,
+      .bf16_l2sqr = HalfL2SqrScalar<Bf16ToFloat>,
+      .bf16_inner_product = HalfInnerProductScalar<Bf16ToFloat>,
+      .batch_bf16_l2sqr = HalfBatchScalar<HalfL2SqrScalar<Bf16ToFloat>>,
+      .batch_bf16_inner_product =
+          HalfBatchScalar<HalfInnerProductScalar<Bf16ToFloat>>,
+      .i8_asym_l2sqr = I8AsymL2SqrScalar,
+      .i8_asym_dot = I8AsymDotScalar,
+      .i8_l2sqr = I8L2SqrScalar,
+      .i8_dot = I8DotScalar,
+      .batch_i8_l2sqr = I8BatchScalar<I8L2SqrScalar>,
+      .batch_i8_dot = I8BatchScalar<I8DotScalar>,
   };
   return table;
 }

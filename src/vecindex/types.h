@@ -18,6 +18,20 @@ using IdType = int64_t;
 /// similarity so that every index can treat "smaller distance = closer".
 enum class Metric { kL2, kInnerProduct, kCosine };
 
+/// Storage precision of an index's scan tier (DESIGN.md §13). fp32 is the
+/// exact baseline; the reduced formats store 2 or 1 bytes per dimension,
+/// are scanned by dedicated kernels, and rely on an fp32 rerank of the top
+/// candidates to restore exact ordering.
+enum class Precision : uint8_t { kFp32 = 0, kFp16 = 1, kBf16 = 2, kInt8 = 3 };
+
+std::string PrecisionName(Precision p);
+
+/// Parses "FP32"/"FP16"/"BF16"/"INT8" (case-insensitive); false on unknown.
+bool ParsePrecision(const std::string& name, Precision* out);
+
+/// Bytes one encoded dimension occupies.
+size_t PrecisionBytes(Precision p);
+
 /// One search hit: row offset and its distance to the query.
 struct Neighbor {
   IdType id = -1;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "baselines/dataset.h"
+#include "common/metrics.h"
 #include "core/blendhouse.h"
 #include "tests/test_util.h"
 
@@ -724,6 +725,58 @@ TEST(BlendHouseSettings, SetEfSearchChangesQueryBehaviour) {
   double high = recall_at(300);
   EXPECT_GE(high, low);
   EXPECT_GT(high, 0.95);
+}
+
+TEST(BlendHouseSettings, SetDistancePrecisionFlowsIntoNewIndexes) {
+  BlendHouse db(BlendHouseOptions::Fast());
+  // String knob with a fixed name set.
+  EXPECT_FALSE(db.ExecuteSql("SET distance_precision = 1;").ok());
+  EXPECT_FALSE(db.ExecuteSql("SET distance_precision = 'fp12';").ok());
+  ASSERT_TRUE(db.ExecuteSql("SET distance_precision = 'int8';").ok());
+  EXPECT_EQ(db.options().settings.distance_precision,
+            vecindex::Precision::kInt8);
+  ASSERT_TRUE(db.ExecuteSql("SET rerank_depth = 64;").ok());
+  EXPECT_FALSE(db.ExecuteSql("SET rerank_depth = 0;").ok());
+
+  // An index created after the SET stores int8 codes, so queries against it
+  // must pass through the executor's fp32 rerank stage (DESIGN.md §13) and
+  // still return accurate top-k.
+  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (id Int64, emb Array(Float32),"
+                            " INDEX a emb TYPE HNSW('DIM=8','M=8'));")
+                  .ok());
+  auto data = MakeClusteredVectors(600, kDim, 8, 77, 1.0f);
+  std::vector<storage::Row> rows;
+  for (size_t i = 0; i < 600; ++i) {
+    storage::Row row;
+    row.values = {static_cast<int64_t>(i),
+                  std::vector<float>(data.begin() + i * kDim,
+                                     data.begin() + (i + 1) * kDim)};
+    rows.push_back(std::move(row));
+  }
+  ASSERT_TRUE(db.Insert("t", std::move(rows)).ok());
+  ASSERT_TRUE(db.Flush("t").ok());
+
+  auto& reg = common::metrics::MetricsRegistry::Instance();
+  uint64_t before = reg.GetCounter("bh_exec_fp32_rerank_rows")->Value();
+  double total = 0;
+  for (int q = 0; q < 10; ++q) {
+    const float* query = data.data() + (q * 67 % 600) * kDim;
+    auto truth = test::BruteForceTopK(data, kDim, query, 10);
+    std::string vec = "[";
+    for (size_t d = 0; d < kDim; ++d)
+      vec += (d ? "," : "") + std::to_string(query[d]);
+    vec += "]";
+    auto r = db.Query("SELECT id FROM t ORDER BY L2Distance(emb, " + vec +
+                      ") LIMIT 10;");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<vecindex::Neighbor> hits;
+    for (const auto& row : r->rows)
+      hits.push_back({std::get<int64_t>(row.values[0]), 0});
+    total += test::Recall(hits, truth);
+  }
+  EXPECT_GT(total / 10, 0.9);
+  EXPECT_GT(reg.GetCounter("bh_exec_fp32_rerank_rows")->Value(), before)
+      << "query never entered the fp32 rerank stage";
 }
 
 // ---------------------------------------------------------------------------

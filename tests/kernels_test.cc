@@ -307,5 +307,285 @@ TEST(KernelsTest, ScalarQuantizerFusedKernelsMatchDecode) {
               "sq-cosine", dim);
 }
 
+// ---------------------------------------------------------------------------
+// Reduced-precision kernels (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+std::vector<uint16_t> EncodeHalf(const std::vector<float>& v, bool fp16) {
+  std::vector<uint16_t> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i)
+    out[i] = fp16 ? kernels::FloatToFp16(v[i]) : kernels::FloatToBf16(v[i]);
+  return out;
+}
+
+std::vector<int8_t> RandomI8(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<int8_t> v(n);
+  for (auto& x : v) x = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  return v;
+}
+
+TEST(KernelsTest, HalfConversionRoundTrip) {
+  // Round-to-nearest error is bounded by half an ulp of the narrow format:
+  // 2^-11 relative for fp16 (10 mantissa bits), 2^-8 for bf16 (7 bits).
+  common::Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    float f = rng.Gaussian(0.0f, 10.0f);
+    float h = kernels::Fp16ToFloat(kernels::FloatToFp16(f));
+    EXPECT_NEAR(h, f, std::fabs(f) / 2048.0f + 1e-7f) << f;
+    float b = kernels::Bf16ToFloat(kernels::FloatToBf16(f));
+    EXPECT_NEAR(b, f, std::fabs(f) / 256.0f + 1e-7f) << f;
+  }
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(kernels::Fp16ToFloat(kernels::FloatToFp16(inf)), inf);
+  EXPECT_EQ(kernels::Fp16ToFloat(kernels::FloatToFp16(-inf)), -inf);
+  EXPECT_EQ(kernels::Fp16ToFloat(kernels::FloatToFp16(1e6f)), inf);  // ovf
+  EXPECT_TRUE(std::isnan(kernels::Fp16ToFloat(kernels::FloatToFp16(nan))));
+  EXPECT_EQ(kernels::Fp16ToFloat(kernels::FloatToFp16(0.0f)), 0.0f);
+  EXPECT_EQ(kernels::Bf16ToFloat(kernels::FloatToBf16(inf)), inf);
+  EXPECT_EQ(kernels::Bf16ToFloat(kernels::FloatToBf16(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(kernels::Bf16ToFloat(kernels::FloatToBf16(nan))));
+  EXPECT_EQ(kernels::Bf16ToFloat(kernels::FloatToBf16(0.0f)), 0.0f);
+  // 65504 is the largest finite half; its round-to-nearest-even tie (65520)
+  // must bump into the infinity encoding, not wrap the exponent.
+  EXPECT_EQ(kernels::Fp16ToFloat(kernels::FloatToFp16(65504.0f)), 65504.0f);
+  EXPECT_EQ(kernels::Fp16ToFloat(kernels::FloatToFp16(65520.0f)), inf);
+  // Subnormal half range survives the round trip.
+  float sub = 6.0e-8f;
+  EXPECT_NEAR(kernels::Fp16ToFloat(kernels::FloatToFp16(sub)), sub, 3e-8f);
+}
+
+TEST(KernelsTest, ReducedPrecisionParityAcrossTiers) {
+  const KernelTable* scalar = kernels::GetTable(SimdTier::kScalar);
+  for (const KernelTable* table : SimdTables()) {
+    for (size_t dim : kDims) {
+      auto q = RandomVec(dim, 14 + dim);
+      auto base = RandomVec(dim, 15 + dim);
+      auto h16 = EncodeHalf(base, true);
+      auto hb = EncodeHalf(base, false);
+      ExpectClose(table->fp16_l2sqr(q.data(), h16.data(), dim),
+                  scalar->fp16_l2sqr(q.data(), h16.data(), dim), "fp16_l2",
+                  dim);
+      ExpectClose(table->fp16_inner_product(q.data(), h16.data(), dim),
+                  scalar->fp16_inner_product(q.data(), h16.data(), dim),
+                  "fp16_ip", dim);
+      ExpectClose(table->bf16_l2sqr(q.data(), hb.data(), dim),
+                  scalar->bf16_l2sqr(q.data(), hb.data(), dim), "bf16_l2",
+                  dim);
+      ExpectClose(table->bf16_inner_product(q.data(), hb.data(), dim),
+                  scalar->bf16_inner_product(q.data(), hb.data(), dim),
+                  "bf16_ip", dim);
+      auto q8 = RandomI8(dim, 16 + dim);
+      auto c8 = RandomI8(dim, 17 + dim);
+      // Symmetric integer kernels are exact: tiers must agree bit for bit.
+      EXPECT_EQ(table->i8_l2sqr(q8.data(), c8.data(), dim),
+                scalar->i8_l2sqr(q8.data(), c8.data(), dim))
+          << "i8_l2 dim=" << dim;
+      EXPECT_EQ(table->i8_dot(q8.data(), c8.data(), dim),
+                scalar->i8_dot(q8.data(), c8.data(), dim))
+          << "i8_dot dim=" << dim;
+      const float scale = 0.05f;
+      ExpectClose(table->i8_asym_l2sqr(q.data(), c8.data(), scale, dim),
+                  scalar->i8_asym_l2sqr(q.data(), c8.data(), scale, dim),
+                  "i8_asym_l2", dim);
+      ExpectClose(table->i8_asym_dot(q.data(), c8.data(), scale, dim),
+                  scalar->i8_asym_dot(q.data(), c8.data(), scale, dim),
+                  "i8_asym_dot", dim);
+    }
+  }
+}
+
+TEST(KernelsTest, ReducedPrecisionBatchParityAcrossTiers) {
+  const KernelTable* scalar = kernels::GetTable(SimdTier::kScalar);
+  // n values straddle the 4-way blocking boundary and its tail.
+  const size_t kCounts[] = {1, 3, 4, 5, 37};
+  for (const KernelTable* table : SimdTables()) {
+    for (size_t dim : {size_t{7}, size_t{96}, size_t{768}, size_t{769}}) {
+      for (size_t n : kCounts) {
+        auto q = RandomVec(dim, 18 + dim + n);
+        auto base = RandomVec(n * dim, 19 + dim + n);
+        for (bool fp16 : {true, false}) {
+          auto codes = EncodeHalf(base, fp16);
+          std::vector<float> got(n), want(n);
+          auto l2 = fp16 ? table->batch_fp16_l2sqr : table->batch_bf16_l2sqr;
+          auto l2_ref =
+              fp16 ? scalar->batch_fp16_l2sqr : scalar->batch_bf16_l2sqr;
+          l2(q.data(), codes.data(), n, dim, got.data());
+          l2_ref(q.data(), codes.data(), n, dim, want.data());
+          for (size_t i = 0; i < n; ++i)
+            ExpectClose(got[i], want[i], fp16 ? "b_fp16_l2" : "b_bf16_l2",
+                        dim);
+          auto ip = fp16 ? table->batch_fp16_inner_product
+                         : table->batch_bf16_inner_product;
+          auto ip_ref = fp16 ? scalar->batch_fp16_inner_product
+                             : scalar->batch_bf16_inner_product;
+          ip(q.data(), codes.data(), n, dim, got.data());
+          ip_ref(q.data(), codes.data(), n, dim, want.data());
+          for (size_t i = 0; i < n; ++i)
+            ExpectClose(got[i], want[i], fp16 ? "b_fp16_ip" : "b_bf16_ip",
+                        dim);
+        }
+        auto q8 = RandomI8(dim, 20 + dim + n);
+        auto base8 = RandomI8(n * dim, 21 + dim + n);
+        std::vector<int32_t> igot(n), iwant(n);
+        table->batch_i8_l2sqr(q8.data(), base8.data(), n, dim, igot.data());
+        scalar->batch_i8_l2sqr(q8.data(), base8.data(), n, dim, iwant.data());
+        EXPECT_EQ(igot, iwant) << "b_i8_l2 dim=" << dim << " n=" << n;
+        table->batch_i8_dot(q8.data(), base8.data(), n, dim, igot.data());
+        scalar->batch_i8_dot(q8.data(), base8.data(), n, dim, iwant.data());
+        EXPECT_EQ(igot, iwant) << "b_i8_dot dim=" << dim << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, ReducedPrecisionMatchesFp32Reference) {
+  // Dispatched kernels against the fp32 kernels run on decoded copies: the
+  // half formats decode exactly, int8 after one scale multiply, so the only
+  // slack needed is accumulation order.
+  const KernelTable& kt = kernels::Get();
+  for (size_t dim : {size_t{31}, size_t{96}, size_t{769}}) {
+    auto q = RandomVec(dim, 22 + dim);
+    auto base = RandomVec(dim, 23 + dim);
+    std::vector<float> dec(dim);
+    auto h16 = EncodeHalf(base, true);
+    for (size_t d = 0; d < dim; ++d) dec[d] = kernels::Fp16ToFloat(h16[d]);
+    ExpectClose(kt.fp16_l2sqr(q.data(), h16.data(), dim),
+                kt.l2sqr(q.data(), dec.data(), dim), "fp16-ref-l2", dim);
+    ExpectClose(kt.fp16_inner_product(q.data(), h16.data(), dim),
+                kt.inner_product(q.data(), dec.data(), dim), "fp16-ref-ip",
+                dim);
+    auto hb = EncodeHalf(base, false);
+    for (size_t d = 0; d < dim; ++d) dec[d] = kernels::Bf16ToFloat(hb[d]);
+    ExpectClose(kt.bf16_l2sqr(q.data(), hb.data(), dim),
+                kt.l2sqr(q.data(), dec.data(), dim), "bf16-ref-l2", dim);
+    ExpectClose(kt.bf16_inner_product(q.data(), hb.data(), dim),
+                kt.inner_product(q.data(), dec.data(), dim), "bf16-ref-ip",
+                dim);
+    auto c8 = RandomI8(dim, 24 + dim);
+    const float scale = 0.02f;
+    for (size_t d = 0; d < dim; ++d)
+      dec[d] = scale * static_cast<float>(c8[d]);
+    ExpectClose(kt.i8_asym_l2sqr(q.data(), c8.data(), scale, dim),
+                kt.l2sqr(q.data(), dec.data(), dim), "i8asym-ref-l2", dim);
+    ExpectClose(kt.i8_asym_dot(q.data(), c8.data(), scale, dim),
+                kt.inner_product(q.data(), dec.data(), dim), "i8asym-ref-ip",
+                dim);
+    // Symmetric integer kernels against a plain integer loop: exact.
+    auto q8 = RandomI8(dim, 25 + dim);
+    int32_t l2 = 0, dot = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      int32_t diff = static_cast<int32_t>(q8[d]) - c8[d];
+      l2 += diff * diff;
+      dot += static_cast<int32_t>(q8[d]) * c8[d];
+    }
+    EXPECT_EQ(kt.i8_l2sqr(q8.data(), c8.data(), dim), l2) << dim;
+    EXPECT_EQ(kt.i8_dot(q8.data(), c8.data(), dim), dot) << dim;
+  }
+}
+
+TEST(KernelsTest, ReducedPrecisionNanPropagatesInEveryTier) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (SimdTier t : kernels::AvailableTiers()) {
+    const KernelTable* table = kernels::GetTable(t);
+    for (size_t dim : {size_t{8}, size_t{769}}) {
+      auto q = RandomVec(dim, 26);
+      auto base = RandomVec(dim, 27);
+      auto h16 = EncodeHalf(base, true);
+      auto hb = EncodeHalf(base, false);
+      // NaN on the fp32 query side.
+      auto qn = q;
+      qn[dim / 2] = nan;
+      EXPECT_TRUE(std::isnan(table->fp16_l2sqr(qn.data(), h16.data(), dim)))
+          << kernels::SimdTierName(t) << " dim=" << dim;
+      EXPECT_TRUE(std::isnan(table->bf16_inner_product(qn.data(), hb.data(),
+                                                       dim)))
+          << kernels::SimdTierName(t) << " dim=" << dim;
+      // NaN stored inside the half codes.
+      h16[dim / 2] = kernels::FloatToFp16(nan);
+      hb[dim / 2] = kernels::FloatToBf16(nan);
+      EXPECT_TRUE(std::isnan(table->fp16_inner_product(q.data(), h16.data(),
+                                                       dim)))
+          << kernels::SimdTierName(t) << " dim=" << dim;
+      EXPECT_TRUE(std::isnan(table->bf16_l2sqr(q.data(), hb.data(), dim)))
+          << kernels::SimdTierName(t) << " dim=" << dim;
+    }
+  }
+}
+
+TEST(KernelsTest, ForcedScalarPrecisionStoreMatchesDispatched) {
+  // PrecisionStore resolves the kernel table per call, so pinning the scalar
+  // tier must reproduce the dispatched distances: bitwise for int8 (integer
+  // accumulation plus identical float scaling), within accumulation order
+  // for the half formats.
+  const size_t dim = 96, n = 64;
+  auto data = test::MakeClusteredVectors(n, dim, 4, 43);
+  auto query = RandomVec(dim, 44);
+  for (vecindex::Precision p :
+       {vecindex::Precision::kFp16, vecindex::Precision::kBf16,
+        vecindex::Precision::kInt8}) {
+    for (vecindex::Metric m :
+         {vecindex::Metric::kL2, vecindex::Metric::kInnerProduct,
+          vecindex::Metric::kCosine}) {
+      vecindex::PrecisionStore store;
+      store.Configure(p, dim, m);
+      store.Train(data.data(), n);
+      store.Append(data.data(), n);
+      vecindex::PrecisionStore::QueryCtx ctx;
+      store.PrepareQuery(query.data(), &ctx);
+      std::vector<float> dispatched(n), forced(n);
+      store.BatchDistance(ctx, 0, n, dispatched.data());
+      SimdTier prev = kernels::SetActiveTier(SimdTier::kScalar);
+      ASSERT_EQ(kernels::ActiveTier(), SimdTier::kScalar);
+      store.BatchDistance(ctx, 0, n, forced.data());
+      kernels::SetActiveTier(prev);
+      for (size_t i = 0; i < n; ++i) {
+        if (p == vecindex::Precision::kInt8) {
+          EXPECT_EQ(dispatched[i], forced[i])
+              << vecindex::PrecisionName(p) << " metric="
+              << static_cast<int>(m) << " row=" << i;
+        } else {
+          ExpectClose(dispatched[i], forced[i], "forced-scalar-store", dim);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, HnswRecallAtEachReducedPrecision) {
+  const size_t dim = 32, n = 500, k = 10;
+  auto data = test::MakeClusteredVectors(n, dim, 6, 45);
+  auto ids = test::SequentialIds(n);
+  auto query = RandomVec(dim, 46);
+  auto truth = test::BruteForceTopK(data, dim, query.data(), k);
+  for (vecindex::Precision p :
+       {vecindex::Precision::kFp16, vecindex::Precision::kBf16,
+        vecindex::Precision::kInt8}) {
+    vecindex::HnswOptions opts;
+    opts.precision = p;
+    vecindex::HnswIndex index(dim, vecindex::Metric::kL2, opts);
+    ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), n).ok());
+    EXPECT_EQ(index.StoragePrecision(), p);
+    vecindex::SearchParams params;
+    params.k = static_cast<int>(k);
+    params.ef_search = 64;
+    auto found = index.SearchWithFilter(query.data(), params);
+    ASSERT_TRUE(found.ok());
+    EXPECT_GE(test::Recall(*found, truth), 0.85)
+        << vecindex::PrecisionName(p);
+    // Save/Load keeps the quantized graph searchable, identical results.
+    std::string bytes;
+    ASSERT_TRUE(index.Save(&bytes).ok());
+    vecindex::HnswIndex loaded(dim, vecindex::Metric::kL2, opts);
+    ASSERT_TRUE(loaded.Load(bytes).ok());
+    auto again = loaded.SearchWithFilter(query.data(), params);
+    ASSERT_TRUE(again.ok());
+    ASSERT_EQ(again->size(), found->size());
+    for (size_t i = 0; i < found->size(); ++i)
+      EXPECT_EQ((*again)[i].id, (*found)[i].id) << vecindex::PrecisionName(p);
+  }
+}
+
 }  // namespace
 }  // namespace blendhouse

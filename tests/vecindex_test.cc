@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <memory>
 #include <set>
 #include <unordered_set>
@@ -167,6 +169,164 @@ TEST(ScalarQuantizerTest, SerializationRoundTrip) {
   EXPECT_EQ(c1, c2);
 }
 
+TEST(ScalarQuantizerTest, EncodeClampsAtRangeBoundaries) {
+  // Regression: rounding (v - min) / step could land on 256 for values at or
+  // past the trained max, wrapping the uint8 code to 0 — the far end of the
+  // range. Out-of-range values must saturate at 0 / 255 instead.
+  std::vector<float> data(2 * 4);
+  for (size_t d = 0; d < 4; ++d) {
+    data[d] = 0.0f;      // trained min
+    data[4 + d] = 1.0f;  // trained max
+  }
+  ScalarQuantizer sq;
+  ASSERT_TRUE(sq.Train(data.data(), 2, 4).ok());
+  std::vector<uint8_t> code(4);
+  float above[4] = {2.0f, 1.5f, 1.001f, 100.0f};
+  sq.Encode(above, code.data());
+  for (size_t d = 0; d < 4; ++d) EXPECT_EQ(code[d], 255) << "dim " << d;
+  float below[4] = {-2.0f, -0.5f, -0.001f, -100.0f};
+  sq.Encode(below, code.data());
+  for (size_t d = 0; d < 4; ++d) EXPECT_EQ(code[d], 0) << "dim " << d;
+  // Exactly at the trained max must be the end code, not a wrap.
+  sq.Encode(data.data() + 4, code.data());
+  for (size_t d = 0; d < 4; ++d) EXPECT_EQ(code[d], 255) << "dim " << d;
+}
+
+// ---------------------------------------------------------------------------
+// PrecisionStore (reduced-precision first-pass tier, DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+class PrecisionStoreTest : public ::testing::TestWithParam<Precision> {
+ protected:
+  /// fp16/bf16 codes decode to exact fp32 values, so store distances match
+  /// the decoded reference up to accumulation order. int8 batch kernels
+  /// quantize the query onto the shared grid (step s = maxabs/127) while
+  /// the decoded reference keeps it fp32, so the allowance is the
+  /// first-order grid error of each metric's accumulation.
+  static float Tol(Precision p, Metric m, float ref, float maxabs,
+                   size_t dim) {
+    if (p != Precision::kInt8) return 1e-3f * std::max(1.0f, std::fabs(ref));
+    float s = maxabs / 127.0f;
+    float fdim = static_cast<float>(dim);
+    switch (m) {
+      case Metric::kL2:  // sum of 2*(q-b)*delta terms, |delta| <= s
+        return 2.0f * s * std::sqrt(fdim * std::max(ref, 1.0f)) +
+               fdim * s * s;
+      case Metric::kInnerProduct:  // sum of |b| * qstep terms
+        return s * maxabs * fdim;
+      default:  // cosine: normalized, the grid error shrinks with the norms
+        return 0.01f;
+    }
+  }
+};
+
+TEST_P(PrecisionStoreTest, DistancesMatchDecodedReference) {
+  constexpr size_t kRows = 300;  // straddles the kMaxBatch boundary
+  auto data = MakeClusteredVectors(kRows, kDim, 6, 29);
+  float maxabs = 0.0f;
+  for (float x : data) maxabs = std::max(maxabs, std::fabs(x));
+  for (Metric metric : {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    PrecisionStore store;
+    store.Configure(GetParam(), kDim, metric);
+    store.Train(data.data(), kRows);
+    store.Append(data.data(), kRows);
+    ASSERT_EQ(store.size(), kRows);
+    const float* query = data.data() + 7 * kDim;
+    PrecisionStore::QueryCtx ctx;
+    store.PrepareQuery(query, &ctx);
+    std::vector<float> dist(kRows);
+    store.BatchDistance(ctx, 0, PrecisionStore::kMaxBatch, dist.data());
+    store.BatchDistance(ctx, PrecisionStore::kMaxBatch,
+                        kRows - PrecisionStore::kMaxBatch,
+                        dist.data() + PrecisionStore::kMaxBatch);
+    std::vector<float> decoded(kDim);
+    for (size_t i = 0; i < kRows; ++i) {
+      store.Decode(i, decoded.data());
+      float ref = Distance(metric, query, decoded.data(), kDim);
+      float tol = Tol(GetParam(), metric, ref, maxabs, kDim);
+      EXPECT_NEAR(dist[i], ref, tol)
+          << PrecisionName(GetParam()) << " metric=" << static_cast<int>(metric)
+          << " row=" << i;
+      EXPECT_NEAR(store.Distance1(ctx, i), dist[i], tol) << "row " << i;
+      EXPECT_NEAR(store.DistanceToRow(query, i), dist[i], tol) << "row " << i;
+    }
+  }
+}
+
+TEST_P(PrecisionStoreTest, GatheredTileMatchesInPlaceScan) {
+  constexpr size_t kRows = 120;
+  auto data = MakeClusteredVectors(kRows, kDim, 4, 31);
+  for (Metric metric : {Metric::kL2, Metric::kCosine}) {
+    PrecisionStore store;
+    store.Configure(GetParam(), kDim, metric);
+    store.Train(data.data(), kRows);
+    store.Append(data.data(), kRows);
+    PrecisionStore::QueryCtx ctx;
+    store.PrepareQuery(data.data(), &ctx);
+    // Gather every third row into a dense tile, the filtered-scan shape.
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < kRows; i += 3) rows.push_back(i);
+    const size_t rb = store.row_bytes();
+    std::vector<uint8_t> tile(rows.size() * rb);
+    std::vector<float> norms(rows.size(), 0.0f);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::memcpy(tile.data() + i * rb, store.RowPtr(rows[i]), rb);
+      if (metric == Metric::kCosine) norms[i] = store.norms()[rows[i]];
+    }
+    std::vector<float> got(rows.size());
+    store.BatchDistanceCodes(ctx, tile.data(), norms.data(), rows.size(),
+                             got.data());
+    std::vector<float> all(kRows);
+    store.BatchDistance(ctx, 0, kRows, all.data());
+    for (size_t i = 0; i < rows.size(); ++i)
+      EXPECT_FLOAT_EQ(got[i], all[rows[i]]) << "tile slot " << i;
+  }
+}
+
+TEST_P(PrecisionStoreTest, SerializationPreservesDistances) {
+  auto data = MakeClusteredVectors(100, kDim, 4, 33);
+  PrecisionStore store;
+  store.Configure(GetParam(), kDim, Metric::kCosine);
+  store.Train(data.data(), 100);
+  store.Append(data.data(), 100);
+  std::string buf;
+  common::BinaryWriter w(&buf);
+  store.Serialize(&w);
+  PrecisionStore loaded;
+  common::BinaryReader r(buf);
+  ASSERT_TRUE(loaded.Deserialize(&r).ok());
+  EXPECT_EQ(loaded.precision(), store.precision());
+  EXPECT_EQ(loaded.dim(), store.dim());
+  EXPECT_EQ(loaded.size(), store.size());
+  PrecisionStore::QueryCtx c1, c2;
+  store.PrepareQuery(data.data(), &c1);
+  loaded.PrepareQuery(data.data(), &c2);
+  std::vector<float> d1(100), d2(100);
+  store.BatchDistance(c1, 0, 100, d1.data());
+  loaded.BatchDistance(c2, 0, 100, d2.data());
+  // Identical codes + scale + norms: distances must be bitwise equal.
+  EXPECT_EQ(0, std::memcmp(d1.data(), d2.data(), d1.size() * sizeof(float)));
+}
+
+TEST_P(PrecisionStoreTest, MemoryStaysBelowFp32Footprint) {
+  constexpr size_t kRows = 512;
+  auto data = MakeClusteredVectors(kRows, kDim, 4, 35);
+  PrecisionStore store;
+  store.Configure(GetParam(), kDim, Metric::kL2);
+  store.Train(data.data(), kRows);
+  store.Append(data.data(), kRows);
+  size_t fp32_bytes = kRows * kDim * sizeof(float);
+  double limit = GetParam() == Precision::kInt8 ? 0.3 : 0.55;
+  EXPECT_LE(store.MemoryBytes(), static_cast<size_t>(limit * fp32_bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, PrecisionStoreTest,
+                         ::testing::Values(Precision::kFp16, Precision::kBf16,
+                                           Precision::kInt8),
+                         [](const auto& info) {
+                           return PrecisionName(info.param);
+                         });
+
 TEST(ProductQuantizerTest, AdcApproximatesTrueDistance) {
   auto data = MakeClusteredVectors(1000, kDim, 8, 13);
   ProductQuantizer pq;
@@ -215,7 +375,15 @@ TEST(ProductQuantizerTest, FourBitCodebookSize) {
 
 VectorIndexPtr MakeIndex(const std::string& type, size_t dim) {
   IndexSpec spec;
-  spec.type = type;
+  // "TYPE:precision" selects reduced-precision storage (DESIGN.md §13),
+  // e.g. "FLAT:int8" — exercises the same factory path as the PRECISION
+  // index param in SQL.
+  std::string name = type;
+  if (auto colon = name.find(':'); colon != std::string::npos) {
+    spec.params["PRECISION"] = name.substr(colon + 1);
+    name.resize(colon);
+  }
+  spec.type = name;
   spec.dim = dim;
   spec.params["NLIST"] = "16";
   spec.params["PQ_M"] = "8";
@@ -387,8 +555,17 @@ TEST_P(IndexParamTest, RangeSearchHonorsRadius) {
 
 INSTANTIATE_TEST_SUITE_P(AllIndexTypes, IndexParamTest,
                          ::testing::Values("FLAT", "HNSW", "HNSWSQ", "IVFFLAT",
-                                           "IVFPQ", "IVFPQFS", "DISKANN"),
-                         [](const auto& info) { return info.param; });
+                                           "IVFPQ", "IVFPQFS", "DISKANN",
+                                           "FLAT:fp16", "FLAT:bf16",
+                                           "FLAT:int8", "HNSW:fp16",
+                                           "HNSW:int8", "IVFFLAT:fp16",
+                                           "IVFFLAT:int8"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == ':') c = '_';
+                           return name;
+                         });
 
 // ---------------------------------------------------------------------------
 // Index-specific behaviours
