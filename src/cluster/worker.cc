@@ -227,6 +227,28 @@ size_t RpcPayloadBytes(size_t dim, size_t k) {
 }
 }  // namespace
 
+common::Result<vecindex::SearchIterator::Stats> Worker::StreamSearch(
+    const storage::TableSchema& schema, const storage::SegmentMeta& meta,
+    const float* query, const vecindex::SearchParams& params,
+    size_t batch_size,
+    const std::function<bool(const std::vector<vecindex::Neighbor>&)>& sink,
+    const AcquireOptions& opts) {
+  if (batch_size == 0)
+    return common::Status::InvalidArgument(
+        "stream search: batch_size must be positive");
+  auto acquired = AcquireIndex(schema, meta, opts);
+  if (!acquired.ok()) return acquired.status();
+  auto iter = acquired->index->MakeIterator(query, params);
+  if (!iter.ok()) return iter.status();
+  for (;;) {
+    std::vector<vecindex::Neighbor> batch = (*iter)->Next(batch_size);
+    if (batch.empty()) break;
+    rpc_->Charge(RpcPayloadBytes(acquired->index->Dim(), batch.size()));
+    if (!sink(batch)) break;
+  }
+  return (*iter)->GetStats();
+}
+
 common::Result<std::vector<vecindex::Neighbor>>
 RemoteIndexProxy::SearchWithFilter(
     const float* query, const vecindex::SearchParams& params) const {
@@ -246,6 +268,7 @@ class RemoteIteratorProxy : public vecindex::SearchIterator {
     return inner_->Next(batch_size);
   }
   size_t VisitedCount() const override { return inner_->VisitedCount(); }
+  Stats GetStats() const override { return inner_->GetStats(); }
 
  private:
   std::unique_ptr<vecindex::SearchIterator> inner_;

@@ -145,6 +145,20 @@ class Worker {
       common::TaskScheduler* sched, const storage::TableSchema& schema,
       const storage::SegmentMeta& meta);
 
+  /// Streaming-batches search over one segment: acquires the segment's
+  /// index, opens its (native when available) resumable iterator, and pushes
+  /// successive sorted batches to `sink`, charging the RPC fabric per batch
+  /// the way the one-shot path charges per call. `sink` returns false to
+  /// stop the stream early (the coordinator already has enough rows — the
+  /// iterator's retained state is what makes stopping cheap). Returns the
+  /// iterator's final cost accounting.
+  common::Result<vecindex::SearchIterator::Stats> StreamSearch(
+      const storage::TableSchema& schema, const storage::SegmentMeta& meta,
+      const float* query, const vecindex::SearchParams& params,
+      size_t batch_size,
+      const std::function<bool(const std::vector<vecindex::Neighbor>&)>& sink,
+      const AcquireOptions& opts = {});
+
   common::LruCache<storage::SegmentPtr>& segment_cache() { return segment_cache_; }
 
   /// Worker-level cache of pre-filter bitmaps, keyed by the executor as

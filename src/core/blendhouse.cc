@@ -436,6 +436,7 @@ common::Status BlendHouse::ApplySetting(const sql::SetStmt& stmt) {
       {"use_granule_pruning", &s.use_granule_pruning},
       {"use_plan_cache", &s.use_plan_cache},
       {"short_circuit", &s.short_circuit},
+      {"use_native_iterators", &s.use_native_iterators},
   };
   if (auto it = bool_knobs.find(name); it != bool_knobs.end()) {
     auto v = as_int();

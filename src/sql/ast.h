@@ -31,6 +31,8 @@ struct AnnClause {
   std::vector<float> query_vector;
   std::string alias;  // distance output name; defaults to "dist"
   size_t limit = 0;
+  /// LIMIT k OFFSET n — rows to skip before the k returned (pagination).
+  size_t offset = 0;
   bool ascending = true;
 };
 
@@ -43,6 +45,8 @@ struct SelectStmt {
   std::optional<AnnClause> ann;
   /// LIMIT for non-ANN queries (ANN limit lives in AnnClause).
   std::optional<size_t> scalar_limit;
+  /// OFFSET for non-ANN queries (ANN offset lives in AnnClause).
+  std::optional<size_t> scalar_offset;
 };
 
 /// EXPLAIN SELECT ... (plan only) or EXPLAIN ANALYZE SELECT ... (executes

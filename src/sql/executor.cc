@@ -10,10 +10,12 @@
 #include <queue>
 #include <utility>
 
+#include "common/assert.h"
 #include "common/future.h"
 #include "common/metrics.h"
 #include "common/task_scheduler.h"
 #include "vecindex/distance.h"
+#include "vecindex/generic_iterator.h"
 
 namespace blendhouse::sql {
 
@@ -70,12 +72,14 @@ BoundQuery CopyBoundQuery(const BoundQuery& b) {
   c.query_vector = b.query_vector;
   c.metric = b.metric;
   c.k = b.k;
+  c.offset = b.offset;
   c.range = b.range;
   c.range_exclusive = b.range_exclusive;
   c.output_columns = b.output_columns;
   c.distance_alias = b.distance_alias;
   c.read_vector_column = b.read_vector_column;
   c.scalar_limit = b.scalar_limit;
+  c.scalar_offset = b.scalar_offset;
   return c;
 }
 
@@ -272,18 +276,27 @@ common::Result<QueryResult> Executor::ExecuteAnn(const OptimizedQuery& query,
       scanned_ids.push_back(m.segment_id);
 
     if (!semantic || !settings_.adaptive_semantic) break;
-    if (all_candidates.size() >= bound.k) break;
+    if (all_candidates.size() >= bound.k + bound.offset) break;
     if (probe >= partitioner->num_buckets()) break;
     probe = std::min(partitioner->num_buckets(), probe * 2);
     ++stats->adaptive_expansions;
   }
 
-  // Global top-k merge of the streamed per-round top-k sets.
+  // Global top-(k+offset) merge of the streamed per-round top-k sets, then
+  // pagination: the first `offset` rows of the global order belong to
+  // earlier pages and are dropped only here, after the merge — a segment
+  // cannot know which of its candidates the global order skips.
   std::sort(all_candidates.begin(), all_candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.dist < b.dist;
             });
-  if (all_candidates.size() > bound.k) all_candidates.resize(bound.k);
+  if (all_candidates.size() > bound.k + bound.offset)
+    all_candidates.resize(bound.k + bound.offset);
+  if (bound.offset > 0)
+    all_candidates.erase(
+        all_candidates.begin(),
+        all_candidates.begin() + static_cast<ptrdiff_t>(std::min(
+                                     bound.offset, all_candidates.size())));
 
   // Materialization runs on the caller thread; account its time in the
   // breakdown (sim charges deferred, then paid once below) so queue-wait +
@@ -350,7 +363,7 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
 
     common::Status failure;
     if (!assignment_failed) {
-      auto state = std::make_shared<AttemptState>(bound.k);
+      auto state = std::make_shared<AttemptState>(bound.k + bound.offset);
       state->lease = std::move(lease);
       {
         common::MutexLock lock(state->mu);
@@ -492,7 +505,9 @@ Executor::SegmentTaskResult Executor::RunSegment(
   const QuerySettings& settings = ctx.settings;
   SegmentTaskResult result;
   const common::Bitset* deletes = ctx.snapshot.DeletesFor(meta.segment_id);
-  size_t k = bound.k;
+  // Pagination widens the per-segment fetch: any of this segment's first
+  // k+offset rows may survive the global merge's offset drop.
+  size_t k = bound.k + bound.offset;
 
   vecindex::SearchParams params;
   params.k = static_cast<int>(k);
@@ -708,21 +723,42 @@ Executor::SegmentTaskResult Executor::RunSegment(
         push_candidates(*hits);
         break;
       }
-      auto iter = acquired->index->MakeIterator(bound.query_vector.data(),
-                                                params);
+      // Native resumable iterators retain search state across Next() calls
+      // (cached score array / probe cursor / beam frontier), so refills
+      // extend the search instead of restarting it; use_native_iterators
+      // false forces the generic restart wrapper for A/B comparison.
+      const bool native = settings.use_native_iterators &&
+                          acquired->index->HasNativeIterator();
+      auto iter = [&]() -> common::Result<
+                            std::unique_ptr<vecindex::SearchIterator>> {
+        if (settings.use_native_iterators)
+          return acquired->index->MakeIterator(bound.query_vector.data(),
+                                               params);
+        return std::unique_ptr<vecindex::SearchIterator>(
+            std::make_unique<vecindex::GenericSearchIterator>(
+                acquired->index.get(), bound.query_vector.data(), params));
+      }();
       if (!iter.ok()) {
         result.status = iter.status();
         return result;
       }
+      if (span != nullptr)
+        span->SetTag("iterator", native ? "native" : "generic");
       storage::SegmentPtr segment;  // fetched lazily, only if needed
       std::optional<PredicateEvaluator> eval;
       size_t batch_size =
           std::max<size_t>(k, k * std::max(1, settings.refine_factor));
       size_t found = 0;
-      for (size_t round = 0; round < settings.max_postfilter_rounds;
-           ++round) {
+      // A native iterator only moves forward, so exhaustion (empty batch)
+      // is its natural stop and no round cap is needed. The restart wrapper
+      // re-searches from scratch every refill and keeps the historical
+      // bound.
+      const size_t max_rounds = native ? std::numeric_limits<size_t>::max()
+                                       : settings.max_postfilter_rounds;
+      for (size_t round = 0; round < max_rounds; ++round) {
         std::vector<vecindex::Neighbor> batch = (*iter)->Next(batch_size);
         if (batch.empty()) break;
+        BH_DCHECK(vecindex::IsSortedBatch(batch));
         ++result.rounds;
         for (const vecindex::Neighbor& n : batch) {
           size_t row = static_cast<size_t>(n.id);
@@ -751,11 +787,29 @@ Executor::SegmentTaskResult Executor::RunSegment(
           ++found;
         }
         if (found >= k) break;
-        // Distances grew past the range: no point iterating further.
+        // Distances grew past the range: no point iterating further. Sound
+        // because of the sorted-batch contract — batch.back() is the worst
+        // hit in this batch, so the whole batch is past the radius.
         if (bound.range >= 0 && !batch.empty() &&
             batch.back().distance > bound.range)
           break;
       }
+      vecindex::SearchIterator::Stats istats = (*iter)->GetStats();
+      static common::metrics::Counter* iter_batches =
+          common::metrics::MetricsRegistry::Instance().GetCounter(
+              "bh_iter_batches");
+      static common::metrics::Counter* iter_rows =
+          common::metrics::MetricsRegistry::Instance().GetCounter(
+              "bh_iter_rows_visited");
+      static common::metrics::Counter* iter_recompute =
+          common::metrics::MetricsRegistry::Instance().GetCounter(
+              "bh_iter_recompute_rounds");
+      iter_batches->Add(istats.batches);
+      iter_rows->Add(istats.rows_visited);
+      iter_recompute->Add(istats.recompute_rounds);
+      if (span != nullptr)
+        span->SetTag("iter_rows_visited",
+                     std::to_string(istats.rows_visited));
       break;
     }
   }
@@ -899,6 +953,9 @@ common::Result<QueryResult> Executor::ExecuteScalar(
   out.column_names = bound.output_columns;
   size_t limit = bound.scalar_limit.value_or(
       std::numeric_limits<size_t>::max());
+  // OFFSET skips the first qualifying rows in scan order (pagination for
+  // non-ANN queries).
+  size_t to_skip = bound.scalar_offset.value_or(0);
 
   CompiledPredicatePtr compiled_filter;
   if (bound.filter != nullptr) {
@@ -930,6 +987,10 @@ common::Result<QueryResult> Executor::ExecuteScalar(
          ++i) {
       if (deletes != nullptr && deletes->Test(i)) continue;
       if (eval.has_value() && !eval->EvalRow(i)) continue;
+      if (to_skip > 0) {
+        --to_skip;
+        continue;
+      }
       storage::Row row;
       row.values.reserve(bound.output_columns.size());
       for (const std::string& col_name : bound.output_columns) {

@@ -64,6 +64,7 @@ common::Result<std::unique_ptr<PlanNode>> BuildLogicalPlan(
     auto topk = std::make_unique<PlanNode>();
     topk->kind = PlanNode::Kind::kTopK;
     topk->limit = stmt.ann->limit;
+    topk->offset = stmt.ann->offset;
     topk->child = std::move(current);
     current = std::move(topk);
   }
@@ -90,8 +91,10 @@ bool ApplyTopKPushdown(PlanNode* root) {
   PlanNode* topk = root->FindNode(PlanNode::Kind::kTopK);
   PlanNode* ann = root->FindNode(PlanNode::Kind::kAnnScan);
   if (topk == nullptr || ann == nullptr || topk->limit == 0) return false;
-  if (ann->pushed_k == topk->limit) return false;
+  if (ann->pushed_k == topk->limit && ann->pushed_offset == topk->offset)
+    return false;
   ann->pushed_k = topk->limit;
+  ann->pushed_offset = topk->offset;
   return true;
 }
 
@@ -209,6 +212,7 @@ std::string ExplainPlan(const PlanNode& root) {
       }
       case PlanNode::Kind::kTopK:
         out += "TopK limit=" + std::to_string(n->limit);
+        if (n->offset > 0) out += " offset=" + std::to_string(n->offset);
         break;
       case PlanNode::Kind::kFilter:
         out += "Filter " +
@@ -217,6 +221,8 @@ std::string ExplainPlan(const PlanNode& root) {
       case PlanNode::Kind::kAnnScan:
         out += "AnnScan " + n->table + "." + n->vector_column +
                " k=" + std::to_string(n->pushed_k);
+        if (n->pushed_offset > 0)
+          out += " offset=" + std::to_string(n->pushed_offset);
         if (n->pushed_range >= 0)
           out += " range<=" + std::to_string(n->pushed_range);
         if (!n->read_vector_column) out += " (vector column pruned)";

@@ -42,6 +42,9 @@ struct PlanNode {
   vecindex::Metric metric = vecindex::Metric::kL2;
   /// Top-k pushed into the scan (0 until the pushdown rule fires).
   size_t pushed_k = 0;
+  /// OFFSET pushed alongside top-k: the scan fetches k+offset candidates so
+  /// the executor can drop the first `offset` globally (pagination).
+  size_t pushed_offset = 0;
   /// Distance range pushed into the scan (< 0 = none).
   double pushed_range = -1.0;
   /// True when the pushed range came from `<` (exclusive bound).
@@ -52,6 +55,8 @@ struct PlanNode {
 
   // kTopK
   size_t limit = 0;
+  /// Rows skipped before the `limit` returned (LIMIT k OFFSET n).
+  size_t offset = 0;
 
   // kProject
   std::vector<std::string> columns;

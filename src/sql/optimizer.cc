@@ -11,6 +11,7 @@ BoundQuery ExtractBoundQuery(PlanNode* root, const SelectStmt& stmt) {
   BoundQuery bound;
   bound.table = stmt.table;
   bound.scalar_limit = stmt.scalar_limit;
+  bound.scalar_offset = stmt.scalar_offset;
 
   PlanNode* project = root->FindNode(PlanNode::Kind::kProject);
   if (project != nullptr) {
@@ -28,6 +29,7 @@ BoundQuery ExtractBoundQuery(PlanNode* root, const SelectStmt& stmt) {
     bound.query_vector = ann->query_vector;
     bound.metric = ann->metric;
     bound.k = ann->pushed_k;
+    bound.offset = ann->pushed_offset;
     bound.range = ann->pushed_range;
     bound.range_exclusive = ann->range_exclusive;
     bound.read_vector_column = ann->read_vector_column;
@@ -45,7 +47,9 @@ PlanCostInputs BuildCostInputs(const BoundQuery& bound,
                                const QuerySettings& settings) {
   PlanCostInputs in;
   in.n = stats != nullptr ? stats->num_rows() : 100000;
-  in.k = bound.k;
+  // Pagination widens every per-segment fetch: the scan materializes
+  // k+offset candidates even though only k are returned.
+  in.k = bound.k + bound.offset;
   in.s = 1.0;
   if (bound.filter != nullptr && stats != nullptr)
     in.s = stats->EstimateSelectivity(*bound.filter);
@@ -143,6 +147,7 @@ common::Result<OptimizedQuery> ShortCircuitOptimize(
   BoundQuery& bound = out.bound;
   bound.table = stmt.table;
   bound.scalar_limit = stmt.scalar_limit;
+  bound.scalar_offset = stmt.scalar_offset;
   bound.output_columns = stmt.select_columns;
   if (stmt.where != nullptr) {
     std::vector<std::string> cols;
@@ -168,6 +173,7 @@ common::Result<OptimizedQuery> ShortCircuitOptimize(
     bound.query_vector = ann.query_vector;
     bound.metric = MetricFromDistanceFn(ann.distance_fn);
     bound.k = ann.limit;
+    bound.offset = ann.offset;
     bound.distance_alias = ann.alias;
     bound.read_vector_column = false;  // the qualifying shapes never need it
   }

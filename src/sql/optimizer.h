@@ -26,6 +26,9 @@ struct BoundQuery {
   std::vector<float> query_vector;
   vecindex::Metric metric = vecindex::Metric::kL2;
   size_t k = 0;
+  /// Rows skipped before the k returned (LIMIT k OFFSET n): segments fetch
+  /// k+offset candidates, the coordinator drops the first `offset` globally.
+  size_t offset = 0;
   /// Distance range pushed down from the WHERE clause (< 0 = none).
   double range = -1.0;
   /// True when the range bound is exclusive (`alias < r`).
@@ -42,6 +45,7 @@ struct BoundQuery {
   std::string distance_alias;
   bool read_vector_column = true;
   std::optional<size_t> scalar_limit;
+  std::optional<size_t> scalar_offset;
 };
 
 struct OptimizedQuery {

@@ -482,6 +482,16 @@ class Parser {
         stmt.ann->limit = k;
       else
         stmt.scalar_limit = k;
+      if (MatchKeyword("OFFSET")) {
+        if (!Peek().Is(Token::Type::kInteger))
+          return Error("OFFSET expects an integer");
+        size_t n = static_cast<size_t>(
+            std::strtoull(Advance().text.c_str(), nullptr, 10));
+        if (stmt.ann.has_value())
+          stmt.ann->offset = n;
+        else
+          stmt.scalar_offset = n;
+      }
     }
     SkipStatementEnd();
 

@@ -54,7 +54,16 @@ struct QuerySettings {
   // ---- Disaggregation behaviour (Fig. 11/18) ----
   cluster::AcquireOptions acquire;
 
-  /// Refill rounds bound for the post-filter iterator loop.
+  /// Serve post-filter refills from each index's native resumable iterator
+  /// when it has one (retained search state, no restart). Off forces the
+  /// generic restart-with-doubled-k wrapper everywhere — the A/B toggle the
+  /// postfilter_iterator bench flips.
+  bool use_native_iterators = true;
+
+  /// Refill rounds bound for the post-filter loop when it is served by the
+  /// generic restart wrapper (each round re-searches from scratch, so the
+  /// loop must be bounded). Native resumable iterators ignore this: they
+  /// only ever move forward, so exhaustion is their natural stop.
   size_t max_postfilter_rounds = 16;
 
   /// Query-level retries on worker/scheduling failures (fault tolerance).

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <random>
 #include <unordered_set>
 
+#include "common/assert.h"
 #include "common/io.h"
 #include "common/task_scheduler.h"
 #include "vecindex/distance.h"
@@ -75,17 +77,28 @@ DiskAnnIndex::NodeBlockPtr DiskAnnIndex::ReadBlock(uint32_t pos) const {
 
 namespace {
 /// Insert into a bounded candidate list sorted by distance; returns false
-/// when the candidate was already present or too far to fit.
-bool InsertBounded(std::vector<Neighbor>* list, Neighbor n, size_t bound) {
+/// when the candidate was already present or too far to fit. When `spill`
+/// is non-null, candidates the bound rejects or evicts are appended to it
+/// instead of being forgotten — the resumable iterator re-admits them when
+/// it widens the beam, so nothing the one-shot search would have discarded
+/// is lost. Passing nullptr leaves the classic semantics untouched.
+bool InsertBounded(std::vector<Neighbor>* list, Neighbor n, size_t bound,
+                   std::vector<Neighbor>* spill = nullptr) {
   auto it = std::lower_bound(list->begin(), list->end(), n);
   for (auto probe = it; probe != list->end() && probe->distance == n.distance;
        ++probe)
     if (probe->id == n.id) return false;
   for (const Neighbor& existing : *list)
     if (existing.id == n.id) return false;
-  if (list->size() >= bound && it == list->end()) return false;
+  if (list->size() >= bound && it == list->end()) {
+    if (spill != nullptr) spill->push_back(n);
+    return false;
+  }
   list->insert(it, n);
-  if (list->size() > bound) list->pop_back();
+  if (list->size() > bound) {
+    if (spill != nullptr) spill->push_back(list->back());
+    list->pop_back();
+  }
   return true;
 }
 }  // namespace
@@ -317,6 +330,179 @@ common::Result<std::vector<Neighbor>> DiskAnnIndex::SearchWithFilter(
     if (out.size() >= k) break;
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Resumable iterator
+// ---------------------------------------------------------------------------
+
+/// Native resumable iterator over the Vamana graph.
+///
+/// The first Next() runs exactly the one-shot bounded beam search (same
+/// InsertBounded semantics, same expansion order), so the first k served
+/// neighbors match SearchWithFilter bit-for-bit. What the one-shot search
+/// throws away — candidates the bounded beam rejected or evicted — is
+/// captured in a spill list. When the caller drains everything phase one
+/// expanded, the iterator doubles the beam width, re-admits the spill, and
+/// resumes expansion with the seen/expanded sets intact: deeper batches
+/// never re-walk the graph from the medoid or re-pay SSD reads for blocks
+/// already expanded.
+class DiskAnnSearchIterator : public SearchIterator {
+ public:
+  DiskAnnSearchIterator(const DiskAnnIndex* index, const float* query,
+                        SearchParams params)
+      : index_(index),
+        query_(query, query + index->Dim()),
+        params_(params) {
+    if (!index_->sealed_ || index_->ids_.empty()) {
+      started_ = true;
+      exhausted_ = true;
+    }
+  }
+
+  std::vector<Neighbor> Next(size_t batch_size) override {
+    std::vector<Neighbor> out;
+    if (exhausted_ && cursor_ >= ready_.size()) return out;
+    out.reserve(batch_size);
+    while (out.size() < batch_size) {
+      if (cursor_ >= ready_.size()) {
+        if (!Advance()) break;
+        continue;
+      }
+      const Neighbor& n = ready_[cursor_++];
+      IdType ext = index_->ids_[static_cast<uint32_t>(n.id)];
+      if (params_.filter != nullptr &&
+          !params_.filter->Test(static_cast<size_t>(ext)))
+        continue;
+      out.push_back({ext, n.distance});
+    }
+    // A beam widening mid-batch may surface nodes closer than ones already
+    // taken; re-sort so the batch honors the sorted-batch contract.
+    std::sort(out.begin(), out.end());
+    BH_DCHECK(IsSortedBatch(out));
+    if (!out.empty()) ++stats_.batches;
+    return out;
+  }
+
+  size_t VisitedCount() const override { return stats_.rows_visited; }
+  Stats GetStats() const override { return stats_; }
+
+ private:
+  float Approx(uint32_t pos) const {
+    return index_->pq_.AdcDistance(
+        adc_.data(),
+        index_->pq_codes_.data() + size_t{pos} * index_->pq_.code_size());
+  }
+
+  /// Makes more expanded nodes servable. False only when the whole graph
+  /// reachable from the medoid has been expanded and served.
+  bool Advance() {
+    if (!started_) {
+      started_ = true;
+      size_t k = params_.k > 0 ? static_cast<size_t>(params_.k) : 1;
+      beam_width_ =
+          std::max<size_t>(static_cast<size_t>(params_.ef_search), k);
+      if (params_.filter != nullptr)
+        beam_width_ = std::max(beam_width_ * 2, k * 4);
+      adc_.resize(index_->pq_.m() * index_->pq_.ks());
+      index_->pq_.BuildAdcTable(query_.data(), adc_.data());
+      seen_.insert(index_->medoid_);
+      InsertBounded(&beam_,
+                    {static_cast<IdType>(index_->medoid_),
+                     Approx(index_->medoid_)},
+                    beam_width_, &spill_);
+      RunBeam();
+      return cursor_ < ready_.size();
+    }
+    for (;;) {
+      if (spill_.empty()) {
+        exhausted_ = true;
+        return false;
+      }
+      Widen();
+      RunBeam();
+      if (cursor_ < ready_.size()) return true;
+    }
+  }
+
+  /// Expands beam entries (closest-unexpanded-first, identical to the
+  /// one-shot loop) until none remain, then merges the newly expanded
+  /// nodes' exact distances into the sorted unserved window.
+  void RunBeam() {
+    std::vector<Neighbor> fresh;
+    for (;;) {
+      size_t pick_idx = beam_.size();
+      for (size_t i = 0; i < beam_.size(); ++i) {
+        if (expanded_.count(static_cast<uint32_t>(beam_[i].id)) == 0) {
+          pick_idx = i;
+          break;
+        }
+      }
+      if (pick_idx == beam_.size()) break;
+      uint32_t cur = static_cast<uint32_t>(beam_[pick_idx].id);
+      expanded_.insert(cur);
+      DiskAnnIndex::NodeBlockPtr block = index_->ReadBlock(cur);
+      fresh.push_back(
+          {static_cast<IdType>(cur),
+           index_->dist_(query_.data(), block->vector.data(), index_->dim_)});
+      for (uint32_t nb : block->neighbors)
+        kernels::Prefetch(index_->pq_codes_.data() +
+                          size_t{nb} * index_->pq_.code_size());
+      for (uint32_t nb : block->neighbors) {
+        if (!seen_.insert(nb).second) continue;
+        InsertBounded(&beam_, {static_cast<IdType>(nb), Approx(nb)},
+                      beam_width_, &spill_);
+      }
+    }
+    if (fresh.empty()) return;
+    stats_.rows_visited += fresh.size();
+    std::sort(fresh.begin(), fresh.end());
+    ready_.erase(ready_.begin(), ready_.begin() + static_cast<ptrdiff_t>(cursor_));
+    cursor_ = 0;
+    size_t old = ready_.size();
+    ready_.insert(ready_.end(), fresh.begin(), fresh.end());
+    std::inplace_merge(ready_.begin(),
+                       ready_.begin() + static_cast<ptrdiff_t>(old),
+                       ready_.end());
+  }
+
+  /// Doubles the beam bound and re-admits spilled candidates (closest
+  /// first). Re-spill shrinks every round because the bound doubles, so the
+  /// spill provably drains once the bound reaches the index size.
+  void Widen() {
+    beam_width_ = std::min(beam_width_ * 2,
+                           std::max<size_t>(index_->Size(), beam_width_));
+    std::vector<Neighbor> pending = std::move(spill_);
+    spill_.clear();
+    std::sort(pending.begin(), pending.end());
+    for (const Neighbor& n : pending) {
+      if (expanded_.count(static_cast<uint32_t>(n.id)) != 0) continue;
+      InsertBounded(&beam_, n, beam_width_, &spill_);
+    }
+  }
+
+  const DiskAnnIndex* index_;
+  std::vector<float> query_;
+  SearchParams params_;
+  std::vector<float> adc_;
+  std::vector<Neighbor> beam_;  // ordered by approx distance
+  std::unordered_set<uint32_t> seen_;
+  std::unordered_set<uint32_t> expanded_;
+  /// Candidates the bounded beam rejected/evicted; the resume frontier.
+  std::vector<Neighbor> spill_;
+  /// Expanded nodes with exact distances, sorted; [cursor_, end) unserved.
+  std::vector<Neighbor> ready_;
+  size_t cursor_ = 0;
+  size_t beam_width_ = 0;
+  bool started_ = false;
+  bool exhausted_ = false;
+  Stats stats_;
+};
+
+common::Result<std::unique_ptr<SearchIterator>> DiskAnnIndex::MakeIterator(
+    const float* query, const SearchParams& params) const {
+  return std::unique_ptr<SearchIterator>(
+      std::make_unique<DiskAnnSearchIterator>(this, query, params));
 }
 
 // ---------------------------------------------------------------------------

@@ -62,10 +62,20 @@ class DiskAnnIndex : public VectorIndex {
   common::Result<std::vector<Neighbor>> SearchWithFilter(
       const float* query, const SearchParams& params) const override;
 
+  /// Native resumable iterator (DiskAnnSearchIterator): the PQ-guided beam,
+  /// the seen/expanded sets, and the candidates the bounded beam evicted
+  /// are all retained across Next() calls; deeper batches widen the beam
+  /// and resume from the evicted frontier instead of re-walking the graph
+  /// (and re-paying its simulated SSD reads) from the medoid.
+  common::Result<std::unique_ptr<SearchIterator>> MakeIterator(
+      const float* query, const SearchParams& params) const override;
+  bool HasNativeIterator() const override { return true; }
+
   /// Simulated SSD reads performed so far (misses of the block cache).
   uint64_t disk_reads() const { return disk_reads_.load(); }
 
  private:
+  friend class DiskAnnSearchIterator;
   struct NodeBlock {
     std::vector<float> vector;
     std::vector<uint32_t> neighbors;

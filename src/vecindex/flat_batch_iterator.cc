@@ -1,0 +1,38 @@
+#include "vecindex/flat_batch_iterator.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace blendhouse::vecindex {
+
+FlatBatchIterator::FlatBatchIterator(const FlatIndex* index,
+                                     const float* query, SearchParams params)
+    : index_(index),
+      query_(query, query + index->Dim()),
+      params_(params) {}
+
+std::vector<Neighbor> FlatBatchIterator::Next(size_t batch_size) {
+  if (!scanned_) {
+    // The one and only scan: all distances land in scored_, then heapify.
+    // The QueryCtx is built against our own query copy so a caller freeing
+    // its buffer between batches cannot dangle the prepared query.
+    scanned_ = true;
+    ctx_ = index_->MakeQueryCtx(query_.data());
+    index_->ComputeAllDistances(ctx_, params_.filter, &scored_);
+    stats_.rows_visited = scored_.size();
+    std::make_heap(scored_.begin(), scored_.end(), std::greater<>());
+  }
+  std::vector<Neighbor> out;
+  out.reserve(std::min(batch_size, scored_.size()));
+  while (out.size() < batch_size && !scored_.empty()) {
+    std::pop_heap(scored_.begin(), scored_.end(), std::greater<>());
+    out.push_back(scored_.back());
+    scored_.pop_back();
+  }
+  BH_DCHECK(IsSortedBatch(out));
+  if (!out.empty()) ++stats_.batches;
+  return out;
+}
+
+}  // namespace blendhouse::vecindex

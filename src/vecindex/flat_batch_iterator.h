@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "vecindex/flat_index.h"
+#include "vecindex/index.h"
+#include "vecindex/quantizer.h"
+
+namespace blendhouse::vecindex {
+
+/// Native resumable iterator for FLAT segments.
+///
+/// The first Next() runs exactly one full scan — filter-compacted,
+/// SIMD-batched, precision-tiered, identical to FlatIndex::SearchWithFilter
+/// — and caches every surviving (id, distance) as a min-heap. Every batch
+/// (including the first) is then incremental heap-selection: pop batch_size
+/// closest rows, O(t log n) per batch instead of the generic wrapper's
+/// restarted O(n) scans with doubled k. Concatenated batches are therefore
+/// bit-identical to the one-shot sorted top-n at any depth.
+class FlatBatchIterator : public SearchIterator {
+ public:
+  FlatBatchIterator(const FlatIndex* index, const float* query,
+                    SearchParams params);
+
+  std::vector<Neighbor> Next(size_t batch_size) override;
+  size_t VisitedCount() const override { return stats_.rows_visited; }
+  Stats GetStats() const override { return stats_; }
+
+ private:
+  const FlatIndex* index_;
+  std::vector<float> query_;
+  SearchParams params_;
+  /// Prepared query (fp32 pointer or quantized codes); points into query_,
+  /// which outlives it.
+  PrecisionStore::QueryCtx ctx_;
+  /// Min-heap by (distance, id) after the first Next(); shrinks as batches
+  /// are served.
+  std::vector<Neighbor> scored_;
+  bool scanned_ = false;
+  Stats stats_;
+};
+
+}  // namespace blendhouse::vecindex

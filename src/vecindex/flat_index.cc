@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/io.h"
+#include "vecindex/flat_batch_iterator.h"
 
 namespace blendhouse::vecindex {
 
@@ -133,6 +134,38 @@ void FlatIndex::ScanFiltered(const PrecisionStore::QueryCtx& ctx,
     if (cnt == kScanChunk) flush();
   });
   flush();
+}
+
+void FlatIndex::ComputeAllDistances(const PrecisionStore::QueryCtx& ctx,
+                                    const common::Bitset* filter,
+                                    std::vector<Neighbor>* out) const {
+  if (filter == nullptr) {
+    out->reserve(ids_.size());
+    float dist[kScanChunk];
+    for (size_t begin = 0; begin < ids_.size(); begin += kScanChunk) {
+      size_t n = std::min(kScanChunk, ids_.size() - begin);
+      ScanChunk(ctx, begin, n, dist);
+      for (size_t i = 0; i < n; ++i)
+        out->push_back({ids_[begin + i], dist[i]});
+    }
+  } else if (ids_are_offsets_) {
+    ScanFiltered(ctx, *filter,
+                 [&](IdType id, float d) { out->push_back({id, d}); });
+  } else {
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (!filter->Test(static_cast<size_t>(ids_[i]))) continue;
+      out->push_back(
+          {ids_[i], quantized()
+                        ? store_.Distance1(ctx, i)
+                        : dist_(ctx.query, data_.data() + i * dim_, dim_)});
+    }
+  }
+}
+
+common::Result<std::unique_ptr<SearchIterator>> FlatIndex::MakeIterator(
+    const float* query, const SearchParams& params) const {
+  return std::unique_ptr<SearchIterator>(
+      std::make_unique<FlatBatchIterator>(this, query, params));
 }
 
 common::Result<std::vector<Neighbor>> FlatIndex::SearchWithFilter(

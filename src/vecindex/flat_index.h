@@ -59,13 +59,30 @@ class FlatIndex : public VectorIndex {
       const float* query, float radius,
       const SearchParams& params) const override;
 
+  /// Native resumable iterator (FlatBatchIterator): all distances are
+  /// computed exactly once on the first Next(), deeper batches are
+  /// incremental heap-selection over the cached score array.
+  common::Result<std::unique_ptr<SearchIterator>> MakeIterator(
+      const float* query, const SearchParams& params) const override;
+  bool HasNativeIterator() const override { return true; }
+
   /// Raw vector for row offset lookup (used by PQ refinement and tests).
   /// Valid only at fp32 precision — quantized builds keep no raw floats.
   const float* VectorAt(size_t pos) const { return data_.data() + pos * dim_; }
   const std::vector<IdType>& ids() const { return ids_; }
 
  private:
+  friend class FlatBatchIterator;
+
   bool quantized() const { return precision_ != Precision::kFp32; }
+
+  /// One full pass over the index for the batch iterator: every surviving
+  /// row's (id, distance) is appended to `out`, through the same three scan
+  /// paths as SearchWithFilter (unfiltered chunked kernels, filter-compacted
+  /// tiles, remapped-id per-row fallback).
+  void ComputeAllDistances(const PrecisionStore::QueryCtx& ctx,
+                           const common::Bitset* filter,
+                           std::vector<Neighbor>* out) const;
 
   /// Per-query scan state shared by both storage forms: fp32 scans read
   /// query/query_norm, quantized scans carry the prepared int8 query too.

@@ -38,7 +38,11 @@ std::vector<Neighbor> GenericSearchIterator::Next(size_t batch_size) {
       exhausted_ = true;
       break;
     }
-    visited_ += static_cast<size_t>(p.ef_search);
+    // Honest accounting: every restart round re-materializes its full
+    // result, so charge the round's neighbor count (not an ef_search guess
+    // that is a fiction for flat/IVF scans).
+    ++stats_.recompute_rounds;
+    stats_.rows_visited += res->size();
     size_t prev_count = last_result_.size();
     last_result_ = std::move(*res);
     cursor_ = 0;
@@ -51,6 +55,11 @@ std::vector<Neighbor> GenericSearchIterator::Next(size_t batch_size) {
     }
     if (exhausted_) break;
   }
+  // Sorted-batch contract: a restart may reorder equal-k prefixes on
+  // approximate indexes, so hits appended after a mid-batch restart are not
+  // guaranteed to extend the batch monotonically — sort before returning.
+  std::sort(out.begin(), out.end());
+  if (!out.empty()) ++stats_.batches;
   return out;
 }
 

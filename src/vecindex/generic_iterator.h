@@ -22,7 +22,8 @@ class GenericSearchIterator : public SearchIterator {
                         SearchParams params);
 
   std::vector<Neighbor> Next(size_t batch_size) override;
-  size_t VisitedCount() const override { return visited_; }
+  size_t VisitedCount() const override { return stats_.rows_visited; }
+  Stats GetStats() const override { return stats_; }
 
  private:
   const VectorIndex* index_;
@@ -30,7 +31,12 @@ class GenericSearchIterator : public SearchIterator {
   SearchParams params_;
   size_t current_k_;
   size_t cursor_ = 0;        // position in the last result not yet scanned
-  size_t visited_ = 0;       // total work across restarts
+  /// rows_visited counts neighbors materialized across restart rounds: each
+  /// recompute round re-derives its whole result from scratch, so the sum
+  /// over rounds measures the redundant work a resumable iterator avoids.
+  /// (The index's internal scan cost is not observable through the top-k
+  /// API — no beam-size guessing.)
+  Stats stats_;
   bool exhausted_ = false;
   std::vector<Neighbor> last_result_;
   // Ids already emitted. Approximate indexes (PQ refine) may reorder result

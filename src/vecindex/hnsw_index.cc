@@ -349,10 +349,19 @@ class HnswSearchIterator : public SearchIterator {
         continue;
       out.push_back({ext, cur.distance});
     }
+    // Yields pop from a min-heap but are only approximately ordered:
+    // expanding a settled node can surface a closer neighbor later in the
+    // same batch. Re-sort so the batch honors the sorted-batch contract.
+    std::sort(out.begin(), out.end());
+    BH_DCHECK(IsSortedBatch(out));
+    if (!out.empty()) ++batches_;
     return out;
   }
 
   size_t VisitedCount() const override { return visited_.size(); }
+  Stats GetStats() const override {
+    return {visited_.size(), batches_, /*recompute_rounds=*/0};
+  }
 
  private:
   /// Pops the closest frontier node, expands it, and parks it in ready_.
@@ -380,6 +389,7 @@ class HnswSearchIterator : public SearchIterator {
   std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>>
       ready_;
   std::unordered_set<uint32_t> visited_;
+  size_t batches_ = 0;
 };
 
 common::Result<std::unique_ptr<SearchIterator>> HnswIndex::MakeIterator(

@@ -20,14 +20,50 @@ class SearchIterator {
  public:
   virtual ~SearchIterator() = default;
 
-  /// Returns up to `batch_size` next-closest neighbors in roughly increasing
-  /// distance order, never repeating an id. Empty result means the index is
-  /// exhausted.
+  /// Honest per-iterator cost accounting, reported by both native and
+  /// generic iterators (no beam-size guesses).
+  struct Stats {
+    /// Rows whose distance this iterator actually materialized. Restart
+    /// iterators re-pay rows on every recompute round, so this counts the
+    /// redundant work resumable iterators avoid.
+    size_t rows_visited = 0;
+    /// Next() calls that returned at least one neighbor.
+    size_t batches = 0;
+    /// From-scratch searches of the underlying index. 0 for native
+    /// resumable iterators; >=1 for the generic restart wrapper.
+    size_t recompute_rounds = 0;
+  };
+
+  /// Returns up to `batch_size` next-closest neighbors, never repeating an
+  /// id. Empty result means the index is exhausted.
+  ///
+  /// Sorted-batch contract: every returned batch is internally sorted by
+  /// nondecreasing (distance, id) — batch.back() is the worst hit *in that
+  /// batch*. Consumers depend on this for range early-exit (stop once
+  /// batch.back().distance exceeds the radius, src/sql/executor.cc) and for
+  /// pagination. Across batches distances are only roughly increasing:
+  /// approximate indexes may settle a closer node after a farther one was
+  /// already yielded.
   virtual std::vector<Neighbor> Next(size_t batch_size) = 0;
 
   /// Total candidates visited so far — feeds the beta term of cost Eq. (3).
+  /// Equals GetStats().rows_visited.
   virtual size_t VisitedCount() const = 0;
+
+  /// Cost accounting snapshot; cheap enough to call per batch.
+  virtual Stats GetStats() const { return {VisitedCount(), 0, 0}; }
 };
+
+/// Checks the sorted-batch contract on one batch: nondecreasing distance
+/// (equal-distance neighbors may appear in any order — graph indexes map
+/// internal positions to external ids, which need not preserve id order).
+/// Iterator implementations BH_DCHECK this; the executor's range early-exit
+/// is unsound without it.
+inline bool IsSortedBatch(const std::vector<Neighbor>& batch) {
+  for (size_t i = 1; i < batch.size(); ++i)
+    if (batch[i].distance < batch[i - 1].distance) return false;
+  return true;
+}
 
 /// The paper's virtual vector index abstraction (Fig. 5).
 ///

@@ -1,0 +1,75 @@
+#include "vecindex/ivf_batch_iterator.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "vecindex/distance.h"
+
+namespace blendhouse::vecindex {
+
+IvfBatchIterator::IvfBatchIterator(const IvfIndexBase* index,
+                                   const float* query, SearchParams params)
+    : index_(index),
+      query_(query, query + index->Dim()),
+      params_(params) {
+  if (!index_->trained()) return;
+  // Rank every centroid once (one batched kernel call); the sorted order is
+  // the probe schedule for the whole iteration.
+  const size_t nlist = index_->nlist();
+  std::vector<float> centroid_dist(nlist);
+  BatchDistance(index_->GetMetric(), query_.data(),
+                index_->centroids_.data(), nlist, index_->Dim(),
+                centroid_dist.data());
+  centroid_order_.resize(nlist);
+  for (size_t c = 0; c < nlist; ++c)
+    centroid_order_[c] = {static_cast<IdType>(c), centroid_dist[c]};
+  std::sort(centroid_order_.begin(), centroid_order_.end());
+  ctx_ = index_->PrepareQuery(query_.data(), &scratch_);
+}
+
+bool IvfBatchIterator::ProbeNextWindow() {
+  if (probed_ >= centroid_order_.size()) return false;
+  size_t window = std::min<size_t>(
+      std::max(1, params_.nprobe), centroid_order_.size() - probed_);
+  std::vector<IvfIndexBase::Hit> hits;
+  for (size_t p = 0; p < window; ++p) {
+    uint32_t list_idx =
+        static_cast<uint32_t>(centroid_order_[probed_ + p].id);
+    index_->ScanList(index_->lists_[list_idx], list_idx, query_.data(), ctx_,
+                     params_, &hits);
+  }
+  probed_ += window;
+  stats_.rows_visited += hits.size();
+  // Drop the already-served prefix, append the new window's hits, restore
+  // the sorted order with one merge (both halves are sorted).
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(cursor_));
+  cursor_ = 0;
+  size_t old = pending_.size();
+  pending_.reserve(old + hits.size());
+  for (const IvfIndexBase::Hit& h : hits)
+    pending_.push_back({h.id, h.distance});
+  std::sort(pending_.begin() + static_cast<ptrdiff_t>(old), pending_.end());
+  std::inplace_merge(pending_.begin(),
+                     pending_.begin() + static_cast<ptrdiff_t>(old),
+                     pending_.end());
+  return true;
+}
+
+std::vector<Neighbor> IvfBatchIterator::Next(size_t batch_size) {
+  std::vector<Neighbor> out;
+  out.reserve(batch_size);
+  while (out.size() < batch_size) {
+    if (cursor_ >= pending_.size() && !ProbeNextWindow()) break;
+    while (cursor_ < pending_.size() && out.size() < batch_size)
+      out.push_back(pending_[cursor_++]);
+  }
+  // A window extension mid-batch may surface hits closer than ones already
+  // taken; re-sort so the batch honors the sorted-batch contract.
+  std::sort(out.begin(), out.end());
+  BH_DCHECK(IsSortedBatch(out));
+  if (!out.empty()) ++stats_.batches;
+  return out;
+}
+
+}  // namespace blendhouse::vecindex

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "vecindex/index.h"
+#include "vecindex/ivf_index.h"
+
+namespace blendhouse::vecindex {
+
+/// Native resumable iterator for IVF indexes whose list scans yield final
+/// distances (IVFFLAT, including the quantized precision tiers).
+///
+/// Centroids are ranked once at construction; inverted lists are then
+/// probed lazily in centroid-distance order, `nprobe` at a time. The probe
+/// cursor and the sorted result window stay alive across Next() calls, so a
+/// deeper batch *extends* nprobe — lists already visited are never
+/// rescanned, which is the whole win over the generic restart wrapper
+/// (whose every refill re-probes and re-scans from scratch).
+class IvfBatchIterator : public SearchIterator {
+ public:
+  IvfBatchIterator(const IvfIndexBase* index, const float* query,
+                   SearchParams params);
+
+  std::vector<Neighbor> Next(size_t batch_size) override;
+  size_t VisitedCount() const override { return stats_.rows_visited; }
+  Stats GetStats() const override { return stats_; }
+
+ private:
+  /// Probes the next window of up to nprobe unvisited lists, merging their
+  /// hits into the sorted pending window. False when no lists remain.
+  bool ProbeNextWindow();
+
+  const IvfIndexBase* index_;
+  std::vector<float> query_;
+  SearchParams params_;
+  /// All centroids ranked by (distance, list id) at construction — the
+  /// probe schedule, identical to the one-shot search's ranking.
+  std::vector<Neighbor> centroid_order_;
+  /// Lists probed so far (prefix of centroid_order_).
+  size_t probed_ = 0;
+  /// Codec query context (ADC scratch for PQ codecs); scratch_ owns the
+  /// bytes ctx_ may point into.
+  std::vector<float> scratch_;
+  const void* ctx_ = nullptr;
+  /// Hits from probed lists, sorted by (distance, id); [cursor_, end) are
+  /// not yet served.
+  std::vector<Neighbor> pending_;
+  size_t cursor_ = 0;
+  Stats stats_;
+};
+
+}  // namespace blendhouse::vecindex

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/io.h"
+#include "vecindex/ivf_batch_iterator.h"
 #include "vecindex/kmeans.h"
 
 namespace blendhouse::vecindex {
@@ -70,8 +71,9 @@ common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
     centroid_order[c] = {static_cast<IdType>(c), centroid_dist[c]};
   size_t nprobe =
       std::min<size_t>(std::max(1, params.nprobe), nlist());
-  std::partial_sort(centroid_order.begin(), centroid_order.begin() + nprobe,
-                    centroid_order.end());
+  // Full sort (not partial) so equal-distance centroids land in the same
+  // canonical order the batch iterator's probe schedule uses.
+  std::sort(centroid_order.begin(), centroid_order.end());
 
   std::vector<float> scratch;
   const void* ctx = PrepareQuery(query, &scratch);
@@ -89,10 +91,10 @@ common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
                                        1, params.refine_factor)) *
                                    RefineAmplification())
                     : std::min(hits.size(), k);
-  std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
-                    [](const Hit& a, const Hit& b) {
-                      return a.distance < b.distance;
-                    });
+  auto hit_less = [](const Hit& a, const Hit& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+  };
+  std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(), hit_less);
   hits.resize(keep);
 
   if (NeedsRefine()) {
@@ -113,9 +115,7 @@ common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
         h.distance = dist_(query, vec, dim_);
       }
     }
-    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
-      return a.distance < b.distance;
-    });
+    std::sort(hits.begin(), hits.end(), hit_less);
     if (hits.size() > k) hits.resize(k);
   }
 
@@ -123,6 +123,17 @@ common::Result<std::vector<Neighbor>> IvfIndexBase::SearchWithFilter(
   out.reserve(hits.size());
   for (const Hit& h : hits) out.push_back({h.id, h.distance});
   return out;
+}
+
+common::Result<std::unique_ptr<SearchIterator>> IvfIndexBase::MakeIterator(
+    const float* query, const SearchParams& params) const {
+  // Refining codecs (PQ) fall back to restart-with-doubled-k: their final
+  // distances come from a k-dependent refine shortlist that incremental
+  // probing cannot reproduce. Untrained indexes have no centroids to rank.
+  if (NeedsRefine() || !trained())
+    return VectorIndex::MakeIterator(query, params);
+  return std::unique_ptr<SearchIterator>(
+      std::make_unique<IvfBatchIterator>(this, query, params));
 }
 
 // ---- IVFFLAT ---------------------------------------------------------------

@@ -45,10 +45,21 @@ class IvfIndexBase : public VectorIndex {
   common::Result<std::vector<Neighbor>> SearchWithFilter(
       const float* query, const SearchParams& params) const override;
 
+  /// Native resumable iterator (IvfBatchIterator) for variants whose list
+  /// scans yield final distances (IVFFLAT at every precision tier): probed
+  /// lists are never rescanned, deeper batches extend nprobe. Refining
+  /// codecs (PQ) keep the generic restart wrapper — their one-shot result
+  /// depends on a k-sized refine shortlist, which an incremental iterator
+  /// cannot reproduce.
+  common::Result<std::unique_ptr<SearchIterator>> MakeIterator(
+      const float* query, const SearchParams& params) const override;
+  bool HasNativeIterator() const override { return !NeedsRefine(); }
+
   size_t nlist() const { return lists_.size(); }
   bool trained() const { return !centroids_.empty(); }
 
  protected:
+  friend class IvfBatchIterator;
   struct PostingList {
     std::vector<IdType> ids;
     common::AlignedVector<float> vectors;  // flat storage (IVFFLAT / refine)

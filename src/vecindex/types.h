@@ -33,12 +33,19 @@ bool ParsePrecision(const std::string& name, Precision* out);
 size_t PrecisionBytes(Precision p);
 
 /// One search hit: row offset and its distance to the query.
+///
+/// Ordering ties on equal distances break by id, so every sort of the same
+/// hit set lands in one canonical order. Resumable batch iterators rely on
+/// this: their concatenated batches must be bit-identical to the one-shot
+/// sorted top-n even when duplicated distances straddle a batch boundary.
 struct Neighbor {
   IdType id = -1;
   float distance = 0.0f;
 
-  bool operator<(const Neighbor& o) const { return distance < o.distance; }
-  bool operator>(const Neighbor& o) const { return distance > o.distance; }
+  bool operator<(const Neighbor& o) const {
+    return distance != o.distance ? distance < o.distance : id < o.id;
+  }
+  bool operator>(const Neighbor& o) const { return o < *this; }
 };
 
 /// Knobs shared by every index implementation. Unused fields are ignored by

@@ -258,6 +258,79 @@ TEST_F(BlendHouseE2E, ScalarOnlySelect) {
   EXPECT_EQ(result->rows.size(), 5u);
 }
 
+TEST_F(BlendHouseE2E, AnnPaginationPagesAreContiguous) {
+  // Page N+1 must continue exactly where page N stopped: fetching the top
+  // 40 in one query and in four LIMIT 10 OFFSET 10*i pages must yield the
+  // identical id sequence — no duplicates, no skips at page boundaries.
+  Ingest(1000);
+  const float* q = data_.data() + 321 * kDim;
+  auto all = db_->Query("SELECT id, dist FROM items ORDER BY L2Distance("
+                        "emb, " + VecLiteral(q) + ") AS dist LIMIT 40;");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->rows.size(), 40u);
+  std::vector<int64_t> paged_ids;
+  for (int page = 0; page < 4; ++page) {
+    auto r = db_->Query(
+        "SELECT id, dist FROM items ORDER BY L2Distance(emb, " +
+        VecLiteral(q) + ") AS dist LIMIT 10 OFFSET " +
+        std::to_string(page * 10) + ";");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 10u) << "page " << page;
+    for (const auto& row : r->rows)
+      paged_ids.push_back(std::get<int64_t>(row.values[0]));
+  }
+  for (size_t i = 0; i < 40; ++i)
+    EXPECT_EQ(paged_ids[i], std::get<int64_t>(all->rows[i].values[0]))
+        << "rank " << i;
+}
+
+TEST_F(BlendHouseE2E, FilteredAnnPaginationNoDupNoSkip) {
+  Ingest(800);
+  const float* q = data_.data();
+  std::string base =
+      "SELECT id FROM items WHERE label = 'even' ORDER BY L2Distance(emb, " +
+      VecLiteral(q) + ") AS d";
+  auto all = db_->Query(base + " LIMIT 30;");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->rows.size(), 30u);
+  std::set<int64_t> seen;
+  size_t rank = 0;
+  for (int page = 0; page < 3; ++page) {
+    auto r = db_->Query(base + " LIMIT 10 OFFSET " +
+                        std::to_string(page * 10) + ";");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (const auto& row : r->rows) {
+      int64_t id = std::get<int64_t>(row.values[0]);
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+      EXPECT_EQ(id, std::get<int64_t>(all->rows[rank].values[0]))
+          << "rank " << rank;
+      ++rank;
+    }
+  }
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST_F(BlendHouseE2E, OffsetPastEndReturnsEmpty) {
+  Ingest(100);
+  const float* q = data_.data();
+  auto r = db_->Query("SELECT id FROM items ORDER BY L2Distance(emb, " +
+                      VecLiteral(q) + ") LIMIT 10 OFFSET 100;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(BlendHouseE2E, ScalarOffsetSkipsRows) {
+  Ingest(300);
+  auto r = db_->Query(
+      "SELECT id FROM items WHERE id < 20 LIMIT 5 OFFSET 10;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 5u);
+  // Scalar scans qualify rows in storage order, so OFFSET 10 lands on 10..14.
+  for (size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(std::get<int64_t>(r->rows[i].values[0]),
+              static_cast<int64_t>(10 + i));
+}
+
 TEST_F(BlendHouseE2E, SelectStarIncludesDistanceAlias) {
   Ingest(100);
   const float* q = data_.data();

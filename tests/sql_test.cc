@@ -120,6 +120,37 @@ TEST(ParserTest, VectorSearchWithoutLimitRejected) {
   EXPECT_FALSE(stmt.ok());
 }
 
+TEST(ParserTest, LimitOffsetOnAnnQuery) {
+  auto stmt = ParseStatement(
+      "SELECT id FROM t ORDER BY L2Distance(emb, [1.0, 2.0])"
+      " LIMIT 10 OFFSET 30;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE(stmt->select->ann.has_value());
+  EXPECT_EQ(stmt->select->ann->limit, 10u);
+  EXPECT_EQ(stmt->select->ann->offset, 30u);
+  EXPECT_FALSE(stmt->select->scalar_offset.has_value());
+}
+
+TEST(ParserTest, LimitOffsetOnScalarQuery) {
+  auto stmt = ParseStatement("SELECT id FROM t WHERE x > 5 LIMIT 10 OFFSET 4;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_FALSE(stmt->select->ann.has_value());
+  ASSERT_TRUE(stmt->select->scalar_offset.has_value());
+  EXPECT_EQ(*stmt->select->scalar_offset, 4u);
+}
+
+TEST(ParserTest, OffsetWithoutIntegerRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT id FROM t LIMIT 10 OFFSET;").ok());
+  EXPECT_FALSE(ParseStatement("SELECT id FROM t LIMIT 10 OFFSET x;").ok());
+}
+
+TEST(ParserTest, OffsetDefaultsToZero) {
+  auto stmt = ParseStatement(
+      "SELECT id FROM t ORDER BY L2Distance(emb, [1.0]) LIMIT 10;");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->ann->offset, 0u);
+}
+
 TEST(ParserTest, BetweenDesugarsToRange) {
   auto stmt =
       ParseStatement("SELECT id FROM t WHERE x BETWEEN 10 AND 20 LIMIT 5;");
@@ -614,6 +645,28 @@ TEST_F(PlanTest, TopKPushdownRule) {
   EXPECT_TRUE(ApplyTopKPushdown(plan->get()));
   EXPECT_EQ(ann->pushed_k, 9u);
   EXPECT_FALSE(ApplyTopKPushdown(plan->get()));  // idempotent
+}
+
+TEST_F(PlanTest, OffsetPushesDownWithTopK) {
+  SelectStmt stmt = ParseSelect(
+      "SELECT id FROM t ORDER BY L2Distance(emb, [1.0, 2.0])"
+      " LIMIT 9 OFFSET 18;");
+  auto plan = BuildLogicalPlan(stmt, schema_);
+  ASSERT_TRUE(plan.ok());
+  PlanNode* ann = (*plan)->FindNode(PlanNode::Kind::kAnnScan);
+  EXPECT_EQ(ann->pushed_offset, 0u);
+  EXPECT_TRUE(ApplyTopKPushdown(plan->get()));
+  EXPECT_EQ(ann->pushed_k, 9u);
+  EXPECT_EQ(ann->pushed_offset, 18u);
+  // EXPLAIN surfaces pagination on both the TopK and the pushed scan.
+  std::string explain = ExplainPlan(**plan);
+  EXPECT_NE(explain.find("offset=18"), std::string::npos) << explain;
+  // The bound descriptor carries it to the executor and the cost model
+  // pays for the widened fetch.
+  auto opt = Optimize(stmt, schema_, nullptr, QuerySettings{});
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->bound.k, 9u);
+  EXPECT_EQ(opt->bound.offset, 18u);
 }
 
 TEST_F(PlanTest, RangeFilterPushdownRule) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -8,6 +9,7 @@
 
 #include "tests/test_util.h"
 #include "vecindex/auto_index.h"
+#include "vecindex/generic_iterator.h"
 #include "vecindex/diskann_index.h"
 #include "vecindex/distance.h"
 #include "vecindex/flat_index.h"
@@ -742,8 +744,10 @@ TEST(HnswIndexTest, SparseFilterWidensSearch) {
 TEST(HnswIndexTest, NativeIteratorFlagged) {
   HnswIndex index(8, Metric::kL2);
   EXPECT_TRUE(index.HasNativeIterator());
+  // Every index family now carries a native resumable iterator; FLAT's
+  // caches the full score array on first Next().
   FlatIndex flat(8, Metric::kL2);
-  EXPECT_FALSE(flat.HasNativeIterator());
+  EXPECT_TRUE(flat.HasNativeIterator());
 }
 
 TEST(HnswIndexTest, HighEfImprovesRecall) {
@@ -1017,6 +1021,326 @@ TEST(GenericIteratorTest, ExhaustsSmallIndex) {
     for (const auto& n : batch) seen.insert(n.id);
   }
   EXPECT_EQ(seen.size(), 100u);  // generic iterator reaches everything
+}
+
+// ---------------------------------------------------------------------------
+// Native resumable iterators: parity, sorted-batch contract, honest stats
+// ---------------------------------------------------------------------------
+
+/// Drains an iterator with `batch_size` refills, checking the sorted-batch
+/// contract on every batch, until exhaustion or `max_rows` collected.
+std::vector<Neighbor> DrainIterator(SearchIterator* iter, size_t batch_size,
+                                    size_t max_rows) {
+  std::vector<Neighbor> all;
+  for (;;) {
+    std::vector<Neighbor> batch = iter->Next(batch_size);
+    if (batch.empty()) break;
+    EXPECT_TRUE(IsSortedBatch(batch));
+    all.insert(all.end(), batch.begin(), batch.end());
+    if (all.size() >= max_rows) break;
+  }
+  return all;
+}
+
+void ExpectExactlyEqual(const std::vector<Neighbor>& got,
+                        const std::vector<Neighbor>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << label << " rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << label << " rank " << i;
+  }
+}
+
+TEST(NativeIteratorParityTest, FlatMatchesOneShotAcrossTiers) {
+  // Concatenated Next() batches must be bit-identical to the one-shot
+  // sorted top-n, per metric and per precision tier: the iterator's first
+  // Next() runs the exact same scan, later batches only reorder service.
+  constexpr size_t n = 400;
+  auto data = MakeClusteredVectors(n, kDim, 6, 201);
+  auto ids = SequentialIds(n);
+  for (Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    for (Precision prec :
+         {Precision::kFp32, Precision::kFp16, Precision::kInt8}) {
+      FlatIndex index(kDim, metric, prec);
+      ASSERT_TRUE(index.Train(data.data(), n).ok());
+      ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), n).ok());
+      ASSERT_TRUE(index.HasNativeIterator());
+      SearchParams p;
+      p.k = static_cast<int>(n);
+      auto one_shot = index.SearchWithFilter(data.data() + 5 * kDim, p);
+      ASSERT_TRUE(one_shot.ok());
+      auto iter = std::move(*index.MakeIterator(data.data() + 5 * kDim, p));
+      std::vector<Neighbor> streamed = DrainIterator(iter.get(), 37, n);
+      ExpectExactlyEqual(streamed, *one_shot,
+                         std::string("flat ") + PrecisionName(prec) +
+                             " metric=" +
+                             std::to_string(static_cast<int>(metric)));
+    }
+  }
+}
+
+TEST(NativeIteratorParityTest, FlatFilteredMatchesOneShot) {
+  constexpr size_t n = 500;
+  auto data = MakeClusteredVectors(n, kDim, 4, 203);
+  auto ids = SequentialIds(n);
+  common::Bitset allowed(n);
+  size_t qualifying = 0;
+  for (size_t i = 0; i < n; i += 7) {
+    allowed.Set(i);
+    ++qualifying;
+  }
+  for (Precision prec : {Precision::kFp32, Precision::kInt8}) {
+    FlatIndex index(kDim, Metric::kL2, prec);
+    ASSERT_TRUE(index.Train(data.data(), n).ok());
+    ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), n).ok());
+    SearchParams p;
+    p.k = static_cast<int>(qualifying);
+    p.filter = &allowed;
+    auto one_shot = index.SearchWithFilter(data.data(), p);
+    ASSERT_TRUE(one_shot.ok());
+    auto iter = std::move(*index.MakeIterator(data.data(), p));
+    std::vector<Neighbor> streamed = DrainIterator(iter.get(), 11, n);
+    ExpectExactlyEqual(streamed, *one_shot,
+                       std::string("filtered flat ") + PrecisionName(prec));
+  }
+}
+
+TEST(NativeIteratorParityTest, IvfFlatFullProbeMatchesOneShot) {
+  // nprobe = nlist drains every list, so the concatenated stream must equal
+  // the one-shot full sort exactly — including the quantized tier.
+  constexpr size_t n = 600;
+  auto data = MakeClusteredVectors(n, kDim, 8, 205);
+  auto ids = SequentialIds(n);
+  IvfOptions opts;
+  opts.nlist = 8;
+  for (Precision prec : {Precision::kFp32, Precision::kInt8}) {
+    IvfFlatIndex index(kDim, Metric::kL2, opts, prec);
+    ASSERT_TRUE(index.Train(data.data(), n).ok());
+    ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), n).ok());
+    ASSERT_TRUE(index.HasNativeIterator());
+    SearchParams p;
+    p.k = static_cast<int>(n);
+    p.nprobe = static_cast<int>(opts.nlist);
+    auto one_shot = index.SearchWithFilter(data.data() + kDim, p);
+    ASSERT_TRUE(one_shot.ok());
+    auto iter = std::move(*index.MakeIterator(data.data() + kDim, p));
+    std::vector<Neighbor> streamed = DrainIterator(iter.get(), 53, n);
+    ExpectExactlyEqual(streamed, *one_shot,
+                       std::string("ivfflat ") + PrecisionName(prec));
+  }
+}
+
+TEST(NativeIteratorParityTest, IvfFirstBatchMatchesOneShotNprobe) {
+  // At matching nprobe the iterator's first window scans exactly the lists
+  // the one-shot search scans, so the first batch is the one-shot top-k.
+  auto data = MakeClusteredVectors(kN, kDim, 16, 207);
+  auto ids = SequentialIds(kN);
+  IvfOptions opts;
+  opts.nlist = 16;
+  IvfFlatIndex index(kDim, Metric::kL2, opts);
+  ASSERT_TRUE(index.Train(data.data(), kN).ok());
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), kN).ok());
+  SearchParams p;
+  p.k = 20;
+  p.nprobe = 4;
+  auto one_shot = index.SearchWithFilter(data.data() + 3 * kDim, p);
+  ASSERT_TRUE(one_shot.ok());
+  auto iter = std::move(*index.MakeIterator(data.data() + 3 * kDim, p));
+  std::vector<Neighbor> first = iter->Next(20);
+  ExpectExactlyEqual(first, *one_shot, "ivf first batch");
+}
+
+TEST(NativeIteratorParityTest, IvfPqFallsBackToGeneric) {
+  // PQ refine re-ranks a k-dependent shortlist, which cannot be reproduced
+  // incrementally; MakeIterator must hand back the restart wrapper.
+  auto data = MakeClusteredVectors(800, kDim, 8, 209);
+  auto ids = SequentialIds(800);
+  IvfPqIndex index(kDim, Metric::kL2);
+  ASSERT_TRUE(index.Train(data.data(), 800).ok());
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), 800).ok());
+  EXPECT_FALSE(index.HasNativeIterator());
+  SearchParams p;
+  p.k = 10;
+  auto iter = std::move(*index.MakeIterator(data.data(), p));
+  auto batch = iter->Next(10);
+  EXPECT_FALSE(batch.empty());
+  // The restart wrapper reports recompute rounds; a native iterator never
+  // would.
+  EXPECT_GE(iter->GetStats().recompute_rounds, 1u);
+}
+
+TEST(NativeIteratorParityTest, DiskAnnFirstBatchMatchesOneShot) {
+  // Phase one of the resumable iterator replicates the one-shot bounded
+  // beam exactly, so the first k served rows are bit-identical.
+  auto data = MakeClusteredVectors(800, 16, 8, 211);
+  auto ids = SequentialIds(800);
+  DiskAnnOptions opts;
+  opts.simulate_disk_latency = false;
+  DiskAnnIndex index(16, Metric::kL2, opts);
+  ASSERT_TRUE(index.Train(data.data(), 800).ok());
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), 800).ok());
+  ASSERT_TRUE(index.HasNativeIterator());
+  for (int k : {5, 17}) {
+    SearchParams p;
+    p.k = k;
+    p.ef_search = 32;
+    auto one_shot = index.SearchWithFilter(data.data() + 9 * 16, p);
+    ASSERT_TRUE(one_shot.ok());
+    auto iter = std::move(*index.MakeIterator(data.data() + 9 * 16, p));
+    std::vector<Neighbor> first = iter->Next(static_cast<size_t>(k));
+    ExpectExactlyEqual(first, *one_shot,
+                       "diskann k=" + std::to_string(k));
+  }
+}
+
+TEST(NativeIteratorParityTest, DiskAnnFilteredFirstBatchMatchesOneShot) {
+  auto data = MakeClusteredVectors(600, 16, 6, 213);
+  auto ids = SequentialIds(600);
+  DiskAnnOptions opts;
+  opts.simulate_disk_latency = false;
+  DiskAnnIndex index(16, Metric::kL2, opts);
+  ASSERT_TRUE(index.Train(data.data(), 600).ok());
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), 600).ok());
+  common::Bitset allowed(600);
+  for (size_t i = 0; i < 600; i += 3) allowed.Set(i);
+  SearchParams p;
+  p.k = 10;
+  p.ef_search = 32;
+  p.filter = &allowed;
+  auto one_shot = index.SearchWithFilter(data.data(), p);
+  ASSERT_TRUE(one_shot.ok());
+  ASSERT_FALSE(one_shot->empty());
+  auto iter = std::move(*index.MakeIterator(data.data(), p));
+  std::vector<Neighbor> first = iter->Next(one_shot->size());
+  ExpectExactlyEqual(first, *one_shot, "diskann filtered");
+  for (const Neighbor& nb : first)
+    EXPECT_TRUE(allowed.Test(static_cast<size_t>(nb.id)));
+}
+
+TEST(NativeIteratorParityTest, DiskAnnResumeGoesDeepWithoutRestart) {
+  // Resuming past the first beam must keep producing fresh ids (the spill
+  // frontier widens the beam) and must not re-pay SSD reads for blocks the
+  // first phase already expanded.
+  auto data = MakeClusteredVectors(1000, 16, 8, 215);
+  auto ids = SequentialIds(1000);
+  DiskAnnOptions opts;
+  opts.simulate_disk_latency = false;
+  opts.cached_nodes = 4;  // tiny cache: a re-walk would show up as re-reads
+  DiskAnnIndex index(16, Metric::kL2, opts);
+  ASSERT_TRUE(index.Train(data.data(), 1000).ok());
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), 1000).ok());
+  SearchParams p;
+  p.k = 10;
+  p.ef_search = 16;
+  auto iter = std::move(*index.MakeIterator(data.data(), p));
+  std::set<IdType> seen;
+  size_t total = 0;
+  for (;;) {
+    auto batch = iter->Next(50);
+    if (batch.empty()) break;
+    for (const Neighbor& nb : batch) EXPECT_TRUE(seen.insert(nb.id).second);
+    total += batch.size();
+    if (total >= 600) break;
+  }
+  EXPECT_GE(total, 600u);  // far past the initial ef=16 beam
+  // Every expanded node costs exactly one ReadBlock; with resume the reads
+  // can't exceed expansions by more than the graph's revisits (none).
+  EXPECT_LE(index.disk_reads(), 1000u + iter->GetStats().rows_visited);
+}
+
+TEST(SortedBatchContractTest, ShuffledBatchWouldBreakRangeEarlyExit) {
+  // The executor's range early-exit reads batch.back() as the worst hit in
+  // the batch; a shuffled batch silently truncates results. IsSortedBatch
+  // is the guard every iterator DCHECKs.
+  auto data = MakeClusteredVectors(200, 8, 4, 217);
+  FlatIndex index(8, Metric::kL2);
+  auto ids = SequentialIds(200);
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), 200).ok());
+  SearchParams p;
+  p.k = 50;
+  auto iter = std::move(*index.MakeIterator(data.data(), p));
+  std::vector<Neighbor> batch = iter->Next(50);
+  ASSERT_EQ(batch.size(), 50u);
+  ASSERT_TRUE(IsSortedBatch(batch));
+  float worst = batch.back().distance;
+  for (const Neighbor& nb : batch) EXPECT_LE(nb.distance, worst);
+  // A shuffled batch violates the contract: back() is no longer the worst,
+  // so "whole batch past the radius" inferences would be unsound.
+  std::reverse(batch.begin(), batch.end());
+  ASSERT_FALSE(IsSortedBatch(batch));
+  EXPECT_LT(batch.back().distance, worst);
+}
+
+TEST(IteratorStatsTest, GenericIteratorReportsHonestCosts) {
+  // The old accounting charged ef_search per Next() regardless of work; the
+  // honest version counts rows actually materialized per restart round.
+  auto data = MakeClusteredVectors(300, 8, 4, 219);
+  FlatIndex index(8, Metric::kL2);
+  auto ids = SequentialIds(300);
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), 300).ok());
+  SearchParams p;
+  p.k = 10;
+  GenericSearchIterator iter(&index, data.data(), p);
+  size_t drained = 0;
+  size_t batches = 0;
+  for (;;) {
+    auto batch = iter.Next(40);
+    if (batch.empty()) break;
+    drained += batch.size();
+    ++batches;
+    if (drained >= 200) break;
+  }
+  SearchIterator::Stats stats = iter.GetStats();
+  EXPECT_EQ(stats.batches, batches);
+  // Restarts re-materialize earlier rows: cumulative rows visited must
+  // exceed the rows actually served.
+  EXPECT_GE(stats.recompute_rounds, 2u);
+  EXPECT_GT(stats.rows_visited, drained);
+  EXPECT_EQ(iter.VisitedCount(), stats.rows_visited);
+}
+
+TEST(IteratorStatsTest, FlatIteratorScansOnceRegardlessOfBatches) {
+  constexpr size_t n = 250;
+  auto data = MakeClusteredVectors(n, 8, 4, 221);
+  FlatIndex index(8, Metric::kL2);
+  auto ids = SequentialIds(n);
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), n).ok());
+  SearchParams p;
+  p.k = 10;
+  auto iter = std::move(*index.MakeIterator(data.data(), p));
+  size_t batches = 0;
+  while (!iter->Next(17).empty()) ++batches;
+  SearchIterator::Stats stats = iter->GetStats();
+  // One full scan total — resumable batches never recompute distances.
+  EXPECT_EQ(stats.rows_visited, n);
+  EXPECT_EQ(stats.recompute_rounds, 0u);
+  EXPECT_EQ(stats.batches, batches);
+}
+
+TEST(IteratorStatsTest, IvfIteratorVisitsOnlyProbedLists) {
+  auto data = MakeClusteredVectors(kN, kDim, 16, 223);
+  auto ids = SequentialIds(kN);
+  IvfOptions opts;
+  opts.nlist = 16;
+  IvfFlatIndex index(kDim, Metric::kL2, opts);
+  ASSERT_TRUE(index.Train(data.data(), kN).ok());
+  ASSERT_TRUE(index.AddWithIds(data.data(), ids.data(), kN).ok());
+  SearchParams p;
+  p.k = 10;
+  p.nprobe = 2;
+  auto iter = std::move(*index.MakeIterator(data.data(), p));
+  auto first = iter->Next(10);
+  ASSERT_FALSE(first.empty());
+  size_t after_one_window = iter->GetStats().rows_visited;
+  // ~2 of 16 lists scanned: far less than the whole index.
+  EXPECT_LT(after_one_window, kN / 2);
+  // Draining deeper extends the probe schedule instead of rescanning.
+  DrainIterator(iter.get(), 200, kN);
+  SearchIterator::Stats stats = iter->GetStats();
+  EXPECT_EQ(stats.rows_visited, kN);  // every row's distance computed once
+  EXPECT_EQ(stats.recompute_rounds, 0u);
 }
 
 }  // namespace
