@@ -1,0 +1,325 @@
+// Query-history smoke (DESIGN.md §15): proves the observability pipeline —
+// per-query resource ledgers, system.query_log exactly-once recording,
+// fingerprint profiles, and tail-based trace retention — against a live
+// mixed workload, and gates its overhead. CI runs this in the release leg:
+//
+//   1. Every finished query of a 200-query mixed workload (filtered ANN,
+//      unfiltered ANN, scalar scans, interleaved ingest) lands in
+//      system.query_log exactly once, with a nonzero resource ledger and a
+//      populated latency breakdown.
+//   2. Identical-shape queries share one fingerprint in system.query_profile.
+//   3. Tail-based retention: with head-sampling at 5%, >= 90% of ordinary
+//      traces are dropped, while an injected slow query (10x work, caught by
+//      the slow_query_threshold_ms floor) and an injected failing query are
+//      both retained — and the retained slow trace renders through
+//      system.query_trace(<id>).
+//   4. Reconciliation: every finished query got exactly one retention
+//      verdict (retained + dropped == finished == query_log appends).
+//   5. The query-history path (fingerprinting, ledger fold, log append,
+//      retention decision) must cost < 2% of a query.
+//
+// Exits non-zero on any violation, failing the CI step.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/trace.h"
+#include "core/blendhouse.h"
+#include "core/query_log.h"
+#include "sql/parser.h"
+
+namespace blendhouse {
+namespace {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+}  // namespace blendhouse
+
+int main() {
+  using namespace blendhouse;
+  bench::QuietLogs();
+  bench::PrintHeader("Query-history smoke: ledger + query_log + retention");
+
+  constexpr size_t kDim = 32;
+  core::BlendHouseOptions opts = core::BlendHouseOptions::Fast();
+  opts.ingest.max_segment_rows = 1024;
+  opts.trace.sample_rate = 0.05;  // head-sample the residual at 5%
+  core::BlendHouse db(opts);
+  if (!db.ExecuteSql("CREATE TABLE items (id Int64, attr Int64,"
+                     " emb Array(Float32),"
+                     " INDEX ann emb TYPE HNSW('DIM=32','M=8'));")
+           .ok()) {
+    std::printf("FAIL: create table\n");
+    return 1;
+  }
+  baselines::DatasetSpec spec;
+  spec.n = 6000;
+  spec.dim = kDim;
+  spec.clusters = 8;
+  spec.num_queries = 32;
+  baselines::BenchDataset data = baselines::MakeDataset(spec);
+  auto ingest = [&](size_t begin, size_t end) {
+    std::vector<storage::Row> rows;
+    for (size_t i = begin; i < end; ++i) {
+      storage::Row row;
+      row.values = {static_cast<int64_t>(i),
+                    static_cast<int64_t>(data.int_attr[i] % 100),
+                    std::vector<float>(data.vector(i), data.vector(i) + kDim)};
+      rows.push_back(std::move(row));
+    }
+    return db.Insert("items", std::move(rows)).ok() &&
+           db.Flush("items").ok();
+  };
+  if (!ingest(0, 4000) || !db.PreloadTable("items").ok()) {
+    std::printf("FAIL: ingest\n");
+    return 1;
+  }
+
+  auto vec_literal = [&](size_t q) {
+    std::string vec = "[";
+    for (size_t d = 0; d < kDim; ++d)
+      vec += (d ? "," : "") + std::to_string(data.query(q % 32)[d]);
+    return vec + "]";
+  };
+  auto ann_sql = [&](size_t q, int k, int attr_below) {
+    std::string sql = "SELECT id, dist FROM items";
+    if (attr_below > 0) sql += " WHERE attr < " + std::to_string(attr_below);
+    return sql + " ORDER BY L2Distance(emb, " + vec_literal(q) +
+           ") AS dist LIMIT " + std::to_string(k) + ";";
+  };
+
+  // --- 1. Mixed workload --------------------------------------------------
+  constexpr size_t kOrdinary = 200;
+  size_t issued = 0;
+  double q_start = NowMicros();
+  for (size_t i = 0; i < kOrdinary; ++i) {
+    std::string sql;
+    switch (i % 4) {
+      case 0: sql = ann_sql(i, 10, 50); break;               // filtered ANN
+      case 1: sql = ann_sql(i, 10, 0); break;                // pure ANN
+      case 2: sql = ann_sql(i, 10, 20 + static_cast<int>(i % 40)); break;
+      default:                                               // scalar scan
+        sql = "SELECT id, attr FROM items WHERE attr < " +
+              std::to_string(5 + i % 10) + " LIMIT 20;";
+    }
+    if (!db.Query(sql).ok()) {
+      std::printf("FAIL: workload query %zu\n", i);
+      return 1;
+    }
+    ++issued;
+    // Interleave ingest mid-workload so the read path sees segment churn.
+    if (i == kOrdinary / 2 && !ingest(4000, 6000)) {
+      std::printf("FAIL: mid-workload ingest\n");
+      return 1;
+    }
+  }
+  double mean_query_micros = (NowMicros() - q_start) / kOrdinary;
+
+  if (db.query_log().total_appended() != issued) {
+    std::printf("FAIL: query_log has %llu appends for %zu issued queries\n",
+                static_cast<unsigned long long>(
+                    db.query_log().total_appended()),
+                issued);
+    return 1;
+  }
+  auto logged = db.Query("SELECT query_id FROM system.query_log;");
+  if (!logged.ok() || logged->rows.size() != issued) {
+    std::printf("FAIL: system.query_log row count %zu != %zu issued\n",
+                logged.ok() ? logged->rows.size() : 0, issued);
+    return 1;
+  }
+  // Every record carries a nonzero ledger with a populated breakdown.
+  for (const core::QueryLogRecord& rec : db.query_log().Records()) {
+    const common::QueryLedger& l = rec.ledger;
+    double breakdown =
+        l.queue_wait_micros + l.compute_micros + l.sim_io_micros;
+    if (rec.latency_micros <= 0 || breakdown <= 0 || l.rows_scanned == 0) {
+      std::printf("FAIL: query %llu has an empty ledger "
+                  "(latency=%.1f breakdown=%.1f rows=%llu)\n",
+                  static_cast<unsigned long long>(rec.query_id),
+                  rec.latency_micros, breakdown,
+                  static_cast<unsigned long long>(l.rows_scanned));
+      return 1;
+    }
+    if (rec.type == "ann" && rec.ledger.total_distance_comps() == 0) {
+      std::printf("FAIL: ANN query %llu counted no distance computations\n",
+                  static_cast<unsigned long long>(rec.query_id));
+      return 1;
+    }
+  }
+  std::printf("query_log: %zu queries, all ledgers populated\n", issued);
+
+  // --- 2. Fingerprint profiles -------------------------------------------
+  // The case-0 queries (50 of them) are literal-different but shape-equal:
+  // one profile row must aggregate them all.
+  auto profiles = db.Query(
+      "SELECT fingerprint, count FROM system.query_profile;");
+  if (!profiles.ok() || profiles->rows.empty()) {
+    std::printf("FAIL: system.query_profile unreadable\n");
+    return 1;
+  }
+  int64_t max_count = 0;
+  for (const auto& row : profiles->rows)
+    max_count = std::max(max_count, std::get<int64_t>(row.values[1]));
+  // case 0 and case 2 share a shape (both filtered ANN), so the top profile
+  // covers at least those 100 queries.
+  if (max_count < static_cast<int64_t>(kOrdinary / 2)) {
+    std::printf("FAIL: top fingerprint count %lld < %zu — identical-shape "
+                "queries not sharing a profile\n",
+                static_cast<long long>(max_count), kOrdinary / 2);
+    return 1;
+  }
+  std::printf("query_profile: %zu shapes, top count %lld\n",
+              profiles->rows.size(), static_cast<long long>(max_count));
+
+  // --- 3. Tail-based retention -------------------------------------------
+  // Injected slow query: 10x the ordinary work (full-table top-400 with a
+  // wide beam), caught deterministically by the retention floor.
+  if (!db.ExecuteSql("SET ef_search = 512;").ok() ||
+      !db.ExecuteSql("SET slow_query_threshold_ms = 0.001;").ok()) {
+    std::printf("FAIL: SET for slow query\n");
+    return 1;
+  }
+  uint64_t slow_before = db.trace_sink().retained_slow();
+  if (!db.Query(ann_sql(7, 400, 0)).ok()) {
+    std::printf("FAIL: injected slow query\n");
+    return 1;
+  }
+  ++issued;
+  if (!db.ExecuteSql("SET slow_query_threshold_ms = 0;").ok() ||
+      !db.ExecuteSql("SET ef_search = 64;").ok()) {
+    std::printf("FAIL: SET reset\n");
+    return 1;
+  }
+  if (db.trace_sink().retained_slow() != slow_before + 1) {
+    std::printf("FAIL: injected slow query not retained\n");
+    return 1;
+  }
+  // The retained slow trace renders as history.
+  auto records = db.query_log().Records();
+  uint64_t slow_trace_id = records.back().trace_id;
+  if (records.back().trace_retention != std::string("slow")) {
+    std::printf("FAIL: slow query retention is %s\n",
+                records.back().trace_retention.c_str());
+    return 1;
+  }
+  auto rendered = db.Query("SELECT * FROM system.query_trace(" +
+                           std::to_string(slow_trace_id) + ");");
+  if (!rendered.ok() || rendered->rows.empty()) {
+    std::printf("FAIL: system.query_trace(%llu) did not render\n",
+                static_cast<unsigned long long>(slow_trace_id));
+    return 1;
+  }
+  std::printf("slow trace %llu retained and rendered (%zu lines)\n",
+              static_cast<unsigned long long>(slow_trace_id),
+              rendered->rows.size());
+
+  // Injected failing query: retained by the always-keep-errors rule.
+  if (db.Query("SELECT nonexistent FROM items ORDER BY L2Distance(emb, " +
+               vec_literal(0) + ") LIMIT 3;")
+          .ok()) {
+    std::printf("FAIL: injected failing query succeeded\n");
+    return 1;
+  }
+  ++issued;
+  if (db.trace_sink().retained_error() != 1) {
+    std::printf("FAIL: injected failing query not retained\n");
+    return 1;
+  }
+
+  // Head-sampling dropped >= 90% of the ordinary traces.
+  uint64_t dropped = db.trace_sink().sample_dropped();
+  if (dropped < kOrdinary * 9 / 10) {
+    std::printf("FAIL: only %llu of %zu ordinary traces dropped (< 90%%)\n",
+                static_cast<unsigned long long>(dropped), kOrdinary);
+    return 1;
+  }
+
+  // --- 4. Reconciliation ---------------------------------------------------
+  auto& sink = db.trace_sink();
+  uint64_t retained = sink.retained_error() + sink.retained_slow() +
+                      sink.retained_sampled();
+  if (retained + sink.sample_dropped() != sink.offered() ||
+      sink.offered() != issued ||
+      db.query_log().total_appended() != issued) {
+    std::printf("FAIL: reconciliation: retained %llu + dropped %llu != "
+                "offered %llu (issued %zu)\n",
+                static_cast<unsigned long long>(retained),
+                static_cast<unsigned long long>(sink.sample_dropped()),
+                static_cast<unsigned long long>(sink.offered()), issued);
+    return 1;
+  }
+  std::printf("retention: %llu retained (%llu error, %llu slow, %llu "
+              "sampled) + %llu dropped == %llu finished\n",
+              static_cast<unsigned long long>(retained),
+              static_cast<unsigned long long>(sink.retained_error()),
+              static_cast<unsigned long long>(sink.retained_slow()),
+              static_cast<unsigned long long>(sink.retained_sampled()),
+              static_cast<unsigned long long>(sink.sample_dropped()),
+              static_cast<unsigned long long>(sink.offered()));
+
+  // --- 5. Overhead budget --------------------------------------------------
+  // Per-query cost of the history path: fingerprint normalization + hash,
+  // the retention decision on the dropped (common) path, a threshold read,
+  // and a full log append. Measured per op, summed, compared against the
+  // workload's measured mean latency.
+  const std::string probe_sql = ann_sql(0, 10, 50);
+  constexpr int kOps = 20000;
+  double t0 = NowMicros();
+  for (int i = 0; i < kOps; ++i) {
+    auto sig = sql::ParameterizedSignature(probe_sql);
+    if (!sig.ok()) return 1;
+    (void)core::QueryLog::Hash(*sig);
+  }
+  double fingerprint_us = (NowMicros() - t0) / kOps;
+
+  core::QueryLog scratch_log;
+  trace::TraceSink::Options sink_opts;
+  sink_opts.sample_rate = 0.05;  // model the common mostly-dropped path
+  trace::TraceSink scratch_sink(sink_opts);
+  trace::TracePtr probe_trace = trace::Trace::Make("probe");
+  probe_trace->StartSpan("query")->End();
+  trace::TraceSink::Completion completion;
+  completion.latency_micros = 500;
+  t0 = NowMicros();
+  for (int i = 0; i < kOps; ++i)
+    (void)scratch_sink.Offer(*probe_trace, completion);
+  double offer_us = (NowMicros() - t0) / kOps;
+
+  uint64_t probe_hash = core::QueryLog::Hash("probe");
+  t0 = NowMicros();
+  for (int i = 0; i < kOps; ++i) {
+    (void)scratch_log.SlowThresholdMicros(probe_hash);
+    core::QueryLogRecord rec;
+    rec.sql = probe_sql;
+    rec.fingerprint = "probe";
+    rec.fingerprint_hash = probe_hash;
+    rec.latency_micros = 500;
+    scratch_log.Append(std::move(rec));
+  }
+  double append_us = (NowMicros() - t0) / kOps;
+
+  double history_us = fingerprint_us + offer_us + append_us;
+  double ratio = history_us / mean_query_micros;
+  std::printf("per-query history cost: fingerprint %.2fus + offer %.2fus + "
+              "append %.2fus = %.2fus vs %.0fus query (%.2f%%)\n",
+              fingerprint_us, offer_us, append_us, history_us,
+              mean_query_micros, 100.0 * ratio);
+  if (ratio >= 0.02) {
+    std::printf("FAIL: query-history overhead %.2f%% >= 2%% budget\n",
+                100.0 * ratio);
+    return 1;
+  }
+  std::printf("query-history overhead within budget\n");
+
+  bench::PrintRegistrySnapshot({"bh_trace_"});
+  return 0;
+}

@@ -169,6 +169,78 @@ int main() {
   }
   std::printf("telemetry overhead within budget\n");
 
-  bench::PrintRegistrySnapshot({"bh_sql_", "bh_object_store_"});
+  // --- 3. Iterator + rerank counters registered --------------------------
+  // A forced post-filter query runs on the native resumable iterator and
+  // must land the bh_iter_* counters; an int8-precision table's query runs
+  // the exact-fp32 rerank tier and must land bh_exec_fp32_rerank_rows.
+  sql::QuerySettings pf = db.options().settings;
+  pf.forced_strategy = sql::ExecStrategy::kPostFilter;
+  if (!db.QueryWithSettings(sql_for(1), pf).ok()) {
+    std::printf("FAIL: forced post-filter query\n");
+    return 1;
+  }
+  if (!db.ExecuteSql("CREATE TABLE items_q (id Int64, attr Int64,"
+                     " emb Array(Float32), INDEX ann emb TYPE "
+                     "HNSW('DIM=64','M=8','PRECISION=int8'));")
+           .ok()) {
+    std::printf("FAIL: create int8 table\n");
+    return 1;
+  }
+  std::vector<storage::Row> qrows;
+  for (size_t i = 0; i < 2000; ++i) {
+    storage::Row row;
+    row.values = {static_cast<int64_t>(i),
+                  static_cast<int64_t>(data.int_attr[i] % 100),
+                  std::vector<float>(data.vector(i), data.vector(i) + kDim)};
+    qrows.push_back(std::move(row));
+  }
+  if (!db.Insert("items_q", std::move(qrows)).ok() ||
+      !db.Flush("items_q").ok() || !db.PreloadTable("items_q").ok()) {
+    std::printf("FAIL: int8 ingest\n");
+    return 1;
+  }
+  {
+    std::string vec = "[";
+    for (size_t d = 0; d < kDim; ++d)
+      vec += (d ? "," : "") + std::to_string(data.query(0)[d]);
+    vec += "]";
+    if (!db.Query("SELECT id, dist FROM items_q ORDER BY L2Distance(emb, " +
+                  vec + ") AS dist LIMIT 10;")
+             .ok()) {
+      std::printf("FAIL: int8 query\n");
+      return 1;
+    }
+  }
+  auto& reg = common::metrics::MetricsRegistry::Instance();
+  struct NamedCheck {
+    const char* name;
+    bool must_be_nonzero;
+  };
+  for (const NamedCheck& check :
+       {NamedCheck{"bh_iter_batches", false},
+        NamedCheck{"bh_iter_rows_visited", true},
+        NamedCheck{"bh_iter_recompute_rounds", false},
+        NamedCheck{"bh_exec_fp32_rerank_rows", true}}) {
+    bool present = false;
+    double value = 0;
+    for (const auto& sample : reg.Snapshot()) {
+      if (sample.name == check.name) {
+        present = true;
+        value = sample.value;
+      }
+    }
+    if (!present) {
+      std::printf("FAIL: %s not registered after workload\n", check.name);
+      return 1;
+    }
+    if (check.must_be_nonzero && value <= 0) {
+      std::printf("FAIL: %s is zero after workload\n", check.name);
+      return 1;
+    }
+  }
+  std::printf("iterator + rerank counters registered\n");
+
+  bench::PrintRegistrySnapshot(
+      {"bh_sql_", "bh_object_store_", "bh_iter_", "bh_exec_"});
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "vecindex/flat_index.h"
+#include "vecindex/scan_counters.h"
 
 namespace blendhouse::cluster {
 
@@ -232,10 +233,13 @@ common::Result<vecindex::SearchIterator::Stats> Worker::StreamSearch(
     const float* query, const vecindex::SearchParams& params,
     size_t batch_size,
     const std::function<bool(const std::vector<vecindex::Neighbor>&)>& sink,
-    const AcquireOptions& opts) {
+    const AcquireOptions& opts, common::QueryLedger* ledger) {
   if (batch_size == 0)
     return common::Status::InvalidArgument(
         "stream search: batch_size must be positive");
+  // The whole stream runs synchronously on this thread, so the scope's
+  // delta is exactly this call's distance work (see scan_counters.h).
+  vecindex::scanstats::ScanCounterScope scan_scope;
   auto acquired = AcquireIndex(schema, meta, opts);
   if (!acquired.ok()) return acquired.status();
   auto iter = acquired->index->MakeIterator(query, params);
@@ -246,7 +250,18 @@ common::Result<vecindex::SearchIterator::Stats> Worker::StreamSearch(
     rpc_->Charge(RpcPayloadBytes(acquired->index->Dim(), batch.size()));
     if (!sink(batch)) break;
   }
-  return (*iter)->GetStats();
+  vecindex::SearchIterator::Stats stats = (*iter)->GetStats();
+  if (ledger != nullptr) {
+    vecindex::scanstats::TierCounts scans = scan_scope.Delta();
+    for (size_t i = 0; i < vecindex::scanstats::kNumTiers; ++i)
+      ledger->distance_comps[i] += scans.dist[i];
+    ledger->rows_scanned += scans.total();
+    ledger->iter_batches += stats.batches;
+    ledger->iter_rows_visited += stats.rows_visited;
+    ledger->iter_recompute_rounds += stats.recompute_rounds;
+    ledger->segments_scanned += 1;
+  }
+  return stats;
 }
 
 common::Result<std::vector<vecindex::Neighbor>>

@@ -9,6 +9,7 @@
 #include "cluster/rpc.h"
 #include "common/bitset.h"
 #include "common/future.h"
+#include "common/query_ledger.h"
 #include "common/result.h"
 #include "common/task_scheduler.h"
 #include "common/threadpool.h"
@@ -151,13 +152,16 @@ class Worker {
   /// the way the one-shot path charges per call. `sink` returns false to
   /// stop the stream early (the coordinator already has enough rows — the
   /// iterator's retained state is what makes stopping cheap). Returns the
-  /// iterator's final cost accounting.
+  /// iterator's final cost accounting. When `ledger` is non-null the call's
+  /// resource usage (per-tier distance computations, iterator stats) is
+  /// folded into it, so a remote stage's cost attributes to the owning
+  /// query's system.query_log record.
   common::Result<vecindex::SearchIterator::Stats> StreamSearch(
       const storage::TableSchema& schema, const storage::SegmentMeta& meta,
       const float* query, const vecindex::SearchParams& params,
       size_t batch_size,
       const std::function<bool(const std::vector<vecindex::Neighbor>&)>& sink,
-      const AcquireOptions& opts = {});
+      const AcquireOptions& opts = {}, common::QueryLedger* ledger = nullptr);
 
   common::LruCache<storage::SegmentPtr>& segment_cache() { return segment_cache_; }
 

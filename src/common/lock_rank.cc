@@ -33,6 +33,7 @@ constexpr NamedRank kRankNames[] = {
     {kSpan, "kSpan(500)"},
     {kTrace, "kTrace(480)"},
     {kTraceSink, "kTraceSink(460)"},
+    {kQueryLog, "kQueryLog(440)"},
     {kFuture, "kFuture(400)"},
     {kObjectStore, "kObjectStore(300)"},
     {kLruCache, "kLruCache(250)"},

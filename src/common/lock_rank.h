@@ -96,6 +96,12 @@ inline constexpr int kTrace = 480;
 /// trace::TraceSink::mu_ — sampled-trace ring.
 inline constexpr int kTraceSink = 460;
 
+/// core::QueryLog::mu_ — finished-query ring + fingerprint profiles. Taken
+/// with no other lock held (RunSelect appends after the trace is closed and
+/// the sink decision is made); its critical sections touch nothing but the
+/// ring and the profile map's lock-free histograms.
+inline constexpr int kQueryLog = 440;
+
 /// common::internal::FutureState::mu_ — promise/future shared state.
 /// Continuations run (or are handed to the scheduler) outside this lock.
 inline constexpr int kFuture = 400;

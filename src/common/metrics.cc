@@ -1,12 +1,24 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 
 namespace blendhouse::common::metrics {
 
 namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// 0 = not yet frozen; first reader (or an explicit ConfigureCounterShards)
+/// publishes the final value exactly once.
+std::atomic<size_t> g_counter_shards{0};
 
 std::string FormatDouble(double v) {
   char buf[64];
@@ -20,6 +32,55 @@ std::string FormatDouble(double v) {
 }
 
 }  // namespace
+
+size_t CounterShardCount() {
+  size_t v = g_counter_shards.load(std::memory_order_acquire);
+  if (v != 0) return v;
+  size_t hw = std::thread::hardware_concurrency();
+  size_t def = RoundUpPow2(std::max<size_t>(16, hw));
+  size_t expected = 0;
+  if (g_counter_shards.compare_exchange_strong(expected, def,
+                                               std::memory_order_acq_rel))
+    return def;
+  return expected;  // lost the race to a concurrent freeze
+}
+
+bool ConfigureCounterShards(size_t shards) {
+  if (shards == 0) return false;
+  size_t want = RoundUpPow2(shards);
+  size_t expected = 0;
+  return g_counter_shards.compare_exchange_strong(expected, want,
+                                                  std::memory_order_acq_rel);
+}
+
+std::string PrometheusSanitizeName(const std::string& name) {
+  auto valid = [](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':')
+      return true;
+    return !first && c >= '0' && c <= '9';
+  };
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) out += valid(c, out.empty()) ? c : '_';
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 const std::vector<double>& DefaultLatencyBoundsMicros() {
   // Leaked like the registry: stays valid during static destruction.
@@ -93,15 +154,18 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 std::string MetricsRegistry::ExportPrometheus() const {
   MutexLock lock(mu_);
   std::string out;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [raw_name, c] : counters_) {
+    std::string name = PrometheusSanitizeName(raw_name);
     out += "# TYPE " + name + " counter\n";
     out += name + " " + FormatDouble(static_cast<double>(c->Value())) + "\n";
   }
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [raw_name, g] : gauges_) {
+    std::string name = PrometheusSanitizeName(raw_name);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + FormatDouble(static_cast<double>(g->Value())) + "\n";
   }
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [raw_name, h] : histograms_) {
+    std::string name = PrometheusSanitizeName(raw_name);
     BucketedHistogram snap = h->Snapshot();
     out += "# TYPE " + name + " histogram\n";
     uint64_t cum = 0;
@@ -109,7 +173,8 @@ std::string MetricsRegistry::ExportPrometheus() const {
     const auto& counts = snap.bucket_counts();
     for (size_t i = 0; i < bounds.size(); ++i) {
       cum += counts[i];
-      out += name + "_bucket{le=\"" + FormatDouble(bounds[i]) + "\"} " +
+      out += name + "_bucket{le=\"" +
+             PrometheusEscapeLabel(FormatDouble(bounds[i])) + "\"} " +
              FormatDouble(static_cast<double>(cum)) + "\n";
     }
     out += name + "_bucket{le=\"+Inf\"} " +

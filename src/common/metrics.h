@@ -27,33 +27,48 @@ namespace blendhouse::common::metrics {
 /// search over an immutable bounds array plus three relaxed RMWs. Call sites
 /// resolve metric pointers once (constructor or static local), never per op.
 
+/// Process-wide counter shard count, frozen at the first Counter
+/// construction. Defaults to max(16, hardware_concurrency) rounded up to a
+/// power of two, so a many-core host gets one shard per core instead of the
+/// historical fixed 16 (ROADMAP item 5 leftover).
+size_t CounterShardCount();
+
+/// Configures the shard count at process init, before any counter exists
+/// (rounded up to a power of two). Returns false — and changes nothing —
+/// once the count is frozen by a prior call or the first Counter.
+bool ConfigureCounterShards(size_t shards);
+
 /// Monotonic counter with a thread-sharded lock-free fast path.
 class Counter {
  public:
-  Counter() = default;
+  Counter()
+      : mask_(CounterShardCount() - 1),
+        shards_(std::make_unique<Shard[]>(mask_ + 1)) {}
   Counter(const Counter&) = delete;
   Counter& operator=(const Counter&) = delete;
 
   void Add(uint64_t n = 1) {
-    shards_[ThisThreadSlot() & (kShards - 1)].v.fetch_add(
-        n, std::memory_order_relaxed);
+    shards_[ThisThreadSlot() & mask_].v.fetch_add(n,
+                                                  std::memory_order_relaxed);
   }
 
   uint64_t Value() const {
     uint64_t total = 0;
-    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    for (size_t i = 0; i <= mask_; ++i)
+      total += shards_[i].v.load(std::memory_order_relaxed);
     return total;
   }
 
+  size_t shard_count() const { return mask_ + 1; }
+
   /// Test-only: counters are monotonic in production.
   void ResetForTest() {
-    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i <= mask_; ++i)
+      shards_[i].v.store(0, std::memory_order_relaxed);
   }
 
  private:
-  // 16 shards bound the worst case: more threads than shards just means some
-  // sharing, never incorrectness.
-  static constexpr size_t kShards = 16;
+  // Fewer shards than threads just means some sharing, never incorrectness.
   struct alignas(64) Shard {
     std::atomic<uint64_t> v{0};
   };
@@ -64,7 +79,8 @@ class Counter {
     return slot;
   }
 
-  Shard shards_[kShards];
+  const size_t mask_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 /// Instantaneous value (queue depth, in-flight calls, resident bytes).
@@ -133,6 +149,17 @@ class HistogramMetric {
 
 /// Default micros-latency bucket bounds: 10us .. 10s, ~1-2-5 ladder.
 const std::vector<double>& DefaultLatencyBoundsMicros();
+
+/// Maps a metric name onto the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — every invalid byte becomes '_', and a
+/// leading digit gets a '_' prefix. Registry names already follow the
+/// `bh_*` convention (lint rule `metric-name`); this guards the exporter
+/// against ad-hoc names from tests or future dynamic registration.
+std::string PrometheusSanitizeName(const std::string& name);
+
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double quote, and newline are escaped per the spec.
+std::string PrometheusEscapeLabel(const std::string& value);
 
 /// One flattened (name, value) pair; histograms expand into _count/_sum/_p50/
 /// _p95/_p99 rows. This is what `SELECT * FROM system.metrics` and the bench

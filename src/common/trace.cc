@@ -5,6 +5,8 @@
 #include <functional>
 #include <map>
 
+#include "common/metrics.h"
+
 namespace blendhouse::trace {
 
 namespace {
@@ -121,6 +123,44 @@ double Trace::ElapsedMicros() const { return MicrosSince(start_); }
 
 // ---------------------------------------------------------------- TraceSink
 
+const char* RetentionName(Retention r) {
+  switch (r) {
+    case Retention::kDropped:
+      return "dropped";
+    case Retention::kSampled:
+      return "sampled";
+    case Retention::kSlow:
+      return "slow";
+    case Retention::kError:
+      return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Process-global retention counters, mirrored from every sink's instance
+/// tallies (tests assert the per-instance ones; dashboards read these).
+struct RetentionMetrics {
+  common::metrics::Counter* retained_error;
+  common::metrics::Counter* retained_slow;
+  common::metrics::Counter* retained_sampled;
+  common::metrics::Counter* dropped;
+};
+
+const RetentionMetrics& SinkMetrics() {
+  auto& reg = common::metrics::MetricsRegistry::Instance();
+  static const RetentionMetrics m{
+      reg.GetCounter("bh_trace_retained_error_total"),
+      reg.GetCounter("bh_trace_retained_slow_total"),
+      reg.GetCounter("bh_trace_retained_sampled_total"),
+      reg.GetCounter("bh_trace_dropped_total"),
+  };
+  return m;
+}
+
+}  // namespace
+
 TraceSink::TraceSink() : TraceSink(Options()) {}
 
 TraceSink::TraceSink(Options opts) : opts_(opts), rng_(opts.seed) {}
@@ -132,12 +172,68 @@ bool TraceSink::ShouldSample() {
   return rng_.Uniform() < opts_.sample_rate;
 }
 
+Retention TraceSink::Offer(const Trace& trace, const Completion& info) {
+  Retention verdict;
+  if (info.error) {
+    verdict = Retention::kError;
+  } else if (info.slow_threshold_micros > 0 &&
+             info.latency_micros >= info.slow_threshold_micros) {
+    verdict = Retention::kSlow;
+  } else {
+    verdict = ShouldSample() ? Retention::kSampled : Retention::kDropped;
+  }
+
+  // Resolve the registry counters and collect the trace's spans (rank
+  // kTrace > kTraceSink) before taking mu_: acquisition order must be
+  // strictly decreasing in rank.
+  const RetentionMetrics& m = SinkMetrics();
+  FinishedTrace finished;
+  if (verdict != Retention::kDropped) {
+    finished.trace_id = trace.trace_id();
+    finished.name = trace.name();
+    finished.retention = verdict;
+    finished.fingerprint = info.fingerprint;
+    finished.latency_micros = info.latency_micros;
+    finished.spans = trace.Collect();
+  }
+
+  common::MutexLock lock(mu_);
+  ++offered_;
+  switch (verdict) {
+    case Retention::kDropped:
+      ++sample_dropped_;
+      m.dropped->Add(1);
+      return verdict;
+    case Retention::kSampled:
+      ++retained_sampled_;
+      m.retained_sampled->Add(1);
+      break;
+    case Retention::kSlow:
+      ++retained_slow_;
+      m.retained_slow->Add(1);
+      break;
+    case Retention::kError:
+      ++retained_error_;
+      m.retained_error->Add(1);
+      break;
+  }
+  RecordLocked(std::move(finished));
+  return verdict;
+}
+
 void TraceSink::Record(const Trace& trace) {
   FinishedTrace finished;
   finished.trace_id = trace.trace_id();
   finished.name = trace.name();
   finished.spans = trace.Collect();
   common::MutexLock lock(mu_);
+  ++offered_;
+  ++retained_sampled_;
+  SinkMetrics().retained_sampled->Add(1);
+  RecordLocked(std::move(finished));
+}
+
+void TraceSink::RecordLocked(FinishedTrace finished) {
   traces_.push_back(std::move(finished));
   while (traces_.size() > opts_.max_traces) {
     traces_.pop_front();
@@ -150,6 +246,13 @@ std::vector<FinishedTrace> TraceSink::Traces() const {
   return {traces_.begin(), traces_.end()};
 }
 
+std::optional<FinishedTrace> TraceSink::FindTrace(uint64_t trace_id) const {
+  common::MutexLock lock(mu_);
+  for (const FinishedTrace& ft : traces_)
+    if (ft.trace_id == trace_id) return ft;
+  return std::nullopt;
+}
+
 size_t TraceSink::size() const {
   common::MutexLock lock(mu_);
   return traces_.size();
@@ -160,10 +263,40 @@ uint64_t TraceSink::dropped() const {
   return dropped_;
 }
 
+uint64_t TraceSink::offered() const {
+  common::MutexLock lock(mu_);
+  return offered_;
+}
+
+uint64_t TraceSink::retained_error() const {
+  common::MutexLock lock(mu_);
+  return retained_error_;
+}
+
+uint64_t TraceSink::retained_slow() const {
+  common::MutexLock lock(mu_);
+  return retained_slow_;
+}
+
+uint64_t TraceSink::retained_sampled() const {
+  common::MutexLock lock(mu_);
+  return retained_sampled_;
+}
+
+uint64_t TraceSink::sample_dropped() const {
+  common::MutexLock lock(mu_);
+  return sample_dropped_;
+}
+
 void TraceSink::Clear() {
   common::MutexLock lock(mu_);
   traces_.clear();
   dropped_ = 0;
+  offered_ = 0;
+  retained_error_ = 0;
+  retained_slow_ = 0;
+  retained_sampled_ = 0;
+  sample_dropped_ = 0;
 }
 
 std::string TraceSink::DumpJson() const {
@@ -173,7 +306,19 @@ std::string TraceSink::DumpJson() const {
     const FinishedTrace& ft = traces[t];
     if (t != 0) out += ",";
     out += "{\"trace_id\":" + std::to_string(ft.trace_id);
-    out += ",\"name\":\"" + JsonEscape(ft.name) + "\",\"spans\":[";
+    out += ",\"name\":\"" + JsonEscape(ft.name) + "\"";
+    out += ",\"retention_reason\":\"";
+    out += RetentionName(ft.retention);
+    out += "\"";
+    if (!ft.fingerprint.empty())
+      out += ",\"fingerprint\":\"" + JsonEscape(ft.fingerprint) + "\"";
+    {
+      char lbuf[64];
+      std::snprintf(lbuf, sizeof(lbuf), ",\"latency_micros\":%.3f",
+                    ft.latency_micros);
+      out += lbuf;
+    }
+    out += ",\"spans\":[";
     for (size_t i = 0; i < ft.spans.size(); ++i) {
       const SpanRecord& s = ft.spans[i];
       if (i != 0) out += ",";

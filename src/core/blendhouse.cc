@@ -1,12 +1,16 @@
 #include "core/blendhouse.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
 #include <map>
 
 #include "cluster/scheduler.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/sharding.h"
+#include "storage/segment.h"
 
 namespace blendhouse::core {
 
@@ -34,13 +38,92 @@ const SqlMetrics& QueryMetrics() {
   return m;
 }
 
+std::string HexFingerprint(uint64_t hash) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
+  return buf;
+}
+
+/// Builds a synthetic single-use table schema for a system.* virtual table.
+storage::TableSchema VirtualSchema(
+    std::string name,
+    std::initializer_list<std::pair<const char*, storage::ColumnType>> cols) {
+  storage::TableSchema schema;
+  schema.table_name = std::move(name);
+  for (const auto& [col, type] : cols)
+    schema.columns.push_back({col, type});
+  return schema;
+}
+
+/// Scans an in-memory row snapshot through the real query machinery: rows
+/// are frozen into a columnar Segment (granule marks included) and WHERE is
+/// compiled once and pushed down as a vectorized bitmap — the same
+/// CompiledPredicate/BuildBitmap path regular segments use — then the
+/// projection and LIMIT/OFFSET apply over the surviving bits.
+common::Result<sql::QueryResult> ScanVirtualTable(
+    const sql::SelectStmt& select, const storage::TableSchema& schema,
+    const std::vector<storage::Row>& rows) {
+  if (select.ann.has_value())
+    return common::Status::InvalidArgument(schema.table_name +
+                                           " does not support ANN clauses");
+  sql::QueryResult out;
+  if (select.select_star) {
+    for (const storage::ColumnDef& c : schema.columns)
+      out.column_names.push_back(c.name);
+  } else {
+    for (const std::string& c : select.select_columns) {
+      if (schema.FindColumn(c) < 0)
+        return common::Status::InvalidArgument("unknown column: " + c +
+                                               " in " + schema.table_name);
+      out.column_names.push_back(c);
+    }
+  }
+  if (rows.empty()) return out;
+
+  storage::SegmentBuilder builder(schema, "virtual");
+  for (const storage::Row& r : rows) BH_RETURN_IF_ERROR(builder.AppendRow(r));
+  auto segment = builder.Finish();
+  if (!segment.ok()) return segment.status();
+
+  common::Bitset bitmap((*segment)->num_rows(), /*initial=*/true);
+  if (select.where != nullptr) {
+    auto compiled = sql::CompiledPredicate::Compile(*select.where);
+    if (!compiled.ok()) return compiled.status();
+    auto bound = sql::PredicateEvaluator::Bind(std::move(*compiled), **segment);
+    if (!bound.ok()) return bound.status();
+    bitmap = bound->BuildBitmap(/*deletes=*/nullptr,
+                                /*use_granule_pruning=*/true);
+  }
+
+  std::vector<const storage::Column*> cols;
+  cols.reserve(out.column_names.size());
+  for (const std::string& name : out.column_names)
+    cols.push_back((*segment)->FindColumn(name));
+  size_t limit =
+      select.scalar_limit.value_or(std::numeric_limits<size_t>::max());
+  size_t to_skip = select.scalar_offset.value_or(0);
+  bitmap.ForEachSetBit([&](size_t i) {
+    if (out.rows.size() >= limit) return;
+    if (to_skip > 0) {
+      --to_skip;
+      return;
+    }
+    storage::Row row;
+    row.values.reserve(cols.size());
+    for (const storage::Column* c : cols) row.values.push_back(c->GetValue(i));
+    out.rows.push_back(std::move(row));
+  });
+  return out;
+}
+
 }  // namespace
 
 BlendHouse::BlendHouse(BlendHouseOptions options)
     : options_(std::move(options)),
       store_(options_.remote_cost),
       rpc_(options_.rpc_cost),
-      trace_sink_(options_.trace) {
+      trace_sink_(options_.trace),
+      query_log_(options_.query_log) {
   // Pin the process-wide topology default before any pool/scheduler below
   // is constructed (the flag is read at construction time).
   common::SetSchedulerSharding(options_.scheduler_sharding);
@@ -246,21 +329,160 @@ common::Result<sql::OptimizedQuery> BlendHouse::Plan(
   return optimized;
 }
 
-common::Result<sql::QueryResult> BlendHouse::QuerySystemMetrics(
+common::Result<sql::QueryResult> BlendHouse::QuerySystemTable(
     const sql::SelectStmt& select) {
-  if (!select.select_star)
-    return common::Status::InvalidArgument(
-        "system.metrics supports SELECT * only");
-  sql::QueryResult out;
-  out.column_names = {"name", "value"};
-  for (const common::metrics::MetricSample& s :
-       common::metrics::MetricsRegistry::Instance().Snapshot()) {
-    storage::Row row;
-    row.values.emplace_back(s.name);
-    row.values.emplace_back(s.value);
-    out.rows.push_back(std::move(row));
+  using storage::ColumnType;
+
+  if (select.table == "system.metrics") {
+    storage::TableSchema schema =
+        VirtualSchema("system.metrics", {{"name", ColumnType::kString},
+                                         {"value", ColumnType::kFloat64}});
+    std::vector<storage::Row> rows;
+    for (const common::metrics::MetricSample& s :
+         common::metrics::MetricsRegistry::Instance().Snapshot()) {
+      storage::Row row;
+      row.values.emplace_back(s.name);
+      row.values.emplace_back(s.value);
+      rows.push_back(std::move(row));
+    }
+    return ScanVirtualTable(select, schema, rows);
   }
-  return out;
+
+  if (select.table == "system.query_log") {
+    storage::TableSchema schema = VirtualSchema(
+        "system.query_log",
+        {{"query_id", ColumnType::kInt64},
+         {"query", ColumnType::kString},
+         {"fingerprint", ColumnType::kString},
+         {"fingerprint_hash", ColumnType::kString},
+         {"type", ColumnType::kString},
+         {"status", ColumnType::kString},
+         {"error", ColumnType::kString},
+         {"trace_id", ColumnType::kInt64},
+         {"trace_retention", ColumnType::kString},
+         {"latency_micros", ColumnType::kFloat64},
+         {"plan_micros", ColumnType::kFloat64},
+         {"exec_micros", ColumnType::kFloat64},
+         {"queue_wait_micros", ColumnType::kFloat64},
+         {"compute_micros", ColumnType::kFloat64},
+         {"sim_io_micros", ColumnType::kFloat64},
+         {"rows_scanned", ColumnType::kInt64},
+         {"dist_fp32", ColumnType::kInt64},
+         {"dist_fp16", ColumnType::kInt64},
+         {"dist_bf16", ColumnType::kInt64},
+         {"dist_int8", ColumnType::kInt64},
+         {"fp32_rerank_rows", ColumnType::kInt64},
+         {"iter_batches", ColumnType::kInt64},
+         {"iter_rows_visited", ColumnType::kInt64},
+         {"iter_recompute_rounds", ColumnType::kInt64},
+         {"filter_cache_hits", ColumnType::kInt64},
+         {"filter_cache_misses", ColumnType::kInt64},
+         {"segments_scanned", ColumnType::kInt64},
+         {"workers_fanout", ColumnType::kInt64},
+         {"retries", ColumnType::kInt64}});
+    std::vector<storage::Row> rows;
+    for (const QueryLogRecord& r : query_log_.Records()) {
+      const common::QueryLedger& l = r.ledger;
+      storage::Row row;
+      row.values = {static_cast<int64_t>(r.query_id),
+                    r.sql,
+                    r.fingerprint,
+                    HexFingerprint(r.fingerprint_hash),
+                    r.type,
+                    r.status,
+                    r.error,
+                    static_cast<int64_t>(r.trace_id),
+                    r.trace_retention,
+                    r.latency_micros,
+                    r.plan_micros,
+                    r.exec_micros,
+                    l.queue_wait_micros,
+                    l.compute_micros,
+                    l.sim_io_micros,
+                    static_cast<int64_t>(l.rows_scanned),
+                    static_cast<int64_t>(l.distance_comps[0]),
+                    static_cast<int64_t>(l.distance_comps[1]),
+                    static_cast<int64_t>(l.distance_comps[2]),
+                    static_cast<int64_t>(l.distance_comps[3]),
+                    static_cast<int64_t>(l.fp32_rerank_rows),
+                    static_cast<int64_t>(l.iter_batches),
+                    static_cast<int64_t>(l.iter_rows_visited),
+                    static_cast<int64_t>(l.iter_recompute_rounds),
+                    static_cast<int64_t>(l.filter_cache_hits),
+                    static_cast<int64_t>(l.filter_cache_misses),
+                    static_cast<int64_t>(l.segments_scanned),
+                    static_cast<int64_t>(l.workers_fanout),
+                    static_cast<int64_t>(l.retries)};
+      rows.push_back(std::move(row));
+    }
+    return ScanVirtualTable(select, schema, rows);
+  }
+
+  if (select.table == "system.query_profile") {
+    storage::TableSchema schema = VirtualSchema(
+        "system.query_profile",
+        {{"fingerprint", ColumnType::kString},
+         {"fingerprint_hash", ColumnType::kString},
+         {"count", ColumnType::kInt64},
+         {"errors", ColumnType::kInt64},
+         {"p50_micros", ColumnType::kFloat64},
+         {"p95_micros", ColumnType::kFloat64},
+         {"p99_micros", ColumnType::kFloat64},
+         {"max_micros", ColumnType::kFloat64}});
+    std::vector<storage::Row> rows;
+    for (const QueryProfileRow& p : query_log_.Profiles()) {
+      storage::Row row;
+      row.values = {p.fingerprint,
+                    HexFingerprint(p.fingerprint_hash),
+                    static_cast<int64_t>(p.count),
+                    static_cast<int64_t>(p.errors),
+                    p.p50_micros,
+                    p.p95_micros,
+                    p.p99_micros,
+                    p.max_micros};
+      rows.push_back(std::move(row));
+    }
+    return ScanVirtualTable(select, schema, rows);
+  }
+
+  if (select.table == "system.query_trace") {
+    // EXPLAIN-ANALYZE-style rendering of a retained historical trace:
+    // `SELECT * FROM system.query_trace(<trace_id>)`.
+    if (!select.table_arg.has_value())
+      return common::Status::InvalidArgument(
+          "system.query_trace needs a trace id: system.query_trace(42)");
+    auto found = trace_sink_.FindTrace(*select.table_arg);
+    if (!found.has_value())
+      return common::Status::NotFound(
+          "trace " + std::to_string(*select.table_arg) +
+          " not retained (evicted, dropped by sampling, or never existed)");
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "trace_id=%llu retention=%s latency=%.0fus",
+                  static_cast<unsigned long long>(found->trace_id),
+                  trace::RetentionName(found->retention),
+                  found->latency_micros);
+    std::string text = head;
+    if (!found->fingerprint.empty())
+      text += " fingerprint=" + found->fingerprint;
+    text += "\n" + trace::RenderSpanTree(found->spans);
+    sql::QueryResult out;
+    out.column_names = {"explain"};
+    size_t begin = 0;
+    while (begin <= text.size()) {
+      size_t end = text.find('\n', begin);
+      if (end == std::string::npos) end = text.size();
+      if (end > begin) {
+        storage::Row row;
+        row.values.emplace_back(text.substr(begin, end - begin));
+        out.rows.push_back(std::move(row));
+      }
+      begin = end + 1;
+    }
+    return out;
+  }
+
+  return common::Status::NotFound("unknown system table: " + select.table);
 }
 
 common::Result<sql::QueryResult> BlendHouse::QueryWithSettings(
@@ -275,18 +497,79 @@ common::Result<sql::QueryResult> BlendHouse::QueryWithSettings(
 common::Result<sql::QueryResult> BlendHouse::RunSelect(
     const std::string& sql, const sql::SelectStmt& select,
     const sql::QuerySettings& settings, trace::TracePtr* out_trace) {
-  if (select.table == "system.metrics") return QuerySystemMetrics(select);
+  // system.* introspection is answered from snapshots and never recorded
+  // into the query log (reading history must not grow history).
+  if (select.table.rfind("system.", 0) == 0) return QuerySystemTable(select);
   TableState* table = FindTable(select.table);
   if (table == nullptr)
     return common::Status::NotFound("table: " + select.table);
 
   const SqlMetrics& m = QueryMetrics();
-  (select.ann.has_value() ? m.queries_ann : m.queries_scalar)->Add(1);
+  const bool is_ann = select.ann.has_value();
+  (is_ann ? m.queries_ann : m.queries_scalar)->Add(1);
+
+  // Fingerprint at plan time: the normalized parameterized signature, so
+  // identical-shape queries share one profile row and one retention
+  // threshold. Unparseable input (shouldn't happen — we parsed it already)
+  // degrades to the raw SQL as its own shape.
+  std::string fingerprint;
+  if (auto sig = sql::ParameterizedSignature(sql); sig.ok())
+    fingerprint = std::move(*sig);
+  else
+    fingerprint = sql;
+  const uint64_t fingerprint_hash = QueryLog::Hash(fingerprint);
 
   trace::TracePtr trace = trace::Trace::Make("query");
   trace::SpanPtr root = trace->StartSpan("query");
   root->SetTag("table", select.table);
-  root->SetTag("type", select.ann.has_value() ? "ann" : "scalar");
+  root->SetTag("type", is_ann ? "ann" : "scalar");
+  root->SetTag("fingerprint", HexFingerprint(fingerprint_hash));
+
+  // Runs at every exit — success and both failure paths — so every finished
+  // query gets exactly one tail-retention decision and one query-log record.
+  auto finish = [&](const common::Status& status, const sql::ExecStats& stats) {
+    double latency = root->ElapsedMicros();
+    m.query_micros->Record(latency);
+    root->End();
+    if (out_trace != nullptr) *out_trace = trace;
+
+    // Tail-based retention at trace completion (DESIGN.md §15): the verdict
+    // compares the root latency against the fingerprint's rolling p99 —
+    // read *before* this query is appended, so a query is never judged
+    // against itself — floored by `SET slow_query_threshold_ms` when set.
+    double threshold = query_log_.SlowThresholdMicros(fingerprint_hash);
+    double floor_micros = settings.slow_query_threshold_ms * 1000.0;
+    if (floor_micros > 0)
+      threshold =
+          threshold > 0 ? std::min(threshold, floor_micros) : floor_micros;
+    trace::TraceSink::Completion completion;
+    completion.error = !status.ok();
+    completion.latency_micros = latency;
+    completion.slow_threshold_micros = threshold;
+    completion.fingerprint = fingerprint;
+    trace::Retention verdict = trace_sink_.Offer(*trace, completion);
+
+    QueryLogRecord rec;
+    rec.sql = sql;
+    rec.fingerprint = fingerprint;
+    rec.fingerprint_hash = fingerprint_hash;
+    rec.type = is_ann ? "ann" : "scalar";
+    rec.status = status.ok() ? "ok" : "error";
+    if (!status.ok()) rec.error = status.ToString();
+    rec.trace_id = trace->trace_id();
+    rec.trace_retention = trace::RetentionName(verdict);
+    rec.latency_micros = latency;
+    rec.plan_micros = stats.plan_micros;
+    rec.exec_micros = stats.exec_micros;
+    rec.ledger = stats.ledger;
+    // Queries that died before execution have an empty breakdown; their
+    // wall time was all inline work.
+    if (rec.ledger.compute_micros + rec.ledger.sim_io_micros +
+            rec.ledger.queue_wait_micros ==
+        0)
+      rec.ledger.compute_micros = latency;
+    query_log_.Append(std::move(rec));
+  };
 
   // Planning (which may refresh statistics with real object-store reads)
   // runs under a deferred scope so its simulated I/O is attributed to the
@@ -307,9 +590,10 @@ common::Result<sql::QueryResult> BlendHouse::RunSelect(
   plan_span->End();
   if (plan_sim > 0) common::ChargeSimLatency(plan_sim);
   m.plan_micros->Record(plan_micros);
+  pre_stats.plan_micros = plan_micros;
   if (!plan.ok()) {
-    root->End();
     m.query_failures->Add(1);
+    finish(plan.status(), pre_stats);
     return plan.status();
   }
 
@@ -319,18 +603,15 @@ common::Result<sql::QueryResult> BlendHouse::RunSelect(
     executor.SetTopologyHookForTest(executor_topology_hook_for_test_);
   auto result = executor.Execute(*plan, *table->engine);
 
-  m.query_micros->Record(root->ElapsedMicros());
-  root->End();
-  if (out_trace != nullptr) *out_trace = trace;
-  if (trace_sink_.ShouldSample()) trace_sink_.Record(*trace);
-
   if (!result.ok()) {
     m.query_failures->Add(1);
+    finish(result.status(), pre_stats);
     return result.status();
   }
   result->stats.plan_micros = plan_micros;
   result->stats.used_plan_cache = pre_stats.used_plan_cache;
   result->stats.used_short_circuit = pre_stats.used_short_circuit;
+  finish(common::Status::Ok(), result->stats);
   return result;
 }
 
@@ -443,6 +724,23 @@ common::Status BlendHouse::ApplySetting(const sql::SetStmt& stmt) {
     if (!v.ok()) return v.status();
     *it->second = *v != 0;
     if (name == "use_plan_cache" && !*it->second) plan_cache_.Invalidate();
+    return common::Status::Ok();
+  }
+  if (name == "slow_query_threshold_ms") {
+    // Fractional milliseconds are meaningful here (a sim-latency-off unit
+    // test's queries run in microseconds), so this knob keeps the double.
+    double v;
+    if (const int64_t* i = std::get_if<int64_t>(&stmt.value))
+      v = static_cast<double>(*i);
+    else if (const double* d = std::get_if<double>(&stmt.value))
+      v = *d;
+    else
+      return common::Status::InvalidArgument(
+          "SET slow_query_threshold_ms expects a number");
+    if (v < 0)
+      return common::Status::InvalidArgument(
+          "SET slow_query_threshold_ms >= 0");
+    s.slow_query_threshold_ms = v;
     return common::Status::Ok();
   }
   if (name == "distance_precision") {

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/trace.h"
 #include "core/options.h"
+#include "core/query_log.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "sql/plan_cache.h"
@@ -96,8 +97,13 @@ class BlendHouse {
   storage::ObjectStore& object_store() { return store_; }
   cluster::RpcFabric& rpc() { return rpc_; }
   sql::PlanCache& plan_cache() { return plan_cache_; }
-  /// Sampled per-query traces (see BlendHouseOptions::trace).
+  /// Retained per-query traces (see BlendHouseOptions::trace). Retention is
+  /// tail-based: error traces and slower-than-p99 traces always, a sampled
+  /// residual of the rest.
   trace::TraceSink& trace_sink() { return trace_sink_; }
+  /// Finished-query history behind `SELECT * FROM system.query_log` /
+  /// `system.query_profile` (DESIGN.md §15).
+  QueryLog& query_log() { return query_log_; }
   BlendHouseOptions& mutable_options() { return options_; }
   const BlendHouseOptions& options() const { return options_; }
 
@@ -140,8 +146,11 @@ class BlendHouse {
       const std::string& sql, const sql::SelectStmt& select,
       const sql::QuerySettings& settings, trace::TracePtr* out_trace);
 
-  /// `SELECT * FROM system.metrics`: (name, value) rows from the registry.
-  static common::Result<sql::QueryResult> QuerySystemMetrics(
+  /// Dispatch for the system.* virtual tables (metrics, query_log,
+  /// query_profile, query_trace(<id>)): in-memory snapshots scanned through
+  /// the real predicate engine with WHERE pushdown and projection. These
+  /// queries are never recorded into system.query_log.
+  common::Result<sql::QueryResult> QuerySystemTable(
       const sql::SelectStmt& select);
 
   /// Optimizer report for an already-parsed SELECT (plain EXPLAIN body).
@@ -160,6 +169,7 @@ class BlendHouse {
   std::unique_ptr<common::ThreadPool> build_pool_;
   sql::PlanCache plan_cache_;
   trace::TraceSink trace_sink_;
+  QueryLog query_log_;
 
   mutable common::Mutex catalog_mu_{common::lockrank::kCatalog};
   std::map<std::string, std::unique_ptr<TableState>> tables_

@@ -5,6 +5,7 @@
 #include "cluster/rpc.h"
 #include "cluster/worker.h"
 #include "common/trace.h"
+#include "core/query_log.h"
 #include "sql/settings.h"
 #include "storage/lsm_engine.h"
 #include "storage/object_store.h"
@@ -52,10 +53,17 @@ struct BlendHouseOptions {
   /// Session defaults; per-query overrides via QueryWithSettings.
   sql::QuerySettings settings;
 
-  /// Trace retention: ring capacity, sampling rate, and RNG seed for the
-  /// per-instance TraceSink. Spans are always produced (they feed ExecStats
-  /// and EXPLAIN ANALYZE); this only controls which finished traces are kept.
+  /// Trace retention: ring capacity, residual sampling rate, and RNG seed
+  /// for the per-instance TraceSink. Spans are always produced (they feed
+  /// ExecStats and EXPLAIN ANALYZE); this only controls which finished
+  /// traces are kept. Retention is tail-based (DESIGN.md §15): error traces
+  /// and slower-than-p99 traces are always kept, sample_rate applies to the
+  /// ordinary residual only.
   trace::TraceSink::Options trace;
+
+  /// system.query_log ring capacity and the per-fingerprint sample count
+  /// below which a rolling p99 is not yet trusted as a slowness threshold.
+  QueryLog::Options query_log;
 
   /// Rebuild table statistics when the committed version changes.
   bool auto_refresh_statistics = true;

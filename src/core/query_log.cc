@@ -1,0 +1,92 @@
+#include "core/query_log.h"
+
+#include <algorithm>
+
+namespace blendhouse::core {
+
+uint64_t QueryLog::Hash(const std::string& fingerprint) {
+  // FNV-1a 64: stable across runs/platforms so profiles are addressable by
+  // hash from tests and tools.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : fingerprint) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double QueryLog::SlowThresholdMicros(uint64_t fingerprint_hash) const {
+  common::MutexLock lock(mu_);
+  auto it = profiles_.find(fingerprint_hash);
+  if (it == profiles_.end()) return 0;
+  const Profile& p = it->second;
+  if (p.count < opts_.min_profile_samples || p.latency == nullptr) return 0;
+  return p.latency->Snapshot().Percentile(99);
+}
+
+void QueryLog::Append(QueryLogRecord record) {
+  common::MutexLock lock(mu_);
+  record.query_id = next_query_id_++;
+  ++total_;
+
+  Profile& p = profiles_[record.fingerprint_hash];
+  if (p.latency == nullptr) {
+    p.fingerprint = record.fingerprint;
+    p.latency = std::make_unique<common::metrics::HistogramMetric>(
+        common::metrics::DefaultLatencyBoundsMicros());
+  }
+  ++p.count;
+  if (record.status != "ok") ++p.errors;
+  p.max_micros = std::max(p.max_micros, record.latency_micros);
+  p.latency->Record(record.latency_micros);
+
+  records_.push_back(std::move(record));
+  while (records_.size() > opts_.max_records) records_.pop_front();
+}
+
+std::vector<QueryLogRecord> QueryLog::Records() const {
+  common::MutexLock lock(mu_);
+  return {records_.begin(), records_.end()};
+}
+
+std::vector<QueryProfileRow> QueryLog::Profiles() const {
+  common::MutexLock lock(mu_);
+  std::vector<QueryProfileRow> out;
+  out.reserve(profiles_.size());
+  for (const auto& [hash, p] : profiles_) {
+    QueryProfileRow row;
+    row.fingerprint = p.fingerprint;
+    row.fingerprint_hash = hash;
+    row.count = p.count;
+    row.errors = p.errors;
+    row.max_micros = p.max_micros;
+    if (p.latency != nullptr) {
+      common::BucketedHistogram snap = p.latency->Snapshot();
+      row.p50_micros = snap.Percentile(50);
+      row.p95_micros = snap.Percentile(95);
+      row.p99_micros = snap.Percentile(99);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+size_t QueryLog::size() const {
+  common::MutexLock lock(mu_);
+  return records_.size();
+}
+
+uint64_t QueryLog::total_appended() const {
+  common::MutexLock lock(mu_);
+  return total_;
+}
+
+void QueryLog::Clear() {
+  common::MutexLock lock(mu_);
+  records_.clear();
+  profiles_.clear();
+  next_query_id_ = 1;
+  total_ = 0;
+}
+
+}  // namespace blendhouse::core

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/query_ledger.h"
+
+namespace blendhouse::core {
+
+/// One finished query, as surfaced by `SELECT * FROM system.query_log`
+/// (DESIGN.md §15). Every SELECT that reaches RunSelect lands here exactly
+/// once — success or failure — with its full resource ledger; system.*
+/// introspection queries are the only exception (recording them would make
+/// reading the log grow the log).
+struct QueryLogRecord {
+  /// Monotonic per-log id, assigned at append.
+  uint64_t query_id = 0;
+  std::string sql;
+  /// Normalized parameterized signature (literals → '?'), computed at plan
+  /// time; identical-shape queries share one fingerprint.
+  std::string fingerprint;
+  uint64_t fingerprint_hash = 0;
+  std::string type;    // "ann" | "scalar"
+  std::string status;  // "ok" | "error"
+  std::string error;   // failure message when status == "error"
+  /// The query's trace id and the sink's tail-retention verdict for it
+  /// ("error" / "slow" / "sampled" / "dropped") — a retained trace is
+  /// addressable as system.query_trace(<trace_id>).
+  uint64_t trace_id = 0;
+  std::string trace_retention;
+  double latency_micros = 0;  // full wall time, plan included
+  double plan_micros = 0;
+  double exec_micros = 0;
+  common::QueryLedger ledger;
+};
+
+/// Aggregated per-fingerprint view, `SELECT * FROM system.query_profile`.
+struct QueryProfileRow {
+  std::string fingerprint;
+  uint64_t fingerprint_hash = 0;
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double p99_micros = 0;
+  double max_micros = 0;
+};
+
+/// Bounded ring of finished-query records plus rolling per-fingerprint
+/// latency profiles. The profiles double as the tail-based trace retention
+/// oracle: SlowThresholdMicros() hands RunSelect the fingerprint's rolling
+/// p99, so a query's keep/drop verdict compares it against *its own shape's*
+/// history rather than one global constant.
+///
+/// Locking: mu_ is rank kQueryLog (taken with no other lock held; the
+/// critical sections touch only the ring and the profile map — the
+/// histograms inside are lock-free).
+class QueryLog {
+ public:
+  struct Options {
+    /// Ring capacity; the oldest record is evicted past this.
+    size_t max_records = 1024;
+    /// A fingerprint's rolling p99 is trusted as a slowness threshold only
+    /// after this many samples (a cold profile's p99 is noise).
+    size_t min_profile_samples = 16;
+  };
+
+  QueryLog() : QueryLog(Options()) {}
+  explicit QueryLog(Options opts) : opts_(opts) {}
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// FNV-1a 64 of the normalized fingerprint text (stable across runs, so
+  /// tests and tools can address profiles by hash).
+  static uint64_t Hash(const std::string& fingerprint);
+
+  /// The fingerprint's rolling p99 latency, or 0 while the profile has
+  /// fewer than min_profile_samples samples. Read *before* appending the
+  /// current query so a query is never judged against itself.
+  double SlowThresholdMicros(uint64_t fingerprint_hash) const EXCLUDES(mu_);
+
+  /// Assigns query_id, pushes into the ring (evicting past capacity), and
+  /// folds the latency into the fingerprint's profile.
+  void Append(QueryLogRecord record) EXCLUDES(mu_);
+
+  std::vector<QueryLogRecord> Records() const EXCLUDES(mu_);
+  std::vector<QueryProfileRow> Profiles() const EXCLUDES(mu_);
+
+  /// Records currently in the ring.
+  size_t size() const EXCLUDES(mu_);
+  /// Records ever appended (ring evictions don't decrement).
+  uint64_t total_appended() const EXCLUDES(mu_);
+
+  void Clear() EXCLUDES(mu_);
+
+ private:
+  struct Profile {
+    std::string fingerprint;
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    double max_micros = 0;
+    /// Rolling latency distribution; fixed default micro buckets, lock-free
+    /// Record, Percentile via snapshot — same machinery as registry
+    /// histograms but privately owned (one per fingerprint).
+    std::unique_ptr<common::metrics::HistogramMetric> latency;
+  };
+
+  Options opts_;
+  mutable common::Mutex mu_{common::lockrank::kQueryLog};
+  std::deque<QueryLogRecord> records_ GUARDED_BY(mu_);
+  std::map<uint64_t, Profile> profiles_ GUARDED_BY(mu_);
+  uint64_t next_query_id_ GUARDED_BY(mu_) = 1;
+  uint64_t total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace blendhouse::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -41,6 +42,8 @@ struct SelectStmt {
   std::vector<std::string> select_columns;  // may include the distance alias
   bool select_star = false;
   std::string table;
+  /// Table-valued argument of a qualified name — system.query_trace(42).
+  std::optional<uint64_t> table_arg;
   ExprPtr where;  // null when absent
   std::optional<AnnClause> ann;
   /// LIMIT for non-ANN queries (ANN limit lives in AnnClause).

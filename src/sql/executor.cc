@@ -16,6 +16,7 @@
 #include "common/task_scheduler.h"
 #include "vecindex/distance.h"
 #include "vecindex/generic_iterator.h"
+#include "vecindex/scan_counters.h"
 
 namespace blendhouse::sql {
 
@@ -160,6 +161,9 @@ struct Executor::AttemptState {
   uint64_t queue_wait_micros GUARDED_BY(mu) = 0;
   uint64_t compute_micros GUARDED_BY(mu) = 0;
   uint64_t sim_io_micros GUARDED_BY(mu) = 0;
+  /// Fold of the segment tasks' ledger slices (scan counters, iterator
+  /// stats, rerank rows); merged into ExecStats::ledger on success.
+  common::QueryLedger ledger GUARDED_BY(mu);
   common::Promise<common::Status> done;
 
   void FoldCandidate(Candidate c) REQUIRES(mu) {
@@ -195,6 +199,20 @@ common::Result<QueryResult> Executor::Execute(const OptimizedQuery& query,
                            stats.queue_wait_micros);
   exec_span_->End();
   exec_span_ = nullptr;
+  // Mirror the breakdown and the per-field tallies into the unified ledger.
+  // Inline paths (scalar scans) never populate the async breakdown; charge
+  // their wall time as compute so the ledger always accounts the query.
+  stats.ledger.queue_wait_micros = stats.queue_wait_micros;
+  stats.ledger.compute_micros = stats.compute_micros;
+  stats.ledger.sim_io_micros = stats.sim_io_micros;
+  if (stats.ledger.compute_micros + stats.ledger.sim_io_micros +
+          stats.ledger.queue_wait_micros ==
+      0)
+    stats.ledger.compute_micros = stats.exec_micros;
+  stats.ledger.filter_cache_hits = stats.filter_cache_hits;
+  stats.ledger.filter_cache_misses = stats.filter_cache_misses;
+  stats.ledger.segments_scanned = stats.segments_scanned;
+  stats.ledger.retries = stats.retries;
   static common::metrics::HistogramMetric* exec_hist =
       common::metrics::MetricsRegistry::Instance().GetHistogram(
           "bh_sql_exec_micros");
@@ -438,6 +456,7 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
                         state->cache_outcomes[i] += slot->cache_outcomes[i];
                       state->filter_cache_hits += slot->filter_cache_hits;
                       state->filter_cache_misses += slot->filter_cache_misses;
+                      state->ledger.Merge(slot->ledger);
                       for (Candidate& c : slot->candidates)
                         state->FoldCandidate(std::move(c));
                     }
@@ -474,6 +493,9 @@ common::Result<std::vector<Executor::Candidate>> Executor::RunOnWorkers(
             static_cast<double>(state->queue_wait_micros);
         stats->compute_micros += static_cast<double>(state->compute_micros);
         stats->sim_io_micros += static_cast<double>(state->sim_io_micros);
+        stats->ledger.Merge(state->ledger);
+        // Winning attempt's fan-out width (workers tasks were dispatched to).
+        stats->ledger.workers_fanout += resolved.size();
         std::sort(state->heap.begin(), state->heap.end(),
                   [](const Candidate& a, const Candidate& b) {
                     return a.dist < b.dist;
@@ -504,6 +526,10 @@ Executor::SegmentTaskResult Executor::RunSegment(
   const storage::TableSchema& schema = ctx.schema;
   const QuerySettings& settings = ctx.settings;
   SegmentTaskResult result;
+  // The whole segment task runs on this one pool thread, so the scope's
+  // delta at return is exactly this task's distance work, per precision
+  // tier — attributed to the query's ledger without the kernels knowing.
+  vecindex::scanstats::ScanCounterScope scan_scope;
   const common::Bitset* deletes = ctx.snapshot.DeletesFor(meta.segment_id);
   // Pagination widens the per-segment fetch: any of this segment's first
   // k+offset rows may survive the global merge's offset drop.
@@ -807,6 +833,9 @@ Executor::SegmentTaskResult Executor::RunSegment(
       iter_batches->Add(istats.batches);
       iter_rows->Add(istats.rows_visited);
       iter_recompute->Add(istats.recompute_rounds);
+      result.ledger.iter_batches += istats.batches;
+      result.ledger.iter_rows_visited += istats.rows_visited;
+      result.ledger.iter_recompute_rounds += istats.recompute_rounds;
       if (span != nullptr)
         span->SetTag("iter_rows_visited",
                      std::to_string(istats.rows_visited));
@@ -840,6 +869,7 @@ Executor::SegmentTaskResult Executor::RunSegment(
               common::metrics::MetricsRegistry::Instance().GetCounter(
                   "bh_exec_fp32_rerank_rows");
           rerank_rows->Add(result.candidates.size());
+          result.ledger.fp32_rerank_rows += result.candidates.size();
           return common::Status::Ok();
         });
     if (!reranked.ok()) {
@@ -863,6 +893,14 @@ Executor::SegmentTaskResult Executor::RunSegment(
             });
   if (result.candidates.size() > k) result.candidates.resize(k);
   for (Candidate& c : result.candidates) c.segment_id = meta.segment_id;
+
+  vecindex::scanstats::TierCounts scans = scan_scope.Delta();
+  for (size_t i = 0; i < vecindex::scanstats::kNumTiers; ++i)
+    result.ledger.distance_comps[i] += scans.dist[i];
+  result.ledger.rows_scanned += scans.total();
+  result.ledger.segments_scanned += 1;
+  if (span != nullptr && scans.total() > 0)
+    span->SetTag("distance_comps", std::to_string(scans.total()));
   return result;
 }
 
@@ -985,6 +1023,7 @@ common::Result<QueryResult> Executor::ExecuteScalar(
     }
     for (size_t i = 0; i < (*segment)->num_rows() && out.rows.size() < limit;
          ++i) {
+      ++stats->ledger.rows_scanned;
       if (deletes != nullptr && deletes->Test(i)) continue;
       if (eval.has_value() && !eval->EvalRow(i)) continue;
       if (to_skip > 0) {

@@ -8,6 +8,7 @@
 
 #include "cluster/scheduler.h"
 #include "cluster/virtual_warehouse.h"
+#include "common/query_ledger.h"
 #include "common/result.h"
 #include "common/trace.h"
 #include "sql/optimizer.h"
@@ -46,6 +47,12 @@ struct ExecStats {
   double queue_wait_micros = 0;
   double compute_micros = 0;
   double sim_io_micros = 0;
+  /// Unified per-query resource ledger (DESIGN.md §15): the fields above are
+  /// mirrored into it at Execute() end, and segment tasks contribute the
+  /// parts only they can see (per-precision-tier distance computations,
+  /// iterator batch stats, fp32-rerank rows, fan-out counts). RunSelect
+  /// drains this into system.query_log.
+  common::QueryLedger ledger;
 };
 
 struct QueryResult {
@@ -101,6 +108,10 @@ class Executor {
     size_t filter_cache_hits = 0;
     size_t filter_cache_misses = 0;
     size_t rounds = 0;
+    /// Ledger slice this task produced: per-tier distance computations from
+    /// the thread-local scan counters (a segment task runs start-to-finish
+    /// on one pool thread), iterator stats, and fp32-rerank rows.
+    common::QueryLedger ledger;
     common::Status status;
     /// True when the task observed its attempt's cancel flag and did no
     /// work; the merge skips it without treating it as a failure.

@@ -437,6 +437,14 @@ class Parser {
       if (!second.ok()) return second.status();
       stmt.table += '.';
       stmt.table += *second;
+      // Table-valued argument — system.query_trace(<trace_id>).
+      if (MatchSymbol("(")) {
+        if (!Peek().Is(Token::Type::kInteger))
+          return Error("table argument expects an integer");
+        stmt.table_arg = static_cast<uint64_t>(
+            std::strtoull(Advance().text.c_str(), nullptr, 10));
+        BH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
     }
 
     if (MatchKeyword("WHERE")) {

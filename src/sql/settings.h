@@ -68,6 +68,12 @@ struct QuerySettings {
 
   /// Query-level retries on worker/scheduling failures (fault tolerance).
   size_t max_query_retries = 1;
+
+  /// Tail-based trace retention floor (DESIGN.md §15): any query slower
+  /// than this many milliseconds keeps its trace, regardless of its
+  /// fingerprint's rolling p99. 0 leaves only the adaptive p99 rule (and
+  /// the always-keep-errors rule) active. `SET slow_query_threshold_ms`.
+  double slow_query_threshold_ms = 0;
 };
 
 }  // namespace blendhouse::sql

@@ -10,6 +10,7 @@
 #include "common/io.h"
 #include "common/task_scheduler.h"
 #include "vecindex/distance.h"
+#include "vecindex/scan_counters.h"
 
 namespace blendhouse::vecindex {
 
@@ -39,6 +40,7 @@ common::Status DiskAnnIndex::Train(const float* data, size_t n) {
 
 float DiskAnnIndex::ExactDistance(const float* query, uint32_t pos) const {
   NodeBlockPtr block = ReadBlock(pos);
+  scanstats::AddFp32(1);
   return dist_(query, block->vector.data(), dim_);
 }
 
@@ -307,6 +309,7 @@ common::Result<std::vector<Neighbor>> DiskAnnIndex::SearchWithFilter(
     uint32_t cur = static_cast<uint32_t>(beam[pick_idx].id);
     expanded.insert(cur);
     NodeBlockPtr block = ReadBlock(cur);
+    scanstats::AddFp32(1);
     exact.push_back({static_cast<IdType>(cur),
                      dist_(query, block->vector.data(), dim_)});
     // Re-rank expansion walks PQ codes in graph order; prefetch them.
@@ -442,6 +445,7 @@ class DiskAnnSearchIterator : public SearchIterator {
       uint32_t cur = static_cast<uint32_t>(beam_[pick_idx].id);
       expanded_.insert(cur);
       DiskAnnIndex::NodeBlockPtr block = index_->ReadBlock(cur);
+      scanstats::AddFp32(1);
       fresh.push_back(
           {static_cast<IdType>(cur),
            index_->dist_(query_.data(), block->vector.data(), index_->dim_)});

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cmath>
 
+#include "vecindex/scan_counters.h"
+
 namespace blendhouse::vecindex {
 
 std::string MetricName(Metric m) {
@@ -132,17 +134,20 @@ BatchDistanceFn ResolveBatchDistance(Metric metric) {
 }
 
 float Distance(Metric metric, const float* a, const float* b, size_t dim) {
+  scanstats::AddFp32(1);
   return ResolveDistance(metric)(a, b, dim);
 }
 
 void BatchDistance(Metric metric, const float* query, const float* base,
                    size_t n, size_t dim, float* out) {
+  scanstats::AddFp32(n);
   ResolveBatchDistance(metric)(query, base, n, dim, out);
 }
 
 void BatchCosineWithNorms(const float* query, const float* base,
                           const float* base_norms, float query_norm, size_t n,
                           size_t dim, float* out) {
+  scanstats::AddFp32(n);
   kernels::Get().batch_inner_product(query, base, n, dim, out);
   for (size_t i = 0; i < n; ++i)
     out[i] = CosineFromDot(out[i], query_norm, base_norms[i]);

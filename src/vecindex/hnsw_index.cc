@@ -10,6 +10,7 @@
 #include "common/assert.h"
 #include "common/io.h"
 #include "vecindex/distance.h"
+#include "vecindex/scan_counters.h"
 
 namespace blendhouse::vecindex {
 
@@ -62,6 +63,10 @@ float HnswIndex::DistToItem(const float* query, uint32_t pos) const {
     // code directly — per-hop work, so no batching tier here.
     return store_.DistanceToRow(query, pos);
   }
+  // Per-hop fp32 (or fused-SQ8, which decodes into an fp32 accumulation —
+  // same tier for ledger purposes) distance; the reduced-precision branch
+  // above is charged inside PrecisionStore.
+  scanstats::AddFp32(1);
   if (options_.scalar_quantized) {
     const uint8_t* code = codes_.data() + size_t{pos} * dim_;
     switch (metric_) {

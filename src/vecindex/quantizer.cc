@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "vecindex/distance.h"
+#include "vecindex/scan_counters.h"
 
 namespace blendhouse::vecindex {
 
@@ -225,6 +226,7 @@ void PrecisionStore::BatchDistanceCodes(const QueryCtx& ctx,
                                         const float* norms, size_t n,
                                         float* out) const {
   BH_ASSERT(n <= kMaxBatch);
+  scanstats::Add(precision_, n);
   const kernels::KernelTable& kt = kernels::Get();
   if (precision_ == Precision::kInt8) {
     const int8_t* base = static_cast<const int8_t*>(codes);
@@ -279,6 +281,7 @@ void PrecisionStore::BatchDistance(const QueryCtx& ctx, size_t first,
 }
 
 float PrecisionStore::Distance1(const QueryCtx& ctx, size_t row) const {
+  scanstats::Add(precision_, 1);
   const kernels::KernelTable& kt = kernels::Get();
   if (precision_ == Precision::kInt8) {
     const int8_t* code = i8_.data() + row * dim_;

@@ -1,0 +1,361 @@
+// Query-history observability end to end (DESIGN.md §15): system.query_log
+// exactly-once recording with per-query resource ledgers, fingerprint
+// profiles, tail-based trace retention, and system.query_trace(<id>)
+// rendering of historical traces.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/blendhouse.h"
+#include "core/query_log.h"
+#include "tests/test_util.h"
+
+namespace blendhouse {
+namespace {
+
+constexpr size_t kDim = 8;
+
+// ---------------------------------------------------------------------------
+// QueryLog unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogTest, HashIsStableFnv1a) {
+  // FNV-1a 64 is a fixed algorithm: the hash of a given fingerprint must
+  // never change across runs or builds (tests and tools address profiles
+  // by hash).
+  EXPECT_EQ(core::QueryLog::Hash(""), 14695981039346656037ull);
+  EXPECT_EQ(core::QueryLog::Hash("a"), 12638187200555641996ull);
+  EXPECT_EQ(core::QueryLog::Hash("SELECT ?"), core::QueryLog::Hash("SELECT ?"));
+  EXPECT_NE(core::QueryLog::Hash("SELECT ?"), core::QueryLog::Hash("select ?"));
+}
+
+TEST(QueryLogTest, RingEvictsOldestPastCapacity) {
+  core::QueryLog::Options opts;
+  opts.max_records = 4;
+  core::QueryLog log(opts);
+  for (int i = 0; i < 10; ++i) {
+    core::QueryLogRecord rec;
+    rec.sql = "q" + std::to_string(i);
+    rec.fingerprint = "q?";
+    rec.fingerprint_hash = core::QueryLog::Hash(rec.fingerprint);
+    rec.latency_micros = 100;
+    log.Append(std::move(rec));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_appended(), 10u);
+  auto records = log.Records();
+  ASSERT_EQ(records.size(), 4u);
+  // query_ids are monotonic and the survivors are the newest four.
+  EXPECT_EQ(records.front().query_id, 7u);
+  EXPECT_EQ(records.back().query_id, 10u);
+  // Profiles aggregate over everything ever appended, not just the ring.
+  auto profiles = log.Profiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].count, 10u);
+}
+
+TEST(QueryLogTest, SlowThresholdNeedsMinSamplesThenTracksP99) {
+  core::QueryLog::Options opts;
+  opts.min_profile_samples = 8;
+  core::QueryLog log(opts);
+  uint64_t hash = core::QueryLog::Hash("shape");
+  // Cold profile: no threshold — a handful of samples' p99 is noise.
+  EXPECT_EQ(log.SlowThresholdMicros(hash), 0.0);
+  for (int i = 0; i < 7; ++i) {
+    core::QueryLogRecord rec;
+    rec.fingerprint = "shape";
+    rec.fingerprint_hash = hash;
+    rec.latency_micros = 500;
+    log.Append(std::move(rec));
+  }
+  EXPECT_EQ(log.SlowThresholdMicros(hash), 0.0);  // 7 < 8
+  {
+    core::QueryLogRecord rec;
+    rec.fingerprint = "shape";
+    rec.fingerprint_hash = hash;
+    rec.latency_micros = 500;
+    log.Append(std::move(rec));
+  }
+  // Warm profile: the rolling p99 is a usable threshold near the samples.
+  double threshold = log.SlowThresholdMicros(hash);
+  EXPECT_GT(threshold, 0.0);
+  EXPECT_LT(threshold, 10000.0);
+  // Unknown fingerprints never get a threshold.
+  EXPECT_EQ(log.SlowThresholdMicros(core::QueryLog::Hash("other")), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through BlendHouse
+// ---------------------------------------------------------------------------
+
+class QueryLogE2E : public ::testing::Test {
+ protected:
+  void Start(core::BlendHouseOptions opts) {
+    opts.ingest.max_segment_rows = 100;  // several segments per flush
+    db_ = std::make_unique<core::BlendHouse>(opts);
+    auto created = db_->ExecuteSql(
+        "CREATE TABLE items (id Int64, attr Int64, emb Array(Float32),"
+        " INDEX ann emb TYPE HNSW('DIM=8','M=8'));");
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+  }
+
+  void Ingest(size_t n) {
+    data_ = test::MakeClusteredVectors(n, kDim, 6, 7);
+    std::vector<storage::Row> rows;
+    for (size_t i = 0; i < n; ++i) {
+      storage::Row row;
+      row.values = {static_cast<int64_t>(i), static_cast<int64_t>(i % 100),
+                    std::vector<float>(data_.begin() + i * kDim,
+                                       data_.begin() + (i + 1) * kDim)};
+      rows.push_back(std::move(row));
+    }
+    ASSERT_TRUE(db_->Insert("items", std::move(rows)).ok());
+    ASSERT_TRUE(db_->Flush("items").ok());
+  }
+
+  std::string VecLiteral(size_t qrow) {
+    const float* v = data_.data() + qrow * kDim;
+    std::string s = "[";
+    for (size_t d = 0; d < kDim; ++d) {
+      if (d > 0) s += ",";
+      s += std::to_string(v[d]);
+    }
+    return s + "]";
+  }
+
+  std::string TopKSql(size_t qrow, int k, int attr_below) {
+    return "SELECT id, dist FROM items WHERE attr < " +
+           std::to_string(attr_below) + " ORDER BY L2Distance(emb, " +
+           VecLiteral(qrow) + ") AS dist LIMIT " + std::to_string(k) + ";";
+  }
+
+  std::unique_ptr<core::BlendHouse> db_;
+  std::vector<float> data_;
+};
+
+TEST_F(QueryLogE2E, EveryFinishedQueryLoggedExactlyOnce) {
+  Start(core::BlendHouseOptions::Fast());
+  Ingest(300);
+  ASSERT_TRUE(db_->Query(TopKSql(0, 5, 50)).ok());
+  ASSERT_TRUE(db_->Query(TopKSql(1, 5, 60)).ok());
+  ASSERT_TRUE(db_->Query("SELECT id FROM items WHERE attr < 3;").ok());
+  EXPECT_FALSE(db_->Query("SELECT nonexistent FROM items ORDER BY "
+                          "L2Distance(emb, [1,2,3,4,5,6,7,8]) LIMIT 3;")
+                   .ok());
+  EXPECT_EQ(db_->query_log().total_appended(), 4u);
+
+  auto result = db_->Query("SELECT * FROM system.query_log;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 4u);
+  // query_ids are unique; statuses land as recorded.
+  std::set<int64_t> ids;
+  size_t errors = 0;
+  size_t id_col = 0, status_col = 0;
+  for (size_t c = 0; c < result->column_names.size(); ++c) {
+    if (result->column_names[c] == "query_id") id_col = c;
+    if (result->column_names[c] == "status") status_col = c;
+  }
+  for (const auto& row : result->rows) {
+    ids.insert(std::get<int64_t>(row.values[id_col]));
+    if (std::get<std::string>(row.values[status_col]) == "error") ++errors;
+  }
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_EQ(errors, 1u);
+
+  // Reading history must not grow history: system.* queries are not logged.
+  ASSERT_TRUE(db_->Query("SELECT * FROM system.query_log;").ok());
+  ASSERT_TRUE(db_->Query("SELECT * FROM system.metrics;").ok());
+  EXPECT_EQ(db_->query_log().total_appended(), 4u);
+}
+
+TEST_F(QueryLogE2E, LedgerCapturesQueryResources) {
+  Start(core::BlendHouseOptions::Fast());
+  Ingest(400);
+  ASSERT_TRUE(db_->Query(TopKSql(2, 5, 50)).ok());
+  auto records = db_->query_log().Records();
+  ASSERT_EQ(records.size(), 1u);
+  const core::QueryLogRecord& rec = records[0];
+  EXPECT_EQ(rec.type, "ann");
+  EXPECT_EQ(rec.status, "ok");
+  EXPECT_GT(rec.latency_micros, 0.0);
+  EXPECT_GT(rec.plan_micros, 0.0);
+  EXPECT_GT(rec.exec_micros, 0.0);
+
+  const common::QueryLedger& l = rec.ledger;
+  EXPECT_GT(l.rows_scanned, 0u);
+  EXPECT_GT(l.total_distance_comps(), 0u);
+  EXPECT_GT(l.segments_scanned, 0u);
+  EXPECT_GE(l.workers_fanout, 1u);
+  // The latency breakdown is populated and self-consistent: components are
+  // non-negative and the total accounts for real time (compute can exceed
+  // wall under parallel segment scans, but never all three being zero).
+  EXPECT_GT(l.queue_wait_micros + l.compute_micros + l.sim_io_micros, 0.0);
+
+  // The scalar path counts scanned rows too.
+  ASSERT_TRUE(db_->Query("SELECT id FROM items WHERE attr < 10;").ok());
+  records = db_->query_log().Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].type, "scalar");
+  EXPECT_GT(records[1].ledger.rows_scanned, 0u);
+}
+
+TEST_F(QueryLogE2E, IdenticalShapeQueriesShareOneFingerprint) {
+  Start(core::BlendHouseOptions::Fast());
+  Ingest(300);
+  // Same shape, different literals: attr bound, query vector, and LIMIT all
+  // differ, but the parameterized signature is identical.
+  ASSERT_TRUE(db_->Query(TopKSql(0, 5, 50)).ok());
+  ASSERT_TRUE(db_->Query(TopKSql(1, 7, 30)).ok());
+  ASSERT_TRUE(db_->Query(TopKSql(2, 3, 80)).ok());
+  // A different shape (no WHERE) gets its own fingerprint.
+  ASSERT_TRUE(db_->Query("SELECT id, dist FROM items ORDER BY L2Distance("
+                         "emb, " + VecLiteral(0) + ") AS dist LIMIT 5;")
+                  .ok());
+
+  auto records = db_->query_log().Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].fingerprint_hash, records[1].fingerprint_hash);
+  EXPECT_EQ(records[0].fingerprint_hash, records[2].fingerprint_hash);
+  EXPECT_NE(records[0].fingerprint_hash, records[3].fingerprint_hash);
+  EXPECT_EQ(records[0].fingerprint, records[1].fingerprint);
+
+  auto profiles = db_->Query("SELECT fingerprint, count FROM "
+                             "system.query_profile;");
+  ASSERT_TRUE(profiles.ok()) << profiles.status().ToString();
+  ASSERT_EQ(profiles->rows.size(), 2u);
+  std::vector<int64_t> counts;
+  for (const auto& row : profiles->rows)
+    counts.push_back(std::get<int64_t>(row.values[1]));
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<int64_t>{1, 3}));
+}
+
+TEST_F(QueryLogE2E, SystemQueryLogSupportsPushdownAndProjection) {
+  Start(core::BlendHouseOptions::Fast());
+  Ingest(300);
+  ASSERT_TRUE(db_->Query(TopKSql(0, 5, 50)).ok());
+  EXPECT_FALSE(db_->Query("SELECT nonexistent FROM items ORDER BY "
+                          "L2Distance(emb, [1,2,3,4,5,6,7,8]) LIMIT 3;")
+                   .ok());
+  ASSERT_TRUE(db_->Query(TopKSql(1, 5, 50)).ok());
+
+  // Predicate pushdown through the bitmap engine + projection.
+  auto errors = db_->Query(
+      "SELECT query_id, type, status FROM system.query_log "
+      "WHERE status = 'error';");
+  ASSERT_TRUE(errors.ok()) << errors.status().ToString();
+  EXPECT_EQ(errors->column_names,
+            (std::vector<std::string>{"query_id", "type", "status"}));
+  ASSERT_EQ(errors->rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(errors->rows[0].values[0]), 2);
+  EXPECT_EQ(std::get<std::string>(errors->rows[0].values[2]), "error");
+
+  // Numeric predicates work on ledger columns.
+  auto busy = db_->Query(
+      "SELECT query_id FROM system.query_log WHERE rows_scanned > 0;");
+  ASSERT_TRUE(busy.ok()) << busy.status().ToString();
+  EXPECT_EQ(busy->rows.size(), 2u);
+
+  // LIMIT/OFFSET paginate the log like any scalar scan.
+  auto page = db_->Query(
+      "SELECT query_id FROM system.query_log LIMIT 2 OFFSET 1;");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  ASSERT_EQ(page->rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(page->rows[0].values[0]), 2);
+}
+
+TEST_F(QueryLogE2E, QueryTraceRendersRetainedHistoricalTrace) {
+  core::BlendHouseOptions opts = core::BlendHouseOptions::Fast();
+  opts.trace.sample_rate = 1.0;
+  Start(opts);
+  Ingest(300);
+  ASSERT_TRUE(db_->Query(TopKSql(0, 5, 50)).ok());
+  auto records = db_->query_log().Records();
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_GT(records[0].trace_id, 0u);
+  EXPECT_EQ(records[0].trace_retention, "sampled");
+
+  auto rendered = db_->Query("SELECT * FROM system.query_trace(" +
+                             std::to_string(records[0].trace_id) + ");");
+  ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+  ASSERT_EQ(rendered->column_names, (std::vector<std::string>{"explain"}));
+  std::string text;
+  for (const auto& row : rendered->rows)
+    text += std::get<std::string>(row.values[0]) + "\n";
+  EXPECT_NE(text.find("retention=sampled"), std::string::npos);
+  EXPECT_NE(text.find("fingerprint="), std::string::npos);
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("segment_scan"), std::string::npos);
+
+  // Unknown and unretained ids explain themselves.
+  auto missing = db_->Query("SELECT * FROM system.query_trace(999999);");
+  EXPECT_FALSE(missing.ok());
+  auto no_arg = db_->Query("SELECT * FROM system.query_trace;");
+  EXPECT_FALSE(no_arg.ok());
+}
+
+TEST_F(QueryLogE2E, SlowQueryThresholdFloorRetainsSlowTraces) {
+  core::BlendHouseOptions opts = core::BlendHouseOptions::Fast();
+  opts.trace.sample_rate = 0.0;  // only the tail rules can retain
+  Start(opts);
+  Ingest(300);
+  // 1us floor: every real query qualifies as slow.
+  ASSERT_TRUE(db_->ExecuteSql("SET slow_query_threshold_ms = 0.001;").ok());
+  ASSERT_TRUE(db_->Query(TopKSql(0, 5, 50)).ok());
+  EXPECT_EQ(db_->trace_sink().retained_slow(), 1u);
+  auto records = db_->query_log().Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].trace_retention, "slow");
+  // The retained-slow trace is addressable even though sampling is off.
+  auto rendered = db_->Query("SELECT * FROM system.query_trace(" +
+                             std::to_string(records[0].trace_id) + ");");
+  ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+
+  // Raising the floor far above real latency stops retention.
+  ASSERT_TRUE(db_->ExecuteSql("SET slow_query_threshold_ms = 60000;").ok());
+  ASSERT_TRUE(db_->Query(TopKSql(1, 5, 50)).ok());
+  EXPECT_EQ(db_->trace_sink().retained_slow(), 1u);
+  EXPECT_EQ(db_->trace_sink().sample_dropped(), 1u);
+}
+
+TEST_F(QueryLogE2E, ErrorTracesAlwaysRetained) {
+  core::BlendHouseOptions opts = core::BlendHouseOptions::Fast();
+  opts.trace.sample_rate = 0.0;
+  Start(opts);
+  Ingest(300);
+  EXPECT_FALSE(db_->Query("SELECT nonexistent FROM items ORDER BY "
+                          "L2Distance(emb, [1,2,3,4,5,6,7,8]) LIMIT 3;")
+                   .ok());
+  EXPECT_EQ(db_->trace_sink().retained_error(), 1u);
+  auto records = db_->query_log().Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, "error");
+  EXPECT_EQ(records[0].trace_retention, "error");
+  EXPECT_FALSE(records[0].error.empty());
+  EXPECT_TRUE(db_->trace_sink().FindTrace(records[0].trace_id).has_value());
+}
+
+TEST_F(QueryLogE2E, RetentionTalliesReconcile) {
+  core::BlendHouseOptions opts = core::BlendHouseOptions::Fast();
+  opts.trace.sample_rate = 0.0;
+  Start(opts);
+  Ingest(300);
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(db_->Query(TopKSql(static_cast<size_t>(i), 5, 50)).ok());
+  EXPECT_FALSE(db_->Query("SELECT nonexistent FROM items ORDER BY "
+                          "L2Distance(emb, [1,2,3,4,5,6,7,8]) LIMIT 3;")
+                   .ok());
+  auto& sink = db_->trace_sink();
+  // Every finished query got exactly one verdict, and the verdicts add up.
+  EXPECT_EQ(sink.offered(), 11u);
+  EXPECT_EQ(sink.retained_error() + sink.retained_slow() +
+                sink.retained_sampled() + sink.sample_dropped(),
+            sink.offered());
+  EXPECT_EQ(sink.offered(), db_->query_log().total_appended());
+}
+
+}  // namespace
+}  // namespace blendhouse

@@ -100,6 +100,94 @@ TEST(MetricsTest, SnapshotAndExportersIncludeRegisteredMetrics) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
+TEST(MetricsTest, CounterShardCountIsFrozenProcessWide) {
+  // By the time any test runs, counters exist, so the shard count is frozen:
+  // a power of two, at least the historical 16, shared by every counter.
+  size_t shards = common::metrics::CounterShardCount();
+  EXPECT_GE(shards, 16u);
+  EXPECT_EQ(shards & (shards - 1), 0u) << shards << " is not a power of two";
+  Counter* c = MetricsRegistry::Instance().GetCounter("bh_test_shards_total");
+  EXPECT_EQ(c->shard_count(), shards);
+  // Reconfiguration after the freeze is refused and changes nothing.
+  EXPECT_FALSE(common::metrics::ConfigureCounterShards(8));
+  EXPECT_EQ(common::metrics::CounterShardCount(), shards);
+}
+
+TEST(MetricsTest, CounterIsExactWithMoreThreadsThanLegacyShards) {
+  // ROADMAP item-5 leftover: sharding now scales with the host instead of
+  // the historical fixed 16. Drive well past 16 concurrent writers and
+  // require an exact total — extra threads may share shards but never lose
+  // increments.
+  Counter* c = MetricsRegistry::Instance().GetCounter("bh_test_wide_total");
+  c->ResetForTest();
+  constexpr int kThreads = 48;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([c] {
+      for (int i = 0; i < kAdds; ++i) c->Add(1);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsTest, PrometheusNameSanitization) {
+  using common::metrics::PrometheusSanitizeName;
+  EXPECT_EQ(PrometheusSanitizeName("bh_ok_total"), "bh_ok_total");
+  EXPECT_EQ(PrometheusSanitizeName("a:b"), "a:b");  // colon is legal
+  EXPECT_EQ(PrometheusSanitizeName("bh.dots-and spaces"),
+            "bh_dots_and_spaces");
+  EXPECT_EQ(PrometheusSanitizeName("9leading_digit"), "_9leading_digit");
+  EXPECT_EQ(PrometheusSanitizeName(""), "_");  // never an empty name
+}
+
+TEST(MetricsTest, PrometheusLabelEscaping) {
+  using common::metrics::PrometheusEscapeLabel;
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\nb"), "a\\nb");
+}
+
+TEST(MetricsTest, ExporterSanitizesAdHocMetricNames) {
+  auto& reg = MetricsRegistry::Instance();
+  reg.GetCounter("bh test bad.name")->Add(1);
+  std::string prom = reg.ExportPrometheus();
+  EXPECT_NE(prom.find("bh_test_bad_name 1"), std::string::npos);
+  EXPECT_EQ(prom.find("bh test bad.name"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramQuantileEdges) {
+  // Empty histogram: percentiles report 0, not garbage.
+  HistogramMetric h({10.0, 100.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(99), 0.0);
+
+  // Single sample: every percentile falls inside the sample's bucket.
+  h.Record(42.0);
+  common::BucketedHistogram one = h.Snapshot();
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_GT(one.Percentile(p), 10.0) << "p=" << p;
+    EXPECT_LE(one.Percentile(p), 100.0) << "p=" << p;
+  }
+
+  // All samples in one bucket: the full percentile range stays within that
+  // bucket's edges.
+  h.ResetForTest();
+  for (int i = 0; i < 1000; ++i) h.Record(50.0);
+  common::BucketedHistogram packed = h.Snapshot();
+  EXPECT_GT(packed.Percentile(1), 10.0);
+  EXPECT_LE(packed.Percentile(1), 100.0);
+  EXPECT_GT(packed.Percentile(99), 10.0);
+  EXPECT_LE(packed.Percentile(99), 100.0);
+
+  // Overflow bucket has no finite edge; percentiles report the last bound.
+  h.ResetForTest();
+  h.Record(1e9);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(50), 100.0);
+}
+
 // ---------------------------------------------------------------------------
 // Trace spans
 // ---------------------------------------------------------------------------
@@ -371,8 +459,15 @@ TEST_F(TelemetryE2E, SystemMetricsTableListsRegistry) {
   EXPECT_TRUE(names.count("bh_sql_query_micros_count"));
   EXPECT_TRUE(names.count("bh_sql_query_micros_p95"));
 
-  auto filtered = db_->Query("SELECT name FROM system.metrics;");
-  EXPECT_FALSE(filtered.ok());  // SELECT * only
+  // Projection and WHERE pushdown work like any other table scan.
+  auto filtered = db_->Query(
+      "SELECT name FROM system.metrics WHERE name = "
+      "'bh_sql_queries_ann_total';");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  ASSERT_EQ(filtered->column_names, (std::vector<std::string>{"name"}));
+  ASSERT_EQ(filtered->rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(filtered->rows[0].values[0]),
+            "bh_sql_queries_ann_total");
 }
 
 TEST_F(TelemetryE2E, QueryCountersAndSinkRetention) {
@@ -395,7 +490,10 @@ TEST_F(TelemetryE2E, QueryCountersAndSinkRetention) {
             ann_before + 3);
   EXPECT_GE(reg.GetCounter("bh_sql_query_failures_total")->Value(),
             fail_before + 1);
-  ASSERT_EQ(db_->trace_sink().size(), sink_before + 2);
+  // Tail-based retention keeps the failed query's trace too (always-keep
+  // errors), on top of the two sampled successes.
+  ASSERT_EQ(db_->trace_sink().size(), sink_before + 3);
+  EXPECT_EQ(db_->trace_sink().retained_error(), 1u);
 
   // Each retained trace is a complete tree: one root named "query", and
   // every parent_id resolves to a span of the same trace.

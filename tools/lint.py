@@ -30,6 +30,11 @@ enforces four concurrency/hygiene rules:
                trace spans, so every measurement is exported and
                reconcilable. Algorithms that consume elapsed time as an
                input (e.g. auto-index trials) annotate the use.
+  metric-name  Metric names registered via MetricsRegistry::Get{Counter,
+               Gauge,Histogram} with a string literal must match
+               `bh_[a-z0-9_]+` (DESIGN.md §10 naming convention): one
+               namespace, lowercase snake case, so the Prometheus export
+               needs no sanitization and dashboards can glob bh_*.
   this-capture  Lambdas passed to Future::Then / ThreadPool::Submit /
                TaskScheduler::Schedule(/After) inside src/cluster/ must not
                capture raw `this`: the continuation can outlive the object
@@ -288,6 +293,29 @@ def check_this_capture(path, raw_lines, code_text, findings):
              "a lifetime justification"))
 
 
+# A registry registration with a literal name; the window between the call
+# and the string spans a line break plus indentation. Dynamic names are not
+# checked (the exporter sanitizes as a backstop).
+METRIC_NAME_RE = re.compile(
+    r"\bGet(?:Counter|Gauge|Histogram)\s*\(\s*\"([^\"]*)\"", re.S)
+METRIC_NAME_OK_RE = re.compile(r"bh_[a-z0-9_]+\Z")
+
+
+def check_metric_names(path, raw_lines, raw_text, findings):
+    allows = allows_for(raw_lines)
+    for m in METRIC_NAME_RE.finditer(raw_text):
+        name = m.group(1)
+        if METRIC_NAME_OK_RE.fullmatch(name):
+            continue
+        lineno = raw_text.count("\n", 0, m.start()) + 1
+        if "metric-name" in allows.get(lineno, set()):
+            continue
+        findings.append(
+            (path, lineno, "metric-name",
+             f'registry metric "{name}" must match bh_[a-z0-9_]+ '
+             "(lowercase snake case in the bh_ namespace)"))
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
@@ -358,6 +386,7 @@ def main():
         code_lines = code_text.splitlines()
         check_tokens(path, raw_lines, code_lines, findings)
         check_this_capture(path, raw_lines, code_text, findings)
+        check_metric_names(path, raw_lines, text, findings)
         check_pragma_once(path, raw_lines, findings)
 
     cycle = find_include_cycle(build_include_graph(root, files))

@@ -4,17 +4,50 @@ JSON loadable by chrome://tracing or https://ui.perfetto.dev.
 
 Usage:
   tools/trace2json.py [dump.json] [-o out.json]
+  tools/trace2json.py --self-test
 
 Reads the sink dump from the given file (or stdin), writes Chrome trace
 events to -o (or stdout). Each trace becomes one "process" (pid = trace_id);
 spans become complete ("X") events. Concurrent spans of one trace are packed
 onto the fewest "threads" (lanes) that keep every lane non-overlapping, so a
 query renders as a compact waterfall instead of one row per span.
+
+Tail-based retention metadata (DESIGN.md §15) is surfaced per process: the
+retention reason ("slow" / "error" / "sampled") is appended to the process
+name, and the query fingerprint plus root latency land in a process_labels
+metadata event, so a Perfetto session over a retained-slow dump shows *why*
+each trace was kept. Span-level fingerprint / distance_comps tags pass
+through into event args unchanged.
+
+--self-test round-trips a captured retained-slow TraceSink dump (verbatim
+DumpJson output) and asserts the retention fields survive conversion; it runs
+as the `trace2json-selftest` ctest.
 """
 
 import argparse
 import json
 import sys
+
+# Verbatim trace::TraceSink::DumpJson output for a retained-slow query trace
+# (root latency above the slow threshold): the format contract this converter
+# is tested against.
+SELF_TEST_DUMP = r"""
+[{"trace_id":1,"name":"query","retention_reason":"slow","fingerprint":"SELECT
+ id, dist FROM items WHERE attr < ? ORDER BY L2Distance(emb, ?) AS dist
+ LIMIT ?","latency_micros":5234.500,"spans":[{"span_id":2,"parent_id":1,
+"start_micros":7.706,"wall_micros":0.260,"compute_micros":12.000,
+"sim_io_micros":0.000,"queue_wait_micros":0.000,"name":"plan","tags":{}},
+{"span_id":4,"parent_id":3,"start_micros":9.149,"wall_micros":1.052,
+"compute_micros":200.000,"sim_io_micros":40.000,"queue_wait_micros":10.000,
+"name":"segment_scan","tags":{"segment":"items_seg_0",
+"distance_comps":"1024"}},{"span_id":3,"parent_id":1,"start_micros":8.831,
+"wall_micros":1.929,"compute_micros":0.000,"sim_io_micros":0.000,
+"queue_wait_micros":0.000,"name":"execute","tags":{}},{"span_id":1,
+"parent_id":0,"start_micros":1.894,"wall_micros":9.365,
+"compute_micros":0.000,"sim_io_micros":0.000,"queue_wait_micros":0.000,
+"name":"query","tags":{"table":"items","type":"ann",
+"fingerprint":"00c0ffee00c0ffee"}}]}]
+"""
 
 
 def assign_lanes(spans):
@@ -41,10 +74,26 @@ def convert(sink_dump):
         pid = trace["trace_id"]
         spans = trace.get("spans", [])
         lanes = assign_lanes(spans)
+        pname = f'{trace.get("name", "trace")} #{pid}'
+        retention = trace.get("retention_reason")
+        if retention:
+            pname += f" [{retention}]"
         events.append({
             "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
-            "args": {"name": f'{trace.get("name", "trace")} #{pid}'},
+            "args": {"name": pname},
         })
+        labels = []
+        if retention:
+            labels.append(f"retention={retention}")
+        if trace.get("fingerprint"):
+            labels.append(f'fingerprint={trace["fingerprint"]}')
+        if "latency_micros" in trace:
+            labels.append(f'latency_micros={trace["latency_micros"]}')
+        if labels:
+            events.append({
+                "ph": "M", "pid": pid, "tid": 0, "name": "process_labels",
+                "args": {"labels": ", ".join(labels)},
+            })
         for span in spans:
             args = {
                 "parent_id": span.get("parent_id", 0),
@@ -66,13 +115,60 @@ def convert(sink_dump):
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
+def self_test():
+    dump = json.loads(SELF_TEST_DUMP.replace("\n", ""))
+    result = convert(dump)
+    events = result["traceEvents"]
+
+    def fail(msg):
+        print(f"trace2json self-test FAILED: {msg}", file=sys.stderr)
+        return 1
+
+    metas = {e["name"]: e for e in events if e["ph"] == "M"}
+    if "process_name" not in metas:
+        return fail("no process_name metadata")
+    if "[slow]" not in metas["process_name"]["args"]["name"]:
+        return fail("retention reason missing from process name")
+    if "process_labels" not in metas:
+        return fail("no process_labels metadata")
+    labels = metas["process_labels"]["args"]["labels"]
+    for needle in ("retention=slow", "fingerprint=SELECT", "latency_micros="):
+        if needle not in labels:
+            return fail(f"process_labels missing {needle!r}")
+
+    slices = [e for e in events if e["ph"] == "X"]
+    if len(slices) != 4:
+        return fail(f"expected 4 span events, got {len(slices)}")
+    by_name = {e["name"]: e for e in slices}
+    for required in ("query", "plan", "execute", "segment_scan"):
+        if required not in by_name:
+            return fail(f"missing span {required!r}")
+    # Span tags (fingerprint on the root, distance_comps on the scan) pass
+    # through into event args.
+    if by_name["query"]["args"].get("fingerprint") != "00c0ffee00c0ffee":
+        return fail("root span fingerprint tag lost")
+    if by_name["segment_scan"]["args"].get("distance_comps") != "1024":
+        return fail("segment_scan distance_comps tag lost")
+    # Parent/child spans overlap in time, so lane packing must separate the
+    # root from its children.
+    if by_name["query"]["tid"] == by_name["execute"]["tid"]:
+        return fail("overlapping spans share a lane")
+    print("trace2json self-test OK")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("input", nargs="?", default="-",
                         help="TraceSink dump JSON (default: stdin)")
     parser.add_argument("-o", "--output", default="-",
                         help="Chrome trace JSON output (default: stdout)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="round-trip a captured retained-slow dump")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     if args.input == "-":
         sink_dump = json.load(sys.stdin)
